@@ -1,0 +1,59 @@
+// Reproduces the unreported half of the paper's methodology (§3.1): "We
+// measure two times for each query: with no indexes (i.e., sequential
+// scan) to form a baseline, and with indexes. We only report ... times
+// with indexes." This bench prints both, at the normal scale, for the
+// index-sensitive queries — the ablation behind the paper's claim that
+// indexing "does not make a big difference for small databases, but
+// starts to take positive effects when the databases get larger".
+#include <cstdio>
+
+#include "datagen/generator.h"
+#include "harness/scale.h"
+#include "workload/classes.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace xbench;
+  std::printf(
+      "XBench reproduction — index ablation (paper §3.1 baseline), normal "
+      "scale\n\n");
+  std::printf("%-6s %-7s %-16s %12s %12s %9s\n", "Query", "Class", "Engine",
+              "no-index ms", "indexed ms", "speedup");
+
+  for (workload::QueryId id :
+       {workload::QueryId::kQ5, workload::QueryId::kQ8,
+        workload::QueryId::kQ12}) {
+    for (datagen::DbClass cls : workload::AllClasses()) {
+      datagen::GenConfig config;
+      config.target_bytes = harness::TargetBytes(workload::Scale::kNormal);
+      config.seed = harness::BenchSeed();
+      datagen::GeneratedDatabase db = datagen::Generate(cls, config);
+      const workload::QueryParams params =
+          workload::DeriveParams(cls, db.seeds);
+
+      for (engines::EngineKind kind : workload::AllEngines()) {
+        auto bare = workload::MakeEngine(kind);
+        if (!bare->BulkLoad(cls, workload::ToLoadDocuments(db)).ok()) {
+          continue;  // unsupported cell
+        }
+        auto no_index = workload::RunQuery(*bare, id, cls, params);
+
+        auto indexed_engine = workload::MakeEngine(kind);
+        (void)indexed_engine->BulkLoad(cls, workload::ToLoadDocuments(db));
+        (void)workload::CreateTable3Indexes(*indexed_engine, cls);
+        auto indexed = workload::RunQuery(*indexed_engine, id, cls, params);
+
+        if (!no_index.status.ok() || !indexed.status.ok()) continue;
+        const double speedup =
+            indexed.TotalMillis() <= 0
+                ? 0
+                : no_index.TotalMillis() / indexed.TotalMillis();
+        std::printf("%-6s %-7s %-16s %12.1f %12.1f %8.1fx\n",
+                    workload::QueryName(id), datagen::DbClassName(cls),
+                    engines::EngineKindName(kind), no_index.TotalMillis(),
+                    indexed.TotalMillis(), speedup);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces paper Table 4 (bulk loading time) and prints the Table 3
+// index configuration used throughout.
+#include <cstdio>
+
+#include "harness/driver.h"
+
+int main() {
+  using namespace xbench;
+  harness::Driver driver;
+  std::printf("XBench reproduction — bulk loading (paper Table 4)\n");
+  std::printf("scales: small=%lluKB normal=%lluKB large=%lluKB, seed=%llu\n",
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kSmall) / 1024),
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kNormal) / 1024),
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kLarge) / 1024),
+              static_cast<unsigned long long>(harness::BenchSeed()));
+  std::fputs(driver.IndexTable().c_str(), stdout);
+  harness::ResultTable table = driver.BulkLoadTable();
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}

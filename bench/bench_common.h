@@ -1,0 +1,30 @@
+#ifndef XBENCH_BENCH_BENCH_COMMON_H_
+#define XBENCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "harness/driver.h"
+
+namespace xbench::bench {
+
+/// Prints one of the paper's query tables (Tables 5-9).
+inline int RunQueryTableBench(workload::QueryId id, const char* paper_table) {
+  harness::Driver driver;
+  std::printf("XBench reproduction — %s (paper %s)\n",
+              workload::QueryName(id), paper_table);
+  std::printf("scales: small=%lluKB normal=%lluKB large=%lluKB, seed=%llu\n",
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kSmall) / 1024),
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kNormal) / 1024),
+              static_cast<unsigned long long>(
+                  harness::TargetBytes(workload::Scale::kLarge) / 1024),
+              static_cast<unsigned long long>(harness::BenchSeed()));
+  harness::ResultTable table = driver.QueryTable(id);
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace xbench::bench
+
+#endif  // XBENCH_BENCH_BENCH_COMMON_H_

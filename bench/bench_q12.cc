@@ -1,0 +1,8 @@
+// Reproduces paper Table 6: query Q12 (document construction) execution
+// time across engines, classes, and scales.
+#include "bench_common.h"
+
+int main() {
+  return xbench::bench::RunQueryTableBench(xbench::workload::QueryId::kQ12,
+                                           "Table 6");
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Table 9: query Q14 (missing elements) execution time
+// across engines, classes, and scales.
+#include "bench_common.h"
+
+int main() {
+  return xbench::bench::RunQueryTableBench(xbench::workload::QueryId::kQ14,
+                                           "Table 9");
+}

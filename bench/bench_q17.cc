@@ -1,0 +1,8 @@
+// Reproduces paper Table 7: query Q17 (uni-gram text search) execution
+// time across engines, classes, and scales.
+#include "bench_common.h"
+
+int main() {
+  return xbench::bench::RunQueryTableBench(xbench::workload::QueryId::kQ17,
+                                           "Table 7");
+}

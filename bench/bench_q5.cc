@@ -1,0 +1,8 @@
+// Reproduces paper Table 5: query Q5 (ordered access, absolute) execution
+// time across engines, classes, and scales.
+#include "bench_common.h"
+
+int main() {
+  return xbench::bench::RunQueryTableBench(xbench::workload::QueryId::kQ5,
+                                           "Table 5");
+}

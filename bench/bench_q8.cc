@@ -1,0 +1,8 @@
+// Reproduces paper Table 8: query Q8 (path expression with one unknown
+// step) execution time across engines, classes, and scales.
+#include "bench_common.h"
+
+int main() {
+  return xbench::bench::RunQueryTableBench(xbench::workload::QueryId::kQ8,
+                                           "Table 8");
+}

@@ -1,0 +1,73 @@
+// Extension bench — the paper's planned update workload (§4): document
+// insertion and deletion throughput per engine on the MD classes, with
+// Table 3 indexes maintained. Not a paper table; reported as ops/s.
+#include <cstdio>
+
+#include "datagen/generator.h"
+#include "harness/scale.h"
+#include "workload/classes.h"
+#include "workload/runner.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xbench;
+  std::printf(
+      "XBench reproduction — update workload extension (document "
+      "insert/delete,\nindexes maintained; MD classes, small scale)\n\n");
+  std::printf("%-16s %-7s %14s %14s\n", "Engine", "Class", "insert ops/s",
+              "delete ops/s");
+
+  for (datagen::DbClass cls :
+       {datagen::DbClass::kDcMd, datagen::DbClass::kTcMd}) {
+    datagen::GenConfig config;
+    config.target_bytes = harness::TargetBytes(workload::Scale::kSmall);
+    config.seed = harness::BenchSeed();
+    datagen::GeneratedDatabase db = datagen::Generate(cls, config);
+
+    // A batch of fresh documents to insert: regenerate the class at a
+    // different seed and rename to avoid collisions.
+    datagen::GenConfig extra_config = config;
+    extra_config.seed = config.seed + 1;
+    extra_config.target_bytes = config.target_bytes / 4;
+    datagen::GeneratedDatabase extra = datagen::Generate(cls, extra_config);
+
+    for (engines::EngineKind kind : workload::AllEngines()) {
+      auto engine = workload::MakeEngine(kind);
+      Status status = engine->BulkLoad(cls, workload::ToLoadDocuments(db));
+      if (!status.ok()) {
+        std::printf("%-16s %-7s %14s %14s\n",
+                    engines::EngineKindName(kind), datagen::DbClassName(cls),
+                    "-", "-");
+        continue;
+      }
+      (void)workload::CreateTable3Indexes(*engine, cls);
+
+      const double io0 = engine->IoMillis();
+      Stopwatch watch;
+      int inserted = 0;
+      for (const datagen::GeneratedDocument& doc : extra.documents) {
+        engines::LoadDocument load{"new_" + doc.name, doc.text};
+        if (engine->InsertDocument(load).ok()) ++inserted;
+      }
+      const double insert_ms =
+          watch.ElapsedMillis() + (engine->IoMillis() - io0);
+
+      const double io1 = engine->IoMillis();
+      watch.Restart();
+      int deleted = 0;
+      for (const datagen::GeneratedDocument& doc : extra.documents) {
+        if (engine->DeleteDocument("new_" + doc.name).ok()) ++deleted;
+      }
+      const double delete_ms =
+          watch.ElapsedMillis() + (engine->IoMillis() - io1);
+
+      auto rate = [](int ops, double ms) {
+        return ms <= 0 ? 0.0 : 1000.0 * ops / ms;
+      };
+      std::printf("%-16s %-7s %14.0f %14.0f\n",
+                  engines::EngineKindName(kind), datagen::DbClassName(cls),
+                  rate(inserted, insert_ms), rate(deleted, delete_ms));
+    }
+  }
+  return 0;
+}

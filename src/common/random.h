@@ -1,0 +1,64 @@
+#ifndef XBENCH_COMMON_RANDOM_H_
+#define XBENCH_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xbench {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// All data generation in the benchmark flows through this class so that a
+/// given (seed, scale) pair always produces byte-identical databases —
+/// required for cross-engine answer checking in tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Random lowercase ASCII string of exactly `length` characters.
+  std::string NextAlpha(int length);
+
+  /// Picks a uniformly random element index for a container of size n (> 0).
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBounded(n)); }
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each document its
+  /// own stream so generation order does not perturb sibling documents.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace xbench
+
+#endif  // XBENCH_COMMON_RANDOM_H_

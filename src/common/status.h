@@ -1,0 +1,120 @@
+#ifndef XBENCH_COMMON_STATUS_H_
+#define XBENCH_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xbench {
+
+/// Error categories used across the library. The numeric values are stable
+/// so they can be logged and asserted on in tests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnsupported = 5,   // engine refuses the configuration (e.g. CLOB limit)
+  kCorruption = 6,    // malformed XML / storage inconsistency
+  kResourceExhausted = 7,
+  kInternal = 8,
+};
+
+/// Returns a short human-readable name for `code` ("Ok", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error result. The library does not use
+/// exceptions; every fallible operation returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored Result is a programming error (checked in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xbench
+
+/// Propagates a non-OK Status from an expression, RocksDB/Arrow style.
+#define XBENCH_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::xbench::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define XBENCH_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto XBENCH_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!XBENCH_CONCAT_(_res_, __LINE__).ok())     \
+    return XBENCH_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(XBENCH_CONCAT_(_res_, __LINE__)).value()
+
+#define XBENCH_CONCAT_INNER_(a, b) a##b
+#define XBENCH_CONCAT_(a, b) XBENCH_CONCAT_INNER_(a, b)
+
+#endif  // XBENCH_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only for now; this translation unit anchors the header in the
+// library so include errors surface at library build time.

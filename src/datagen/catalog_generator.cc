@@ -1,0 +1,46 @@
+#include "datagen/catalog_generator.h"
+
+#include <algorithm>
+
+#include "tpcw/mapping.h"
+#include "tpcw/populate.h"
+#include "xml/serializer.h"
+
+namespace xbench::datagen {
+namespace {
+
+tpcw::PopulateScale CatalogScale(int64_t items) {
+  tpcw::PopulateScale scale;
+  scale.items = items;
+  scale.authors = std::max<int64_t>(10, items / 3);
+  scale.publishers = std::max<int64_t>(10, items / 50);
+  scale.customers = 10;  // unused by the catalog mapping
+  scale.orders = 1;
+  return scale;
+}
+
+}  // namespace
+
+CatalogResult GenerateCatalog(uint64_t target_bytes, uint64_t seed,
+                              const WordPool& words) {
+  // Pilot run to measure bytes per item under this seed's distributions.
+  constexpr int64_t kPilotItems = 64;
+  tpcw::TpcwData pilot =
+      tpcw::Populate(CatalogScale(kPilotItems), seed, words);
+  const uint64_t pilot_bytes =
+      xml::Serialize(tpcw::BuildCatalog(pilot)).size();
+  const double bytes_per_item =
+      static_cast<double>(pilot_bytes) / static_cast<double>(kPilotItems);
+
+  const int64_t items = std::max<int64_t>(
+      8, static_cast<int64_t>(static_cast<double>(target_bytes) /
+                              bytes_per_item));
+
+  CatalogResult result;
+  result.item_num = items;
+  result.data = tpcw::Populate(CatalogScale(items), seed, words);
+  result.doc = tpcw::BuildCatalog(result.data);
+  return result;
+}
+
+}  // namespace xbench::datagen

@@ -1,0 +1,27 @@
+#ifndef XBENCH_DATAGEN_CATALOG_GENERATOR_H_
+#define XBENCH_DATAGEN_CATALOG_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datagen/word_pool.h"
+#include "tpcw/rows.h"
+#include "xml/node.h"
+
+namespace xbench::datagen {
+
+/// DC/SD: one catalog.xml produced by populating the TPC-W-like tables and
+/// applying the join-nesting mapping. The item count is solved against the
+/// target size by generating a pilot batch, measuring bytes/item, then
+/// re-populating at the solved cardinality.
+struct CatalogResult {
+  xml::Document doc;
+  tpcw::TpcwData data;   // the relational source (kept for tests/benches)
+  int64_t item_num = 0;
+};
+
+CatalogResult GenerateCatalog(uint64_t target_bytes, uint64_t seed,
+                              const WordPool& words);
+
+}  // namespace xbench::datagen
+
+#endif  // XBENCH_DATAGEN_CATALOG_GENERATOR_H_

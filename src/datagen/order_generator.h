@@ -1,0 +1,30 @@
+#ifndef XBENCH_DATAGEN_ORDER_GENERATOR_H_
+#define XBENCH_DATAGEN_ORDER_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/word_pool.h"
+#include "tpcw/rows.h"
+#include "xml/node.h"
+
+namespace xbench::datagen {
+
+/// DC/MD: many small orderXXX.xml documents (flat-translation class) plus
+/// the five flat table documents (Customer/Item/Author/Address/Country)
+/// that Q19 joins against. Order count is solved against the target size
+/// with a pilot batch.
+struct OrdersResult {
+  std::vector<xml::Document> docs;  // orders first, then the 5 flat docs
+  tpcw::TpcwData data;
+  int64_t order_num = 0;
+  int64_t customer_num = 0;
+  int64_t item_num = 0;
+};
+
+OrdersResult GenerateOrders(uint64_t target_bytes, uint64_t seed,
+                            const WordPool& words);
+
+}  // namespace xbench::datagen
+
+#endif  // XBENCH_DATAGEN_ORDER_GENERATOR_H_

@@ -1,0 +1,87 @@
+#include "datagen/word_pool.h"
+
+#include <cstdio>
+
+namespace xbench::datagen {
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke",
+    "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo",
+    "mu", "na", "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu", "ra",
+    "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti",
+    "to", "tu", "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu",
+};
+constexpr int kSyllableCount = static_cast<int>(std::size(kSyllables));
+
+/// Word for a 0-based index: base-kSyllableCount digits, at least two
+/// syllables so words look word-like and never collide with markup.
+std::string SyllableWord(int index) {
+  std::string out;
+  int v = index;
+  do {
+    out = kSyllables[v % kSyllableCount] + out;
+    v /= kSyllableCount;
+  } while (v > 0);
+  if (out.size() < 4) out = "xe" + out;
+  return out;
+}
+
+}  // namespace
+
+WordPool::WordPool(int size, double skew) : size_(size) {
+  words_.reserve(static_cast<size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    words_.push_back(SyllableWord(i));
+  }
+  rank_dist_ = stats::MakeZipf(size_, skew);
+}
+
+std::string WordPool::WordAt(int rank) const {
+  if (rank < 1) rank = 1;
+  if (rank > size_) rank = size_;
+  return words_[static_cast<size_t>(rank - 1)];
+}
+
+const std::string& WordPool::RandomWord(Rng& rng) const {
+  const int64_t rank = rank_dist_->Sample(rng);
+  return words_[static_cast<size_t>(rank - 1)];
+}
+
+std::string WordPool::Sentence(Rng& rng, int min_words, int max_words) const {
+  const int n = static_cast<int>(rng.NextInt(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out += RandomWord(rng);
+  }
+  out.push_back('.');
+  return out;
+}
+
+std::string WordPool::Paragraph(Rng& rng, int n_sentences) const {
+  std::string out;
+  for (int i = 0; i < n_sentences; ++i) {
+    if (i != 0) out.push_back(' ');
+    out += Sentence(rng, 5, 14);
+  }
+  return out;
+}
+
+std::string WordPool::PersonName(Rng& rng) const {
+  // Names draw from a separate, capitalized sub-vocabulary.
+  std::string word = SyllableWord(static_cast<int>(rng.NextBounded(4000)));
+  word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  return word;
+}
+
+std::string WordPool::RandomDate(Rng& rng, int year_lo, int year_hi) {
+  const int year = static_cast<int>(rng.NextInt(year_lo, year_hi));
+  const int month = static_cast<int>(rng.NextInt(1, 12));
+  const int day = static_cast<int>(rng.NextInt(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace xbench::datagen

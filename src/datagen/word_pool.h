@@ -1,0 +1,54 @@
+#ifndef XBENCH_DATAGEN_WORD_POOL_H_
+#define XBENCH_DATAGEN_WORD_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/distribution.h"
+
+namespace xbench::datagen {
+
+/// Deterministic synthetic vocabulary with Zipf-distributed usage.
+///
+/// The paper's text-centric corpora (GCIDE/OED/Reuters/Springer) supply the
+/// word-frequency distributions; we substitute a synthetic vocabulary whose
+/// word identities are stable functions of rank, so workload parameter
+/// selection can pick "a word that occurs ~N times" deterministically
+/// (e.g. Q17's search word) without scanning the generated data.
+class WordPool {
+ public:
+  /// `size` distinct words; `skew` is the Zipf exponent for RandomWord.
+  explicit WordPool(int size = 5000, double skew = 1.0);
+
+  /// The word with 1-based frequency rank `rank` (rank 1 is the most
+  /// frequent). Deterministic, independent of any Rng.
+  std::string WordAt(int rank) const;
+
+  int size() const { return size_; }
+
+  /// Zipf-sampled word.
+  const std::string& RandomWord(Rng& rng) const;
+
+  /// Space-separated words ending with a period.
+  std::string Sentence(Rng& rng, int min_words, int max_words) const;
+
+  /// `n_sentences` sentences joined with spaces.
+  std::string Paragraph(Rng& rng, int n_sentences) const;
+
+  /// Capitalized personal-name-like word (outside the Zipf text stream so
+  /// names do not collide with search words).
+  std::string PersonName(Rng& rng) const;
+
+  /// ISO date "YYYY-MM-DD" uniform in [year_lo, year_hi].
+  static std::string RandomDate(Rng& rng, int year_lo, int year_hi);
+
+ private:
+  int size_;
+  std::vector<std::string> words_;
+  std::unique_ptr<stats::Distribution> rank_dist_;
+};
+
+}  // namespace xbench::datagen
+
+#endif  // XBENCH_DATAGEN_WORD_POOL_H_

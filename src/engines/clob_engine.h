@@ -1,0 +1,80 @@
+#ifndef XBENCH_ENGINES_CLOB_ENGINE_H_
+#define XBENCH_ENGINES_CLOB_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engines/dad.h"
+#include "engines/dbms.h"
+#include "relational/table.h"
+#include "storage/heap_file.h"
+#include "xml/node.h"
+#include "xquery/evaluator.h"
+
+namespace xbench::engines {
+
+/// DB2 XML Extender "Xcolumn" analogue: each document is stored intact as
+/// a CLOB, with DAD-declared side tables over the searchable elements
+/// (carrying a dxx_seqno ordering column). Plans filter via the side
+/// tables, then fetch and reconstruct whole documents from the CLOB.
+///
+/// Limits (paper §3.1.1): a document larger than the CLOB cap cannot be
+/// stored — so the SD classes (one huge file) are unsupported, exactly as
+/// in the paper's runs.
+class ClobEngine : public XmlDbms {
+ public:
+  /// `max_document_bytes` is the scaled-down 2 GB CLOB cap; 256 KiB keeps
+  /// the MD classes loadable and both SD classes refused at every scale.
+  explicit ClobEngine(uint64_t max_document_bytes = 256 * 1024);
+
+  EngineKind kind() const override { return EngineKind::kClob; }
+
+  Status BulkLoad(datagen::DbClass db_class,
+                  const std::vector<LoadDocument>& docs) override;
+
+  Status CreateIndex(const IndexSpec& spec) override;
+
+  /// Appends one CLOB + its side-table rows.
+  Status InsertDocument(const LoadDocument& doc) override;
+
+  /// Drops a document from the registry and deletes its side-table rows.
+  Status DeleteDocument(const std::string& name) override;
+
+  void ColdRestart() override;
+
+  /// The side-table database (query plans read it directly).
+  relational::Database& side_tables() { return *database_; }
+  const Dad& side_dad() const { return dad_; }
+
+  /// Fetches + parses the CLOB of the named document.
+  Result<const xml::Document*> FetchDocument(const std::string& doc_name);
+
+  /// Names of all stored documents (registry order).
+  std::vector<std::string> DocumentNames() const;
+
+  /// Raw serialized CLOB of the named document (whole-document retrieval).
+  Result<std::string> FetchRaw(const std::string& doc_name);
+
+  /// Runs an XQuery over one fetched document ($input = its root).
+  Result<xquery::QueryResult> QueryDocument(const std::string& doc_name,
+                                            std::string_view xquery);
+
+  /// Resolves a Table 3 index path against the side DAD.
+  Result<std::pair<std::string, std::string>> ResolveIndex(
+      const std::string& path) const;
+
+ private:
+  uint64_t max_document_bytes_;
+  std::unique_ptr<storage::HeapFile> clob_file_;
+  std::unique_ptr<relational::Database> database_;
+  Dad dad_;
+  datagen::DbClass db_class_ = datagen::DbClass::kDcMd;
+  std::map<std::string, storage::RecordId> registry_;
+  std::map<std::string, std::unique_ptr<xml::Document>> cache_;
+  int64_t next_row_id_ = 0;
+};
+
+}  // namespace xbench::engines
+
+#endif  // XBENCH_ENGINES_CLOB_ENGINE_H_

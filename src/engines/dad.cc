@@ -1,0 +1,264 @@
+#include "engines/dad.h"
+
+#include "common/strings.h"
+
+namespace xbench::engines {
+
+Result<std::pair<std::string, std::string>> ResolveIndexPath(
+    const Dad& dad, const std::string& path) {
+  std::vector<std::string> parts = Split(path, '/');
+  if (parts.size() == 2) {
+    // "elem/@attr" or "elem/child"
+    for (const TableMap& map : dad.tables) {
+      if (map.element != parts[0]) continue;
+      for (const ColumnMap& col : map.columns) {
+        if (col.rel_path == parts[1]) {
+          return std::make_pair(map.table, col.column);
+        }
+      }
+    }
+    return Status::NotFound("no DAD mapping for index path '" + path + "'");
+  }
+  // Bare element name: the first table exposing it as a column path.
+  for (const TableMap& map : dad.tables) {
+    for (const ColumnMap& col : map.columns) {
+      if (col.rel_path == path || col.column == path) {
+        return std::make_pair(map.table, col.column);
+      }
+    }
+  }
+  return Status::NotFound("no DAD mapping for index path '" + path + "'");
+}
+
+namespace {
+
+using relational::ValueType;
+
+ColumnMap Col(std::string column, std::string rel_path,
+              ValueType type = ValueType::kString, bool mixed = false) {
+  return ColumnMap{std::move(column), std::move(rel_path), type, mixed};
+}
+
+Dad CatalogDad() {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "item_tab",
+      "item",
+      {Col("item_id", "@id"), Col("title", "title"),
+       Col("date_of_release", "date_of_release"), Col("subject", "subject"),
+       Col("description", "description"),
+       Col("size", "size", ValueType::kInt),
+       Col("pages", "pages", ValueType::kInt),
+       Col("srp", "srp", ValueType::kDouble),
+       Col("cost", "cost", ValueType::kDouble),
+       Col("stock", "stock", ValueType::kInt), Col("isbn", "isbn"),
+       Col("backing", "backing")}});
+  dad.tables.push_back(TableMap{
+      "author_tab",
+      "author",
+      {Col("author_id", "@id"), Col("first_name", "name/first_name"),
+       Col("last_name", "name/last_name"),
+       Col("date_of_birth", "date_of_birth"), Col("biography", "biography"),
+       Col("street", "mail_address/street"), Col("city", "mail_address/city"),
+       Col("zip", "mail_address/zip"), Col("country", "mail_address/country"),
+       Col("phone", "phone"), Col("email", "email")}});
+  dad.tables.push_back(TableMap{
+      "publisher_tab",
+      "publisher",
+      {Col("name", "name"), Col("fax_number", "fax_number"),
+       Col("phone", "phone"), Col("email", "email")}});
+  return dad;
+}
+
+Dad OrdersDad() {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "order_tab",
+      "order",
+      {Col("order_id", "@id"), Col("customer_id", "customer_id"),
+       Col("order_date", "order_date"),
+       Col("sub_total", "sub_total", ValueType::kDouble),
+       Col("tax", "tax", ValueType::kDouble),
+       Col("total", "total", ValueType::kDouble),
+       Col("ship_type", "shipping/ship_type"),
+       Col("ship_date", "shipping/ship_date"),
+       Col("ship_street", "shipping/ship_address/street"),
+       Col("ship_city", "shipping/ship_address/city"),
+       Col("ship_zip", "shipping/ship_address/zip"),
+       Col("ship_country", "shipping/ship_address/country"),
+       Col("status", "status")}});
+  dad.tables.push_back(TableMap{
+      "order_line_tab",
+      "order_line",
+      {Col("line_no", "@no", ValueType::kInt), Col("item_id", "item_id"),
+       Col("quantity", "quantity", ValueType::kInt),
+       Col("discount", "discount", ValueType::kDouble),
+       Col("comments", "comments")}});
+  dad.tables.push_back(TableMap{
+      "cc_xact_tab",
+      "cc_xact",
+      {Col("cc_type", "cc_type"), Col("cc_number", "cc_number"),
+       Col("cc_name", "cc_name"), Col("cc_expire", "cc_expire"),
+       Col("auth_id", "auth_id"), Col("amount", "amount", ValueType::kDouble),
+       Col("xact_date", "xact_date"), Col("country", "country")}});
+  // Flat documents shred trivially (they are flat translations already).
+  dad.tables.push_back(TableMap{
+      "customer_tab",
+      "customer",
+      {Col("customer_id", "@id"), Col("uname", "uname"),
+       Col("first_name", "first_name"), Col("last_name", "last_name"),
+       Col("address_id", "address_id", ValueType::kInt),
+       Col("phone", "phone"), Col("email", "email"), Col("since", "since"),
+       Col("discount", "discount", ValueType::kDouble)}});
+  dad.tables.push_back(TableMap{
+      "flat_item_tab",
+      "item",
+      {Col("item_id", "@id"), Col("title", "title"),
+       Col("publisher_id", "publisher_id", ValueType::kInt),
+       Col("date_of_release", "date_of_release"), Col("subject", "subject"),
+       Col("srp", "srp", ValueType::kDouble),
+       Col("stock", "stock", ValueType::kInt), Col("isbn", "isbn")}});
+  dad.tables.push_back(TableMap{
+      "flat_author_tab",
+      "author",
+      {Col("author_id", "@id"), Col("first_name", "first_name"),
+       Col("last_name", "last_name"), Col("date_of_birth", "date_of_birth")}});
+  dad.tables.push_back(TableMap{
+      "address_tab",
+      "address",
+      {Col("address_id", "@id", ValueType::kInt), Col("street1", "street1"),
+       Col("street2", "street2"), Col("city", "city"), Col("state", "state"),
+       Col("zip", "zip"),
+       Col("country_id", "country_id", ValueType::kInt)}});
+  dad.tables.push_back(TableMap{
+      "country_tab",
+      "country",
+      {Col("country_id", "@id", ValueType::kInt), Col("name", "name"),
+       Col("currency", "currency")}});
+  return dad;
+}
+
+Dad DictionaryDad() {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "entry_tab",
+      "entry",
+      {Col("entry_id", "@id"), Col("hw", "hw"), Col("pos", "pos"),
+       Col("pr", "pr"), Col("etym", "etym")}});
+  dad.tables.push_back(TableMap{
+      "sense_tab",
+      "sn",
+      {Col("sense_no", "@no", ValueType::kInt), Col("def", "def")}});
+  dad.tables.push_back(TableMap{
+      "quote_tab",
+      "q",
+      {Col("qt", "qt", ValueType::kString, /*mixed=*/true), Col("qau", "qau"),
+       Col("qd", "qd"), Col("qloc", "qloc")}});
+  dad.tables.push_back(TableMap{
+      "xref_tab",
+      "ref",
+      {Col("to_id", "@to")}});
+  return dad;
+}
+
+Dad ArticlesDad() {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "article_tab",
+      "article",
+      {Col("article_id", "@id"), Col("title", "prolog/title"),
+       Col("date", "prolog/date")}});
+  dad.tables.push_back(TableMap{
+      "art_author_tab",
+      "author",
+      {Col("name", "name"), Col("email", "contact/email"),
+       Col("phone", "contact/phone"), Col("contact", "contact")}});
+  dad.tables.push_back(TableMap{
+      "keyword_tab",
+      "keyword",
+      {Col("word", ".")}});
+  dad.tables.push_back(TableMap{
+      "abstract_tab",
+      "abstract",
+      {Col("text", ".")}});
+  dad.tables.push_back(TableMap{
+      "section_tab",
+      "sec",
+      {Col("heading", "heading")}});
+  dad.tables.push_back(TableMap{
+      "para_tab",
+      "p",
+      {Col("text", ".")}});
+  dad.tables.push_back(TableMap{
+      "art_ref_tab",
+      "ref",
+      {Col("to_id", "@to")}});
+  return dad;
+}
+
+}  // namespace
+
+Dad ShredDadFor(datagen::DbClass db_class) {
+  switch (db_class) {
+    case datagen::DbClass::kDcSd:
+      return CatalogDad();
+    case datagen::DbClass::kDcMd:
+      return OrdersDad();
+    case datagen::DbClass::kTcSd:
+      return DictionaryDad();
+    case datagen::DbClass::kTcMd:
+      return ArticlesDad();
+  }
+  return {};
+}
+
+Dad ClobSideTablesFor(datagen::DbClass db_class) {
+  Dad dad;
+  switch (db_class) {
+    case datagen::DbClass::kDcMd:
+      dad.tables.push_back(TableMap{
+          "side_order",
+          "order",
+          {Col("order_id", "@id"), Col("customer_id", "customer_id"),
+           Col("order_date", "order_date"),
+           Col("ship_type", "shipping/ship_type"), Col("status", "status")}});
+      dad.tables.push_back(TableMap{
+          "side_order_line",
+          "order_line",
+          {Col("item_id", "item_id"), Col("comments", "comments")}});
+      dad.tables.push_back(TableMap{
+          "side_customer",
+          "customer",
+          {Col("customer_id", "@id"), Col("first_name", "first_name"),
+           Col("last_name", "last_name"), Col("phone", "phone")}});
+      break;
+    case datagen::DbClass::kTcMd:
+      dad.tables.push_back(TableMap{
+          "side_article",
+          "article",
+          {Col("article_id", "@id"), Col("title", "prolog/title"),
+           Col("date", "prolog/date")}});
+      dad.tables.push_back(TableMap{
+          "side_author",
+          "author",
+          {Col("name", "name"), Col("contact", "contact")}});
+      dad.tables.push_back(TableMap{
+          "side_keyword",
+          "keyword",
+          {Col("word", ".")}});
+      dad.tables.push_back(TableMap{
+          "side_para",
+          "p",
+          {Col("text", ".")}});
+      dad.tables.push_back(TableMap{
+          "side_heading",
+          "heading",
+          {Col("text", ".")}});
+      break;
+    default:
+      break;  // Xcolumn does not host SD classes
+  }
+  return dad;
+}
+
+}  // namespace xbench::engines

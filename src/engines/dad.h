@@ -1,0 +1,61 @@
+#ifndef XBENCH_ENGINES_DAD_H_
+#define XBENCH_ENGINES_DAD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/generator.h"
+#include "relational/value.h"
+
+namespace xbench::engines {
+
+/// One column of a mapped table: a path relative to the triggering element.
+/// Forms: "@attr", "child", "child/grandchild", "child/@attr", or "." for
+/// the element's own text content.
+struct ColumnMap {
+  std::string column;
+  std::string rel_path;
+  relational::ValueType type = relational::ValueType::kString;
+  /// True when the source element can have mixed content (e.g. qt).
+  /// SQL Server's mapping cannot represent these and stores NULL
+  /// (paper §3.1.3 problem 3).
+  bool mixed_content = false;
+};
+
+/// Maps one element type to one relational table. Every mapped table also
+/// receives the implicit columns:
+///   doc          document name
+///   row_id       synthetic unique id (the paper's added-id fix for chain
+///                relationships, §3.1.3 problem 4)
+///   parent_table / parent_row   nearest enclosing mapped element
+///   seq          1-based sibling sequence under that parent (the
+///                dxx_seqno equivalent; NULL for engines that do not
+///                maintain document order)
+struct TableMap {
+  std::string table;
+  std::string element;  // triggering element type name
+  std::vector<ColumnMap> columns;
+};
+
+/// A Data Access Definition: the table maps for one database class.
+struct Dad {
+  std::vector<TableMap> tables;
+};
+
+/// Full shredding DAD (DB2 Xcollection / SQL Server bulk load).
+Dad ShredDadFor(datagen::DbClass db_class);
+
+/// Side-table DAD for DB2 Xcolumn: only the searchable elements the
+/// workload filters on (§3.1.1). Only defined for the MD classes.
+Dad ClobSideTablesFor(datagen::DbClass db_class);
+
+/// Resolves a Table 3 index path ("elem/@attr", "elem/child", or a bare
+/// element/column name) against a DAD, returning (table, column).
+Result<std::pair<std::string, std::string>> ResolveIndexPath(
+    const Dad& dad, const std::string& path);
+
+}  // namespace xbench::engines
+
+#endif  // XBENCH_ENGINES_DAD_H_

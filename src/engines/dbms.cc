@@ -1,0 +1,24 @@
+#include "engines/dbms.h"
+
+namespace xbench::engines {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNative:
+      return "X-Hive (native)";
+    case EngineKind::kClob:
+      return "Xcolumn";
+    case EngineKind::kShredDb2:
+      return "Xcollection";
+    case EngineKind::kShredMsSql:
+      return "SQL Server";
+  }
+  return "?";
+}
+
+XmlDbms::XmlDbms()
+    : disk_(std::make_unique<storage::SimulatedDisk>()),
+      pool_(std::make_unique<storage::BufferPool>(*disk_, kDefaultPoolPages)) {
+}
+
+}  // namespace xbench::engines

@@ -1,0 +1,95 @@
+#ifndef XBENCH_ENGINES_DBMS_H_
+#define XBENCH_ENGINES_DBMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+
+namespace xbench::engines {
+
+/// One XML file to bulk-load (name + serialized text).
+struct LoadDocument {
+  std::string name;
+  std::string text;
+};
+
+/// A value index request: an element/attribute path in the abbreviated
+/// form the paper's Table 3 uses ("item/@id", "hw", "date_of_release").
+struct IndexSpec {
+  std::string name;
+  std::string path;
+};
+
+/// Identifies which commercial system an engine models.
+enum class EngineKind {
+  kNative,        // X-Hive: intact document trees, XQuery evaluation
+  kClob,          // DB2 XML Extender, Xcolumn: CLOB + side tables
+  kShredDb2,      // DB2 XML Extender, Xcollection: DAD shredding
+  kShredMsSql,    // SQL Server + SQLXML bulk load: XSD shredding
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Base class for the four storage engines. Engines own a SimulatedDisk +
+/// BufferPool; the harness reads the virtual clock to report I/O time and
+/// calls ColdRestart() before each measured query (paper §3.1: cold runs).
+class XmlDbms {
+ public:
+  XmlDbms();
+  virtual ~XmlDbms() = default;
+
+  XmlDbms(const XmlDbms&) = delete;
+  XmlDbms& operator=(const XmlDbms&) = delete;
+
+  virtual EngineKind kind() const = 0;
+  std::string name() const { return EngineKindName(kind()); }
+
+  /// Bulk-loads a database. Engines check well-formedness but (as in the
+  /// paper's runs) do not validate against a schema. Returns kUnsupported
+  /// when the engine cannot host this database (CLOB size limit, DB2
+  /// decomposition row limit) — those are the "-" cells of Tables 4–9.
+  virtual Status BulkLoad(datagen::DbClass db_class,
+                          const std::vector<LoadDocument>& docs) = 0;
+
+  /// Creates a value index (after loading, as in §3.1).
+  virtual Status CreateIndex(const IndexSpec& spec) = 0;
+
+  /// Update workload — the paper's planned extension (§4, "update
+  /// workloads will be included in subsequent versions"): document-level
+  /// insertion and deletion with index maintenance.
+  virtual Status InsertDocument(const LoadDocument& doc) = 0;
+  virtual Status DeleteDocument(const std::string& name) = 0;
+
+  /// Drops all cached state so the next query runs cold.
+  virtual void ColdRestart() { pool_->ColdRestart(); }
+
+  storage::SimulatedDisk& disk() { return *disk_; }
+  storage::BufferPool& pool() { return *pool_; }
+
+  /// Virtual I/O time accumulated so far (milliseconds).
+  double IoMillis() const { return disk_->clock().ElapsedMillis(); }
+
+ protected:
+  std::unique_ptr<storage::SimulatedDisk> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+};
+
+/// Buffer-pool capacity shared by every engine (frames). ~16 MiB: holds
+/// the small databases entirely, thrashes on normal/large — the same
+/// relationship the paper's 1 GB RAM had to its 10 MB/100 MB/1 GB scales.
+inline constexpr size_t kDefaultPoolPages = 2048;
+
+/// Fixed per-file ingest overhead charged by every engine during bulk
+/// load (file open + per-document commit). This is what makes the
+/// many-small-files DC/MD class the slowest to load per byte, the paper's
+/// §3.2.1 observation ("the number of documents becomes very critical").
+inline constexpr uint64_t kPerDocumentIngestMicros = 500;
+
+}  // namespace xbench::engines
+
+#endif  // XBENCH_ENGINES_DBMS_H_

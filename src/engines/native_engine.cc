@@ -1,0 +1,165 @@
+#include "engines/native_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace xbench::engines {
+
+std::vector<std::string> ExtractIndexValues(const xml::Node& root,
+                                            const std::string& path) {
+  std::vector<std::string> values;
+  std::vector<std::string> parts = Split(path, '/');
+  std::string element = parts[0];
+  std::string attribute;
+  if (parts.size() == 2 && !parts[1].empty() && parts[1][0] == '@') {
+    attribute = parts[1].substr(1);
+  }
+  root.Visit([&](const xml::Node& node) {
+    if (!node.is_element() || node.name() != element) return;
+    if (attribute.empty()) {
+      values.push_back(node.TextContent());
+    } else if (const std::string* v = node.FindAttribute(attribute)) {
+      values.push_back(*v);
+    }
+  });
+  return values;
+}
+
+NativeEngine::NativeEngine() {
+  file_ = std::make_unique<storage::HeapFile>(*disk_, *pool_);
+}
+
+Status NativeEngine::BulkLoad(datagen::DbClass db_class,
+                              const std::vector<LoadDocument>& docs) {
+  db_class_ = db_class;
+  for (const LoadDocument& doc : docs) {
+    disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+    // X-Hive parses into its persistent DOM on load; we verify
+    // well-formedness (the parse) and persist the canonical serialized
+    // form, re-materializing trees on demand.
+    XBENCH_RETURN_IF_ERROR(xml::CheckWellFormed(doc.text));
+    const storage::RecordId rid = file_->Append(doc.text);
+    registry_.push_back({doc.name, rid, /*deleted=*/false});
+    ++live_count_;
+  }
+  pool_->FlushAll();
+  return Status::Ok();
+}
+
+Status NativeEngine::InsertDocument(const LoadDocument& doc) {
+  disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+  auto parsed = xml::Parse(doc.text, doc.name);
+  if (!parsed.ok()) return parsed.status();
+  const storage::RecordId rid = file_->Append(doc.text);
+  const size_t ordinal = registry_.size();
+  registry_.push_back({doc.name, rid, /*deleted=*/false});
+  ++live_count_;
+  // Maintain every value index.
+  for (auto& [index_name, tree] : indexes_) {
+    for (std::string& value :
+         ExtractIndexValues(*parsed->root(), index_paths_[index_name])) {
+      tree->Insert({relational::Value::String(std::move(value))}, ordinal);
+    }
+  }
+  return Status::Ok();
+}
+
+Status NativeEngine::DeleteDocument(const std::string& name) {
+  for (size_t ordinal = 0; ordinal < registry_.size(); ++ordinal) {
+    DocEntry& entry = registry_[ordinal];
+    if (entry.deleted || entry.name != name) continue;
+    // Erase index entries before dropping the document.
+    if (!indexes_.empty()) {
+      XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, Materialize(ordinal));
+      for (auto& [index_name, tree] : indexes_) {
+        for (const std::string& value :
+             ExtractIndexValues(*doc->root(), index_paths_[index_name])) {
+          tree->Erase({relational::Value::String(value)}, ordinal);
+        }
+      }
+    }
+    entry.deleted = true;
+    --live_count_;
+    cache_.erase(ordinal);
+    return Status::Ok();
+  }
+  return Status::NotFound("document '" + name + "'");
+}
+
+Status NativeEngine::CreateIndex(const IndexSpec& spec) {
+  if (indexes_.count(spec.name) != 0) {
+    return Status::AlreadyExists("index '" + spec.name + "'");
+  }
+  auto tree = std::make_unique<relational::BTreeIndex>(disk_->clock());
+  for (size_t ordinal = 0; ordinal < registry_.size(); ++ordinal) {
+    if (registry_[ordinal].deleted) continue;
+    XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, Materialize(ordinal));
+    for (std::string& value : ExtractIndexValues(*doc->root(), spec.path)) {
+      tree->Insert({relational::Value::String(std::move(value))}, ordinal);
+    }
+  }
+  indexes_[spec.name] = std::move(tree);
+  index_paths_[spec.name] = spec.path;
+  // Index building materialized every document; drop that warmth.
+  ColdRestart();
+  return Status::Ok();
+}
+
+void NativeEngine::ColdRestart() {
+  XmlDbms::ColdRestart();
+  cache_.clear();
+}
+
+Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
+  auto it = cache_.find(ordinal);
+  if (it != cache_.end()) return const_cast<const xml::Document*>(it->second.get());
+  const DocEntry& entry = registry_[ordinal];
+  const std::string text = file_->Read(entry.record);
+  auto parsed = xml::Parse(text, entry.name);
+  if (!parsed.ok()) return parsed.status();
+  auto doc = std::make_unique<xml::Document>(std::move(parsed).value());
+  const xml::Document* raw = doc.get();
+  cache_[ordinal] = std::move(doc);
+  return raw;
+}
+
+Result<xquery::QueryResult> NativeEngine::RunOver(
+    const std::vector<size_t>& ordinals, std::string_view xquery) {
+  xquery::Sequence input;
+  input.reserve(ordinals.size());
+  for (size_t ordinal : ordinals) {
+    XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, Materialize(ordinal));
+    input.push_back(xquery::Item::Node(doc->root()));
+  }
+  xquery::Bindings bindings;
+  bindings["input"] = std::move(input);
+  return xquery::EvaluateQuery(xquery, bindings);
+}
+
+Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {
+  std::vector<size_t> all;
+  all.reserve(registry_.size());
+  for (size_t i = 0; i < registry_.size(); ++i) {
+    if (!registry_[i].deleted) all.push_back(i);
+  }
+  return RunOver(all, xquery);
+}
+
+Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
+    const std::string& index_name, const std::string& value,
+    std::string_view xquery) {
+  auto it = indexes_.find(index_name);
+  if (it == indexes_.end()) return Query(xquery);
+  std::set<size_t> ordinals;
+  for (storage::RecordId rid :
+       it->second->Lookup({relational::Value::String(value)})) {
+    const auto ordinal = static_cast<size_t>(rid);
+    if (!registry_[ordinal].deleted) ordinals.insert(ordinal);
+  }
+  return RunOver({ordinals.begin(), ordinals.end()}, xquery);
+}
+
+}  // namespace xbench::engines

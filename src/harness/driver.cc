@@ -1,0 +1,115 @@
+#include "harness/driver.h"
+
+#include <tuple>
+
+#include "workload/classes.h"
+
+namespace xbench::harness {
+
+using datagen::DbClass;
+using workload::Scale;
+
+const datagen::GeneratedDatabase& Driver::Database(DbClass db_class,
+                                                   Scale scale) {
+  const auto key =
+      std::make_pair(static_cast<int>(db_class), static_cast<int>(scale));
+  auto it = databases_.find(key);
+  if (it != databases_.end()) return it->second;
+  datagen::GenConfig config;
+  config.target_bytes = TargetBytes(scale);
+  config.seed = BenchSeed();
+  auto [inserted, ok] =
+      databases_.emplace(key, datagen::Generate(db_class, config));
+  return inserted->second;
+}
+
+Driver::LoadedEngine& Driver::Loaded(engines::EngineKind kind,
+                                     DbClass db_class, Scale scale) {
+  const auto key = std::make_tuple(static_cast<int>(kind),
+                                   static_cast<int>(db_class),
+                                   static_cast<int>(scale));
+  auto it = engines_.find(key);
+  if (it != engines_.end()) return it->second;
+
+  LoadedEngine loaded;
+  loaded.engine = workload::MakeEngine(kind);
+  const datagen::GeneratedDatabase& db = Database(db_class, scale);
+  workload::TimedStatus timed = workload::BulkLoad(*loaded.engine, db);
+  loaded.load_status = timed.status;
+  loaded.load_cpu_millis = timed.cpu_millis;
+  loaded.load_io_millis = timed.io_millis;
+  if (loaded.load_status.ok()) {
+    Status index_status =
+        workload::CreateTable3Indexes(*loaded.engine, db_class);
+    if (!index_status.ok()) loaded.load_status = index_status;
+  }
+  auto [inserted, ok] = engines_.emplace(key, std::move(loaded));
+  return inserted->second;
+}
+
+ResultTable Driver::BulkLoadTable() {
+  ResultTable table("Table 4: Bulk Loading Time (seconds)");
+  for (engines::EngineKind kind : workload::AllEngines()) {
+    std::vector<std::string> cells;
+    for (DbClass db_class : workload::AllClasses()) {
+      for (Scale scale : workload::AllScales()) {
+        LoadedEngine& loaded = Loaded(kind, db_class, scale);
+        cells.push_back(loaded.load_status.ok()
+                            ? FormatSeconds(loaded.LoadMillis())
+                            : "-");
+      }
+    }
+    table.AddRow(engines::EngineKindName(kind), cells);
+  }
+  return table;
+}
+
+ResultTable Driver::QueryTable(workload::QueryId id) {
+  ResultTable table(std::string("Query ") + workload::QueryName(id) +
+                    " Execution Time (milliseconds)");
+  for (engines::EngineKind kind : workload::AllEngines()) {
+    std::vector<std::string> cells;
+    for (DbClass db_class : workload::AllClasses()) {
+      const datagen::GeneratedDatabase& db =
+          Database(db_class, Scale::kSmall);
+      const workload::QueryParams params =
+          workload::DeriveParams(db_class, db.seeds);
+      for (Scale scale : workload::AllScales()) {
+        LoadedEngine& loaded = Loaded(kind, db_class, scale);
+        if (!loaded.load_status.ok()) {
+          cells.push_back("-");
+          continue;
+        }
+        const datagen::GeneratedDatabase& scale_db =
+            Database(db_class, scale);
+        const workload::QueryParams scale_params =
+            workload::DeriveParams(db_class, scale_db.seeds);
+        workload::ExecutionResult result =
+            workload::RunQuery(*loaded.engine, id, db_class, scale_params);
+        cells.push_back(result.status.ok()
+                            ? FormatMillis(result.TotalMillis())
+                            : "-");
+      }
+      (void)params;
+    }
+    table.AddRow(engines::EngineKindName(kind), cells);
+  }
+  return table;
+}
+
+std::string Driver::IndexTable() const {
+  std::string out = "\n== Table 3: Indexes for Each Class ==\n";
+  for (DbClass db_class : workload::AllClasses()) {
+    out += std::string(datagen::DbClassName(db_class)) + ": ";
+    bool first = true;
+    for (const engines::IndexSpec& spec : workload::Table3Indexes(db_class)) {
+      if (!first) out += ", ";
+      out += spec.path;
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xbench::harness

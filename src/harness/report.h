@@ -1,0 +1,35 @@
+#ifndef XBENCH_HARNESS_REPORT_H_
+#define XBENCH_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace xbench::harness {
+
+/// A paper-style results matrix: engines as rows; (class x scale) columns
+/// grouped like Tables 4-9.
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title);
+
+  /// Column labels come from the fixed class/scale grid; rows are added
+  /// engine by engine with 12 cells (4 classes x 3 scales) in the paper's
+  /// order DC/SD, DC/MD, TC/SD, TC/MD. Use "-" for unsupported cells.
+  void AddRow(const std::string& engine, const std::vector<std::string>& cells);
+
+  /// Renders the table with a group header line, as in the paper.
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+/// Formats a milliseconds measurement like the paper's cells (integers).
+std::string FormatMillis(double millis);
+/// Formats seconds for Table 4.
+std::string FormatSeconds(double millis);
+
+}  // namespace xbench::harness
+
+#endif  // XBENCH_HARNESS_REPORT_H_

@@ -1,0 +1,39 @@
+#include "harness/scale.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xbench::harness {
+namespace {
+
+uint64_t EnvKb(const char* name, uint64_t default_bytes) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_bytes;
+  const int64_t kb = ParseInt(value);
+  if (kb <= 0) return default_bytes;
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
+}  // namespace
+
+uint64_t TargetBytes(workload::Scale scale) {
+  switch (scale) {
+    case workload::Scale::kSmall:
+      return EnvKb("XBENCH_SMALL_KB", 512ull * 1024);
+    case workload::Scale::kNormal:
+      return EnvKb("XBENCH_NORMAL_KB", 2ull * 1024 * 1024);
+    case workload::Scale::kLarge:
+      return EnvKb("XBENCH_LARGE_KB", 8ull * 1024 * 1024);
+  }
+  return 512 * 1024;
+}
+
+uint64_t BenchSeed() {
+  const char* value = std::getenv("XBENCH_SEED");
+  if (value == nullptr) return 42;
+  const int64_t seed = ParseInt(value);
+  return seed < 0 ? 42 : static_cast<uint64_t>(seed);
+}
+
+}  // namespace xbench::harness

@@ -1,0 +1,22 @@
+#ifndef XBENCH_HARNESS_SCALE_H_
+#define XBENCH_HARNESS_SCALE_H_
+
+#include <cstdint>
+
+#include "workload/classes.h"
+
+namespace xbench::harness {
+
+/// Target database bytes per scale. The paper's 10 MB / 100 MB / 1 GB are
+/// scaled down (DESIGN.md) so the whole matrix runs on one core in
+/// minutes; the growth factor between scales is 4x. Overridable via the
+/// XBENCH_SMALL_KB / XBENCH_NORMAL_KB / XBENCH_LARGE_KB environment
+/// variables (values in KiB).
+uint64_t TargetBytes(workload::Scale scale);
+
+/// The generation seed (XBENCH_SEED env, default 42).
+uint64_t BenchSeed();
+
+}  // namespace xbench::harness
+
+#endif  // XBENCH_HARNESS_SCALE_H_

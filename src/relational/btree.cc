@@ -1,0 +1,182 @@
+#include "relational/btree.h"
+
+#include <algorithm>
+
+namespace xbench::relational {
+
+std::strong_ordering CompareKeys(const Key& a, const Key& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    auto cmp = a[i].Compare(b[i]);
+    if (cmp != std::strong_ordering::equal) return cmp;
+  }
+  if (a.size() < b.size()) return std::strong_ordering::less;
+  if (a.size() > b.size()) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+namespace {
+bool KeyLess(const Key& a, const Key& b) {
+  return CompareKeys(a, b) == std::strong_ordering::less;
+}
+}  // namespace
+
+void BTreeIndex::SplitChild(Node& parent, size_t i) {
+  Node& child = *parent.children[i];
+  auto right = std::make_unique<Node>(child.is_leaf);
+  const size_t mid = child.keys.size() / 2;
+
+  if (child.is_leaf) {
+    right->keys.assign(child.keys.begin() + mid, child.keys.end());
+    right->rids.assign(child.rids.begin() + mid, child.rids.end());
+    child.keys.resize(mid);
+    child.rids.resize(mid);
+    right->next_leaf = child.next_leaf;
+    child.next_leaf = right.get();
+    // Separator = first key of the right leaf (copied, B+-tree style).
+    parent.keys.insert(parent.keys.begin() + i, right->keys.front());
+  } else {
+    // Move the middle key up; split children around it.
+    Key separator = child.keys[mid];
+    right->keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+    for (size_t c = mid + 1; c < child.children.size(); ++c) {
+      right->children.push_back(std::move(child.children[c]));
+    }
+    child.keys.resize(mid);
+    child.children.resize(mid + 1);
+    parent.keys.insert(parent.keys.begin() + i, std::move(separator));
+  }
+  parent.children.insert(parent.children.begin() + i + 1, std::move(right));
+}
+
+void BTreeIndex::InsertNonFull(Node& node, Key key, storage::RecordId rid) {
+  // Each node touched on the insert path models one page access, so index
+  // maintenance during bulk load costs log-height I/O per row, as it would
+  // on disk.
+  Charge();
+  if (node.is_leaf) {
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key, KeyLess);
+    const size_t pos = static_cast<size_t>(it - node.keys.begin());
+    node.keys.insert(it, std::move(key));
+    node.rids.insert(node.rids.begin() + pos, rid);
+    return;
+  }
+  auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key, KeyLess);
+  size_t i = static_cast<size_t>(it - node.keys.begin());
+  if (node.children[i]->keys.size() >= kFanout) {
+    SplitChild(node, i);
+    if (KeyLess(node.keys[i], key) ||
+        CompareKeys(node.keys[i], key) == std::strong_ordering::equal) {
+      // Equal keys go right so that leaf order preserves insertion order
+      // for duplicates (upper_bound semantics).
+      ++i;
+    }
+  }
+  InsertNonFull(*node.children[i], std::move(key), rid);
+}
+
+void BTreeIndex::Insert(Key key, storage::RecordId rid) {
+  if (root_->keys.size() >= kFanout) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(*root_, 0);
+  }
+  InsertNonFull(*root_, std::move(key), rid);
+  ++entry_count_;
+}
+
+bool BTreeIndex::Erase(const Key& key, storage::RecordId rid) {
+  Node* leaf = FindLeaf(key);
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key, KeyLess) -
+      leaf->keys.begin());
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      const auto cmp = CompareKeys(leaf->keys[pos], key);
+      if (cmp == std::strong_ordering::greater) return false;
+      if (cmp == std::strong_ordering::equal && leaf->rids[pos] == rid) {
+        leaf->keys.erase(leaf->keys.begin() + static_cast<ptrdiff_t>(pos));
+        leaf->rids.erase(leaf->rids.begin() + static_cast<ptrdiff_t>(pos));
+        --entry_count_;
+        return true;
+      }
+    }
+    leaf = leaf->next_leaf;
+    if (leaf != nullptr) Charge();
+    pos = 0;
+  }
+  return false;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Key& key) const {
+  const Node* node = root_.get();
+  Charge();
+  while (!node->is_leaf) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                               KeyLess);
+    // For equal keys descend left so the scan starts at the first duplicate.
+    size_t i = static_cast<size_t>(it - node->keys.begin());
+    while (i > 0 && CompareKeys(node->keys[i - 1], key) ==
+                        std::strong_ordering::equal) {
+      --i;
+    }
+    node = node->children[i].get();
+    Charge();
+  }
+  return node;
+}
+
+std::vector<storage::RecordId> BTreeIndex::Lookup(const Key& key) const {
+  std::vector<storage::RecordId> out;
+  Range(&key, &key, [&out](const Key&, storage::RecordId rid) {
+    out.push_back(rid);
+    return true;
+  });
+  return out;
+}
+
+void BTreeIndex::Range(
+    const Key* lo, const Key* hi,
+    const std::function<bool(const Key&, storage::RecordId)>& visit) const {
+  const Node* leaf = nullptr;
+  size_t pos = 0;
+  if (lo != nullptr) {
+    leaf = FindLeaf(*lo);
+    pos = static_cast<size_t>(
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), *lo, KeyLess) -
+        leaf->keys.begin());
+  } else {
+    const Node* node = root_.get();
+    Charge();
+    while (!node->is_leaf) {
+      node = node->children.front().get();
+      Charge();
+    }
+    leaf = node;
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      if (hi != nullptr &&
+          CompareKeys(leaf->keys[pos], *hi) == std::strong_ordering::greater) {
+        return;
+      }
+      if (!visit(leaf->keys[pos], leaf->rids[pos])) return;
+    }
+    leaf = leaf->next_leaf;
+    if (leaf != nullptr) Charge();
+    pos = 0;
+  }
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace xbench::relational

@@ -1,0 +1,87 @@
+#ifndef XBENCH_RELATIONAL_BTREE_H_
+#define XBENCH_RELATIONAL_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "relational/value.h"
+#include "storage/heap_file.h"
+
+namespace xbench::relational {
+
+/// Composite index key.
+using Key = std::vector<Value>;
+
+std::strong_ordering CompareKeys(const Key& a, const Key& b);
+
+/// A B+-tree secondary index mapping composite keys to heap-file record
+/// ids. Nodes model disk pages: every node visited during a lookup or a
+/// leaf-chain scan charges one page read against the owning disk's clock,
+/// so index access cost scales with tree height and range width exactly as
+/// it would on disk, while the node payloads stay as in-memory vectors.
+class BTreeIndex {
+ public:
+  static constexpr size_t kFanout = 128;
+
+  /// `clock` is charged `page_read_micros` per node visit (pass the
+  /// engine's SimulatedDisk clock).
+  BTreeIndex(VirtualClock& clock, uint64_t page_read_micros = 40)
+      : clock_(&clock), page_read_micros_(page_read_micros) {
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+
+  void Insert(Key key, storage::RecordId rid);
+
+  /// Removes one (key, rid) entry. Returns false when absent. Leaves may
+  /// become under-full; the index never rebalances on delete (the
+  /// benchmark workload is insert-heavy, matching the paper's planned
+  /// update extension).
+  bool Erase(const Key& key, storage::RecordId rid);
+
+  /// All record ids whose key equals `key`, in insertion order.
+  std::vector<storage::RecordId> Lookup(const Key& key) const;
+
+  /// Visits entries with lo <= key <= hi in key order. Null bounds are
+  /// unbounded. Returning false stops the scan.
+  void Range(const Key* lo, const Key* hi,
+             const std::function<bool(const Key&, storage::RecordId)>& visit)
+      const;
+
+  size_t entry_count() const { return entry_count_; }
+  int height() const;
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    std::vector<Key> keys;
+    // Leaf: rids parallel to keys. Internal: children has keys.size()+1.
+    std::vector<storage::RecordId> rids;
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next_leaf = nullptr;
+  };
+
+  void Charge() const { clock_->AdvanceMicros(page_read_micros_); }
+
+  /// Splits `child` (the i-th child of `parent`) which must be full.
+  void SplitChild(Node& parent, size_t i);
+  void InsertNonFull(Node& node, Key key, storage::RecordId rid);
+
+  /// Descends to the leaf that would contain `key`, charging per level.
+  const Node* FindLeaf(const Key& key) const;
+  Node* FindLeaf(const Key& key) {
+    return const_cast<Node*>(
+        static_cast<const BTreeIndex*>(this)->FindLeaf(key));
+  }
+
+  std::unique_ptr<Node> root_;
+  VirtualClock* clock_;
+  uint64_t page_read_micros_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace xbench::relational
+
+#endif  // XBENCH_RELATIONAL_BTREE_H_

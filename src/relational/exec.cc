@@ -1,0 +1,167 @@
+#include "relational/exec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace xbench::relational {
+
+RowSet SeqScan(Table& table, const RowPredicate& pred) {
+  RowSet out;
+  table.Scan([&](storage::RecordId, const Row& row) {
+    if (!pred || pred(row)) out.push_back(row);
+    return true;
+  });
+  return out;
+}
+
+RowSet IndexLookup(Table& table, const std::string& index_name,
+                   const Key& key) {
+  RowSet out;
+  const BTreeIndex* index = table.FindIndex(index_name);
+  if (index == nullptr) return out;
+  for (storage::RecordId rid : index->Lookup(key)) {
+    auto row = table.Fetch(rid);
+    if (row.ok()) out.push_back(std::move(row).value());
+  }
+  return out;
+}
+
+RowSet IndexRange(Table& table, const std::string& index_name, const Key* lo,
+                  const Key* hi) {
+  RowSet out;
+  const BTreeIndex* index = table.FindIndex(index_name);
+  if (index == nullptr) return out;
+  std::vector<storage::RecordId> rids;
+  index->Range(lo, hi, [&rids](const Key&, storage::RecordId rid) {
+    rids.push_back(rid);
+    return true;
+  });
+  for (storage::RecordId rid : rids) {
+    auto row = table.Fetch(rid);
+    if (row.ok()) out.push_back(std::move(row).value());
+  }
+  return out;
+}
+
+void SortRows(RowSet& rows, const std::vector<SortSpec>& specs) {
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (const SortSpec& spec : specs) {
+      const Value& va = a[static_cast<size_t>(spec.column)];
+      const Value& vb = b[static_cast<size_t>(spec.column)];
+      std::strong_ordering cmp = std::strong_ordering::equal;
+      if (spec.numeric && !va.is_null() && !vb.is_null()) {
+        const double da = va.type() == ValueType::kString
+                              ? std::stod(va.AsString())
+                              : va.AsDouble();
+        const double db = vb.type() == ValueType::kString
+                              ? std::stod(vb.AsString())
+                              : vb.AsDouble();
+        cmp = da < db    ? std::strong_ordering::less
+              : da > db ? std::strong_ordering::greater
+                        : std::strong_ordering::equal;
+      } else {
+        cmp = va.Compare(vb);
+      }
+      if (cmp == std::strong_ordering::equal) continue;
+      const bool less = cmp == std::strong_ordering::less;
+      return spec.ascending ? less : !less;
+    }
+    return false;
+  });
+}
+
+namespace {
+std::string HashKeyOf(const Value& v) {
+  // Type-tagged text encoding; ints and doubles that compare equal map to
+  // the same bucket via the numeric rendering.
+  if (v.is_null()) return "\x00";
+  return std::string(1, static_cast<char>(v.type())) + v.ToText();
+}
+}  // namespace
+
+RowSet HashJoin(const RowSet& left, int left_key, const RowSet& right,
+                int right_key) {
+  std::unordered_map<std::string, std::vector<const Row*>> build;
+  for (const Row& row : right) {
+    const Value& key = row[static_cast<size_t>(right_key)];
+    if (key.is_null()) continue;
+    build[HashKeyOf(key)].push_back(&row);
+  }
+  RowSet out;
+  for (const Row& row : left) {
+    const Value& key = row[static_cast<size_t>(left_key)];
+    if (key.is_null()) continue;
+    auto it = build.find(HashKeyOf(key));
+    if (it == build.end()) continue;
+    for (const Row* match : it->second) {
+      Row joined = row;
+      joined.insert(joined.end(), match->begin(), match->end());
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+RowSet LeftOuterHashJoin(const RowSet& left, int left_key, const RowSet& right,
+                         int right_key, size_t right_arity) {
+  std::unordered_map<std::string, std::vector<const Row*>> build;
+  for (const Row& row : right) {
+    const Value& key = row[static_cast<size_t>(right_key)];
+    if (key.is_null()) continue;
+    build[HashKeyOf(key)].push_back(&row);
+  }
+  RowSet out;
+  for (const Row& row : left) {
+    const Value& key = row[static_cast<size_t>(left_key)];
+    auto it = key.is_null() ? build.end() : build.find(HashKeyOf(key));
+    if (it == build.end()) {
+      Row joined = row;
+      joined.resize(joined.size() + right_arity, Value::Null());
+      out.push_back(std::move(joined));
+    } else {
+      for (const Row* match : it->second) {
+        Row joined = row;
+        joined.insert(joined.end(), match->begin(), match->end());
+        out.push_back(std::move(joined));
+      }
+    }
+  }
+  return out;
+}
+
+RowSet GroupCount(const RowSet& rows, int key_column) {
+  std::map<Value, int64_t> groups;
+  for (const Row& row : rows) {
+    ++groups[row[static_cast<size_t>(key_column)]];
+  }
+  RowSet out;
+  for (const auto& [key, count] : groups) {
+    out.push_back({key, Value::Int(count)});
+  }
+  return out;
+}
+
+RowSet Project(const RowSet& rows, const std::vector<int>& columns) {
+  RowSet out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    Row projected;
+    projected.reserve(columns.size());
+    for (int c : columns) projected.push_back(row[static_cast<size_t>(c)]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+RowSet Distinct(const RowSet& rows) {
+  std::set<std::string> seen;
+  RowSet out;
+  for (const Row& row : rows) {
+    if (seen.insert(EncodeRow(row)).second) out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace xbench::relational

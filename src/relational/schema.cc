@@ -1,0 +1,121 @@
+#include "relational/schema.h"
+
+#include <cstring>
+
+namespace xbench::relational {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() == columns_[i].type) continue;
+    if (row[i].type() == ValueType::kInt &&
+        columns_[i].type == ValueType::kDouble) {
+      continue;
+    }
+    return Status::InvalidArgument(
+        "column '" + columns_[i].name + "' expects " +
+        ValueTypeName(columns_[i].type) + " but got " +
+        ValueTypeName(row[i].type()));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+template <typename T>
+void AppendRaw(const T& v, std::string& out) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view& in, T& v) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&v, in.data(), sizeof(T));
+  in.remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  AppendRaw(static_cast<uint16_t>(row.size()), out);
+  for (const Value& value : row) {
+    out.push_back(static_cast<char>(value.type()));
+    switch (value.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        AppendRaw(value.AsInt(), out);
+        break;
+      case ValueType::kDouble:
+        AppendRaw(value.AsDouble(), out);
+        break;
+      case ValueType::kString: {
+        AppendRaw(static_cast<uint32_t>(value.AsString().size()), out);
+        out += value.AsString();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Row> DecodeRow(std::string_view payload) {
+  uint16_t count = 0;
+  if (!ReadRaw(payload, count)) {
+    return Status::Corruption("row payload truncated (count)");
+  }
+  Row row;
+  row.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    if (payload.empty()) return Status::Corruption("row payload truncated");
+    const auto type = static_cast<ValueType>(payload.front());
+    payload.remove_prefix(1);
+    switch (type) {
+      case ValueType::kNull:
+        row.push_back(Value::Null());
+        break;
+      case ValueType::kInt: {
+        int64_t v = 0;
+        if (!ReadRaw(payload, v)) return Status::Corruption("truncated int");
+        row.push_back(Value::Int(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0;
+        if (!ReadRaw(payload, v)) return Status::Corruption("truncated double");
+        row.push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len = 0;
+        if (!ReadRaw(payload, len) || payload.size() < len) {
+          return Status::Corruption("truncated string");
+        }
+        row.push_back(Value::String(std::string(payload.substr(0, len))));
+        payload.remove_prefix(len);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown value type tag");
+    }
+  }
+  return row;
+}
+
+}  // namespace xbench::relational

@@ -1,0 +1,48 @@
+#ifndef XBENCH_RELATIONAL_SCHEMA_H_
+#define XBENCH_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace xbench::relational {
+
+/// A row is a vector of values positionally matching a Schema.
+using Row = std::vector<Value>;
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Ordered column list of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+
+  /// Index of `name`, or -1 when absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Validates arity and type compatibility (NULL matches any type;
+  /// kInt values are accepted in kDouble columns).
+  Status Validate(const Row& row) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Encodes a row to the heap-file payload format and back. Layout:
+/// [u16 column-count] then per column [u8 type][payload], where ints are
+/// little-endian u64, doubles 8 raw bytes, strings [u32 len][bytes].
+std::string EncodeRow(const Row& row);
+Result<Row> DecodeRow(std::string_view payload);
+
+}  // namespace xbench::relational
+
+#endif  // XBENCH_RELATIONAL_SCHEMA_H_

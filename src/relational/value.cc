@@ -1,0 +1,72 @@
+#include "relational/value.h"
+
+#include <cmath>
+
+namespace xbench::relational {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (type() == ValueType::kInt) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  return std::get<double>(data_);
+}
+
+std::string Value::ToText() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      // Trim trailing zeros for stable text round-trips (12.50 -> "12.5").
+      std::string s = std::to_string(std::get<double>(data_));
+      while (s.size() > 1 && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+      return s;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "";
+}
+
+std::strong_ordering Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return std::strong_ordering::equal;
+    return a_null ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const bool a_num = type() != ValueType::kString;
+  const bool b_num = other.type() != ValueType::kString;
+  if (a_num != b_num) {
+    return a_num ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (a_num) {
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return std::strong_ordering::less;
+    if (a > b) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  const int cmp = AsString().compare(other.AsString());
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace xbench::relational

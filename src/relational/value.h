@@ -1,0 +1,73 @@
+#ifndef XBENCH_RELATIONAL_VALUE_H_
+#define XBENCH_RELATIONAL_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace xbench::relational {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A SQL-style value: NULL, 64-bit integer, double, or string. NULLs order
+/// before every non-null value (the convention our sort/index code uses),
+/// and compare unequal to everything including other NULLs under
+/// SQL semantics — use SqlEquals for predicate evaluation and operator==
+/// for structural/key equality.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Renders the value as a string ("" for NULL), the way a relational
+  /// column is emitted back into XML text.
+  std::string ToText() const;
+
+  /// Structural comparison used for keys and sorting: NULL < int/double
+  /// (numeric, compared across the two numeric types) < string.
+  std::strong_ordering Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == std::strong_ordering::equal;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) == std::strong_ordering::less;
+  }
+
+  /// SQL equality: NULL = anything is false.
+  static bool SqlEquals(const Value& a, const Value& b) {
+    if (a.is_null() || b.is_null()) return false;
+    return a == b;
+  }
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace xbench::relational
+
+#endif  // XBENCH_RELATIONAL_VALUE_H_

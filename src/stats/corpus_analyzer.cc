@@ -1,0 +1,55 @@
+#include "stats/corpus_analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xbench::stats {
+
+std::string CorpusStats::ToRow() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-12s %8llu  [%llu, %llu] KB  %10.1f MB",
+                source_name.c_str(),
+                static_cast<unsigned long long>(file_count),
+                static_cast<unsigned long long>(min_file_bytes / 1024),
+                static_cast<unsigned long long>(
+                    (max_file_bytes + 1023) / 1024),
+                static_cast<double>(total_bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+CorpusAnalyzer::CorpusAnalyzer(std::string source_name) {
+  stats_.source_name = std::move(source_name);
+}
+
+void CorpusAnalyzer::AddDocument(const xml::Document& doc,
+                                 uint64_t serialized_bytes) {
+  ++stats_.file_count;
+  if (stats_.file_count == 1) {
+    stats_.min_file_bytes = serialized_bytes;
+    stats_.max_file_bytes = serialized_bytes;
+  } else {
+    stats_.min_file_bytes = std::min(stats_.min_file_bytes, serialized_bytes);
+    stats_.max_file_bytes = std::max(stats_.max_file_bytes, serialized_bytes);
+  }
+  stats_.total_bytes += serialized_bytes;
+
+  if (doc.root() == nullptr) return;
+  struct Walker {
+    CorpusStats& stats;
+    void Walk(const xml::Node& node, int depth) {
+      if (node.is_text()) {
+        stats.text_bytes += node.text().size();
+        return;
+      }
+      // Depth counts element nesting only.
+      stats.max_depth = std::max(stats.max_depth, depth);
+      ++stats.element_count;
+      ++stats.element_type_counts[node.name()];
+      stats.attribute_count += node.attributes().size();
+      for (const auto& child : node.children()) Walk(*child, depth + 1);
+    }
+  };
+  Walker{stats_}.Walk(*doc.root(), 1);
+}
+
+}  // namespace xbench::stats

@@ -1,0 +1,60 @@
+#ifndef XBENCH_STATS_CORPUS_ANALYZER_H_
+#define XBENCH_STATS_CORPUS_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xbench::stats {
+
+/// Aggregate statistics over a collection of XML documents — the analysis
+/// the paper runs over GCIDE/OED/Reuters/Springer to produce Table 2 and
+/// the per-class distribution parameters (§2.1.1). We run it over the
+/// generated corpora both to report Table 2-style rows and to verify in
+/// tests that generated data matches its design parameters.
+struct CorpusStats {
+  std::string source_name;
+  uint64_t file_count = 0;
+  uint64_t min_file_bytes = 0;
+  uint64_t max_file_bytes = 0;
+  uint64_t total_bytes = 0;
+
+  uint64_t element_count = 0;
+  uint64_t attribute_count = 0;
+  uint64_t text_bytes = 0;
+  int max_depth = 0;
+  std::map<std::string, uint64_t> element_type_counts;
+
+  /// Fraction of serialized bytes that is character data (text-centricity
+  /// measure separating TC from DC classes).
+  double TextRatio() const {
+    return total_bytes == 0
+               ? 0.0
+               : static_cast<double>(text_bytes) /
+                     static_cast<double>(total_bytes);
+  }
+
+  /// One Table 2-style report row:
+  /// "name  files  [min,max] KB  total MB".
+  std::string ToRow() const;
+};
+
+/// Analyzes one collection; call AddDocument per document then Finish().
+class CorpusAnalyzer {
+ public:
+  explicit CorpusAnalyzer(std::string source_name);
+
+  /// `serialized_bytes` is the document's size as stored on disk.
+  void AddDocument(const xml::Document& doc, uint64_t serialized_bytes);
+
+  const CorpusStats& stats() const { return stats_; }
+
+ private:
+  CorpusStats stats_;
+};
+
+}  // namespace xbench::stats
+
+#endif  // XBENCH_STATS_CORPUS_ANALYZER_H_

@@ -1,0 +1,128 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xbench::stats {
+namespace {
+
+int64_t Clamp(int64_t v, int64_t lo, int64_t hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+class UniformDist : public Distribution {
+ public:
+  UniformDist(int64_t lo, int64_t hi) : lo_(lo), hi_(std::max(lo, hi)) {}
+  int64_t Sample(Rng& rng) const override { return rng.NextInt(lo_, hi_); }
+  int64_t min_value() const override { return lo_; }
+  int64_t max_value() const override { return hi_; }
+  double Mean() const override {
+    return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+  }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+class NormalDist : public Distribution {
+ public:
+  NormalDist(double mean, double stddev, int64_t lo, int64_t hi)
+      : mean_(mean), stddev_(stddev), lo_(lo), hi_(std::max(lo, hi)) {}
+  int64_t Sample(Rng& rng) const override {
+    const double v = mean_ + stddev_ * rng.NextGaussian();
+    return Clamp(static_cast<int64_t>(std::llround(v)), lo_, hi_);
+  }
+  int64_t min_value() const override { return lo_; }
+  int64_t max_value() const override { return hi_; }
+  double Mean() const override {
+    // Truncation bias is negligible for the parameters we use.
+    return std::min(static_cast<double>(hi_),
+                    std::max(static_cast<double>(lo_), mean_));
+  }
+
+ private:
+  double mean_;
+  double stddev_;
+  int64_t lo_;
+  int64_t hi_;
+};
+
+class ExponentialDist : public Distribution {
+ public:
+  ExponentialDist(double mean, int64_t lo, int64_t hi)
+      : mean_(std::max(1e-9, mean)), lo_(lo), hi_(std::max(lo, hi)) {}
+  int64_t Sample(Rng& rng) const override {
+    double u = rng.NextDouble();
+    while (u <= 1e-12) u = rng.NextDouble();
+    const double v = -mean_ * std::log(u);
+    return Clamp(lo_ + static_cast<int64_t>(std::llround(v)), lo_, hi_);
+  }
+  int64_t min_value() const override { return lo_; }
+  int64_t max_value() const override { return hi_; }
+  double Mean() const override {
+    return std::min(static_cast<double>(hi_),
+                    static_cast<double>(lo_) + mean_);
+  }
+
+ private:
+  double mean_;
+  int64_t lo_;
+  int64_t hi_;
+};
+
+class ZipfDist : public Distribution {
+ public:
+  ZipfDist(int64_t n, double s) : n_(std::max<int64_t>(1, n)), s_(s) {
+    cdf_.reserve(static_cast<size_t>(n_));
+    double total = 0;
+    for (int64_t k = 1; k <= n_; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s_);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+    mean_ = 0;
+    double prev = 0;
+    for (int64_t k = 1; k <= n_; ++k) {
+      mean_ += static_cast<double>(k) *
+               (cdf_[static_cast<size_t>(k - 1)] - prev);
+      prev = cdf_[static_cast<size_t>(k - 1)];
+    }
+  }
+  int64_t Sample(Rng& rng) const override {
+    const double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin()) + 1;
+  }
+  int64_t min_value() const override { return 1; }
+  int64_t max_value() const override { return n_; }
+  double Mean() const override { return mean_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+  double mean_;
+};
+
+}  // namespace
+
+std::unique_ptr<Distribution> MakeUniform(int64_t lo, int64_t hi) {
+  return std::make_unique<UniformDist>(lo, hi);
+}
+
+std::unique_ptr<Distribution> MakeNormal(double mean, double stddev,
+                                         int64_t lo, int64_t hi) {
+  return std::make_unique<NormalDist>(mean, stddev, lo, hi);
+}
+
+std::unique_ptr<Distribution> MakeExponential(double mean, int64_t lo,
+                                              int64_t hi) {
+  return std::make_unique<ExponentialDist>(mean, lo, hi);
+}
+
+std::unique_ptr<Distribution> MakeZipf(int64_t n, double s) {
+  return std::make_unique<ZipfDist>(n, s);
+}
+
+}  // namespace xbench::stats

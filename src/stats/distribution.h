@@ -1,0 +1,51 @@
+#ifndef XBENCH_STATS_DISTRIBUTION_H_
+#define XBENCH_STATS_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xbench::stats {
+
+/// A bounded integer-valued probability distribution. XBench's generator
+/// drives element/attribute occurrence counts and value choices from
+/// distributions fitted to real corpora; each fitted distribution carries
+/// explicit min/max truncation so generated documents stay finite
+/// (paper §2.1).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample (always within [min_value(), max_value()]).
+  virtual int64_t Sample(Rng& rng) const = 0;
+
+  virtual int64_t min_value() const = 0;
+  virtual int64_t max_value() const = 0;
+
+  /// Expected value of the distribution (used by scale solving: the
+  /// generators size databases by solving entry counts against the mean
+  /// bytes-per-entry).
+  virtual double Mean() const = 0;
+};
+
+/// Uniform over [lo, hi].
+std::unique_ptr<Distribution> MakeUniform(int64_t lo, int64_t hi);
+
+/// Normal(mean, stddev) rounded and clamped to [lo, hi].
+std::unique_ptr<Distribution> MakeNormal(double mean, double stddev,
+                                         int64_t lo, int64_t hi);
+
+/// Exponential with the given mean, shifted by `lo` and clamped to
+/// [lo, hi]. Models the long-tailed entry sizes of the TC corpora.
+std::unique_ptr<Distribution> MakeExponential(double mean, int64_t lo,
+                                              int64_t hi);
+
+/// Zipf over ranks [1, n] with skew `s` (s=0 is uniform). Models word
+/// frequencies for text generation.
+std::unique_ptr<Distribution> MakeZipf(int64_t n, double s);
+
+}  // namespace xbench::stats
+
+#endif  // XBENCH_STATS_DISTRIBUTION_H_

@@ -1,0 +1,201 @@
+#include "stats/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace xbench::stats {
+namespace {
+
+double NormalCdf(double x, double mean, double stddev) {
+  if (stddev <= 0) return x >= mean ? 1.0 : 0.0;
+  return 0.5 * (1.0 + std::erf((x - mean) / (stddev * std::sqrt(2.0))));
+}
+
+double UniformCdf(double x, double lo, double hi) {
+  if (x < lo) return 0;
+  if (x >= hi) return 1;
+  return hi > lo ? (x - lo) / (hi - lo) : 1.0;
+}
+
+double ExponentialCdf(double x, double lo, double mean) {
+  if (x < lo) return 0;
+  if (mean <= 0) return 1;
+  return 1.0 - std::exp(-(x - lo) / mean);
+}
+
+/// Zipf CDF over ranks [1, n] with s = 1 (the skew our generator uses).
+double ZipfCdf(double x, int64_t n) {
+  if (x < 1) return 0;
+  static thread_local std::map<int64_t, std::vector<double>> cache;
+  std::vector<double>& cdf = cache[n];
+  if (cdf.empty()) {
+    double total = 0;
+    cdf.reserve(static_cast<size_t>(n));
+    for (int64_t k = 1; k <= n; ++k) {
+      total += 1.0 / static_cast<double>(k);
+      cdf.push_back(total);
+    }
+    for (double& c : cdf) c /= total;
+  }
+  const auto idx = static_cast<size_t>(
+      std::min<int64_t>(n, static_cast<int64_t>(x)) - 1);
+  return cdf[idx];
+}
+
+}  // namespace
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kConstant:
+      return "constant";
+    case Family::kUniform:
+      return "uniform";
+    case Family::kNormal:
+      return "normal";
+    case Family::kExponential:
+      return "exponential";
+    case Family::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+std::string Fit::ToString() const {
+  char buf[128];
+  switch (family) {
+    case Family::kConstant:
+      std::snprintf(buf, sizeof(buf), "constant(%lld)",
+                    static_cast<long long>(min_value));
+      break;
+    case Family::kUniform:
+      std::snprintf(buf, sizeof(buf), "uniform on [%lld, %lld]",
+                    static_cast<long long>(min_value),
+                    static_cast<long long>(max_value));
+      break;
+    case Family::kNormal:
+      std::snprintf(buf, sizeof(buf),
+                    "normal(mean=%.2f, sd=%.2f) on [%lld, %lld]", mean,
+                    stddev, static_cast<long long>(min_value),
+                    static_cast<long long>(max_value));
+      break;
+    case Family::kExponential:
+      std::snprintf(buf, sizeof(buf),
+                    "exponential(mean=%.2f) on [%lld, %lld]",
+                    mean - static_cast<double>(min_value),
+                    static_cast<long long>(min_value),
+                    static_cast<long long>(max_value));
+      break;
+    case Family::kZipf:
+      std::snprintf(buf, sizeof(buf), "zipf(n=%lld, s=1) on [1, %lld]",
+                    static_cast<long long>(max_value),
+                    static_cast<long long>(max_value));
+      break;
+  }
+  return buf;
+}
+
+std::unique_ptr<Distribution> Fit::MakeDistribution() const {
+  switch (family) {
+    case Family::kConstant:
+      return MakeUniform(min_value, min_value);
+    case Family::kUniform:
+      return MakeUniform(min_value, max_value);
+    case Family::kNormal:
+      return MakeNormal(mean, stddev, min_value, max_value);
+    case Family::kExponential:
+      return MakeExponential(mean - static_cast<double>(min_value),
+                             min_value, max_value);
+    case Family::kZipf:
+      return MakeZipf(max_value, 1.0);
+  }
+  return MakeUniform(min_value, max_value);
+}
+
+Fit FitDistribution(const std::vector<int64_t>& samples) {
+  Fit fit;
+  if (samples.empty()) return fit;
+
+  std::vector<int64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  fit.min_value = sorted.front();
+  fit.max_value = sorted.back();
+
+  const double n = static_cast<double>(sorted.size());
+  double sum = 0;
+  for (int64_t v : sorted) sum += static_cast<double>(v);
+  fit.mean = sum / n;
+  double var = 0;
+  for (int64_t v : sorted) {
+    const double d = static_cast<double>(v) - fit.mean;
+    var += d * d;
+  }
+  var /= n;
+  fit.stddev = std::sqrt(var);
+
+  if (fit.min_value == fit.max_value) {
+    fit.family = Family::kConstant;
+    fit.score = 0;
+    return fit;
+  }
+
+  // Score each candidate family by mean |empirical CDF - model CDF| at
+  // the sample points.
+  auto score_model = [&](auto&& cdf) {
+    double error = 0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      const double empirical = (static_cast<double>(i) + 1.0) / n;
+      error += std::fabs(empirical - cdf(static_cast<double>(sorted[i])));
+    }
+    return error / n;
+  };
+
+  const double lo = static_cast<double>(fit.min_value);
+  const double hi = static_cast<double>(fit.max_value);
+  struct Candidate {
+    Family family;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(
+      {Family::kUniform, score_model([&](double x) {
+         // Continuity correction for integer support.
+         return UniformCdf(x + 0.5, lo - 0.5, hi + 0.5);
+       })});
+  candidates.push_back(
+      {Family::kNormal, score_model([&](double x) {
+         return NormalCdf(x + 0.5, fit.mean, fit.stddev);
+       })});
+  candidates.push_back(
+      {Family::kExponential, score_model([&](double x) {
+         return ExponentialCdf(x + 0.5, lo, fit.mean - lo);
+       })});
+  if (fit.min_value >= 1) {
+    candidates.push_back({Family::kZipf, score_model([&](double x) {
+                            return ZipfCdf(x, fit.max_value);
+                          })});
+  }
+
+  const Candidate* best = &candidates[0];
+  for (const Candidate& c : candidates) {
+    if (c.score < best->score) best = &c;
+  }
+  fit.family = best->family;
+  fit.score = best->score;
+  return fit;
+}
+
+std::vector<int64_t> OccurrenceSamples(const xml::Node& root,
+                                       const std::string& parent_name,
+                                       const std::string& child_name) {
+  std::vector<int64_t> samples;
+  root.Visit([&](const xml::Node& node) {
+    if (!node.is_element() || node.name() != parent_name) return;
+    samples.push_back(
+        static_cast<int64_t>(node.Children(child_name).size()));
+  });
+  return samples;
+}
+
+}  // namespace xbench::stats

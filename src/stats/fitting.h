@@ -1,0 +1,59 @@
+#ifndef XBENCH_STATS_FITTING_H_
+#define XBENCH_STATS_FITTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+#include "xml/node.h"
+
+namespace xbench::stats {
+
+/// Which standard family a sample best matches (§2.1.1: "frequency
+/// distributions are computed and standard probability distributions are
+/// fit to the data").
+enum class Family {
+  kConstant,     // zero variance
+  kUniform,
+  kNormal,
+  kExponential,
+  kZipf,
+};
+
+const char* FamilyName(Family family);
+
+/// A fitted distribution: the winning family, its moment-matched
+/// parameters, the observed [min, max] truncation bounds (the paper
+/// stores these so generated documents stay finite), and the goodness
+/// score of the winner (mean absolute CDF error; smaller is better).
+struct Fit {
+  Family family = Family::kConstant;
+  double mean = 0;
+  double stddev = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  double score = 0;
+
+  /// Renders like "normal(mean=2.3, sd=1.1) on [1, 6]".
+  std::string ToString() const;
+
+  /// Instantiates a generator-ready Distribution from the fit.
+  std::unique_ptr<Distribution> MakeDistribution() const;
+};
+
+/// Fits the sample by moment matching each family and scoring with the
+/// mean absolute difference between empirical and model CDFs over the
+/// observed support. Requires a non-empty sample.
+Fit FitDistribution(const std::vector<int64_t>& samples);
+
+/// Convenience: per-parent child-occurrence samples of `child_name`
+/// under `parent_name` across a document tree — the exact statistic the
+/// paper's generator parameters come from.
+std::vector<int64_t> OccurrenceSamples(const xml::Node& root,
+                                       const std::string& parent_name,
+                                       const std::string& child_name);
+
+}  // namespace xbench::stats
+
+#endif  // XBENCH_STATS_FITTING_H_

@@ -1,0 +1,55 @@
+#include "storage/buffer_pool.h"
+
+namespace xbench::storage {
+
+Page& BufferPool::Fetch(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(page_id);
+    it->second.lru_pos = lru_.begin();
+    return it->second.page;
+  }
+  ++misses_;
+  EvictIfFull();
+  Frame& frame = frames_[page_id];
+  disk_.ReadPage(page_id, frame.page);
+  lru_.push_front(page_id);
+  frame.lru_pos = lru_.begin();
+  return frame.page;
+}
+
+void BufferPool::MarkDirty(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) it->second.dirty = true;
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [page_id, frame] : frames_) {
+    if (frame.dirty) {
+      disk_.WritePage(page_id, frame.page);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPool::ColdRestart() {
+  FlushAll();
+  frames_.clear();
+  lru_.clear();
+}
+
+void BufferPool::EvictIfFull() {
+  while (frames_.size() >= capacity_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    auto it = frames_.find(victim);
+    if (it != frames_.end()) {
+      if (it->second.dirty) disk_.WritePage(victim, it->second.page);
+      frames_.erase(it);
+    }
+  }
+}
+
+}  // namespace xbench::storage

@@ -1,0 +1,60 @@
+#ifndef XBENCH_STORAGE_BUFFER_POOL_H_
+#define XBENCH_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace xbench::storage {
+
+/// LRU buffer pool over a SimulatedDisk. Single-threaded; no pin counting
+/// is needed because callers copy data out of the frame before the next
+/// Fetch (the engines never hold frame pointers across pool calls).
+class BufferPool {
+ public:
+  /// `capacity_pages` frames; the paper's testbed had 1 GB of RAM against
+  /// up-to-1 GB databases, so the pool should comfortably hold the small
+  /// database and progressively thrash on normal/large.
+  BufferPool(SimulatedDisk& disk, size_t capacity_pages)
+      : disk_(disk), capacity_(capacity_pages) {}
+
+  /// Returns the frame for `page_id`, reading from disk on a miss. The
+  /// returned pointer is valid until the next Fetch/Release call.
+  Page& Fetch(PageId page_id);
+
+  /// Marks the frame dirty so eviction writes it back.
+  void MarkDirty(PageId page_id);
+
+  /// Writes all dirty frames back to disk.
+  void FlushAll();
+
+  /// Cold restart: flush then drop every frame. Benchmarks call this before
+  /// each measured query to reproduce the paper's cold-run methodology.
+  void ColdRestart();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    Page page;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  void EvictIfFull();
+
+  SimulatedDisk& disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xbench::storage
+
+#endif  // XBENCH_STORAGE_BUFFER_POOL_H_

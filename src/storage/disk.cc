@@ -1,0 +1,30 @@
+#include "storage/disk.h"
+
+#include <cassert>
+
+namespace xbench::storage {
+
+PageId SimulatedDisk::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return pages_.size() - 1;
+}
+
+void SimulatedDisk::ReadPage(PageId page_id, Page& out) {
+  assert(page_id < pages_.size());
+  const bool sequential = page_id == last_accessed_ + 1;
+  clock_.AdvanceMicros(sequential ? profile_.sequential_read_micros
+                                  : profile_.random_read_micros);
+  last_accessed_ = page_id;
+  ++reads_;
+  out = *pages_[page_id];
+}
+
+void SimulatedDisk::WritePage(PageId page_id, const Page& page) {
+  assert(page_id < pages_.size());
+  clock_.AdvanceMicros(profile_.write_micros);
+  last_accessed_ = page_id;
+  ++writes_;
+  *pages_[page_id] = page;
+}
+
+}  // namespace xbench::storage

@@ -1,0 +1,75 @@
+#include "storage/heap_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xbench::storage {
+
+Page& HeapFile::FetchPageForOffset(uint64_t offset, bool for_write) {
+  const uint64_t page_index = offset / kPageSize;
+  while (page_index >= pages_.size()) {
+    pages_.push_back(disk_.Allocate());
+  }
+  Page& page = pool_->Fetch(pages_[page_index]);
+  if (for_write) pool_->MarkDirty(pages_[page_index]);
+  return page;
+}
+
+void HeapFile::WriteBytes(uint64_t offset, const void* data, size_t size) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    const size_t in_page = offset % kPageSize;
+    const size_t chunk = std::min(size, kPageSize - in_page);
+    Page& page = FetchPageForOffset(offset, /*for_write=*/true);
+    page.Write(in_page, src, chunk);
+    src += chunk;
+    offset += chunk;
+    size -= chunk;
+  }
+}
+
+void HeapFile::ReadBytes(uint64_t offset, void* data, size_t size) {
+  uint8_t* dst = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    const size_t in_page = offset % kPageSize;
+    const size_t chunk = std::min(size, kPageSize - in_page);
+    Page& page = FetchPageForOffset(offset, /*for_write=*/false);
+    page.Read(in_page, dst, chunk);
+    dst += chunk;
+    offset += chunk;
+    size -= chunk;
+  }
+}
+
+RecordId HeapFile::Append(std::string_view payload) {
+  const RecordId id = end_offset_;
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  WriteBytes(end_offset_, &length, sizeof(length));
+  WriteBytes(end_offset_ + sizeof(length), payload.data(), payload.size());
+  end_offset_ += sizeof(length) + payload.size();
+  ++record_count_;
+  return id;
+}
+
+std::string HeapFile::Read(RecordId id) {
+  uint32_t length = 0;
+  ReadBytes(id, &length, sizeof(length));
+  std::string payload(length, '\0');
+  ReadBytes(id + sizeof(length), payload.data(), length);
+  return payload;
+}
+
+void HeapFile::Scan(
+    const std::function<bool(RecordId, std::string_view)>& visit) {
+  uint64_t offset = 0;
+  while (offset < end_offset_) {
+    uint32_t length = 0;
+    ReadBytes(offset, &length, sizeof(length));
+    std::string payload(length, '\0');
+    ReadBytes(offset + sizeof(length), payload.data(), length);
+    if (!visit(offset, payload)) return;
+    offset += sizeof(length) + length;
+  }
+}
+
+}  // namespace xbench::storage

@@ -1,0 +1,62 @@
+#ifndef XBENCH_STORAGE_HEAP_FILE_H_
+#define XBENCH_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+
+namespace xbench::storage {
+
+/// Byte offset of a record within a heap file; doubles as the record id.
+using RecordId = uint64_t;
+
+/// Append-only record file over the buffer pool. Records are stored as a
+/// contiguous byte log ([u32 length][payload]) spanning page boundaries,
+/// so a record read touches ceil(bytes/page) pages — large documents cost
+/// proportionally more I/O, which is what the benchmark measures.
+///
+/// The workload is load-then-query (the paper defers updates to future
+/// versions), so deletion/update support is intentionally absent.
+class HeapFile {
+ public:
+  explicit HeapFile(SimulatedDisk& disk, BufferPool& pool)
+      : disk_(disk), pool_(&pool) {}
+
+  /// Appends a record and returns its id.
+  RecordId Append(std::string_view payload);
+
+  /// Reads the record at `id`.
+  std::string Read(RecordId id);
+
+  /// Sequentially visits every record in append order. The callback gets
+  /// (id, payload); returning false stops the scan early.
+  void Scan(const std::function<bool(RecordId, std::string_view)>& visit);
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t size_bytes() const { return end_offset_; }
+
+ private:
+  /// Translates a byte offset to (page, offset-in-page), allocating pages
+  /// on demand for writes.
+  Page& FetchPageForOffset(uint64_t offset, bool for_write);
+
+  void WriteBytes(uint64_t offset, const void* data, size_t size);
+  void ReadBytes(uint64_t offset, void* data, size_t size);
+
+  SimulatedDisk& disk_;
+  BufferPool* pool_;
+  uint64_t end_offset_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t allocated_pages_ = 0;
+  // Page ids are allocated from the shared disk, so this file's pages need
+  // an explicit index (they are not necessarily contiguous on the disk).
+  std::vector<PageId> pages_;
+};
+
+}  // namespace xbench::storage
+
+#endif  // XBENCH_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,3 @@
+#include "storage/page.h"
+
+// Header-only; this translation unit anchors the header in the library.

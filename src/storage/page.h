@@ -1,0 +1,30 @@
+#ifndef XBENCH_STORAGE_PAGE_H_
+#define XBENCH_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace xbench::storage {
+
+/// Fixed page size shared by every engine's storage (8 KiB, a common DBMS
+/// default).
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint64_t;
+
+/// A raw page of bytes. Pages are the unit of simulated I/O accounting.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  void Write(size_t offset, const void* data, size_t size) {
+    std::memcpy(bytes.data() + offset, data, size);
+  }
+  void Read(size_t offset, void* data, size_t size) const {
+    std::memcpy(data, bytes.data() + offset, size);
+  }
+};
+
+}  // namespace xbench::storage
+
+#endif  // XBENCH_STORAGE_PAGE_H_

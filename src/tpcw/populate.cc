@@ -1,0 +1,194 @@
+#include "tpcw/populate.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xbench::tpcw {
+namespace {
+
+std::string Isbn(Rng& rng) {
+  std::string out = "978-";
+  for (int i = 0; i < 9; ++i) {
+    out.push_back(static_cast<char>('0' + rng.NextBounded(10)));
+  }
+  return out;
+}
+
+std::string Phone(Rng& rng) {
+  return "+1-" + PadNumber(rng.NextInt(200, 999), 3) + "-" +
+         PadNumber(rng.NextInt(0, 9999999), 7);
+}
+
+double Money(Rng& rng, double lo, double hi) {
+  const double cents = rng.NextDouble() * (hi - lo) + lo;
+  return static_cast<double>(static_cast<int64_t>(cents * 100)) / 100.0;
+}
+
+}  // namespace
+
+TpcwData Populate(const PopulateScale& scale, uint64_t seed,
+                  const datagen::WordPool& words) {
+  Rng rng(seed ^ 0x79C3ull);
+  TpcwData data;
+
+  // COUNTRY
+  for (int64_t i = 1; i <= scale.countries; ++i) {
+    Country c;
+    c.co_id = i;
+    c.co_name = "Country" + PadNumber(i, 2);
+    c.co_currency = i % 3 == 0 ? "USD" : (i % 3 == 1 ? "EUR" : "CAD");
+    data.countries.push_back(std::move(c));
+  }
+
+  // ADDRESS: one per customer + one per author + spares for orders.
+  const int64_t n_addresses = scale.customers + scale.authors + 10;
+  for (int64_t i = 1; i <= n_addresses; ++i) {
+    Address a;
+    a.addr_id = i;
+    a.addr_street1 = std::to_string(rng.NextInt(1, 9999)) + " " +
+                     words.RandomWord(rng) + " St";
+    if (rng.NextBool(0.3)) a.addr_street2 = "Suite " + std::to_string(rng.NextInt(1, 400));
+    a.addr_city = words.PersonName(rng) + "ville";
+    a.addr_state = rng.NextBool(0.8) ? words.PersonName(rng).substr(0, 2) : "";
+    a.addr_zip = PadNumber(rng.NextInt(10000, 99999), 5);
+    a.addr_co_id = rng.NextInt(1, scale.countries);
+    data.addresses.push_back(std::move(a));
+  }
+
+  // AUTHOR + AUTHOR_2
+  for (int64_t i = 1; i <= scale.authors; ++i) {
+    Author a;
+    a.a_id = i;
+    a.a_fname = words.PersonName(rng);
+    a.a_lname = words.PersonName(rng);
+    a.a_dob = datagen::WordPool::RandomDate(rng, 1920, 1985);
+    a.a_bio = words.Sentence(rng, 10, 30);
+    data.authors.push_back(std::move(a));
+
+    Author2 a2;
+    a2.a2_a_id = i;
+    a2.a2_addr_id = scale.customers + i;  // authors' address block
+    a2.a2_phone = Phone(rng);
+    a2.a2_email = ToLower(data.authors.back().a_fname) + "." +
+                  ToLower(data.authors.back().a_lname) + "@press.example";
+    data.authors2.push_back(std::move(a2));
+  }
+
+  // PUBLISHER (fax missing for ~30%: Q14's target).
+  for (int64_t i = 1; i <= scale.publishers; ++i) {
+    Publisher p;
+    p.pub_id = i;
+    p.pub_name = words.PersonName(rng) + " Press " + PadNumber(i, 2);
+    if (rng.NextBool(0.7)) p.pub_fax = Phone(rng);
+    p.pub_phone = Phone(rng);
+    p.pub_email = "contact@pub" + PadNumber(i, 2) + ".example";
+    data.publishers.push_back(std::move(p));
+  }
+
+  // ITEM + ITEM_AUTHOR
+  static const char* kSubjects[] = {"ARTS", "BIOGRAPHIES", "BUSINESS",
+                                    "COMPUTERS", "COOKING", "HISTORY",
+                                    "LITERATURE", "SCIENCE", "TRAVEL"};
+  static const char* kBackings[] = {"HARDBACK", "PAPERBACK", "AUDIO",
+                                    "LIMITED"};
+  for (int64_t i = 1; i <= scale.items; ++i) {
+    Item item;
+    item.i_id = i;
+    std::string title = words.Sentence(rng, 2, 7);
+    title.pop_back();
+    item.i_title = title;
+    item.i_pub_id = rng.NextInt(1, scale.publishers);
+    item.i_date_of_release = datagen::WordPool::RandomDate(rng, 1990, 2002);
+    item.i_subject = kSubjects[rng.NextBounded(std::size(kSubjects))];
+    item.i_desc = words.Sentence(rng, 8, 25);
+    item.i_srp = Money(rng, 5, 120);
+    item.i_cost = item.i_srp * 0.8;
+    item.i_stock = rng.NextInt(0, 500);
+    item.i_isbn = Isbn(rng);
+    item.i_page = rng.NextInt(40, 1200);
+    item.i_size = rng.NextInt(100, 5000);
+    item.i_backing = kBackings[rng.NextBounded(std::size(kBackings))];
+    data.items.push_back(std::move(item));
+
+    const int64_t n_authors = rng.NextInt(1, 3);
+    std::vector<int64_t> chosen;
+    for (int64_t k = 0; k < n_authors; ++k) {
+      int64_t a_id = rng.NextInt(1, scale.authors);
+      if (std::find(chosen.begin(), chosen.end(), a_id) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(a_id);
+      data.item_authors.push_back({i, a_id});
+    }
+  }
+
+  // CUSTOMER
+  for (int64_t i = 1; i <= scale.customers; ++i) {
+    Customer c;
+    c.c_id = i;
+    c.c_fname = words.PersonName(rng);
+    c.c_lname = words.PersonName(rng);
+    c.c_uname = ToLower(c.c_fname) + PadNumber(i, 4);
+    c.c_addr_id = i;
+    c.c_phone = Phone(rng);
+    c.c_email = c.c_uname + "@shop.example";
+    c.c_since = datagen::WordPool::RandomDate(rng, 1998, 2002);
+    c.c_discount = static_cast<double>(rng.NextInt(0, 50)) / 100.0;
+    data.customers.push_back(std::move(c));
+  }
+
+  // ORDERS + ORDER_LINE + CC_XACTS
+  static const char* kCcTypes[] = {"VISA", "MASTERCARD", "AMEX", "DISCOVER"};
+  for (int64_t i = 1; i <= scale.orders; ++i) {
+    Order o;
+    o.o_id = i;
+    o.o_c_id = rng.NextInt(1, std::max<int64_t>(1, scale.customers));
+    o.o_date = datagen::WordPool::RandomDate(rng, 2000, 2002);
+    o.o_ship_type = ShipTypes()[rng.NextBounded(ShipTypes().size())];
+    o.o_ship_date = o.o_date;  // simplification: same-period shipping
+    o.o_bill_addr_id = o.o_c_id;
+    o.o_ship_addr_id = rng.NextBool(0.8)
+                           ? o.o_c_id
+                           : rng.NextInt(1, n_addresses);
+    o.o_status = OrderStatuses()[rng.NextBounded(OrderStatuses().size())];
+
+    const int64_t n_lines = rng.NextInt(1, 8);
+    double sub_total = 0;
+    for (int64_t line = 1; line <= n_lines; ++line) {
+      OrderLine ol;
+      ol.ol_id = line;
+      ol.ol_o_id = i;
+      ol.ol_i_id = rng.NextInt(1, std::max<int64_t>(1, scale.items));
+      ol.ol_qty = rng.NextInt(1, 5);
+      ol.ol_discount = static_cast<double>(rng.NextInt(0, 30)) / 100.0;
+      if (rng.NextBool(0.4)) ol.ol_comments = words.Sentence(rng, 3, 10);
+      sub_total +=
+          data.items[static_cast<size_t>(ol.ol_i_id - 1)].i_srp *
+          static_cast<double>(ol.ol_qty) * (1.0 - ol.ol_discount);
+      data.order_lines.push_back(std::move(ol));
+    }
+    o.o_sub_total = static_cast<double>(static_cast<int64_t>(sub_total * 100)) / 100.0;
+    o.o_tax = static_cast<double>(static_cast<int64_t>(o.o_sub_total * 8)) / 100.0;
+    o.o_total = o.o_sub_total + o.o_tax;
+    data.orders.push_back(std::move(o));
+
+    CcXact cx;
+    cx.cx_o_id = i;
+    cx.cx_type = kCcTypes[rng.NextBounded(std::size(kCcTypes))];
+    cx.cx_num = PadNumber(rng.NextInt(0, 9999999999999999LL), 16);
+    cx.cx_name = data.customers[static_cast<size_t>(o.o_c_id - 1)].c_fname +
+                 " " +
+                 data.customers[static_cast<size_t>(o.o_c_id - 1)].c_lname;
+    cx.cx_expire = datagen::WordPool::RandomDate(rng, 2003, 2008).substr(0, 7);
+    cx.cx_auth_id = PadNumber(rng.NextInt(0, 999999), 6);
+    cx.cx_xact_amt = o.o_total;
+    cx.cx_xact_date = o.o_date;
+    cx.cx_co_id = rng.NextInt(1, scale.countries);
+    data.cc_xacts.push_back(std::move(cx));
+  }
+
+  return data;
+}
+
+}  // namespace xbench::tpcw

@@ -1,0 +1,28 @@
+#ifndef XBENCH_TPCW_POPULATE_H_
+#define XBENCH_TPCW_POPULATE_H_
+
+#include "common/random.h"
+#include "datagen/word_pool.h"
+#include "tpcw/rows.h"
+
+namespace xbench::tpcw {
+
+/// Cardinalities for a population run. The DC generators size these by
+/// solving the target byte count against measured per-row XML sizes.
+struct PopulateScale {
+  int64_t items = 100;
+  int64_t customers = 100;
+  int64_t orders = 100;
+  int64_t authors = 50;        // >= 1
+  int64_t countries = 20;      // fixed small domain
+  int64_t publishers = 20;
+};
+
+/// Fills every table with TPC-W-flavoured synthetic rows; deterministic in
+/// (seed). Referential integrity holds: every FK points at a generated PK.
+TpcwData Populate(const PopulateScale& scale, uint64_t seed,
+                  const datagen::WordPool& words);
+
+}  // namespace xbench::tpcw
+
+#endif  // XBENCH_TPCW_POPULATE_H_

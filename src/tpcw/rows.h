@@ -1,0 +1,154 @@
+#ifndef XBENCH_TPCW_ROWS_H_
+#define XBENCH_TPCW_ROWS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xbench::tpcw {
+
+/// Plain row structs mirroring the TPC-W tables the paper maps to XML
+/// (§2.1.2), plus the two tables XBench adds (AUTHOR_2, PUBLISHER).
+
+struct Country {
+  int64_t co_id = 0;
+  std::string co_name;
+  std::string co_currency;
+};
+
+struct Address {
+  int64_t addr_id = 0;
+  std::string addr_street1;
+  std::string addr_street2;  // empty = NULL
+  std::string addr_city;
+  std::string addr_state;
+  std::string addr_zip;
+  int64_t addr_co_id = 0;
+};
+
+struct Author {
+  int64_t a_id = 0;
+  std::string a_fname;
+  std::string a_lname;
+  std::string a_dob;
+  std::string a_bio;
+};
+
+/// XBench extension: additional author contact information.
+struct Author2 {
+  int64_t a2_a_id = 0;
+  int64_t a2_addr_id = 0;
+  std::string a2_phone;
+  std::string a2_email;
+};
+
+/// XBench extension: publisher of an item. pub_fax may be empty (missing
+/// fax — Q14's irregularity target).
+struct Publisher {
+  int64_t pub_id = 0;
+  std::string pub_name;
+  std::string pub_fax;  // empty = missing
+  std::string pub_phone;
+  std::string pub_email;
+};
+
+struct Item {
+  int64_t i_id = 0;
+  std::string i_title;
+  int64_t i_pub_id = 0;
+  std::string i_date_of_release;  // Table 3 index target
+  std::string i_subject;
+  std::string i_desc;
+  double i_srp = 0;
+  double i_cost = 0;
+  int64_t i_stock = 0;
+  std::string i_isbn;
+  int64_t i_page = 0;
+  int64_t i_size = 0;  // Q20's castable numeric "size"
+  std::string i_backing;
+};
+
+/// Items can have several authors in the catalog (Q7 quantifies over all
+/// of an item's authors), modelled as a join table.
+struct ItemAuthor {
+  int64_t ia_i_id = 0;
+  int64_t ia_a_id = 0;
+};
+
+struct Customer {
+  int64_t c_id = 0;
+  std::string c_uname;
+  std::string c_fname;
+  std::string c_lname;
+  int64_t c_addr_id = 0;
+  std::string c_phone;
+  std::string c_email;
+  std::string c_since;
+  double c_discount = 0;
+};
+
+struct Order {
+  int64_t o_id = 0;
+  int64_t o_c_id = 0;
+  std::string o_date;
+  double o_sub_total = 0;
+  double o_tax = 0;
+  double o_total = 0;
+  std::string o_ship_type;
+  std::string o_ship_date;
+  int64_t o_bill_addr_id = 0;
+  int64_t o_ship_addr_id = 0;
+  std::string o_status;
+};
+
+struct OrderLine {
+  int64_t ol_id = 0;  // position within the order (1-based)
+  int64_t ol_o_id = 0;
+  int64_t ol_i_id = 0;
+  int64_t ol_qty = 0;
+  double ol_discount = 0;
+  std::string ol_comments;  // empty = NULL
+};
+
+struct CcXact {
+  int64_t cx_o_id = 0;
+  std::string cx_type;
+  std::string cx_num;
+  std::string cx_name;
+  std::string cx_expire;
+  std::string cx_auth_id;
+  double cx_xact_amt = 0;
+  std::string cx_xact_date;
+  int64_t cx_co_id = 0;
+};
+
+/// A populated TPC-W-like database.
+struct TpcwData {
+  std::vector<Country> countries;
+  std::vector<Address> addresses;
+  std::vector<Author> authors;
+  std::vector<Author2> authors2;
+  std::vector<Publisher> publishers;
+  std::vector<Item> items;
+  std::vector<ItemAuthor> item_authors;
+  std::vector<Customer> customers;
+  std::vector<Order> orders;
+  std::vector<OrderLine> order_lines;
+  std::vector<CcXact> cc_xacts;
+};
+
+/// Stable identifier renderings used in the XML mappings and by workload
+/// parameter selection.
+std::string ItemIdString(int64_t i_id);
+std::string OrderIdString(int64_t o_id);
+std::string AuthorIdString(int64_t a_id);
+std::string CustomerIdString(int64_t c_id);
+
+/// The ship types orders cycle through (Q10 sorts on these).
+const std::vector<std::string>& ShipTypes();
+/// The order status domain (Q9/Q19).
+const std::vector<std::string>& OrderStatuses();
+
+}  // namespace xbench::tpcw
+
+#endif  // XBENCH_TPCW_ROWS_H_

@@ -1,0 +1,56 @@
+#include "workload/classes.h"
+
+namespace xbench::workload {
+
+using datagen::DbClass;
+
+const std::vector<DbClass>& AllClasses() {
+  static const auto* kClasses = new std::vector<DbClass>{
+      DbClass::kDcSd, DbClass::kDcMd, DbClass::kTcSd, DbClass::kTcMd};
+  return *kClasses;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall:
+      return "Small";
+    case Scale::kNormal:
+      return "Normal";
+    case Scale::kLarge:
+      return "Large";
+  }
+  return "?";
+}
+
+const std::vector<Scale>& AllScales() {
+  static const auto* kScales =
+      new std::vector<Scale>{Scale::kSmall, Scale::kNormal, Scale::kLarge};
+  return *kScales;
+}
+
+std::vector<engines::IndexSpec> Table3Indexes(DbClass db_class) {
+  switch (db_class) {
+    case DbClass::kTcSd:
+      return {{"hw", "hw"}};
+    case DbClass::kTcMd:
+      return {{"article/@id", "article/@id"}};
+    case DbClass::kDcSd:
+      return {{"item/@id", "item/@id"},
+              {"date_of_release", "date_of_release"}};
+    case DbClass::kDcMd:
+      return {{"order/@id", "order/@id"}};
+  }
+  return {};
+}
+
+std::string InstanceName(DbClass db_class, Scale scale) {
+  std::string name = datagen::DbClassName(db_class);  // e.g. "TC/SD"
+  std::string compact;
+  for (char c : name) {
+    if (c != '/') compact.push_back(c);
+  }
+  compact.push_back(ScaleName(scale)[0]);
+  return compact;
+}
+
+}  // namespace xbench::workload

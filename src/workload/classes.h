@@ -1,0 +1,27 @@
+#ifndef XBENCH_WORKLOAD_CLASSES_H_
+#define XBENCH_WORKLOAD_CLASSES_H_
+
+#include <vector>
+
+#include "datagen/generator.h"
+#include "engines/dbms.h"
+
+namespace xbench::workload {
+
+/// All four database classes (Table 1), in the paper's column order.
+const std::vector<datagen::DbClass>& AllClasses();
+
+/// The paper's three reported scales.
+enum class Scale { kSmall, kNormal, kLarge };
+const char* ScaleName(Scale scale);
+const std::vector<Scale>& AllScales();
+
+/// The value indexes of Table 3 for a class (names equal their paths).
+std::vector<engines::IndexSpec> Table3Indexes(datagen::DbClass db_class);
+
+/// Database instance naming like the paper's TCSDS/TCSDN/TCSDL.
+std::string InstanceName(datagen::DbClass db_class, Scale scale);
+
+}  // namespace xbench::workload
+
+#endif  // XBENCH_WORKLOAD_CLASSES_H_

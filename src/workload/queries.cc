@@ -1,0 +1,391 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/article_generator.h"
+#include "datagen/dictionary_generator.h"
+#include "datagen/word_pool.h"
+#include "tpcw/rows.h"
+
+namespace xbench::workload {
+
+using datagen::DbClass;
+
+const char* QueryName(QueryId id) {
+  static const char* kNames[] = {"Q1",  "Q2",  "Q3",  "Q4",  "Q5",
+                                 "Q6",  "Q7",  "Q8",  "Q9",  "Q10",
+                                 "Q11", "Q12", "Q13", "Q14", "Q15",
+                                 "Q16", "Q17", "Q18", "Q19", "Q20"};
+  return kNames[static_cast<int>(id)];
+}
+
+const char* QueryCategory(QueryId id) {
+  switch (id) {
+    case QueryId::kQ1:
+    case QueryId::kQ2:
+      return "Exact match";
+    case QueryId::kQ3:
+      return "Function application";
+    case QueryId::kQ4:
+    case QueryId::kQ5:
+      return "Ordered access";
+    case QueryId::kQ6:
+    case QueryId::kQ7:
+      return "Quantification";
+    case QueryId::kQ8:
+    case QueryId::kQ9:
+      return "Path expressions";
+    case QueryId::kQ10:
+    case QueryId::kQ11:
+      return "Sorting";
+    case QueryId::kQ12:
+    case QueryId::kQ13:
+      return "Document construction";
+    case QueryId::kQ14:
+    case QueryId::kQ15:
+      return "Irregular data";
+    case QueryId::kQ16:
+      return "Document retrieval";
+    case QueryId::kQ17:
+    case QueryId::kQ18:
+      return "Text search";
+    case QueryId::kQ19:
+      return "References and joins";
+    case QueryId::kQ20:
+      return "Datatype casting";
+  }
+  return "?";
+}
+
+const std::vector<QueryId>& BenchmarkSubset() {
+  static const auto* kSubset = new std::vector<QueryId>{
+      QueryId::kQ5, QueryId::kQ8, QueryId::kQ12, QueryId::kQ14,
+      QueryId::kQ17};
+  return *kSubset;
+}
+
+QueryParams DeriveParams(DbClass db_class,
+                         const datagen::WorkloadSeeds& seeds) {
+  QueryParams params;
+  datagen::WordPool words;
+  params.item_id =
+      tpcw::ItemIdString(std::max<int64_t>(1, seeds.item_count / 2));
+  params.order_id =
+      tpcw::OrderIdString(std::max<int64_t>(1, seeds.order_count / 2));
+  params.article_id =
+      datagen::ArticleId(std::max<int64_t>(1, seeds.article_count / 2));
+  params.headword =
+      datagen::DictionaryHeadword(std::max<int64_t>(1, seeds.entry_count / 2));
+  params.author = datagen::WellKnownAuthor();
+  params.search_word = words.WordAt(30);
+  params.keyword1 = words.WordAt(5);
+  params.keyword2 = words.WordAt(9);
+  params.phrase = words.WordAt(1) + " " + words.WordAt(2);
+  if (db_class == DbClass::kTcMd || db_class == DbClass::kTcSd) {
+    params.date_lo = "1998-01-01";
+    params.date_hi = "2000-12-31";
+  } else {
+    params.date_lo = "2000-06-01";
+    params.date_hi = "2001-09-30";
+  }
+  params.country = "Country01";
+  params.size_threshold = 2500;
+  return params;
+}
+
+namespace {
+
+/// Replaces each "{key}" in `tmpl` with its value.
+std::string Fill(std::string tmpl,
+                 std::initializer_list<std::pair<const char*, std::string>>
+                     substitutions) {
+  for (const auto& [key, value] : substitutions) {
+    const std::string pattern = std::string("{") + key + "}";
+    size_t pos;
+    while ((pos = tmpl.find(pattern)) != std::string::npos) {
+      tmpl.replace(pos, pattern.size(), value);
+    }
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+std::string XQueryFor(QueryId id, DbClass db_class,
+                      const QueryParams& p) {
+  switch (id) {
+    case QueryId::kQ1:
+      if (db_class == DbClass::kDcSd) {
+        return Fill(R"(for $i in $input/item[@id = "{item}"] return $i/title)",
+                    {{"item", p.item_id}});
+      }
+      return "";
+    case QueryId::kQ2:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input where $a/prolog/author/name = "{author}" return $a/prolog/title)",
+            {{"author", p.author}});
+      }
+      return "";
+    case QueryId::kQ3:
+      if (db_class == DbClass::kTcSd) {
+        return R"(for $loc in distinct-values($input//qloc)
+order by $loc
+return <group><loc>{$loc}</loc><entries>{count($input//entry[.//qloc = $loc])}</entries></group>)";
+      }
+      return "";
+    case QueryId::kQ4:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input
+where $a/prolog/author/name = "{author}"
+return data($a/body/sec[heading = "Introduction"]/following-sibling::sec[1]/heading))",
+            {{"author", p.author}});
+      }
+      return "";
+    case QueryId::kQ5:
+      switch (db_class) {
+        case DbClass::kDcMd:
+          return Fill(
+              R"(($input[self::order][@id = "{order}"]/order_lines/order_line)[1])",
+              {{"order", p.order_id}});
+        case DbClass::kDcSd:
+          return Fill(
+              R"(($input/item[@id = "{item}"]/authors/author)[1]/name)",
+              {{"item", p.item_id}});
+        case DbClass::kTcSd:
+          return Fill(R"(($input//entry[hw = "{hw}"]//q)[1])",
+                      {{"hw", p.headword}});
+        case DbClass::kTcMd:
+          return Fill(
+              R"(($input[@id = "{article}"]/body/sec)[1]/heading)",
+              {{"article", p.article_id}});
+      }
+      return "";
+    case QueryId::kQ6:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input
+where some $p in $a//p satisfies (contains-word($p, "{k1}") and contains-word($p, "{k2}"))
+return $a/prolog/title)",
+            {{"k1", p.keyword1}, {"k2", p.keyword2}});
+      }
+      return "";
+    case QueryId::kQ7:
+      if (db_class == DbClass::kDcSd) {
+        return Fill(
+            R"(for $i in $input/item
+where every $c in $i/authors/author/mail_address/country satisfies $c = "{country}"
+return $i/title)",
+            {{"country", p.country}});
+      }
+      return "";
+    case QueryId::kQ8:
+      switch (db_class) {
+        case DbClass::kTcSd:
+          return Fill(
+              R"(for $t in $input//entry[hw = "{hw}"]//qt return data($t))",
+              {{"hw", p.headword}});
+        case DbClass::kDcMd:
+          return Fill(
+              R"(for $s in $input[self::order][@id = "{order}"]//ship_type return data($s))",
+              {{"order", p.order_id}});
+        case DbClass::kDcSd:
+          return Fill(
+              R"(for $n in $input/item[@id = "{item}"]//first_name return data($n))",
+              {{"item", p.item_id}});
+        case DbClass::kTcMd:
+          return Fill(
+              R"(for $k in $input[@id = "{article}"]//keyword return data($k))",
+              {{"article", p.article_id}});
+      }
+      return "";
+    case QueryId::kQ9:
+      if (db_class == DbClass::kDcMd) {
+        return Fill(
+            R"(for $s in $input[self::order][@id = "{order}"]//status return data($s))",
+            {{"order", p.order_id}});
+      }
+      return "";
+    case QueryId::kQ10:
+      if (db_class == DbClass::kDcMd) {
+        return Fill(
+            R"(for $o in $input[self::order]
+where $o/order_date >= "{lo}" and $o/order_date <= "{hi}"
+order by $o/shipping/ship_type
+return <o><id>{$o/@id}</id><date>{data($o/order_date)}</date><ship>{data($o/shipping/ship_type)}</ship></o>)",
+            {{"lo", p.date_lo}, {"hi", p.date_hi}});
+      }
+      return "";
+    case QueryId::kQ11:
+      if (db_class == DbClass::kTcSd) {
+        return Fill(
+            R"(for $q in $input//entry[hw = "{hw}"]//q
+order by $q/qd
+return <quote><qau>{data($q/qau)}</qau><qd>{data($q/qd)}</qd></quote>)",
+            {{"hw", p.headword}});
+      }
+      return "";
+    case QueryId::kQ12:
+      switch (db_class) {
+        case DbClass::kDcSd:
+          return Fill(
+              R"(($input/item[@id = "{item}"]/authors/author)[1]/mail_address)",
+              {{"item", p.item_id}});
+        case DbClass::kDcMd:
+          return Fill(
+              R"($input[self::order][@id = "{order}"]/shipping/ship_address)",
+              {{"order", p.order_id}});
+        case DbClass::kTcSd:
+          return Fill(R"(($input//entry[hw = "{hw}"]//qp)[1])",
+                      {{"hw", p.headword}});
+        case DbClass::kTcMd:
+          return Fill(R"($input[@id = "{article}"]/prolog/abstract)",
+                      {{"article", p.article_id}});
+      }
+      return "";
+    case QueryId::kQ13:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input[@id = "{article}"]
+return <result><title>{data($a/prolog/title)}</title><first_author>{data(($a/prolog/author)[1]/name)}</first_author><date>{data($a/prolog/date)}</date>{$a/prolog/abstract}</result>)",
+            {{"article", p.article_id}});
+      }
+      return "";
+    case QueryId::kQ14:
+      switch (db_class) {
+        case DbClass::kDcSd:
+          return Fill(
+              R"(for $i in $input/item
+where $i/date_of_release >= "{lo}" and $i/date_of_release <= "{hi}" and empty($i/publisher/fax_number)
+return data($i/publisher/name))",
+              {{"lo", p.date_lo}, {"hi", p.date_hi}});
+        case DbClass::kDcMd:
+          return Fill(
+              R"(for $o in $input[self::order]
+where $o/order_date >= "{lo}" and $o/order_date <= "{hi}" and (some $l in $o/order_lines/order_line satisfies empty($l/comments))
+return $o/@id)",
+              {{"lo", p.date_lo}, {"hi", p.date_hi}});
+        case DbClass::kTcSd:
+          return R"(for $e in $input//entry
+where exists($e//q) and empty($e/etym)
+return data($e/hw))";
+        case DbClass::kTcMd:
+          return Fill(
+              R"(for $a in $input
+where $a/prolog/date >= "{lo}" and $a/prolog/date <= "{hi}" and empty($a/prolog/keywords)
+return data($a/prolog/title))",
+              {{"lo", p.date_lo}, {"hi", p.date_hi}});
+      }
+      return "";
+    case QueryId::kQ15:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input, $au in $a/prolog/author
+where $a/prolog/date >= "{lo}" and $a/prolog/date <= "{hi}" and exists($au/contact) and string-length(($au/contact)[1]) = 0
+return $au/name)",
+            {{"lo", p.date_lo}, {"hi", p.date_hi}});
+      }
+      return "";
+    case QueryId::kQ16:
+      if (db_class == DbClass::kDcMd) {
+        return Fill(R"($input[self::order][@id = "{order}"])",
+                    {{"order", p.order_id}});
+      }
+      return "";
+    case QueryId::kQ17:
+      switch (db_class) {
+        case DbClass::kTcSd:
+          return Fill(
+              R"(for $e in $input//entry
+where some $t in $e//qt satisfies contains-word($t, "{word}")
+return data($e/hw))",
+              {{"word", p.search_word}});
+        case DbClass::kTcMd:
+          return Fill(
+              R"(for $a in $input
+where some $p in $a//p satisfies contains-word($p, "{word}")
+return data($a/prolog/title))",
+              {{"word", p.search_word}});
+        case DbClass::kDcSd:
+          return Fill(
+              R"(for $i in $input/item
+where contains-word($i/description, "{word}")
+return data($i/title))",
+              {{"word", p.search_word}});
+        case DbClass::kDcMd:
+          return Fill(
+              R"(for $o in $input[self::order]
+where some $l in $o/order_lines/order_line satisfies contains-word($l/comments, "{word}")
+return $o/@id)",
+              {{"word", p.search_word}});
+      }
+      return "";
+    case QueryId::kQ18:
+      if (db_class == DbClass::kTcMd) {
+        return Fill(
+            R"(for $a in $input
+where some $p in $a//p satisfies contains($p, "{phrase}")
+return <hit><title>{data($a/prolog/title)}</title><abstract>{data(($a/prolog/abstract/p)[1])}</abstract></hit>)",
+            {{"phrase", p.phrase}});
+      }
+      return "";
+    case QueryId::kQ19:
+      if (db_class == DbClass::kDcMd) {
+        return Fill(
+            R"(for $o in $input[self::order][@id = "{order}"], $c in $input[self::customers]/customer
+where $c/@id = $o/customer_id
+return <r><name>{concat(data($c/first_name), " ", data($c/last_name))}</name><phone>{data($c/phone)}</phone><status>{data($o/status)}</status></r>)",
+            {{"order", p.order_id}});
+      }
+      return "";
+    case QueryId::kQ20:
+      if (db_class == DbClass::kDcSd) {
+        return Fill(
+            R"(for $i in $input/item where number($i/size) > {threshold} return $i/title)",
+            {{"threshold", std::to_string(p.size_threshold)}});
+      }
+      return "";
+  }
+  return "";
+}
+
+std::optional<IndexHint> IndexHintFor(QueryId id, DbClass db_class,
+                                      const QueryParams& p) {
+  const bool id_lookup = id == QueryId::kQ1 || id == QueryId::kQ5 ||
+                         id == QueryId::kQ8 || id == QueryId::kQ9 ||
+                         id == QueryId::kQ11 || id == QueryId::kQ12 ||
+                         id == QueryId::kQ13 || id == QueryId::kQ16;
+  if (!id_lookup) return std::nullopt;
+  switch (db_class) {
+    case DbClass::kDcSd:
+      return IndexHint{"item/@id", p.item_id};
+    case DbClass::kDcMd:
+      return IndexHint{"order/@id", p.order_id};
+    case DbClass::kTcSd:
+      return IndexHint{"hw", p.headword};
+    case DbClass::kTcMd:
+      return IndexHint{"article/@id", p.article_id};
+  }
+  return std::nullopt;
+}
+
+AnswerShape AnswerShapeFor(QueryId id) {
+  switch (id) {
+    case QueryId::kQ5:
+    case QueryId::kQ12:
+    case QueryId::kQ13:
+    case QueryId::kQ16:
+      return AnswerShape::kOrderedFragment;
+    case QueryId::kQ3:
+    case QueryId::kQ4:
+    case QueryId::kQ10:
+    case QueryId::kQ11:
+      return AnswerShape::kValueList;
+    default:
+      return AnswerShape::kValueSet;
+  }
+}
+
+}  // namespace xbench::workload

@@ -1,0 +1,90 @@
+#ifndef XBENCH_WORKLOAD_QUERIES_H_
+#define XBENCH_WORKLOAD_QUERIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+
+namespace xbench::workload {
+
+/// The 20 XBench query types (paper §2.2).
+enum class QueryId {
+  kQ1,   // exact match, shallow
+  kQ2,   // exact match, deep
+  kQ3,   // function application (grouping + count)
+  kQ4,   // ordered access, relative
+  kQ5,   // ordered access, absolute            [benchmark subset]
+  kQ6,   // existential quantification
+  kQ7,   // universal quantification
+  kQ8,   // path expression, one unknown step   [benchmark subset]
+  kQ9,   // path expression, several unknown steps
+  kQ10,  // sorting, string type
+  kQ11,  // sorting, non-string type
+  kQ12,  // document construction, preserving   [benchmark subset]
+  kQ13,  // document construction, transforming
+  kQ14,  // irregular data: missing elements    [benchmark subset]
+  kQ15,  // irregular data: empty values
+  kQ16,  // retrieval of an individual document
+  kQ17,  // text search, uni-gram               [benchmark subset]
+  kQ18,  // text search, phrase
+  kQ19,  // references and joins
+  kQ20,  // datatype casting
+};
+
+const char* QueryName(QueryId id);        // "Q1".."Q20"
+const char* QueryCategory(QueryId id);    // "Exact match", ...
+
+/// The five queries the paper's experiments report (Tables 5–9).
+const std::vector<QueryId>& BenchmarkSubset();
+
+/// Concrete parameter values for a generated database, derived
+/// deterministically from the generator's seeds (the same way real
+/// benchmark drivers derive parameters from the data dictionary).
+struct QueryParams {
+  std::string item_id;      // DC/SD target item
+  std::string order_id;     // DC/MD target order
+  std::string article_id;   // TC/MD target article
+  std::string headword;     // TC/SD target entry headword ("word_K")
+  std::string author;       // Y (TC/MD well-known author)
+  std::string search_word;  // Q17 uni-gram
+  std::string keyword1;     // Q6
+  std::string keyword2;     // Q6
+  std::string phrase;       // Q18
+  std::string date_lo;      // period lower bound (inclusive)
+  std::string date_hi;      // period upper bound (inclusive)
+  std::string country;      // Q7
+  int64_t size_threshold = 2500;  // Q20
+};
+
+QueryParams DeriveParams(datagen::DbClass db_class,
+                         const datagen::WorkloadSeeds& seeds);
+
+/// The XQuery text of `id` against class `db_class` with `params` bound
+/// ($input = collection roots). Empty when the query is not defined for
+/// that class. The five benchmark-subset queries are defined for all four
+/// classes; the rest for their home class from §2.2.
+std::string XQueryFor(QueryId id, datagen::DbClass db_class,
+                      const QueryParams& params);
+
+/// Value-index assist for the native engine: (index name, key value) when
+/// the query's plan starts from a Table 3 index.
+struct IndexHint {
+  std::string index_name;
+  std::string value;
+};
+std::optional<IndexHint> IndexHintFor(QueryId id, datagen::DbClass db_class,
+                                      const QueryParams& params);
+
+/// How answers may be compared across engines for a (query, class) cell.
+enum class AnswerShape {
+  kOrderedFragment,  // XML fragment; order and structure significant
+  kValueSet,         // unordered bag of atomic values
+  kValueList,        // ordered list of atomic values (sorting queries)
+};
+AnswerShape AnswerShapeFor(QueryId id);
+
+}  // namespace xbench::workload
+
+#endif  // XBENCH_WORKLOAD_QUERIES_H_

@@ -1,0 +1,34 @@
+#ifndef XBENCH_WORKLOAD_RELATIONAL_PLANS_H_
+#define XBENCH_WORKLOAD_RELATIONAL_PLANS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engines/clob_engine.h"
+#include "engines/shred_engine.h"
+#include "workload/queries.h"
+
+namespace xbench::workload {
+
+/// Hand-translated physical plans for the benchmark-subset queries against
+/// the shredding engines — the equivalent of the paper's manual
+/// XQuery-to-SQL translation (§3.2). Returns one answer line per result.
+///
+/// Known deviations (inherited from the storage architecture, exactly as
+/// the paper reports in §3.1.3): reconstruction plans (Q5/Q12) emit the
+/// DAD's column order, dropping unmapped optional elements; SQL Server
+/// returns NULL for mixed-content columns (qt).
+Result<std::vector<std::string>> RunShredQuery(engines::ShredEngine& engine,
+                                               QueryId id,
+                                               const QueryParams& params);
+
+/// Plans for the Xcolumn engine: side-table filtering + CLOB fetch +
+/// fragment extraction on the intact document. Only the MD classes.
+Result<std::vector<std::string>> RunClobQuery(engines::ClobEngine& engine,
+                                              QueryId id,
+                                              const QueryParams& params);
+
+}  // namespace xbench::workload
+
+#endif  // XBENCH_WORKLOAD_RELATIONAL_PLANS_H_

@@ -1,0 +1,67 @@
+#ifndef XBENCH_WORKLOAD_RUNNER_H_
+#define XBENCH_WORKLOAD_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/generator.h"
+#include "engines/dbms.h"
+#include "workload/queries.h"
+
+namespace xbench::workload {
+
+/// Every engine kind, in the paper's row order.
+const std::vector<engines::EngineKind>& AllEngines();
+
+/// Engine factory.
+std::unique_ptr<engines::XmlDbms> MakeEngine(engines::EngineKind kind);
+
+/// Converts generated documents to bulk-load form.
+std::vector<engines::LoadDocument> ToLoadDocuments(
+    const datagen::GeneratedDatabase& db);
+
+struct TimedStatus {
+  Status status;
+  /// Real CPU wall time spent by the operation.
+  double cpu_millis = 0;
+  /// Simulated disk time charged during the operation.
+  double io_millis = 0;
+
+  double TotalMillis() const { return cpu_millis + io_millis; }
+};
+
+/// Bulk-loads `db` into `engine` (timed) — the Table 4 measurement.
+TimedStatus BulkLoad(engines::XmlDbms& engine,
+                     const datagen::GeneratedDatabase& db);
+
+/// Creates the class's Table 3 value indexes (untimed in the paper's
+/// tables, done after load).
+Status CreateTable3Indexes(engines::XmlDbms& engine,
+                           datagen::DbClass db_class);
+
+struct ExecutionResult {
+  Status status;
+  std::vector<std::string> lines;  // canonical answer, one line per item
+  double cpu_millis = 0;
+  double io_millis = 0;
+
+  double TotalMillis() const { return cpu_millis + io_millis; }
+};
+
+/// Executes query `id` against `engine` for class `db_class`.
+/// When `cold` (default) the engine is cold-restarted first, matching the
+/// paper's cold-run methodology.
+ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
+                         datagen::DbClass db_class, const QueryParams& params,
+                         bool cold = true);
+
+/// Canonicalizes answer lines for cross-engine comparison under the
+/// query's AnswerShape (sorts kValueSet shapes, trims empties).
+std::vector<std::string> CanonicalizeAnswer(QueryId id,
+                                            std::vector<std::string> lines);
+
+}  // namespace xbench::workload
+
+#endif  // XBENCH_WORKLOAD_RUNNER_H_

@@ -1,0 +1,59 @@
+#ifndef XBENCH_XML_DTD_H_
+#define XBENCH_XML_DTD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xbench::xml {
+
+/// A parsed DTD covering the subset SchemaSummary::ToDtd emits (which is
+/// also the subset the paper's class DTDs need): EMPTY, (#PCDATA),
+/// mixed (#PCDATA | a | b)*, and sequence models with ?/+/* occurrence
+/// markers; CDATA attributes that are #REQUIRED or #IMPLIED.
+///
+/// The paper notes XML Extender "does not make use of DTD or XML Schema
+/// meta-data" and validation is disabled during the timed loads (§3.2.1);
+/// this validator is the tool that *checks* generated data against the
+/// class DTDs outside the timed path.
+class Dtd {
+ public:
+  enum class Model { kEmpty, kPcdata, kMixed, kSequence };
+
+  /// One child slot in a sequence model. occurrence: '1' (exactly one),
+  /// '?', '+', or '*'.
+  struct Particle {
+    std::string name;
+    char occurrence = '1';
+  };
+
+  struct ElementDecl {
+    Model model = Model::kEmpty;
+    std::vector<Particle> sequence;   // kSequence
+    std::set<std::string> mixed;      // kMixed: allowed inline elements
+    std::map<std::string, bool> attributes;  // name -> required
+  };
+
+  /// Parses DTD text. Unknown constructs are rejected.
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// Validates a document tree: every element declared, content matches
+  /// its model, required attributes present, no undeclared attributes.
+  /// Returns the first violation found.
+  Status Validate(const Node& root) const;
+
+  const ElementDecl* FindElement(const std::string& name) const;
+  size_t element_count() const { return elements_.size(); }
+
+ private:
+  std::map<std::string, ElementDecl> elements_;
+};
+
+}  // namespace xbench::xml
+
+#endif  // XBENCH_XML_DTD_H_

@@ -1,0 +1,147 @@
+#include "xml/node.h"
+
+namespace xbench::xml {
+
+std::unique_ptr<Node> Node::Element(std::string name) {
+  auto node = std::unique_ptr<Node>(new Node(NodeKind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+std::unique_ptr<Node> Node::Text(std::string content) {
+  auto node = std::unique_ptr<Node>(new Node(NodeKind::kText));
+  node->text_ = std::move(content);
+  return node;
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AddElement(std::string name) {
+  return AddChild(Element(std::move(name)));
+}
+
+void Node::AddText(std::string content) {
+  if (content.empty()) return;
+  AddChild(Text(std::move(content)));
+}
+
+Node* Node::AddSimple(std::string name, std::string content) {
+  Node* child = AddElement(std::move(name));
+  child->AddText(std::move(content));
+  return child;
+}
+
+void Node::SetAttribute(std::string name, std::string value) {
+  for (Attribute& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+const std::string* Node::FindAttribute(std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+const Node* Node::FirstChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+Node* Node::FirstChild(std::string_view name) {
+  return const_cast<Node*>(
+      static_cast<const Node*>(this)->FirstChild(name));
+}
+
+std::vector<const Node*> Node::Children(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::ChildElements() const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element()) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string Node::TextContent() const {
+  std::string out;
+  Visit([&out](const Node& node) {
+    if (node.is_text()) out += node.text();
+  });
+  return out;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t count = 1;
+  for (const auto& child : children_) count += child->SubtreeSize();
+  return count;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto copy = std::unique_ptr<Node>(new Node(kind_));
+  copy->name_ = name_;
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->AddChild(child->Clone());
+  }
+  return copy;
+}
+
+bool Node::StructurallyEquals(const Node& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_ || text_ != other.text_ ||
+      attributes_ != other.attributes_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->StructurallyEquals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+void Node::Visit(const std::function<void(const Node&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) child->Visit(fn);
+}
+
+namespace {
+void AssignOrderRec(Node* node, uint32_t& next) {
+  node->set_order(next++);
+  // Iterating the owned children mutably requires a const_cast-free path;
+  // Visit() is const, so recurse manually here.
+  for (const auto& child : node->children()) {
+    AssignOrderRec(const_cast<Node*>(child.get()), next);
+  }
+}
+}  // namespace
+
+void Document::AssignOrder() {
+  if (!root_) return;
+  uint32_t next = 1;
+  AssignOrderRec(root_.get(), next);
+}
+
+Document Document::Clone() const {
+  return Document(name_, root_ ? root_->Clone() : nullptr);
+}
+
+}  // namespace xbench::xml

@@ -1,0 +1,34 @@
+#ifndef XBENCH_XML_SERIALIZER_H_
+#define XBENCH_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xbench::xml {
+
+struct SerializeOptions {
+  /// Pretty-print with 2-space indentation. Indentation inserts whitespace
+  /// text that the parser strips back out (when an element has element
+  /// children), so compact mode is the round-trip-exact mode.
+  bool indent = false;
+  /// Emit an `<?xml version="1.0"?>` declaration.
+  bool declaration = false;
+};
+
+/// Serializes a subtree to XML text. Escapes <, >, &, and quotes in
+/// attribute values.
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+
+/// Serializes a whole document.
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+
+/// Escapes character data (<, >, &).
+std::string EscapeText(std::string_view text);
+
+/// Escapes an attribute value (<, >, &, ").
+std::string EscapeAttribute(std::string_view text);
+
+}  // namespace xbench::xml
+
+#endif  // XBENCH_XML_SERIALIZER_H_

@@ -1,0 +1,196 @@
+#include "xquery/ast.h"
+
+namespace xbench::xquery {
+namespace {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "?";
+}
+
+void Render(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kStringLiteral:
+      out += "\"" + e.string_value + "\"";
+      return;
+    case ExprKind::kNumberLiteral:
+      out += std::to_string(e.number_value);
+      return;
+    case ExprKind::kVariable:
+      out += "$" + e.variable;
+      return;
+    case ExprKind::kContextItem:
+      out += ".";
+      return;
+    case ExprKind::kSequence:
+      out += "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        Render(*e.children[i], out);
+      }
+      out += ")";
+      return;
+    case ExprKind::kPath: {
+      if (e.path_root != nullptr) {
+        Render(*e.path_root, out);
+      } else if (e.path_from_root) {
+        out += "(root)";
+      } else {
+        out += ".";
+      }
+      for (const Step& step : e.steps) {
+        out += "/";
+        out += AxisName(step.axis);
+        out += "::";
+        out += step.name_test;
+        for (const auto& pred : step.predicates) {
+          out += "[";
+          Render(*pred, out);
+          out += "]";
+        }
+      }
+      return;
+    }
+    case ExprKind::kComparison: {
+      static const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+      out += "(";
+      Render(*e.lhs, out);
+      out += " ";
+      out += ops[static_cast<int>(e.compare_op)];
+      out += " ";
+      Render(*e.rhs, out);
+      out += ")";
+      return;
+    }
+    case ExprKind::kArithmetic: {
+      static const char* ops[] = {"+", "-", "*", "div", "mod"};
+      out += "(";
+      Render(*e.lhs, out);
+      out += " ";
+      out += ops[static_cast<int>(e.arith_op)];
+      out += " ";
+      Render(*e.rhs, out);
+      out += ")";
+      return;
+    }
+    case ExprKind::kLogical:
+      out += "(";
+      Render(*e.lhs, out);
+      out += e.logical_op == LogicalOp::kAnd ? " and " : " or ";
+      Render(*e.rhs, out);
+      out += ")";
+      return;
+    case ExprKind::kFunctionCall:
+      out += e.function_name + "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        Render(*e.children[i], out);
+      }
+      out += ")";
+      return;
+    case ExprKind::kFlwor: {
+      size_t fi = 0;
+      size_t li = 0;
+      for (char c : e.clause_order) {
+        if (c == 'f') {
+          const ForClause& clause = e.for_clauses[fi++];
+          out += "for $" + clause.variable;
+          if (!clause.position_variable.empty()) {
+            out += " at $" + clause.position_variable;
+          }
+          out += " in ";
+          Render(*clause.input, out);
+          out += " ";
+        } else {
+          const LetClause& clause = e.let_clauses[li++];
+          out += "let $" + clause.variable + " := ";
+          Render(*clause.value, out);
+          out += " ";
+        }
+      }
+      if (e.where != nullptr) {
+        out += "where ";
+        Render(*e.where, out);
+        out += " ";
+      }
+      if (!e.order_by.empty()) {
+        out += "order by ";
+        for (size_t i = 0; i < e.order_by.size(); ++i) {
+          if (i != 0) out += ", ";
+          Render(*e.order_by[i].key, out);
+          if (!e.order_by[i].ascending) out += " descending";
+        }
+        out += " ";
+      }
+      out += "return ";
+      Render(*e.return_expr, out);
+      return;
+    }
+    case ExprKind::kQuantified:
+      out += e.quantifier_every ? "every" : "some";
+      out += " $" + e.quant_variable + " in ";
+      Render(*e.quant_input, out);
+      out += " satisfies ";
+      Render(*e.quant_satisfies, out);
+      return;
+    case ExprKind::kIfThenElse:
+      out += "if (";
+      Render(*e.lhs, out);
+      out += ") then ";
+      Render(*e.then_branch, out);
+      out += " else ";
+      Render(*e.else_branch, out);
+      return;
+    case ExprKind::kConstructor:
+      out += "<" + e.element_name + ">...</" + e.element_name + ">";
+      return;
+    case ExprKind::kFilter:
+      Render(*e.lhs, out);
+      for (const auto& pred : e.children) {
+        out += "[";
+        Render(*pred, out);
+        out += "]";
+      }
+      return;
+    case ExprKind::kRange:
+      out += "(";
+      Render(*e.lhs, out);
+      out += " to ";
+      Render(*e.rhs, out);
+      out += ")";
+      return;
+    case ExprKind::kUnion:
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += " | ";
+        Render(*e.children[i], out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToDebugString(const Expr& expr) {
+  std::string out;
+  Render(expr, out);
+  return out;
+}
+
+}  // namespace xbench::xquery

@@ -1,0 +1,42 @@
+#ifndef XBENCH_XQUERY_EVALUATOR_H_
+#define XBENCH_XQUERY_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+#include "xquery/ast.h"
+#include "xquery/sequence.h"
+
+namespace xbench::xquery {
+
+/// The result of a query: the item sequence plus the arena that owns any
+/// nodes built by element constructors (result items may point into it, so
+/// it must outlive the items).
+struct QueryResult {
+  Sequence items;
+  std::vector<std::unique_ptr<xml::Node>> constructed;
+
+  /// Serializes every item: elements as XML, atomics/attributes as their
+  /// string value — one line per item. Used for answer comparison.
+  std::string ToText() const;
+};
+
+/// External variable bindings (e.g. $input = collection roots).
+using Bindings = std::map<std::string, Sequence>;
+
+/// Evaluates a parsed query. The documents referenced by `bindings` must
+/// outlive the result.
+Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings);
+
+/// Parse + evaluate convenience.
+Result<QueryResult> EvaluateQuery(std::string_view query,
+                                  const Bindings& bindings);
+
+}  // namespace xbench::xquery
+
+#endif  // XBENCH_XQUERY_EVALUATOR_H_

@@ -1,0 +1,28 @@
+#ifndef XBENCH_XQUERY_FUNCTIONS_H_
+#define XBENCH_XQUERY_FUNCTIONS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xquery/sequence.h"
+
+namespace xbench::xquery {
+
+/// True for the functions whose value depends on the dynamic focus
+/// (position(), last()); the evaluator computes those itself.
+bool IsContextFunction(std::string_view name);
+
+/// Dispatches a context-free built-in function call.
+///
+/// Supported: count, sum, avg, min, max, contains, contains-word,
+/// starts-with, ends-with, string-length, substring, concat, string-join,
+/// upper-case, lower-case, normalize-space, string, number, xs:double,
+/// xs:integer, xs:date (identity-checked cast), boolean, not, true, false,
+/// empty, exists, distinct-values, data, name, round, floor, ceiling.
+Result<Sequence> CallFunction(std::string_view name,
+                              std::vector<Sequence> args);
+
+}  // namespace xbench::xquery
+
+#endif  // XBENCH_XQUERY_FUNCTIONS_H_

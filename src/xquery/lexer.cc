@@ -1,0 +1,269 @@
+#include "xquery/lexer.h"
+
+#include <cctype>
+
+namespace xbench::xquery {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         c == '-' || c == '.' || c == ':';
+}
+
+/// Keywords after which a '<' begins a direct element constructor rather
+/// than a comparison.
+bool IsExprLeadKeyword(const std::string& name) {
+  return name == "return" || name == "satisfies" || name == "then" ||
+         name == "else" || name == "in" || name == "where" || name == "and" ||
+         name == "or";
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) { Lex(); }
+
+Token Lexer::Next() {
+  Token prev = current_;
+  previous_kind_ = prev.kind;
+  previous_text_ = prev.text;
+  Lex();
+  return prev;
+}
+
+void Lexer::SeekTo(size_t p) {
+  pos_ = p;
+  previous_kind_ = TokenKind::kEnd;
+  previous_text_.clear();
+  Lex();
+}
+
+void Lexer::SetError(std::string message, size_t at) {
+  if (status_.ok()) {
+    status_ = Status::InvalidArgument(message + " at offset " +
+                                      std::to_string(at));
+  }
+  current_ = Token{TokenKind::kEnd, "", at};
+}
+
+void Lexer::Lex() {
+  // Skip whitespace and XQuery comments (: ... :).
+  for (;;) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ + 1 < input_.size() && input_[pos_] == '(' &&
+        input_[pos_ + 1] == ':') {
+      size_t end = input_.find(":)", pos_ + 2);
+      if (end == std::string_view::npos) {
+        SetError("unterminated comment", pos_);
+        return;
+      }
+      pos_ = end + 2;
+      continue;
+    }
+    break;
+  }
+
+  const size_t start = pos_;
+  if (pos_ >= input_.size()) {
+    current_ = Token{TokenKind::kEnd, "", start};
+    return;
+  }
+
+  const char c = input_[pos_];
+  auto make = [&](TokenKind kind, std::string text, size_t advance) {
+    pos_ += advance;
+    current_ = Token{kind, std::move(text), start};
+  };
+
+  switch (c) {
+    case '/':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        make(TokenKind::kDoubleSlash, "//", 2);
+      } else {
+        make(TokenKind::kSlash, "/", 1);
+      }
+      return;
+    case '@':
+      make(TokenKind::kAt, "@", 1);
+      return;
+    case '*':
+      make(TokenKind::kStar, "*", 1);
+      return;
+    case '(':
+      make(TokenKind::kLParen, "(", 1);
+      return;
+    case ')':
+      make(TokenKind::kRParen, ")", 1);
+      return;
+    case '[':
+      make(TokenKind::kLBracket, "[", 1);
+      return;
+    case ']':
+      make(TokenKind::kRBracket, "]", 1);
+      return;
+    case '{':
+      make(TokenKind::kLBrace, "{", 1);
+      return;
+    case '}':
+      make(TokenKind::kRBrace, "}", 1);
+      return;
+    case ',':
+      make(TokenKind::kComma, ",", 1);
+      return;
+    case '|':
+      make(TokenKind::kPipe, "|", 1);
+      return;
+    case '+':
+      make(TokenKind::kPlus, "+", 1);
+      return;
+    case '-':
+      make(TokenKind::kMinus, "-", 1);
+      return;
+    case '=':
+      make(TokenKind::kEq, "=", 1);
+      return;
+    case '!':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        make(TokenKind::kNe, "!=", 2);
+        return;
+      }
+      SetError("unexpected '!'", start);
+      return;
+    case ':':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        make(TokenKind::kColonEq, ":=", 2);
+        return;
+      }
+      SetError("unexpected ':'", start);
+      return;
+    case '<': {
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        make(TokenKind::kLe, "<=", 2);
+        return;
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        make(TokenKind::kEndElem, "</", 2);
+        return;
+      }
+      const bool name_follows =
+          pos_ + 1 < input_.size() && IsNameStart(input_[pos_ + 1]);
+      const bool expr_position =
+          previous_kind_ == TokenKind::kEnd ||
+          previous_kind_ == TokenKind::kLParen ||
+          previous_kind_ == TokenKind::kLBrace ||
+          previous_kind_ == TokenKind::kComma ||
+          previous_kind_ == TokenKind::kColonEq ||
+          (previous_kind_ == TokenKind::kName &&
+           IsExprLeadKeyword(previous_text_));
+      if (name_follows && expr_position) {
+        make(TokenKind::kLtElem, "<", 1);
+      } else {
+        make(TokenKind::kLt, "<", 1);
+      }
+      return;
+    }
+    case '>':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        make(TokenKind::kGe, ">=", 2);
+      } else {
+        make(TokenKind::kGt, ">", 1);
+      }
+      return;
+    case '.':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') {
+        make(TokenKind::kDotDot, "..", 2);
+        return;
+      }
+      if (pos_ + 1 < input_.size() &&
+          std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+        break;  // numeric literal like .5 — fall through to number lexing
+      }
+      make(TokenKind::kDot, ".", 1);
+      return;
+    case '$': {
+      ++pos_;
+      if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+        SetError("expected variable name after '$'", start);
+        return;
+      }
+      size_t name_start = pos_;
+      while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+      current_ = Token{TokenKind::kVariable,
+                       std::string(input_.substr(name_start, pos_ - name_start)),
+                       start};
+      return;
+    }
+    case '"':
+    case '\'': {
+      const char quote = c;
+      ++pos_;
+      std::string value;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        value.push_back(input_[pos_]);
+        ++pos_;
+      }
+      if (pos_ >= input_.size()) {
+        SetError("unterminated string literal", start);
+        return;
+      }
+      ++pos_;
+      current_ = Token{TokenKind::kString, std::move(value), start};
+      return;
+    }
+    default:
+      break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+    size_t end = pos_;
+    bool seen_dot = false;
+    while (end < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[end])) ||
+            (!seen_dot && input_[end] == '.'))) {
+      if (input_[end] == '.') seen_dot = true;
+      ++end;
+    }
+    current_ = Token{TokenKind::kNumber,
+                     std::string(input_.substr(pos_, end - pos_)), start};
+    pos_ = end;
+    return;
+  }
+
+  if (IsNameStart(c)) {
+    // Scan a name segment without ':', then decide: "seg::" is an axis,
+    // "seg:more" is a qualified name (xs:double), bare "seg" a name.
+    size_t end = pos_;
+    auto scan_segment = [&] {
+      while (end < input_.size() && IsNameChar(input_[end]) &&
+             input_[end] != ':') {
+        ++end;
+      }
+    };
+    scan_segment();
+    if (end + 1 < input_.size() && input_[end] == ':' &&
+        input_[end + 1] == ':') {
+      current_ = Token{TokenKind::kAxis,
+                       std::string(input_.substr(pos_, end - pos_)), start};
+      pos_ = end + 2;
+      return;
+    }
+    if (end + 1 < input_.size() && input_[end] == ':' &&
+        IsNameStart(input_[end + 1])) {
+      ++end;  // the ':' of a qualified name
+      scan_segment();
+    }
+    current_ = Token{TokenKind::kName,
+                     std::string(input_.substr(pos_, end - pos_)), start};
+    pos_ = end;
+    return;
+  }
+
+  SetError(std::string("unexpected character '") + c + "'", start);
+}
+
+}  // namespace xbench::xquery

@@ -1,0 +1,95 @@
+#ifndef XBENCH_XQUERY_LEXER_H_
+#define XBENCH_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xbench::xquery {
+
+enum class TokenKind {
+  kEnd,
+  kName,        // NCName (also keywords; the parser decides contextually)
+  kVariable,    // $name
+  kString,      // '...' or "..."
+  kNumber,      // 123 or 1.5
+  kSlash,       // /
+  kDoubleSlash, // //
+  kAt,          // @
+  kStar,        // *
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kPlus,
+  kMinus,
+  kColonEq,     // := (let bindings)
+  kAxis,        // axis name followed by '::' (value = axis name)
+  kPipe,        // | (union)
+  kDotDot,      // ..
+  kDot,         // .
+  kLtElem,      // '<' that starts a direct element constructor
+  kEndElem,     // '</'
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // name / string value / number text / axis name
+  size_t offset = 0;  // byte offset in the query (for error messages)
+};
+
+/// Tokenizes an XQuery-lite query. Direct element constructors are NOT
+/// fully tokenized here: the lexer emits kLtElem when a '<' is followed by
+/// a name character and the previous meaningful token makes an expression
+/// (not a comparison) — the parser then switches to constructor scanning
+/// over the raw text via the `RawScanner` interface below.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// Current token.
+  const Token& Peek() const { return current_; }
+  /// Advances and returns the previous token.
+  Token Next();
+
+  /// True if the current token is a name with the given text.
+  bool PeekName(std::string_view name) const {
+    return current_.kind == TokenKind::kName && current_.text == name;
+  }
+
+  /// Raw access for the constructor sub-parser: current byte position is
+  /// the offset *after* the current token. The parser can re-seek.
+  size_t RawPos() const { return pos_; }
+  std::string_view RawInput() const { return input_; }
+  char RawCharAt(size_t p) const { return input_[p]; }
+  /// Re-positions the lexer at byte `p` and re-lexes the current token.
+  void SeekTo(size_t p);
+
+  const Status& status() const { return status_; }
+
+ private:
+  void Lex();
+  void SetError(std::string message, size_t at);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+  TokenKind previous_kind_ = TokenKind::kEnd;
+  std::string previous_text_;
+  Status status_;
+};
+
+}  // namespace xbench::xquery
+
+#endif  // XBENCH_XQUERY_LEXER_H_

@@ -1,0 +1,765 @@
+#include "xquery/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "xquery/lexer.h"
+
+namespace xbench::xquery {
+namespace {
+
+ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input), lexer_(input) {}
+
+  Result<ExprPtr> Parse() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSequence());
+    XBENCH_RETURN_IF_ERROR(lexer_.status());
+    if (lexer_.Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input after query");
+    }
+    return expr;
+  }
+
+ private:
+  Status Err(std::string message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(lexer_.Peek().offset));
+  }
+
+  bool ConsumeName(std::string_view name) {
+    if (lexer_.PeekName(name)) {
+      lexer_.Next();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (lexer_.Peek().kind != kind) {
+      return Err(std::string("expected ") + what);
+    }
+    lexer_.Next();
+    return Status::Ok();
+  }
+
+  /// Top-level / parenthesized comma sequence.
+  Result<ExprPtr> ParseExprSequence() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (lexer_.Peek().kind != TokenKind::kComma) return first;
+    auto seq = MakeExpr(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    while (lexer_.Peek().kind == TokenKind::kComma) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr next, ParseExprSingle());
+      seq->children.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  Result<ExprPtr> ParseExprSingle() {
+    const Token& tok = lexer_.Peek();
+    if (tok.kind == TokenKind::kName) {
+      if (tok.text == "for" || tok.text == "let") return ParseFlwor();
+      if (tok.text == "some" || tok.text == "every") return ParseQuantified();
+      if (tok.text == "if") return ParseIf();
+    }
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFlwor() {
+    auto flwor = MakeExpr(ExprKind::kFlwor);
+    for (;;) {
+      if (ConsumeName("for")) {
+        do {
+          ForClause clause;
+          if (lexer_.Peek().kind != TokenKind::kVariable) {
+            return Err("expected $variable in for clause");
+          }
+          clause.variable = lexer_.Next().text;
+          if (ConsumeName("at")) {
+            if (lexer_.Peek().kind != TokenKind::kVariable) {
+              return Err("expected $variable after 'at'");
+            }
+            clause.position_variable = lexer_.Next().text;
+          }
+          if (!ConsumeName("in")) return Err("expected 'in' in for clause");
+          XBENCH_ASSIGN_OR_RETURN(clause.input, ParseExprSingle());
+          flwor->for_clauses.push_back(std::move(clause));
+          flwor->clause_order.push_back('f');
+        } while (lexer_.Peek().kind == TokenKind::kComma &&
+                 (lexer_.Next(), true));
+        continue;
+      }
+      if (ConsumeName("let")) {
+        do {
+          LetClause clause;
+          if (lexer_.Peek().kind != TokenKind::kVariable) {
+            return Err("expected $variable in let clause");
+          }
+          clause.variable = lexer_.Next().text;
+          XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kColonEq, "':='"));
+          XBENCH_ASSIGN_OR_RETURN(clause.value, ParseExprSingle());
+          flwor->let_clauses.push_back(std::move(clause));
+          flwor->clause_order.push_back('l');
+        } while (lexer_.Peek().kind == TokenKind::kComma &&
+                 (lexer_.Next(), true));
+        continue;
+      }
+      break;
+    }
+    if (flwor->clause_order.empty()) {
+      return Err("FLWOR expression without for/let clause");
+    }
+    if (ConsumeName("where")) {
+      XBENCH_ASSIGN_OR_RETURN(flwor->where, ParseExprSingle());
+    }
+    if (lexer_.PeekName("stable")) lexer_.Next();
+    if (ConsumeName("order")) {
+      if (!ConsumeName("by")) return Err("expected 'by' after 'order'");
+      do {
+        OrderSpec spec;
+        XBENCH_ASSIGN_OR_RETURN(spec.key, ParseExprSingle());
+        if (ConsumeName("descending")) {
+          spec.ascending = false;
+        } else if (ConsumeName("ascending")) {
+          spec.ascending = true;
+        }
+        // "empty least/greatest" accepted and ignored (nulls-first is our
+        // fixed behaviour).
+        if (ConsumeName("empty")) {
+          if (!ConsumeName("least") && !ConsumeName("greatest")) {
+            return Err("expected 'least' or 'greatest' after 'empty'");
+          }
+        }
+        // Mark numeric sort keys: number(...) or xs:double(...) wrappers.
+        if (spec.key->kind == ExprKind::kFunctionCall &&
+            (spec.key->function_name == "number" ||
+             spec.key->function_name == "xs:double" ||
+             spec.key->function_name == "xs:integer")) {
+          spec.numeric = true;
+        }
+        flwor->order_by.push_back(std::move(spec));
+      } while (lexer_.Peek().kind == TokenKind::kComma &&
+               (lexer_.Next(), true));
+    }
+    if (!ConsumeName("return")) return Err("expected 'return' in FLWOR");
+    XBENCH_ASSIGN_OR_RETURN(flwor->return_expr, ParseExprSingle());
+    return flwor;
+  }
+
+  Result<ExprPtr> ParseQuantified() {
+    auto quant = MakeExpr(ExprKind::kQuantified);
+    quant->quantifier_every = lexer_.Next().text == "every";
+    if (lexer_.Peek().kind != TokenKind::kVariable) {
+      return Err("expected $variable after some/every");
+    }
+    quant->quant_variable = lexer_.Next().text;
+    if (!ConsumeName("in")) return Err("expected 'in' in quantified expr");
+    XBENCH_ASSIGN_OR_RETURN(quant->quant_input, ParseExprSingle());
+    if (!ConsumeName("satisfies")) return Err("expected 'satisfies'");
+    XBENCH_ASSIGN_OR_RETURN(quant->quant_satisfies, ParseExprSingle());
+    return quant;
+  }
+
+  Result<ExprPtr> ParseIf() {
+    lexer_.Next();  // 'if'
+    XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    auto expr = MakeExpr(ExprKind::kIfThenElse);
+    XBENCH_ASSIGN_OR_RETURN(expr->lhs, ParseExprSequence());
+    XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (!ConsumeName("then")) return Err("expected 'then'");
+    XBENCH_ASSIGN_OR_RETURN(expr->then_branch, ParseExprSingle());
+    if (!ConsumeName("else")) return Err("expected 'else'");
+    XBENCH_ASSIGN_OR_RETURN(expr->else_branch, ParseExprSingle());
+    return expr;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (lexer_.PeekName("or")) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      auto expr = MakeExpr(ExprKind::kLogical);
+      expr->logical_op = LogicalOp::kOr;
+      expr->lhs = std::move(lhs);
+      expr->rhs = std::move(rhs);
+      lhs = std::move(expr);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (lexer_.PeekName("and")) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      auto expr = MakeExpr(ExprKind::kLogical);
+      expr->logical_op = LogicalOp::kAnd;
+      expr->lhs = std::move(lhs);
+      expr->rhs = std::move(rhs);
+      lhs = std::move(expr);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRange());
+    CompareOp op;
+    switch (lexer_.Peek().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        // Value comparison keywords.
+        if (lexer_.PeekName("eq")) {
+          op = CompareOp::kEq;
+        } else if (lexer_.PeekName("ne")) {
+          op = CompareOp::kNe;
+        } else if (lexer_.PeekName("lt")) {
+          op = CompareOp::kLt;
+        } else if (lexer_.PeekName("le")) {
+          op = CompareOp::kLe;
+        } else if (lexer_.PeekName("gt")) {
+          op = CompareOp::kGt;
+        } else if (lexer_.PeekName("ge")) {
+          op = CompareOp::kGe;
+        } else {
+          return lhs;
+        }
+        break;
+    }
+    lexer_.Next();
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRange());
+    auto expr = MakeExpr(ExprKind::kComparison);
+    expr->compare_op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  Result<ExprPtr> ParseRange() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (!lexer_.PeekName("to")) return lhs;
+    lexer_.Next();
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    auto expr = MakeExpr(ExprKind::kRange);
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (lexer_.Peek().kind == TokenKind::kPlus) {
+        op = ArithOp::kAdd;
+      } else if (lexer_.Peek().kind == TokenKind::kMinus) {
+        op = ArithOp::kSub;
+      } else {
+        return lhs;
+      }
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      auto expr = MakeExpr(ExprKind::kArithmetic);
+      expr->arith_op = op;
+      expr->lhs = std::move(lhs);
+      expr->rhs = std::move(rhs);
+      lhs = std::move(expr);
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      ArithOp op;
+      if (lexer_.Peek().kind == TokenKind::kStar) {
+        op = ArithOp::kMul;
+      } else if (lexer_.PeekName("div")) {
+        op = ArithOp::kDiv;
+      } else if (lexer_.PeekName("mod")) {
+        op = ArithOp::kMod;
+      } else {
+        return lhs;
+      }
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto expr = MakeExpr(ExprKind::kArithmetic);
+      expr->arith_op = op;
+      expr->lhs = std::move(lhs);
+      expr->rhs = std::move(rhs);
+      lhs = std::move(expr);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (lexer_.Peek().kind == TokenKind::kMinus) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto zero = MakeExpr(ExprKind::kNumberLiteral);
+      zero->number_value = 0;
+      auto expr = MakeExpr(ExprKind::kArithmetic);
+      expr->arith_op = ArithOp::kSub;
+      expr->lhs = std::move(zero);
+      expr->rhs = std::move(operand);
+      return expr;
+    }
+    return ParseUnion();
+  }
+
+  /// Node-sequence union: path ('|' path)*.
+  Result<ExprPtr> ParseUnion() {
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr first, ParsePath());
+    if (lexer_.Peek().kind != TokenKind::kPipe) return first;
+    auto expr = MakeExpr(ExprKind::kUnion);
+    expr->children.push_back(std::move(first));
+    while (lexer_.Peek().kind == TokenKind::kPipe) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr next, ParsePath());
+      expr->children.push_back(std::move(next));
+    }
+    return expr;
+  }
+
+  static bool StartsStep(const Token& tok) {
+    switch (tok.kind) {
+      case TokenKind::kName:
+      case TokenKind::kStar:
+      case TokenKind::kAt:
+      case TokenKind::kAxis:
+      case TokenKind::kDotDot:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParsePath() {
+    auto path = MakeExpr(ExprKind::kPath);
+    bool have_root = false;
+
+    if (lexer_.Peek().kind == TokenKind::kSlash ||
+        lexer_.Peek().kind == TokenKind::kDoubleSlash) {
+      path->path_from_root = true;
+      if (lexer_.Peek().kind == TokenKind::kDoubleSlash) {
+        lexer_.Next();
+        Step step;
+        step.axis = Axis::kDescendantOrSelf;
+        step.name_test = "*";
+        path->steps.push_back(std::move(step));
+      } else {
+        lexer_.Next();
+      }
+      XBENCH_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+    } else if (StartsStep(lexer_.Peek()) &&
+               !IsFunctionCallAhead()) {
+      // Relative path beginning with a step (e.g. `title` inside a
+      // predicate).
+      XBENCH_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+    } else {
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
+      // Predicates directly on a primary expression filter the whole
+      // sequence (FilterExpr), unlike step predicates which are applied
+      // per context node.
+      if (lexer_.Peek().kind == TokenKind::kLBracket) {
+        auto filter = MakeExpr(ExprKind::kFilter);
+        filter->lhs = std::move(primary);
+        while (lexer_.Peek().kind == TokenKind::kLBracket) {
+          lexer_.Next();
+          XBENCH_ASSIGN_OR_RETURN(ExprPtr pred, ParseExprSequence());
+          filter->children.push_back(std::move(pred));
+          XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+        }
+        primary = std::move(filter);
+      }
+      path->path_root = std::move(primary);
+      have_root = true;
+    }
+
+    while (lexer_.Peek().kind == TokenKind::kSlash ||
+           lexer_.Peek().kind == TokenKind::kDoubleSlash) {
+      if (lexer_.Next().kind == TokenKind::kDoubleSlash) {
+        Step step;
+        step.axis = Axis::kDescendantOrSelf;
+        step.name_test = "*";
+        path->steps.push_back(std::move(step));
+      }
+      XBENCH_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+    }
+
+    // Collapse the trivial wrapper when there are no steps.
+    if (path->steps.empty() && have_root) {
+      return std::move(path->path_root);
+    }
+    return path;
+  }
+
+  /// Distinguishes `name(...)` function calls from a path step `name`.
+  bool IsFunctionCallAhead() const {
+    const Token& tok = lexer_.Peek();
+    if (tok.kind != TokenKind::kName) return false;
+    // Reserved node-test-like names are never our functions.
+    size_t p = lexer_.RawPos();
+    std::string_view raw = lexer_.RawInput();
+    while (p < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[p]))) {
+      ++p;
+    }
+    return p < raw.size() && raw[p] == '(';
+  }
+
+  Result<Step> ParseStep() {
+    Step step;
+    const Token& tok = lexer_.Peek();
+    switch (tok.kind) {
+      case TokenKind::kAt: {
+        lexer_.Next();
+        step.axis = Axis::kAttribute;
+        XBENCH_ASSIGN_OR_RETURN(step.name_test, ParseNameTest());
+        break;
+      }
+      case TokenKind::kAxis: {
+        std::string axis_name = lexer_.Next().text;
+        if (axis_name == "child") {
+          step.axis = Axis::kChild;
+        } else if (axis_name == "descendant") {
+          step.axis = Axis::kDescendant;
+        } else if (axis_name == "descendant-or-self") {
+          step.axis = Axis::kDescendantOrSelf;
+        } else if (axis_name == "attribute") {
+          step.axis = Axis::kAttribute;
+        } else if (axis_name == "self") {
+          step.axis = Axis::kSelf;
+        } else if (axis_name == "parent") {
+          step.axis = Axis::kParent;
+        } else if (axis_name == "following-sibling") {
+          step.axis = Axis::kFollowingSibling;
+        } else if (axis_name == "preceding-sibling") {
+          step.axis = Axis::kPrecedingSibling;
+        } else {
+          return Err("unsupported axis '" + axis_name + "'");
+        }
+        XBENCH_ASSIGN_OR_RETURN(step.name_test, ParseNameTest());
+        break;
+      }
+      case TokenKind::kDotDot:
+        lexer_.Next();
+        step.axis = Axis::kParent;
+        step.name_test = "*";
+        break;
+      case TokenKind::kName:
+      case TokenKind::kStar: {
+        step.axis = Axis::kChild;
+        XBENCH_ASSIGN_OR_RETURN(step.name_test, ParseNameTest());
+        break;
+      }
+      default:
+        return Err("expected a path step");
+    }
+    while (lexer_.Peek().kind == TokenKind::kLBracket) {
+      lexer_.Next();
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr pred, ParseExprSequence());
+      step.predicates.push_back(std::move(pred));
+      XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    }
+    return step;
+  }
+
+  Result<std::string> ParseNameTest() {
+    const Token& tok = lexer_.Peek();
+    if (tok.kind == TokenKind::kStar) {
+      lexer_.Next();
+      return std::string("*");
+    }
+    if (tok.kind == TokenKind::kName) {
+      std::string name = lexer_.Next().text;
+      // `text()` node test.
+      if (name == "text" && lexer_.Peek().kind == TokenKind::kLParen) {
+        lexer_.Next();
+        XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return std::string("text()");
+      }
+      return name;
+    }
+    return Err("expected a name test");
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = lexer_.Peek();
+    switch (tok.kind) {
+      case TokenKind::kString: {
+        auto expr = MakeExpr(ExprKind::kStringLiteral);
+        expr->string_value = lexer_.Next().text;
+        return expr;
+      }
+      case TokenKind::kNumber: {
+        auto expr = MakeExpr(ExprKind::kNumberLiteral);
+        expr->number_value = ParseDouble(lexer_.Next().text);
+        return expr;
+      }
+      case TokenKind::kVariable: {
+        auto expr = MakeExpr(ExprKind::kVariable);
+        expr->variable = lexer_.Next().text;
+        return expr;
+      }
+      case TokenKind::kDot: {
+        lexer_.Next();
+        return MakeExpr(ExprKind::kContextItem);
+      }
+      case TokenKind::kLParen: {
+        lexer_.Next();
+        if (lexer_.Peek().kind == TokenKind::kRParen) {
+          lexer_.Next();
+          return MakeExpr(ExprKind::kSequence);  // empty sequence ()
+        }
+        XBENCH_ASSIGN_OR_RETURN(ExprPtr inner, ParseExprSequence());
+        XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kLtElem:
+        return ParseConstructor();
+      case TokenKind::kName: {
+        // Function call.
+        std::string name = lexer_.Next().text;
+        XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        auto expr = MakeExpr(ExprKind::kFunctionCall);
+        expr->function_name = std::move(name);
+        if (lexer_.Peek().kind != TokenKind::kRParen) {
+          for (;;) {
+            XBENCH_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprSingle());
+            expr->children.push_back(std::move(arg));
+            if (lexer_.Peek().kind != TokenKind::kComma) break;
+            lexer_.Next();
+          }
+        }
+        XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return expr;
+      }
+      default:
+        return Err("expected an expression");
+    }
+  }
+
+  // --- Direct element constructor (raw scan) ---------------------------
+
+  Result<ExprPtr> ParseConstructor() {
+    // The kLtElem token's offset points at '<'.
+    size_t pos = lexer_.Peek().offset;
+    XBENCH_ASSIGN_OR_RETURN(ExprPtr ctor, ScanConstructor(pos));
+    lexer_.SeekTo(pos);
+    return ctor;
+  }
+
+  /// Scans a direct constructor starting at input_[pos] == '<'; advances
+  /// `pos` past the constructor.
+  Result<ExprPtr> ScanConstructor(size_t& pos) {
+    auto fail = [&](std::string msg) {
+      return Status::InvalidArgument(msg + " at offset " +
+                                     std::to_string(pos));
+    };
+    if (pos >= input_.size() || input_[pos] != '<') {
+      return fail("expected '<'");
+    }
+    ++pos;
+    std::string name = ScanCtorName(pos);
+    if (name.empty()) return fail("expected element name");
+    auto ctor = MakeExpr(ExprKind::kConstructor);
+    ctor->element_name = name;
+
+    // Attributes.
+    for (;;) {
+      SkipRawSpace(pos);
+      if (pos >= input_.size()) return fail("unterminated constructor");
+      if (input_[pos] == '/' || input_[pos] == '>') break;
+      ConstructorAttr attr;
+      attr.name = ScanCtorName(pos);
+      if (attr.name.empty()) return fail("expected attribute name");
+      SkipRawSpace(pos);
+      if (pos >= input_.size() || input_[pos] != '=') {
+        return fail("expected '=' in constructor attribute");
+      }
+      ++pos;
+      SkipRawSpace(pos);
+      if (pos >= input_.size() || (input_[pos] != '"' && input_[pos] != '\'')) {
+        return fail("expected quoted attribute value");
+      }
+      const char quote = input_[pos];
+      ++pos;
+      std::string text;
+      while (pos < input_.size() && input_[pos] != quote) {
+        if (input_[pos] == '{') {
+          if (!text.empty()) {
+            ConstructorContent part;
+            part.kind = ConstructorContent::kText;
+            part.text = std::move(text);
+            attr.value_parts.push_back(std::move(part));
+            text.clear();
+          }
+          XBENCH_ASSIGN_OR_RETURN(ExprPtr inner, ScanEnclosedExpr(pos));
+          ConstructorContent part;
+          part.kind = ConstructorContent::kExpr;
+          part.expr = std::move(inner);
+          attr.value_parts.push_back(std::move(part));
+        } else {
+          text.push_back(input_[pos]);
+          ++pos;
+        }
+      }
+      if (pos >= input_.size()) return fail("unterminated attribute value");
+      ++pos;  // closing quote
+      if (!text.empty()) {
+        ConstructorContent part;
+        part.kind = ConstructorContent::kText;
+        part.text = std::move(text);
+        attr.value_parts.push_back(std::move(part));
+      }
+      ctor->constructor_attrs.push_back(std::move(attr));
+    }
+
+    if (input_[pos] == '/') {
+      ++pos;
+      if (pos >= input_.size() || input_[pos] != '>') {
+        return fail("expected '/>'");
+      }
+      ++pos;
+      return ctor;
+    }
+    ++pos;  // '>'
+
+    // Content until matching end tag.
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      // Boundary whitespace between constructs is dropped (XQuery default).
+      if (Trim(text).empty()) {
+        text.clear();
+        return;
+      }
+      ConstructorContent part;
+      part.kind = ConstructorContent::kText;
+      part.text = std::move(text);
+      ctor->constructor_content.push_back(std::move(part));
+      text.clear();
+    };
+
+    for (;;) {
+      if (pos >= input_.size()) return fail("unterminated constructor body");
+      const char c = input_[pos];
+      if (c == '<') {
+        if (pos + 1 < input_.size() && input_[pos + 1] == '/') {
+          flush_text();
+          pos += 2;
+          std::string close = ScanCtorName(pos);
+          if (close != name) {
+            return fail("mismatched constructor end tag </" + close + ">");
+          }
+          SkipRawSpace(pos);
+          if (pos >= input_.size() || input_[pos] != '>') {
+            return fail("expected '>' in end tag");
+          }
+          ++pos;
+          return ctor;
+        }
+        flush_text();
+        XBENCH_ASSIGN_OR_RETURN(ExprPtr child, ScanConstructor(pos));
+        ConstructorContent part;
+        part.kind = ConstructorContent::kChild;
+        part.child = std::move(child);
+        ctor->constructor_content.push_back(std::move(part));
+        continue;
+      }
+      if (c == '{') {
+        flush_text();
+        XBENCH_ASSIGN_OR_RETURN(ExprPtr inner, ScanEnclosedExpr(pos));
+        ConstructorContent part;
+        part.kind = ConstructorContent::kExpr;
+        part.expr = std::move(inner);
+        ctor->constructor_content.push_back(std::move(part));
+        continue;
+      }
+      text.push_back(c);
+      ++pos;
+    }
+  }
+
+  std::string ScanCtorName(size_t& pos) {
+    size_t start = pos;
+    while (pos < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos])) != 0 ||
+            input_[pos] == '_' || input_[pos] == '-' || input_[pos] == '.' ||
+            input_[pos] == ':')) {
+      ++pos;
+    }
+    return std::string(input_.substr(start, pos - start));
+  }
+
+  void SkipRawSpace(size_t& pos) {
+    while (pos < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos]))) {
+      ++pos;
+    }
+  }
+
+  /// Scans `{ Expr }` starting at input_[pos] == '{'; parses the enclosed
+  /// text with a fresh sub-parser. Tracks strings and nested braces to find
+  /// the matching '}'.
+  Result<ExprPtr> ScanEnclosedExpr(size_t& pos) {
+    ++pos;  // '{'
+    const size_t start = pos;
+    int depth = 1;
+    while (pos < input_.size()) {
+      const char c = input_[pos];
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos;
+        while (pos < input_.size() && input_[pos] != quote) ++pos;
+        if (pos < input_.size()) ++pos;
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          Parser sub(input_.substr(start, pos - start));
+          ++pos;  // '}'
+          return sub.Parse();
+        }
+      }
+      ++pos;
+    }
+    return Status::InvalidArgument("unterminated enclosed expression");
+  }
+
+  std::string_view input_;
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view query) {
+  Parser parser(query);
+  return parser.Parse();
+}
+
+}  // namespace xbench::xquery

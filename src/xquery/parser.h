@@ -1,0 +1,24 @@
+#ifndef XBENCH_XQUERY_PARSER_H_
+#define XBENCH_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xbench::xquery {
+
+/// Parses an XQuery-lite query into an expression tree.
+///
+/// Supported grammar (the subset exercised by the XBench workload):
+/// FLWOR with interleaved for/let, `at` position variables, where,
+/// (stable) order by with ascending/descending, quantified expressions,
+/// if/then/else, full path expressions with the child, descendant,
+/// attribute, self, parent, following-sibling and preceding-sibling axes,
+/// positional and boolean predicates, general comparisons, arithmetic,
+/// and direct element constructors with enclosed expressions.
+Result<ExprPtr> ParseQuery(std::string_view query);
+
+}  // namespace xbench::xquery
+
+#endif  // XBENCH_XQUERY_PARSER_H_

@@ -1,0 +1,88 @@
+#ifndef XBENCH_XQUERY_SEQUENCE_H_
+#define XBENCH_XQUERY_SEQUENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xbench::xquery {
+
+/// One item of the XQuery data model: a node, an attribute, or an atomic
+/// value (string / number / boolean).
+struct Item {
+  enum class Kind : uint8_t { kNode, kAttribute, kString, kNumber, kBool };
+
+  Kind kind = Kind::kString;
+  const xml::Node* node = nullptr;  // kNode; kAttribute = owning element
+  int attr_index = -1;              // kAttribute
+  std::string str;                  // kString
+  double num = 0;                   // kNumber
+  bool boolean = false;             // kBool
+
+  static Item Node(const xml::Node* n) {
+    Item item;
+    item.kind = Kind::kNode;
+    item.node = n;
+    return item;
+  }
+  static Item Attr(const xml::Node* owner, int index) {
+    Item item;
+    item.kind = Kind::kAttribute;
+    item.node = owner;
+    item.attr_index = index;
+    return item;
+  }
+  static Item String(std::string s) {
+    Item item;
+    item.kind = Kind::kString;
+    item.str = std::move(s);
+    return item;
+  }
+  static Item Number(double d) {
+    Item item;
+    item.kind = Kind::kNumber;
+    item.num = d;
+    return item;
+  }
+  static Item Bool(bool b) {
+    Item item;
+    item.kind = Kind::kBool;
+    item.boolean = b;
+    return item;
+  }
+
+  bool is_node_kind() const {
+    return kind == Kind::kNode || kind == Kind::kAttribute;
+  }
+};
+
+using Sequence = std::vector<Item>;
+
+/// The typed (string) value of an item: node string-value, attribute value,
+/// or the lexical form of an atomic.
+std::string AtomizeToString(const Item& item);
+
+/// Formats a double the XPath way: "3" not "3.0" for whole numbers.
+std::string FormatNumber(double value);
+
+/// Numeric value when the item's string form is a number.
+std::optional<double> AtomizeToNumber(const Item& item);
+
+/// XQuery effective boolean value. Errors on multi-item atomic sequences.
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// Sorts node/attribute items into document order (grouped by tree root,
+/// then order id, attributes after their element) and removes duplicates.
+/// Atomic items are left where they are only if the sequence is all-nodes;
+/// mixed sequences are returned unchanged.
+void SortDocumentOrderUnique(Sequence& seq);
+
+/// Identity comparison for node/attribute items.
+bool SameItem(const Item& a, const Item& b);
+
+}  // namespace xbench::xquery
+
+#endif  // XBENCH_XQUERY_SEQUENCE_H_

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/generator.h"
+#include "workload/classes.h"
+#include "workload/queries.h"
+#include "workload/runner.h"
+
+namespace xbench::workload {
+namespace {
+
+using datagen::DbClass;
+using engines::EngineKind;
+
+/// Loads every engine once per class (shared across the test cases below).
+class CrossEngineFixture {
+ public:
+  static CrossEngineFixture& Get() {
+    static auto* instance = new CrossEngineFixture();
+    return *instance;
+  }
+
+  struct ClassSetup {
+    datagen::GeneratedDatabase db;
+    QueryParams params;
+    std::map<EngineKind, std::unique_ptr<engines::XmlDbms>> engines;
+    std::map<EngineKind, Status> load_status;
+  };
+
+  ClassSetup& ForClass(DbClass cls) {
+    auto it = setups_.find(cls);
+    if (it != setups_.end()) return *it->second;
+    auto setup = std::make_unique<ClassSetup>();
+    datagen::GenConfig config;
+    config.target_bytes = 160 * 1024;
+    config.seed = 42;
+    setup->db = datagen::Generate(cls, config);
+    setup->params = DeriveParams(cls, setup->db.seeds);
+    for (EngineKind kind : AllEngines()) {
+      auto engine = MakeEngine(kind);
+      Status status = engine->BulkLoad(cls, ToLoadDocuments(setup->db));
+      if (status.ok()) {
+        status = CreateTable3Indexes(*engine, cls);
+      }
+      setup->load_status[kind] = status;
+      setup->engines[kind] = std::move(engine);
+    }
+    auto [inserted, ok] = setups_.emplace(cls, std::move(setup));
+    return *inserted->second;
+  }
+
+ private:
+  std::map<DbClass, std::unique_ptr<CrossEngineFixture::ClassSetup>> setups_;
+};
+
+std::vector<std::string> Answer(CrossEngineFixture::ClassSetup& setup,
+                                EngineKind kind, QueryId id, DbClass cls) {
+  ExecutionResult result =
+      RunQuery(*setup.engines[kind], id, cls, setup.params);
+  EXPECT_TRUE(result.status.ok())
+      << engines::EngineKindName(kind) << " " << QueryName(id) << " "
+      << datagen::DbClassName(cls) << ": " << result.status.ToString();
+  return CanonicalizeAnswer(id, std::move(result.lines));
+}
+
+struct Cell {
+  QueryId query;
+  DbClass cls;
+};
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = QueryName(info.param.query);
+  name += "_";
+  std::string cls = datagen::DbClassName(info.param.cls);
+  cls.erase(cls.find('/'), 1);
+  return name + cls;
+}
+
+class CrossEngineTest : public ::testing::TestWithParam<Cell> {};
+
+/// The native engine is the reference implementation (full XQuery over
+/// intact documents). Engines whose architecture answers the cell
+/// correctly must agree with it.
+TEST_P(CrossEngineTest, EnginesAgreeWithNativeReference) {
+  const auto [id, cls] = GetParam();
+  auto& setup = CrossEngineFixture::Get().ForClass(cls);
+  ASSERT_TRUE(setup.load_status[EngineKind::kNative].ok());
+  auto reference = Answer(setup, EngineKind::kNative, id, cls);
+
+  // Xcolumn keeps documents intact: exact agreement on the MD classes.
+  if (setup.load_status[EngineKind::kClob].ok()) {
+    EXPECT_EQ(Answer(setup, EngineKind::kClob, id, cls), reference)
+        << "Xcolumn divergence";
+  }
+
+  // DB2 Xcollection agrees on value-shaped answers; reconstruction
+  // queries (Q5/Q12) lose structure (paper §3.2.2), so only the presence
+  // of an answer is required there.
+  if (setup.load_status[EngineKind::kShredDb2].ok()) {
+    auto db2 = Answer(setup, EngineKind::kShredDb2, id, cls);
+    if (AnswerShapeFor(id) != AnswerShape::kOrderedFragment) {
+      EXPECT_EQ(db2, reference) << "Xcollection divergence";
+    } else {
+      EXPECT_EQ(db2.empty(), reference.empty());
+    }
+  }
+
+  // SQL Server additionally loses mixed content (qt): its TC/SD text
+  // answers are the documented incorrect results of §3.1.3.
+  if (setup.load_status[EngineKind::kShredMsSql].ok()) {
+    auto mssql = Answer(setup, EngineKind::kShredMsSql, id, cls);
+    const bool qt_dependent =
+        cls == DbClass::kTcSd &&
+        (id == QueryId::kQ8 || id == QueryId::kQ17 || id == QueryId::kQ5 ||
+         id == QueryId::kQ12);
+    if (AnswerShapeFor(id) == AnswerShape::kOrderedFragment) {
+      EXPECT_EQ(mssql.empty(), reference.empty());
+    } else if (qt_dependent) {
+      // Documented deviation: mixed-content text loaded as NULL.
+      EXPECT_NE(mssql, reference)
+          << "expected SQL Server to return the paper's incorrect result";
+    } else {
+      EXPECT_EQ(mssql, reference) << "SQL Server divergence";
+    }
+  }
+}
+
+std::vector<Cell> AllCells() {
+  std::vector<Cell> cells;
+  for (QueryId id : BenchmarkSubset()) {
+    for (DbClass cls : AllClasses()) {
+      cells.push_back({id, cls});
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchmarkSubset, CrossEngineTest,
+                         ::testing::ValuesIn(AllCells()), CellName);
+
+// --- Extended workload: the queries the paper defines but does not report ----
+
+struct ExtendedCell {
+  QueryId query;
+  DbClass cls;
+  bool shred_exact;  // shredded answers must equal native exactly
+  bool clob_exact;   // Xcolumn answers must equal native exactly
+};
+
+class ExtendedCrossEngineTest
+    : public ::testing::TestWithParam<ExtendedCell> {};
+
+TEST_P(ExtendedCrossEngineTest, ExtendedPlansAgreeWithNative) {
+  const ExtendedCell& cell = GetParam();
+  auto& setup = CrossEngineFixture::Get().ForClass(cell.cls);
+  ASSERT_TRUE(setup.load_status[EngineKind::kNative].ok());
+  auto reference = Answer(setup, EngineKind::kNative, cell.query, cell.cls);
+
+  for (EngineKind kind : {EngineKind::kShredDb2, EngineKind::kShredMsSql}) {
+    if (!setup.load_status[kind].ok()) continue;
+    ExecutionResult result =
+        RunQuery(*setup.engines[kind], cell.query, cell.cls, setup.params);
+    // Architecturally impossible plans (Q4 needs document order) are
+    // allowed to refuse; that refusal is asserted separately below.
+    if (result.status.code() == StatusCode::kUnsupported) continue;
+    ASSERT_TRUE(result.status.ok())
+        << engines::EngineKindName(kind) << ": "
+        << result.status.ToString();
+    auto answer = CanonicalizeAnswer(cell.query, std::move(result.lines));
+    if (cell.shred_exact) {
+      EXPECT_EQ(answer, reference) << engines::EngineKindName(kind);
+    } else {
+      EXPECT_EQ(answer.empty(), reference.empty())
+          << engines::EngineKindName(kind);
+    }
+  }
+
+  if (setup.load_status[EngineKind::kClob].ok()) {
+    ExecutionResult result = RunQuery(*setup.engines[EngineKind::kClob],
+                                      cell.query, cell.cls, setup.params);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    auto answer = CanonicalizeAnswer(cell.query, std::move(result.lines));
+    if (cell.clob_exact) {
+      EXPECT_EQ(answer, reference) << "Xcolumn";
+    } else {
+      EXPECT_EQ(answer.empty(), reference.empty()) << "Xcolumn";
+    }
+  }
+}
+
+std::string ExtendedCellName(
+    const ::testing::TestParamInfo<ExtendedCell>& info) {
+  std::string name = QueryName(info.param.query);
+  name += "_";
+  std::string cls = datagen::DbClassName(info.param.cls);
+  cls.erase(cls.find('/'), 1);
+  return name + cls;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullWorkload, ExtendedCrossEngineTest,
+    ::testing::Values(
+        ExtendedCell{QueryId::kQ1, DbClass::kDcSd, true, true},
+        ExtendedCell{QueryId::kQ2, DbClass::kTcMd, true, true},
+        ExtendedCell{QueryId::kQ3, DbClass::kTcSd, true, true},
+        ExtendedCell{QueryId::kQ4, DbClass::kTcMd, /*shred unsupported*/ true,
+                     true},
+        ExtendedCell{QueryId::kQ6, DbClass::kTcMd, true, true},
+        ExtendedCell{QueryId::kQ7, DbClass::kDcSd, true, true},
+        ExtendedCell{QueryId::kQ9, DbClass::kDcMd, true, true},
+        ExtendedCell{QueryId::kQ10, DbClass::kDcMd, true, true},
+        ExtendedCell{QueryId::kQ11, DbClass::kTcSd, true, true},
+        ExtendedCell{QueryId::kQ13, DbClass::kTcMd, false, true},
+        ExtendedCell{QueryId::kQ15, DbClass::kTcMd, true, true},
+        ExtendedCell{QueryId::kQ16, DbClass::kDcMd, false, true},
+        ExtendedCell{QueryId::kQ18, DbClass::kTcMd, false, true},
+        ExtendedCell{QueryId::kQ19, DbClass::kDcMd, true, true},
+        ExtendedCell{QueryId::kQ20, DbClass::kDcSd, true, true}),
+    ExtendedCellName);
+
+TEST(ExtendedWorkloadTest, Q4UnsupportedOnShreddedEngines) {
+  auto& setup = CrossEngineFixture::Get().ForClass(DbClass::kTcMd);
+  ExecutionResult result =
+      RunQuery(*setup.engines[EngineKind::kShredDb2], QueryId::kQ4,
+               DbClass::kTcMd, setup.params);
+  EXPECT_EQ(result.status.code(), StatusCode::kUnsupported);
+}
+
+// --- Engine-support matrix (the "-" cells of Tables 4-9) ---------------------
+
+TEST(EngineSupportMatrixTest, MatchesPaper) {
+  auto& fixture = CrossEngineFixture::Get();
+  // Xcolumn refuses SD classes.
+  EXPECT_FALSE(fixture.ForClass(DbClass::kTcSd)
+                   .load_status[EngineKind::kClob]
+                   .ok());
+  EXPECT_FALSE(fixture.ForClass(DbClass::kDcSd)
+                   .load_status[EngineKind::kClob]
+                   .ok());
+  EXPECT_TRUE(fixture.ForClass(DbClass::kTcMd)
+                  .load_status[EngineKind::kClob]
+                  .ok());
+  EXPECT_TRUE(fixture.ForClass(DbClass::kDcMd)
+                  .load_status[EngineKind::kClob]
+                  .ok());
+  // Everyone else loads the small scale.
+  for (DbClass cls : AllClasses()) {
+    for (EngineKind kind :
+         {EngineKind::kNative, EngineKind::kShredDb2,
+          EngineKind::kShredMsSql}) {
+      EXPECT_TRUE(fixture.ForClass(cls).load_status[kind].ok())
+          << engines::EngineKindName(kind) << " "
+          << datagen::DbClassName(cls);
+    }
+  }
+}
+
+TEST(CrossEngineResultsTest, TextSearchFindsAnswersSomewhere) {
+  // Guards against a degenerate parameterization where Q17 matches
+  // nothing anywhere (the word rank is chosen to occur at small scale).
+  auto& setup = CrossEngineFixture::Get().ForClass(DbClass::kTcSd);
+  auto lines = Answer(setup, EngineKind::kNative, QueryId::kQ17,
+                      DbClass::kTcSd);
+  EXPECT_FALSE(lines.empty());
+}
+
+TEST(CrossEngineResultsTest, Q5FragmentsLookRight) {
+  auto& setup = CrossEngineFixture::Get().ForClass(DbClass::kDcMd);
+  auto lines =
+      Answer(setup, EngineKind::kNative, QueryId::kQ5, DbClass::kDcMd);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("<order_line"), std::string::npos);
+  auto db2 =
+      Answer(setup, EngineKind::kShredDb2, QueryId::kQ5, DbClass::kDcMd);
+  ASSERT_EQ(db2.size(), 1u);
+  EXPECT_NE(db2[0].find("<order_line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xbench::workload

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/driver.h"
+#include "harness/report.h"
+#include "common/strings.h"
+#include "harness/scale.h"
+
+namespace xbench::harness {
+namespace {
+
+TEST(ReportTest, FormatMillis) {
+  EXPECT_EQ(FormatMillis(0.44), "0.4");
+  EXPECT_EQ(FormatMillis(9.96), "10.0");
+  EXPECT_EQ(FormatMillis(123.4), "123");
+  EXPECT_EQ(FormatMillis(10000.0), "10000");
+}
+
+TEST(ReportTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(1500), "1.50");
+  EXPECT_EQ(FormatSeconds(0), "0.00");
+}
+
+TEST(ReportTest, TableRendersGroupsAndRows) {
+  ResultTable table("Test Table");
+  std::vector<std::string> cells(12, "1.0");
+  cells[3] = "-";
+  table.AddRow("EngineA", cells);
+  table.AddRow("EngineB", std::vector<std::string>(12, "7"));
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Test Table"), std::string::npos);
+  for (const char* group : {"DC/SD", "DC/MD", "TC/SD", "TC/MD"}) {
+    EXPECT_NE(out.find(group), std::string::npos) << group;
+  }
+  for (const char* scale : {"Small", "Normal", "Large"}) {
+    EXPECT_NE(out.find(scale), std::string::npos) << scale;
+  }
+  EXPECT_NE(out.find("EngineA"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+  // Every row line has the same width (alignment).
+  size_t width = 0;
+  for (const std::string& line : Split(out, '\n')) {
+    if (line.find("Engine") != 0) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(ScaleTest, DefaultsAndEnvOverride) {
+  unsetenv("XBENCH_SMALL_KB");
+  EXPECT_EQ(TargetBytes(workload::Scale::kSmall), 512u * 1024);
+  EXPECT_GT(TargetBytes(workload::Scale::kNormal),
+            TargetBytes(workload::Scale::kSmall));
+  EXPECT_GT(TargetBytes(workload::Scale::kLarge),
+            TargetBytes(workload::Scale::kNormal));
+
+  setenv("XBENCH_SMALL_KB", "64", 1);
+  EXPECT_EQ(TargetBytes(workload::Scale::kSmall), 64u * 1024);
+  setenv("XBENCH_SMALL_KB", "garbage", 1);
+  EXPECT_EQ(TargetBytes(workload::Scale::kSmall), 512u * 1024);
+  unsetenv("XBENCH_SMALL_KB");
+}
+
+TEST(ScaleTest, Seed) {
+  unsetenv("XBENCH_SEED");
+  EXPECT_EQ(BenchSeed(), 42u);
+  setenv("XBENCH_SEED", "7", 1);
+  EXPECT_EQ(BenchSeed(), 7u);
+  unsetenv("XBENCH_SEED");
+}
+
+TEST(DriverTest, TinyScaleEndToEnd) {
+  // Shrink every scale so the full driver path runs in test time.
+  setenv("XBENCH_SMALL_KB", "24", 1);
+  setenv("XBENCH_NORMAL_KB", "32", 1);
+  setenv("XBENCH_LARGE_KB", "48", 1);
+
+  Driver driver;
+  const datagen::GeneratedDatabase& db =
+      driver.Database(datagen::DbClass::kTcMd, workload::Scale::kSmall);
+  EXPECT_GT(db.documents.size(), 0u);
+  // Caching: same object back.
+  EXPECT_EQ(&db, &driver.Database(datagen::DbClass::kTcMd,
+                                  workload::Scale::kSmall));
+
+  auto& loaded = driver.Loaded(engines::EngineKind::kNative,
+                               datagen::DbClass::kTcMd,
+                               workload::Scale::kSmall);
+  EXPECT_TRUE(loaded.load_status.ok()) << loaded.load_status.ToString();
+  EXPECT_GT(loaded.LoadMillis(), 0.0);
+
+  // A full query table renders 4 rows x 12 cells.
+  ResultTable table = driver.QueryTable(workload::QueryId::kQ8);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Q8"), std::string::npos);
+  EXPECT_NE(out.find("X-Hive"), std::string::npos);
+
+  EXPECT_NE(driver.IndexTable().find("order/@id"), std::string::npos);
+
+  unsetenv("XBENCH_SMALL_KB");
+  unsetenv("XBENCH_NORMAL_KB");
+  unsetenv("XBENCH_LARGE_KB");
+}
+
+}  // namespace
+}  // namespace xbench::harness

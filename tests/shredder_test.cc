@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "engines/dad.h"
+#include "engines/shredder.h"
+#include "xml/parser.h"
+
+namespace xbench::engines {
+namespace {
+
+using relational::Row;
+using relational::Value;
+
+class ShredderTest : public ::testing::Test {
+ protected:
+  ShredderTest() : pool_(disk_, 64), db_(disk_, pool_) {}
+
+  Status Shred(const std::string& xml_text, const Dad& dad,
+               const ShredOptions& options,
+               std::map<std::string, int64_t>* rows = nullptr) {
+    auto doc = xml::Parse(xml_text, "t.xml");
+    if (!doc.ok()) return doc.status();
+    return ShredDocument(*doc->root(), "t.xml", dad, options, db_,
+                         next_row_id_, rows);
+  }
+
+  storage::SimulatedDisk disk_;
+  storage::BufferPool pool_;
+  relational::Database db_;
+  int64_t next_row_id_ = 0;
+};
+
+Dad TinyDad() {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "a_tab",
+      "a",
+      {{"id", "@id", relational::ValueType::kString, false},
+       {"title", "t", relational::ValueType::kString, false},
+       {"deep", "x/y", relational::ValueType::kString, false}}});
+  dad.tables.push_back(TableMap{
+      "b_tab",
+      "b",
+      {{"text", ".", relational::ValueType::kString, false},
+       {"n", "@n", relational::ValueType::kInt, false}}});
+  return dad;
+}
+
+TEST_F(ShredderTest, ExtractRelPathForms) {
+  auto doc = xml::Parse(
+      R"(<a id="A1"><t>hello</t><x><y>deep</y></x>text</a>)", "t.xml");
+  ASSERT_TRUE(doc.ok());
+  const xml::Node& root = *doc->root();
+  EXPECT_EQ(ExtractRelPath(root, "@id"), std::make_pair(true, std::string("A1")));
+  EXPECT_EQ(ExtractRelPath(root, "t"),
+            std::make_pair(true, std::string("hello")));
+  EXPECT_EQ(ExtractRelPath(root, "x/y"),
+            std::make_pair(true, std::string("deep")));
+  EXPECT_FALSE(ExtractRelPath(root, "missing").first);
+  EXPECT_FALSE(ExtractRelPath(root, "@nope").first);
+  EXPECT_EQ(ExtractRelPath(root, ".").second, "hellodeeptext");
+}
+
+TEST_F(ShredderTest, CreatesTablesWithImplicitColumns) {
+  ASSERT_TRUE(CreateDadTables(TinyDad(), db_).ok());
+  relational::Table* table = db_.FindTable("a_tab");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->schema().IndexOf("doc"), kColDoc);
+  EXPECT_EQ(table->schema().IndexOf("row_id"), kColRowId);
+  EXPECT_EQ(table->schema().IndexOf("parent_table"), kColParentTable);
+  EXPECT_EQ(table->schema().IndexOf("parent_row"), kColParentRow);
+  EXPECT_EQ(table->schema().IndexOf("seq"), kColSeq);
+  EXPECT_EQ(table->schema().IndexOf("id"), kColFirstMapped);
+}
+
+TEST_F(ShredderTest, ShredsRowsWithParentLinks) {
+  ASSERT_TRUE(CreateDadTables(TinyDad(), db_).ok());
+  std::map<std::string, int64_t> rows;
+  ASSERT_TRUE(Shred(
+      R"(<root><a id="A1"><t>T1</t><b n="1">b1</b><b n="2">b2</b></a>
+         <a id="A2"><t>T2</t></a></root>)",
+      TinyDad(), ShredOptions{.keep_seq = true}, &rows)
+                  .ok());
+  EXPECT_EQ(rows["a_tab"], 2);
+  EXPECT_EQ(rows["b_tab"], 2);
+
+  relational::Table* a_tab = db_.FindTable("a_tab");
+  relational::Table* b_tab = db_.FindTable("b_tab");
+  std::vector<Row> a_rows;
+  a_tab->Scan([&](storage::RecordId, const Row& row) {
+    a_rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(a_rows.size(), 2u);
+  // Root <root> is unmapped: a rows have no parent.
+  EXPECT_TRUE(a_rows[0][kColParentTable].is_null());
+  EXPECT_EQ(a_rows[0][kColFirstMapped].AsString(), "A1");
+
+  std::vector<Row> b_rows;
+  b_tab->Scan([&](storage::RecordId, const Row& row) {
+    b_rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(b_rows.size(), 2u);
+  EXPECT_EQ(b_rows[0][kColParentTable].AsString(), "a_tab");
+  EXPECT_EQ(b_rows[0][kColParentRow].AsInt(), a_rows[0][kColRowId].AsInt());
+  EXPECT_EQ(b_rows[0][kColSeq].AsInt(), 1);
+  EXPECT_EQ(b_rows[1][kColSeq].AsInt(), 2);
+  EXPECT_EQ(b_rows[0][kColFirstMapped].AsString(), "b1");
+  // Typed column.
+  EXPECT_EQ(b_rows[1][static_cast<size_t>(kColFirstMapped) + 1].AsInt(), 2);
+}
+
+TEST_F(ShredderTest, SeqDroppedWhenNotKept) {
+  ASSERT_TRUE(CreateDadTables(TinyDad(), db_).ok());
+  ASSERT_TRUE(Shred(R"(<root><a id="A1"/></root>)", TinyDad(),
+                    ShredOptions{.keep_seq = false}, nullptr)
+                  .ok());
+  relational::Table* a_tab = db_.FindTable("a_tab");
+  a_tab->Scan([&](storage::RecordId, const Row& row) {
+    EXPECT_TRUE(row[kColSeq].is_null());
+    return true;
+  });
+}
+
+TEST_F(ShredderTest, MissingColumnsAreNull) {
+  ASSERT_TRUE(CreateDadTables(TinyDad(), db_).ok());
+  ASSERT_TRUE(Shred(R"(<root><a id="A1"/></root>)", TinyDad(), ShredOptions{},
+                    nullptr)
+                  .ok());
+  relational::Table* a_tab = db_.FindTable("a_tab");
+  a_tab->Scan([&](storage::RecordId, const Row& row) {
+    EXPECT_TRUE(row[static_cast<size_t>(kColFirstMapped) + 1].is_null());
+    EXPECT_TRUE(row[static_cast<size_t>(kColFirstMapped) + 2].is_null());
+    return true;
+  });
+}
+
+TEST_F(ShredderTest, MixedContentDroppedForMsSqlFlavor) {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "q_tab",
+      "q",
+      {{"qt", "qt", relational::ValueType::kString, /*mixed=*/true}}});
+  ASSERT_TRUE(CreateDadTables(dad, db_).ok());
+  const char* text = "<root><q><qt>before <em>word</em> after</qt></q></root>";
+
+  ASSERT_TRUE(
+      Shred(text, dad, ShredOptions{.drop_mixed_content = true}, nullptr)
+          .ok());
+  relational::Table* q_tab = db_.FindTable("q_tab");
+  std::vector<Row> rows;
+  q_tab->Scan([&](storage::RecordId, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][kColFirstMapped].is_null());
+
+  // DB2 flavor keeps the concatenated text.
+  ASSERT_TRUE(Shred(text, dad, ShredOptions{.drop_mixed_content = false},
+                    nullptr)
+                  .ok());
+  rows.clear();
+  q_tab->Scan([&](storage::RecordId, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][kColFirstMapped].AsString(), "before word after");
+}
+
+TEST_F(ShredderTest, RecursiveElementsGetChainedParents) {
+  Dad dad;
+  dad.tables.push_back(TableMap{
+      "sec_tab", "sec", {{"heading", "heading",
+                          relational::ValueType::kString, false}}});
+  ASSERT_TRUE(CreateDadTables(dad, db_).ok());
+  ASSERT_TRUE(Shred(
+      R"(<article><sec><heading>H1</heading><sec><heading>H1.1</heading></sec></sec></article>)",
+      dad, ShredOptions{}, nullptr)
+                  .ok());
+  relational::Table* sec_tab = db_.FindTable("sec_tab");
+  std::vector<Row> rows;
+  sec_tab->Scan([&](storage::RecordId, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(rows.size(), 2u);
+  // The nested sec's parent is the outer sec row (the added-id fix).
+  EXPECT_EQ(rows[1][kColParentTable].AsString(), "sec_tab");
+  EXPECT_EQ(rows[1][kColParentRow].AsInt(), rows[0][kColRowId].AsInt());
+}
+
+TEST(DadTest, AllClassesHaveDads) {
+  for (datagen::DbClass cls :
+       {datagen::DbClass::kTcSd, datagen::DbClass::kTcMd,
+        datagen::DbClass::kDcSd, datagen::DbClass::kDcMd}) {
+    EXPECT_FALSE(ShredDadFor(cls).tables.empty());
+  }
+  EXPECT_FALSE(ClobSideTablesFor(datagen::DbClass::kDcMd).tables.empty());
+  EXPECT_FALSE(ClobSideTablesFor(datagen::DbClass::kTcMd).tables.empty());
+  EXPECT_TRUE(ClobSideTablesFor(datagen::DbClass::kTcSd).tables.empty());
+  EXPECT_TRUE(ClobSideTablesFor(datagen::DbClass::kDcSd).tables.empty());
+}
+
+TEST(DadTest, ResolveIndexPaths) {
+  Dad dad = ShredDadFor(datagen::DbClass::kDcSd);
+  auto item = ResolveIndexPath(dad, "item/@id");
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->first, "item_tab");
+  EXPECT_EQ(item->second, "item_id");
+
+  auto date = ResolveIndexPath(dad, "date_of_release");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->first, "item_tab");
+
+  EXPECT_FALSE(ResolveIndexPath(dad, "no/such").ok());
+
+  Dad tcsd = ShredDadFor(datagen::DbClass::kTcSd);
+  auto hw = ResolveIndexPath(tcsd, "hw");
+  ASSERT_TRUE(hw.ok());
+  EXPECT_EQ(hw->first, "entry_tab");
+}
+
+}  // namespace
+}  // namespace xbench::engines

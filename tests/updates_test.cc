@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "engines/clob_engine.h"
+#include "engines/native_engine.h"
+#include "engines/shred_engine.h"
+#include "relational/exec.h"
+#include "tpcw/rows.h"
+#include "workload/classes.h"
+#include "workload/queries.h"
+#include "workload/runner.h"
+#include "xml/serializer.h"
+
+namespace xbench::engines {
+namespace {
+
+using datagen::DbClass;
+
+datagen::GeneratedDatabase OrdersDb() {
+  datagen::GenConfig config;
+  config.target_bytes = 64 * 1024;
+  config.seed = 42;
+  return datagen::Generate(DbClass::kDcMd, config);
+}
+
+LoadDocument NewOrderDoc(const std::string& id) {
+  return {"order_new_" + id + ".xml",
+          "<order id=\"" + id +
+              "\"><customer_id>C000001</customer_id>"
+              "<order_date>2002-01-01</order_date>"
+              "<sub_total>10.00</sub_total><tax>0.80</tax>"
+              "<total>10.80</total>"
+              "<shipping><ship_type>AIR</ship_type>"
+              "<ship_date>2002-01-02</ship_date></shipping>"
+              "<status>PENDING</status>"
+              "<order_lines><order_line no=\"1\">"
+              "<item_id>I000001</item_id><quantity>1</quantity>"
+              "<discount>0.00</discount></order_line></order_lines>"
+              "</order>"};
+}
+
+class UpdateWorkloadTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(UpdateWorkloadTest, InsertThenQueryFindsDocument) {
+  auto db = OrdersDb();
+  auto engine = workload::MakeEngine(GetParam());
+  ASSERT_TRUE(
+      engine->BulkLoad(db.db_class, workload::ToLoadDocuments(db)).ok());
+  ASSERT_TRUE(workload::CreateTable3Indexes(*engine, db.db_class).ok());
+
+  ASSERT_TRUE(engine->InsertDocument(NewOrderDoc("O999999")).ok());
+
+  workload::QueryParams params = workload::DeriveParams(db.db_class, db.seeds);
+  params.order_id = "O999999";
+  auto result = workload::RunQuery(*engine, workload::QueryId::kQ8,
+                                   db.db_class, params);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "AIR");
+}
+
+TEST_P(UpdateWorkloadTest, DeleteRemovesFromQueries) {
+  auto db = OrdersDb();
+  auto engine = workload::MakeEngine(GetParam());
+  ASSERT_TRUE(
+      engine->BulkLoad(db.db_class, workload::ToLoadDocuments(db)).ok());
+  ASSERT_TRUE(workload::CreateTable3Indexes(*engine, db.db_class).ok());
+
+  const workload::QueryParams params =
+      workload::DeriveParams(db.db_class, db.seeds);
+  auto before = workload::RunQuery(*engine, workload::QueryId::kQ8,
+                                   db.db_class, params);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_EQ(before.lines.size(), 1u);
+
+  const std::string doc_name =
+      "order" + params.order_id.substr(1) + ".xml";
+  ASSERT_TRUE(engine->DeleteDocument(doc_name).ok());
+
+  auto after = workload::RunQuery(*engine, workload::QueryId::kQ8,
+                                  db.db_class, params);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.lines.empty());
+
+  // Deleting twice fails cleanly.
+  EXPECT_EQ(engine->DeleteDocument(doc_name).code(), StatusCode::kNotFound);
+}
+
+TEST_P(UpdateWorkloadTest, InsertDeleteRoundTripPreservesOtherAnswers) {
+  auto db = OrdersDb();
+  auto engine = workload::MakeEngine(GetParam());
+  ASSERT_TRUE(
+      engine->BulkLoad(db.db_class, workload::ToLoadDocuments(db)).ok());
+  ASSERT_TRUE(workload::CreateTable3Indexes(*engine, db.db_class).ok());
+  const workload::QueryParams params =
+      workload::DeriveParams(db.db_class, db.seeds);
+
+  auto baseline = workload::RunQuery(*engine, workload::QueryId::kQ17,
+                                     db.db_class, params);
+  ASSERT_TRUE(baseline.status.ok());
+
+  ASSERT_TRUE(engine->InsertDocument(NewOrderDoc("O888888")).ok());
+  ASSERT_TRUE(engine->DeleteDocument("order_new_O888888.xml").ok());
+
+  auto again = workload::RunQuery(*engine, workload::QueryId::kQ17,
+                                  db.db_class, params);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(workload::CanonicalizeAnswer(workload::QueryId::kQ17,
+                                         baseline.lines),
+            workload::CanonicalizeAnswer(workload::QueryId::kQ17,
+                                         again.lines));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, UpdateWorkloadTest,
+    ::testing::Values(EngineKind::kNative, EngineKind::kClob,
+                      EngineKind::kShredDb2, EngineKind::kShredMsSql),
+    [](const auto& info) {
+      switch (info.param) {
+        case EngineKind::kNative:
+          return "Native";
+        case EngineKind::kClob:
+          return "Xcolumn";
+        case EngineKind::kShredDb2:
+          return "Xcollection";
+        case EngineKind::kShredMsSql:
+          return "SqlServer";
+      }
+      return "Unknown";
+    });
+
+// --- Table / B-tree delete mechanics ------------------------------------------
+
+TEST(TableDeleteTest, DeleteRemovesFromScansFetchesAndIndexes) {
+  storage::SimulatedDisk disk;
+  storage::BufferPool pool(disk, 64);
+  relational::Database db(disk, pool);
+  relational::Table* table = *db.CreateTable(
+      "t", relational::Schema({{"k", relational::ValueType::kInt}}));
+  ASSERT_TRUE(table->CreateIndex("by_k", {"k"}).ok());
+
+  std::vector<storage::RecordId> rids;
+  for (int i = 0; i < 10; ++i) {
+    rids.push_back(*table->Insert({relational::Value::Int(i % 5)}));
+  }
+  EXPECT_EQ(table->row_count(), 10u);
+
+  ASSERT_TRUE(table->Delete(rids[3]).ok());
+  EXPECT_EQ(table->row_count(), 9u);
+  EXPECT_FALSE(table->Fetch(rids[3]).ok());
+  EXPECT_EQ(
+      relational::IndexLookup(*table, "by_k", {relational::Value::Int(3)})
+          .size(),
+      1u);  // was 2 (rows 3 and 8)
+
+  int visited = 0;
+  table->Scan([&](storage::RecordId, const relational::Row&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 9);
+}
+
+TEST(BTreeEraseTest, ErasesSpecificDuplicate) {
+  VirtualClock clock;
+  relational::BTreeIndex tree(clock);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert({relational::Value::Int(i % 10)},
+                static_cast<storage::RecordId>(i));
+  }
+  EXPECT_TRUE(tree.Erase({relational::Value::Int(7)}, 507));
+  EXPECT_FALSE(tree.Erase({relational::Value::Int(7)}, 507));  // gone
+  EXPECT_FALSE(tree.Erase({relational::Value::Int(12)}, 1));   // no such key
+  auto rids = tree.Lookup({relational::Value::Int(7)});
+  EXPECT_EQ(rids.size(), 99u);
+  for (storage::RecordId rid : rids) EXPECT_NE(rid, 507u);
+  EXPECT_EQ(tree.entry_count(), 999u);
+}
+
+TEST(BTreeEraseTest, EraseAcrossLeavesAndReinsert) {
+  VirtualClock clock;
+  relational::BTreeIndex tree(clock);
+  // One heavily duplicated key spanning several leaves.
+  for (int i = 0; i < 600; ++i) {
+    tree.Insert({relational::Value::String("dup")},
+                static_cast<storage::RecordId>(i));
+  }
+  EXPECT_TRUE(tree.Erase({relational::Value::String("dup")}, 599));
+  EXPECT_TRUE(tree.Erase({relational::Value::String("dup")}, 0));
+  EXPECT_EQ(tree.Lookup({relational::Value::String("dup")}).size(), 598u);
+  tree.Insert({relational::Value::String("dup")}, 9999);
+  EXPECT_EQ(tree.Lookup({relational::Value::String("dup")}).size(), 599u);
+}
+
+}  // namespace
+}  // namespace xbench::engines

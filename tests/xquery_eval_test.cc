@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xquery/evaluator.h"
+
+namespace xbench::xquery {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = xml::Parse(R"(
+<catalog>
+  <item id="I1"><title>Alpha</title><size>100</size>
+    <authors><author><name>Ann</name><country>CA</country></author></authors>
+  </item>
+  <item id="I2"><title>Beta</title><size>300</size>
+    <authors>
+      <author><name>Bob</name><country>US</country></author>
+      <author><name>Cyd</name><country>US</country></author>
+    </authors>
+  </item>
+  <item id="I3"><title>Gamma</title><size>200</size>
+    <authors><author><name>Dee</name><country>US</country></author></authors>
+    <note/>
+  </item>
+</catalog>)",
+                             "catalog.xml");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    doc_ = std::make_unique<xml::Document>(std::move(parsed).value());
+    bindings_["input"] = Sequence{Item::Node(doc_->root())};
+  }
+
+  std::string Run(std::string_view query) {
+    auto result = EvaluateQuery(query, bindings_);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    std::string text = result->ToText();
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  Bindings bindings_;
+};
+
+TEST_F(EvalTest, ChildPath) {
+  EXPECT_EQ(Run("$input/item/title"),
+            "<title>Alpha</title>\n<title>Beta</title>\n<title>Gamma</title>");
+}
+
+TEST_F(EvalTest, DescendantPath) {
+  EXPECT_EQ(Run("for $n in $input//name return data($n)"), "Ann\nBob\nCyd\nDee");
+}
+
+TEST_F(EvalTest, AttributeStep) {
+  EXPECT_EQ(Run("$input/item/@id"), "I1\nI2\nI3");
+}
+
+TEST_F(EvalTest, PredicateByAttribute) {
+  EXPECT_EQ(Run(R"($input/item[@id = "I2"]/title)"), "<title>Beta</title>");
+}
+
+TEST_F(EvalTest, PredicateByChildValue) {
+  EXPECT_EQ(Run(R"($input/item[title = "Gamma"]/@id)"), "I3");
+}
+
+TEST_F(EvalTest, PositionalPredicate) {
+  EXPECT_EQ(Run("$input/item[2]/title"), "<title>Beta</title>");
+  EXPECT_EQ(Run("$input/item[last()]/title"), "<title>Gamma</title>");
+  EXPECT_EQ(Run("$input/item[position() >= 2]/@id"), "I2\nI3");
+}
+
+TEST_F(EvalTest, FilterExpressionIsWholeSequencePositional) {
+  EXPECT_EQ(Run("($input//author)[1]/name"), "<name>Ann</name>");
+  EXPECT_EQ(Run("($input//author)[3]/name"), "<name>Cyd</name>");
+}
+
+TEST_F(EvalTest, WildcardAndParent) {
+  EXPECT_EQ(Run(R"(count($input/item[@id="I1"]/*))"), "3");
+  EXPECT_EQ(Run(R"($input//author[name = "Cyd"]/../../title)"),
+            "<title>Beta</title>");
+}
+
+TEST_F(EvalTest, DocumentOrderAndDedup) {
+  // Sequence concatenation does NOT dedup (XQuery semantics)...
+  EXPECT_EQ(Run("count(($input//author, $input//author))"), "8");
+  // ...but path steps do: item I2's two authors share one parent.
+  EXPECT_EQ(Run("count($input//author/..)"), "3");
+  // And step results come back in document order even when predicates
+  // reorder evaluation.
+  EXPECT_EQ(Run("for $n in $input//author/name return data($n)"),
+            "Ann\nBob\nCyd\nDee");
+}
+
+TEST_F(EvalTest, FlworWhereReturn) {
+  EXPECT_EQ(Run(R"(for $i in $input/item where number($i/size) > 150 return data($i/title))"),
+            "Beta\nGamma");
+}
+
+TEST_F(EvalTest, FlworLetAndOrderBy) {
+  EXPECT_EQ(Run(R"(for $i in $input/item let $t := $i/title
+order by number($i/size) descending return data($t))"),
+            "Beta\nGamma\nAlpha");
+}
+
+TEST_F(EvalTest, FlworStringOrderBy) {
+  EXPECT_EQ(Run(R"(for $i in $input/item order by $i/title descending return data($i/@id))"),
+            "I3\nI2\nI1");
+}
+
+TEST_F(EvalTest, FlworPositionVariable) {
+  EXPECT_EQ(Run("for $i at $n in $input/item return $n"), "1\n2\n3");
+}
+
+TEST_F(EvalTest, NestedForCartesian) {
+  EXPECT_EQ(Run(R"(count(for $i in $input/item, $a in $i//author return $a))"),
+            "4");
+}
+
+TEST_F(EvalTest, QuantifiedSome) {
+  EXPECT_EQ(
+      Run(R"(for $i in $input/item where some $a in $i//author satisfies $a/name = "Bob" return data($i/@id))"),
+      "I2");
+}
+
+TEST_F(EvalTest, QuantifiedEvery) {
+  EXPECT_EQ(
+      Run(R"(for $i in $input/item where every $c in $i//country satisfies $c = "US" return data($i/@id))"),
+      "I2\nI3");
+}
+
+TEST_F(EvalTest, IfThenElse) {
+  EXPECT_EQ(Run(R"(if (count($input/item) > 2) then "many" else "few")"),
+            "many");
+}
+
+TEST_F(EvalTest, EmptyFunctionOnMissingElement) {
+  EXPECT_EQ(Run(R"(for $i in $input/item where empty($i/note) return data($i/@id))"),
+            "I1\nI2");
+}
+
+TEST_F(EvalTest, GeneralComparisonIsAnyMatch) {
+  EXPECT_EQ(Run(R"($input//country = "CA")"), "true");
+  EXPECT_EQ(Run(R"($input//country = "FR")"), "false");
+}
+
+TEST_F(EvalTest, NumericComparisonCoercion) {
+  EXPECT_EQ(Run(R"($input/item[1]/size = 100)"), "true");
+  // "100" vs 100.0 compares numerically.
+  EXPECT_EQ(Run(R"($input/item[1]/size = "100")"), "true");
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(Run("1 + 2 * 3"), "7");
+  EXPECT_EQ(Run("(1 + 2) * 3"), "9");
+  EXPECT_EQ(Run("10 div 4"), "2.5");
+  EXPECT_EQ(Run("10 mod 4"), "2");
+  EXPECT_EQ(Run("-5 + 2"), "-3");
+  EXPECT_EQ(Run("sum($input//size) div count($input//size)"), "200");
+}
+
+TEST_F(EvalTest, ConstructorBasic) {
+  EXPECT_EQ(Run(R"(<r total="{count($input/item)}">ok</r>)"),
+            R"(<r total="3">ok</r>)");
+}
+
+TEST_F(EvalTest, ConstructorCopiesNodes) {
+  EXPECT_EQ(Run(R"(<wrap>{$input/item[1]/title}</wrap>)"),
+            "<wrap><title>Alpha</title></wrap>");
+}
+
+TEST_F(EvalTest, ConstructorAtomicsSpaceJoined) {
+  EXPECT_EQ(Run(R"(<v>{data($input/item/@id)}</v>)"), "<v>I1 I2 I3</v>");
+}
+
+TEST_F(EvalTest, ConstructorNested) {
+  EXPECT_EQ(Run(R"(<a><b>{1+1}</b><c/></a>)"), "<a><b>2</b><c/></a>");
+}
+
+TEST_F(EvalTest, PathOverConstructedNodes) {
+  EXPECT_EQ(Run(R"(for $r in <x><y>1</y><y>2</y></x> return count($r/y))"),
+            "2");
+}
+
+TEST_F(EvalTest, SiblingAxes) {
+  EXPECT_EQ(Run(R"($input/item[@id="I1"]/following-sibling::item[1]/@id)"),
+            "I2");
+  EXPECT_EQ(Run(R"($input/item[@id="I3"]/preceding-sibling::item[1]/@id)"),
+            "I2");
+  EXPECT_EQ(Run(R"($input/item[@id="I1"]/preceding-sibling::item[1]/@id)"),
+            "");
+}
+
+TEST_F(EvalTest, UnboundVariableErrors) {
+  EXPECT_NE(Run("$nope").find("ERROR"), std::string::npos);
+}
+
+TEST_F(EvalTest, StepOnAtomicErrors) {
+  EXPECT_NE(Run(R"("str"/a)").find("ERROR"), std::string::npos);
+}
+
+TEST_F(EvalTest, MultiDocumentBinding) {
+  auto d2 = xml::Parse("<catalog><item id=\"X9\"/></catalog>", "c2.xml");
+  ASSERT_TRUE(d2.ok());
+  xml::Document doc2 = std::move(d2).value();
+  Bindings bindings;
+  bindings["input"] =
+      Sequence{Item::Node(doc_->root()), Item::Node(doc2.root())};
+  auto result = EvaluateQuery("count($input/item)", bindings);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToText(), "4\n");
+}
+
+TEST_F(EvalTest, TextNodeTest) {
+  EXPECT_EQ(Run(R"(count($input/item[1]/title/text()))"), "1");
+}
+
+TEST_F(EvalTest, NestedFlwor) {
+  EXPECT_EQ(
+      Run(R"(for $i in $input/item
+return count(for $a in $i//author where $a/country = "US" return $a))"),
+      "0\n2\n1");
+}
+
+TEST_F(EvalTest, LetBindsFullSequence) {
+  EXPECT_EQ(Run(R"(let $all := $input//author return count($all))"), "4");
+  EXPECT_EQ(
+      Run(R"(for $i in $input/item let $n := count($i//author) where $n > 1 return data($i/@id))"),
+      "I2");
+}
+
+TEST_F(EvalTest, MultiKeyOrderBy) {
+  EXPECT_EQ(
+      Run(R"(for $a in $input//author
+order by $a/country, $a/name descending
+return data($a/name))"),
+      "Ann\nDee\nCyd\nBob");
+}
+
+TEST_F(EvalTest, OrderByEmptyKeysSortFirst) {
+  // item I3's note has no text; items without the key sort first.
+  EXPECT_EQ(Run(R"(for $i in $input/item
+order by $i/note, $i/title
+return data($i/@id))"),
+            "I1\nI2\nI3");
+}
+
+TEST_F(EvalTest, PredicateWithPositionFunction) {
+  EXPECT_EQ(Run(R"(data($input/item[position() = last()]/@id))"), "I3");
+  EXPECT_EQ(Run(R"(count($input/item[position() < 3]))"), "2");
+}
+
+TEST_F(EvalTest, DescendantWithPredicate) {
+  EXPECT_EQ(Run(R"(count($input//author[country = "US"]))"), "3");
+  EXPECT_EQ(Run(R"(data(($input//author[country = "US"])[2]/name))"), "Cyd");
+}
+
+TEST_F(EvalTest, ComparisonOperatorsFull) {
+  EXPECT_EQ(Run("1 != 2"), "true");
+  EXPECT_EQ(Run("2 <= 2"), "true");
+  EXPECT_EQ(Run("3 >= 4"), "false");
+  EXPECT_EQ(Run(R"("abc" < "abd")"), "true");
+  // Empty sequence comparisons are false.
+  EXPECT_EQ(Run("$input/item/nothing = 1"), "false");
+}
+
+TEST_F(EvalTest, ConstructorAttributeFromExpression) {
+  EXPECT_EQ(Run(R"(<r n="{count($input/item)}" s="a{1+1}b"/>)"),
+            R"(<r n="3" s="a2b"/>)");
+}
+
+TEST_F(EvalTest, ConstructedNodesAreCopies) {
+  // Mutating nothing: constructing from a node clones it, so the source
+  // is still reachable unchanged afterwards.
+  EXPECT_EQ(Run(R"(count((<w>{$input/item[1]/title}</w>, $input/item[1]/title)))"),
+            "2");
+}
+
+TEST_F(EvalTest, IfWithoutParensFails) {
+  EXPECT_NE(Run("if $x then 1 else 2").find("ERROR"), std::string::npos);
+}
+
+TEST_F(EvalTest, WhitespaceAndCommentsTolerated) {
+  EXPECT_EQ(Run("  (: c :) 1 (: d :) + 2  "), "3");
+}
+
+TEST_F(EvalTest, StringFunctionsOverNodes) {
+  EXPECT_EQ(Run(R"(string-join($input/item/title, "|"))"),
+            "Alpha|Beta|Gamma");
+  EXPECT_EQ(Run(R"(upper-case($input/item[1]/title))"), "ALPHA");
+  EXPECT_EQ(Run(R"(substring($input/item[2]/title, 1, 3))"), "Bet");
+}
+
+TEST_F(EvalTest, RangeExpression) {
+  EXPECT_EQ(Run("count(1 to 5)"), "5");
+  EXPECT_EQ(Run("sum(1 to 4)"), "10");
+  EXPECT_EQ(Run("count(3 to 2)"), "0");  // empty when lo > hi
+  EXPECT_EQ(Run("for $i in 1 to 3 return $i"), "1\n2\n3");
+}
+
+TEST_F(EvalTest, UnionOperator) {
+  // Union dedups and restores document order.
+  EXPECT_EQ(Run("count($input//name | $input//country)"), "8");
+  EXPECT_EQ(Run("count($input//author | $input//author)"), "4");
+  EXPECT_EQ(
+      Run(R"(for $n in ($input/item[1]/size | $input/item[1]/title) return name($n))"),
+      "title\nsize");  // document order, not operand order
+  EXPECT_NE(Run(R"(("a" | "b"))").find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xbench::xquery

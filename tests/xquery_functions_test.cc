@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xquery/functions.h"
+
+namespace xbench::xquery {
+namespace {
+
+Sequence Strings(std::initializer_list<const char*> values) {
+  Sequence seq;
+  for (const char* v : values) seq.push_back(Item::String(v));
+  return seq;
+}
+
+Sequence Numbers(std::initializer_list<double> values) {
+  Sequence seq;
+  for (double v : values) seq.push_back(Item::Number(v));
+  return seq;
+}
+
+std::string One(Result<Sequence> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok() || result->empty()) return "";
+  return AtomizeToString(result->front());
+}
+
+TEST(FunctionsTest, Count) {
+  EXPECT_EQ(One(CallFunction("count", {Strings({"a", "b"})})), "2");
+  EXPECT_EQ(One(CallFunction("count", {Sequence{}})), "0");
+}
+
+TEST(FunctionsTest, Aggregates) {
+  EXPECT_EQ(One(CallFunction("sum", {Numbers({1, 2, 3})})), "6");
+  EXPECT_EQ(One(CallFunction("avg", {Numbers({1, 2, 3, 4})})), "2.5");
+  EXPECT_EQ(One(CallFunction("min", {Numbers({5, 1, 9})})), "1");
+  EXPECT_EQ(One(CallFunction("max", {Numbers({5, 1, 9})})), "9");
+}
+
+TEST(FunctionsTest, AggregatesOnNumericStrings) {
+  EXPECT_EQ(One(CallFunction("sum", {Strings({"10", "20"})})), "30");
+}
+
+TEST(FunctionsTest, SumRejectsNonNumeric) {
+  EXPECT_FALSE(CallFunction("sum", {Strings({"abc"})}).ok());
+}
+
+TEST(FunctionsTest, MinMaxStrings) {
+  EXPECT_EQ(One(CallFunction("min", {Strings({"pear", "apple"})})), "apple");
+  EXPECT_EQ(One(CallFunction("max", {Strings({"pear", "apple"})})), "pear");
+}
+
+TEST(FunctionsTest, EmptyAggregatesReturnEmpty) {
+  auto result = CallFunction("sum", {Sequence{}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(FunctionsTest, StringPredicates) {
+  EXPECT_EQ(One(CallFunction("contains", {Strings({"hello world"}),
+                                          Strings({"lo wo"})})),
+            "true");
+  EXPECT_EQ(One(CallFunction("contains-word", {Strings({"a word here"}),
+                                               Strings({"word"})})),
+            "true");
+  EXPECT_EQ(One(CallFunction("contains-word", {Strings({"sword"}),
+                                               Strings({"word"})})),
+            "false");
+  EXPECT_EQ(One(CallFunction("starts-with", {Strings({"abc"}), Strings({"ab"})})),
+            "true");
+  EXPECT_EQ(One(CallFunction("ends-with", {Strings({"abc"}), Strings({"bc"})})),
+            "true");
+}
+
+TEST(FunctionsTest, StringManipulation) {
+  EXPECT_EQ(One(CallFunction("string-length", {Strings({"abcd"})})), "4");
+  EXPECT_EQ(One(CallFunction("substring",
+                             {Strings({"hello"}), Numbers({2}), Numbers({3})})),
+            "ell");
+  EXPECT_EQ(One(CallFunction("substring", {Strings({"hello"}), Numbers({4})})),
+            "lo");
+  EXPECT_EQ(One(CallFunction("concat", {Strings({"a"}), Strings({"b"})})),
+            "ab");
+  EXPECT_EQ(One(CallFunction("string-join",
+                             {Strings({"a", "b", "c"}), Strings({", "})})),
+            "a, b, c");
+  EXPECT_EQ(One(CallFunction("upper-case", {Strings({"aBc"})})), "ABC");
+  EXPECT_EQ(One(CallFunction("lower-case", {Strings({"AbC"})})), "abc");
+  EXPECT_EQ(One(CallFunction("normalize-space", {Strings({"  a\t b  "})})),
+            "a b");
+}
+
+TEST(FunctionsTest, CastsAndNumbers) {
+  EXPECT_EQ(One(CallFunction("number", {Strings({"12.5"})})), "12.5");
+  EXPECT_EQ(One(CallFunction("xs:integer", {Strings({"12.9"})})), "12");
+  EXPECT_FALSE(CallFunction("xs:double", {Strings({"nope"})}).ok());
+  auto nan = CallFunction("number", {Strings({"nope"})});
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(nan->front().num));
+  EXPECT_EQ(One(CallFunction("xs:date", {Strings({"2001-05-17"})})),
+            "2001-05-17");
+  EXPECT_FALSE(CallFunction("xs:date", {Strings({"17/05/2001"})}).ok());
+}
+
+TEST(FunctionsTest, BooleansAndSequences) {
+  EXPECT_EQ(One(CallFunction("not", {Sequence{}})), "true");
+  EXPECT_EQ(One(CallFunction("boolean", {Strings({"x"})})), "true");
+  EXPECT_EQ(One(CallFunction("empty", {Sequence{}})), "true");
+  EXPECT_EQ(One(CallFunction("exists", {Strings({"x"})})), "true");
+  EXPECT_EQ(One(CallFunction("true", {})), "true");
+  EXPECT_EQ(One(CallFunction("false", {})), "false");
+}
+
+TEST(FunctionsTest, DistinctValues) {
+  auto result = CallFunction("distinct-values", {Strings({"b", "a", "b"})});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(AtomizeToString((*result)[0]), "b");  // first-seen order
+  EXPECT_EQ(AtomizeToString((*result)[1]), "a");
+}
+
+TEST(FunctionsTest, Rounding) {
+  EXPECT_EQ(One(CallFunction("round", {Numbers({2.5})})), "3");
+  EXPECT_EQ(One(CallFunction("floor", {Numbers({2.9})})), "2");
+  EXPECT_EQ(One(CallFunction("ceiling", {Numbers({2.1})})), "3");
+}
+
+TEST(FunctionsTest, UnknownFunctionErrors) {
+  auto result = CallFunction("no-such-fn", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FunctionsTest, ArityErrors) {
+  EXPECT_FALSE(CallFunction("count", {}).ok());
+  EXPECT_FALSE(CallFunction("contains", {Strings({"a"})}).ok());
+}
+
+TEST(FunctionsTest, ContextFunctionsFlagged) {
+  EXPECT_TRUE(IsContextFunction("position"));
+  EXPECT_TRUE(IsContextFunction("last"));
+  EXPECT_FALSE(IsContextFunction("count"));
+}
+
+TEST(SequenceTest, EffectiveBooleanValue) {
+  EXPECT_FALSE(*EffectiveBooleanValue(Sequence{}));
+  EXPECT_TRUE(*EffectiveBooleanValue(Strings({"x"})));
+  EXPECT_FALSE(*EffectiveBooleanValue(Strings({""})));
+  EXPECT_TRUE(*EffectiveBooleanValue(Numbers({1})));
+  EXPECT_FALSE(*EffectiveBooleanValue(Numbers({0})));
+  EXPECT_FALSE(EffectiveBooleanValue(Strings({"a", "b"})).ok());
+}
+
+TEST(SequenceTest, FormatNumber) {
+  EXPECT_EQ(FormatNumber(3.0), "3");
+  EXPECT_EQ(FormatNumber(3.25), "3.25");
+  EXPECT_EQ(FormatNumber(-2.0), "-2");
+}
+
+}  // namespace
+}  // namespace xbench::xquery

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "xquery/lexer.h"
+
+namespace xbench::xquery {
+namespace {
+
+std::vector<Token> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> tokens;
+  while (lexer.Peek().kind != TokenKind::kEnd) {
+    tokens.push_back(lexer.Next());
+  }
+  return tokens;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = LexAll(R"(for $x in /a//b[@id = "v"] return count($x))");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[0].text, "for");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].text, "in");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSlash);
+  EXPECT_EQ(tokens[4].text, "a");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kDoubleSlash);
+}
+
+TEST(LexerTest, StringsAndNumbers) {
+  auto tokens = LexAll(R"("double" 'single' 42 3.14 .5)");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "double");
+  EXPECT_EQ(tokens[1].text, "single");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].text, "42");
+  EXPECT_EQ(tokens[3].text, "3.14");
+  EXPECT_EQ(tokens[4].text, ".5");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = LexAll("$a = 1 != 2 <= 3 >= 4 > 5");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kGt);
+}
+
+TEST(LexerTest, LtAfterOperandIsComparison) {
+  auto tokens = LexAll("$a < 5");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLt);
+}
+
+TEST(LexerTest, LtAfterReturnIsConstructor) {
+  auto tokens = LexAll("return <result");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLtElem);
+}
+
+TEST(LexerTest, LtAfterPathStepNameIsComparison) {
+  auto tokens = LexAll("size < 100");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLt);
+}
+
+TEST(LexerTest, AxisTokens) {
+  auto tokens = LexAll("following-sibling::sec self::order");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAxis);
+  EXPECT_EQ(tokens[0].text, "following-sibling");
+  EXPECT_EQ(tokens[1].text, "sec");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAxis);
+  EXPECT_EQ(tokens[2].text, "self");
+}
+
+TEST(LexerTest, LetBinding) {
+  auto tokens = LexAll("let $v := 1");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kColonEq);
+}
+
+TEST(LexerTest, SkipsComments) {
+  auto tokens = LexAll("1 (: comment (: not nested for us :) 2");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "2");
+}
+
+TEST(LexerTest, DotAndDotDot) {
+  auto tokens = LexAll(". .. ./a");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDotDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSlash);
+}
+
+TEST(LexerTest, QualifiedFunctionName) {
+  auto tokens = LexAll("xs:double($x)");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[0].text, "xs:double");
+}
+
+TEST(LexerTest, ErrorOnBadVariable) {
+  Lexer lexer("$ 1");
+  EXPECT_FALSE(lexer.status().ok());
+}
+
+TEST(LexerTest, ErrorOnUnterminatedString) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.status().ok());
+}
+
+TEST(LexerTest, SeekToRelexes) {
+  Lexer lexer("a b c");
+  lexer.Next();
+  size_t pos = lexer.Peek().offset;
+  lexer.Next();
+  lexer.SeekTo(pos);
+  EXPECT_EQ(lexer.Peek().text, "b");
+}
+
+}  // namespace
+}  // namespace xbench::xquery

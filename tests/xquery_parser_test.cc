@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "xquery/parser.h"
+
+namespace xbench::xquery {
+namespace {
+
+ExprPtr MustParse(std::string_view query) {
+  auto result = ParseQuery(query);
+  EXPECT_TRUE(result.ok()) << query << " -> " << result.status().ToString();
+  if (!result.ok()) return nullptr;
+  return std::move(result).value();
+}
+
+TEST(ParserTest, Literals) {
+  auto e = MustParse(R"("hello")");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kStringLiteral);
+  EXPECT_EQ(e->string_value, "hello");
+
+  e = MustParse("3.5");
+  EXPECT_EQ(e->kind, ExprKind::kNumberLiteral);
+  EXPECT_DOUBLE_EQ(e->number_value, 3.5);
+}
+
+TEST(ParserTest, VariableAndPath) {
+  auto e = MustParse("$doc/a//b/@id");
+  ASSERT_EQ(e->kind, ExprKind::kPath);
+  ASSERT_NE(e->path_root, nullptr);
+  EXPECT_EQ(e->path_root->kind, ExprKind::kVariable);
+  // a, descendant-or-self::*, b, @id
+  ASSERT_EQ(e->steps.size(), 4u);
+  EXPECT_EQ(e->steps[0].axis, Axis::kChild);
+  EXPECT_EQ(e->steps[0].name_test, "a");
+  EXPECT_EQ(e->steps[1].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(e->steps[2].name_test, "b");
+  EXPECT_EQ(e->steps[3].axis, Axis::kAttribute);
+  EXPECT_EQ(e->steps[3].name_test, "id");
+}
+
+TEST(ParserTest, PredicatesOnSteps) {
+  auto e = MustParse(R"($d/item[@id = "I1"][2]/title)");
+  ASSERT_EQ(e->kind, ExprKind::kPath);
+  ASSERT_EQ(e->steps.size(), 2u);
+  EXPECT_EQ(e->steps[0].predicates.size(), 2u);
+  EXPECT_EQ(e->steps[0].predicates[1]->kind, ExprKind::kNumberLiteral);
+}
+
+TEST(ParserTest, FilterOnPrimary) {
+  auto e = MustParse("($d//q)[1]");
+  ASSERT_EQ(e->kind, ExprKind::kFilter);
+  EXPECT_EQ(e->children.size(), 1u);
+}
+
+TEST(ParserTest, FilterThenSteps) {
+  auto e = MustParse("($d/body/sec)[1]/heading");
+  ASSERT_EQ(e->kind, ExprKind::kPath);
+  ASSERT_NE(e->path_root, nullptr);
+  EXPECT_EQ(e->path_root->kind, ExprKind::kFilter);
+  ASSERT_EQ(e->steps.size(), 1u);
+  EXPECT_EQ(e->steps[0].name_test, "heading");
+}
+
+TEST(ParserTest, FlworFull) {
+  auto e = MustParse(
+      R"(for $a in $input, $b in $a/x let $t := $b/title
+where $t = "x" order by $t descending return $t)");
+  ASSERT_EQ(e->kind, ExprKind::kFlwor);
+  EXPECT_EQ(e->for_clauses.size(), 2u);
+  EXPECT_EQ(e->let_clauses.size(), 1u);
+  EXPECT_EQ(e->clause_order, "ffl");
+  ASSERT_NE(e->where, nullptr);
+  ASSERT_EQ(e->order_by.size(), 1u);
+  EXPECT_FALSE(e->order_by[0].ascending);
+  ASSERT_NE(e->return_expr, nullptr);
+}
+
+TEST(ParserTest, FlworAtVariable) {
+  auto e = MustParse("for $x at $i in $input return $i");
+  ASSERT_EQ(e->kind, ExprKind::kFlwor);
+  EXPECT_EQ(e->for_clauses[0].position_variable, "i");
+}
+
+TEST(ParserTest, NumericOrderKeyDetected) {
+  auto e = MustParse("for $x in $i order by number($x/size) return $x");
+  ASSERT_EQ(e->order_by.size(), 1u);
+  EXPECT_TRUE(e->order_by[0].numeric);
+}
+
+TEST(ParserTest, Quantified) {
+  auto e = MustParse(R"(some $p in $a//p satisfies contains($p, "k"))");
+  ASSERT_EQ(e->kind, ExprKind::kQuantified);
+  EXPECT_FALSE(e->quantifier_every);
+  auto e2 = MustParse(R"(every $c in $x satisfies $c = "z")");
+  EXPECT_TRUE(e2->quantifier_every);
+}
+
+TEST(ParserTest, IfThenElse) {
+  auto e = MustParse(R"(if ($x = 1) then "a" else "b")");
+  ASSERT_EQ(e->kind, ExprKind::kIfThenElse);
+}
+
+TEST(ParserTest, OperatorsAndPrecedence) {
+  auto e = MustParse("$a = 1 + 2 * 3");
+  ASSERT_EQ(e->kind, ExprKind::kComparison);
+  ASSERT_EQ(e->rhs->kind, ExprKind::kArithmetic);
+  EXPECT_EQ(e->rhs->arith_op, ArithOp::kAdd);
+  EXPECT_EQ(e->rhs->rhs->arith_op, ArithOp::kMul);
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  auto e = MustParse("$a = 1 and $b = 2 or $c = 3");
+  ASSERT_EQ(e->kind, ExprKind::kLogical);
+  EXPECT_EQ(e->logical_op, LogicalOp::kOr);
+  EXPECT_EQ(e->lhs->kind, ExprKind::kLogical);
+  EXPECT_EQ(e->lhs->logical_op, LogicalOp::kAnd);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto e = MustParse(R"(count($x//item))");
+  ASSERT_EQ(e->kind, ExprKind::kFunctionCall);
+  EXPECT_EQ(e->function_name, "count");
+  ASSERT_EQ(e->children.size(), 1u);
+  auto e2 = MustParse(R"(concat("a", "b", "c"))");
+  EXPECT_EQ(e2->children.size(), 3u);
+}
+
+TEST(ParserTest, EmptySequence) {
+  auto e = MustParse("()");
+  ASSERT_EQ(e->kind, ExprKind::kSequence);
+  EXPECT_TRUE(e->children.empty());
+}
+
+TEST(ParserTest, CommaSequence) {
+  auto e = MustParse("1, 2, 3");
+  ASSERT_EQ(e->kind, ExprKind::kSequence);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(ParserTest, DirectConstructorSimple) {
+  auto e = MustParse("<result/>");
+  ASSERT_EQ(e->kind, ExprKind::kConstructor);
+  EXPECT_EQ(e->element_name, "result");
+}
+
+TEST(ParserTest, ConstructorWithContent) {
+  auto e = MustParse(R"(<r a="1" b="{$x}">text {$y/title} <nested>{1 + 2}</nested></r>)");
+  ASSERT_EQ(e->kind, ExprKind::kConstructor);
+  ASSERT_EQ(e->constructor_attrs.size(), 2u);
+  EXPECT_EQ(e->constructor_attrs[0].name, "a");
+  ASSERT_EQ(e->constructor_attrs[1].value_parts.size(), 1u);
+  EXPECT_EQ(e->constructor_attrs[1].value_parts[0].kind,
+            ConstructorContent::kExpr);
+  ASSERT_GE(e->constructor_content.size(), 3u);
+  EXPECT_EQ(e->constructor_content[0].kind, ConstructorContent::kText);
+  EXPECT_EQ(e->constructor_content[1].kind, ConstructorContent::kExpr);
+  EXPECT_EQ(e->constructor_content.back().kind, ConstructorContent::kChild);
+}
+
+TEST(ParserTest, ConstructorAfterReturn) {
+  auto e = MustParse(R"(for $x in $i return <hit>{$x}</hit>)");
+  ASSERT_EQ(e->kind, ExprKind::kFlwor);
+  EXPECT_EQ(e->return_expr->kind, ExprKind::kConstructor);
+}
+
+TEST(ParserTest, AxesParse) {
+  auto e = MustParse(
+      R"($a/body/sec[heading = "Introduction"]/following-sibling::sec[1]/heading)");
+  ASSERT_EQ(e->kind, ExprKind::kPath);
+  ASSERT_EQ(e->steps.size(), 4u);
+  EXPECT_EQ(e->steps[2].axis, Axis::kFollowingSibling);
+}
+
+TEST(ParserTest, ParentAxisViaDotDot) {
+  auto e = MustParse("$a/b/../c");
+  ASSERT_EQ(e->steps.size(), 3u);
+  EXPECT_EQ(e->steps[1].axis, Axis::kParent);
+}
+
+TEST(ParserTest, TextNodeTest) {
+  auto e = MustParse("$a/text()");
+  ASSERT_EQ(e->steps.size(), 1u);
+  EXPECT_EQ(e->steps[0].name_test, "text()");
+}
+
+TEST(ParserTest, WildcardStep) {
+  auto e = MustParse("$a/*/b");
+  ASSERT_EQ(e->steps.size(), 2u);
+  EXPECT_EQ(e->steps[0].name_test, "*");
+}
+
+TEST(ParserTest, ValueComparisonKeywords) {
+  auto e = MustParse(R"($a eq "x")");
+  ASSERT_EQ(e->kind, ExprKind::kComparison);
+  EXPECT_EQ(e->compare_op, CompareOp::kEq);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("for $x in").ok());
+  EXPECT_FALSE(ParseQuery("for x in $y return $x").ok());
+  EXPECT_FALSE(ParseQuery("(1, 2").ok());
+  EXPECT_FALSE(ParseQuery("$x[1").ok());
+  EXPECT_FALSE(ParseQuery("<a><b></a>").ok());
+  EXPECT_FALSE(ParseQuery("1 2").ok());
+  EXPECT_FALSE(ParseQuery("some $x in $y").ok());
+  EXPECT_FALSE(ParseQuery("").ok());
+}
+
+TEST(ParserTest, DebugStringSmoke) {
+  auto e = MustParse(
+      R"(for $x in $i where $x/a = 1 order by $x/b return <r>{$x}</r>)");
+  std::string debug = ToDebugString(*e);
+  EXPECT_NE(debug.find("for $x"), std::string::npos);
+  EXPECT_NE(debug.find("order by"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xbench::xquery
