@@ -2,13 +2,19 @@
 #define XBENCH_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness/driver.h"
+#include "obs/trace.h"
 
 namespace xbench::bench {
 
-/// Prints one of the paper's query tables (Tables 5-9).
+/// Prints one of the paper's query tables (Tables 5-9). Honors the
+/// observability env hooks: XBENCH_TRACE=<path> dumps a Chrome trace of
+/// the run, XBENCH_REPORT=<path> writes the machine-readable JSON report
+/// for this query.
 inline int RunQueryTableBench(workload::QueryId id, const char* paper_table) {
+  obs::EnvTraceSession trace_session;
   harness::Driver driver;
   std::printf("XBench reproduction — %s (paper %s)\n",
               workload::QueryName(id), paper_table);
@@ -22,6 +28,17 @@ inline int RunQueryTableBench(workload::QueryId id, const char* paper_table) {
               static_cast<unsigned long long>(harness::BenchSeed()));
   harness::ResultTable table = driver.QueryTable(id);
   std::fputs(table.ToString().c_str(), stdout);
+  if (const char* report_path = std::getenv("XBENCH_REPORT")) {
+    harness::Driver::ReportOptions options;
+    options.queries = {id};
+    Status status = driver.WriteJsonReport(report_path, options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path);
+  }
   return 0;
 }
 

@@ -1,16 +1,24 @@
 // Quickstart: generate a small XBench database, load it into the native
 // XML engine, create a value index, and run an XQuery — the minimal
-// end-to-end path through the library.
+// end-to-end path through the library. Set XBENCH_TRACE=<path> to dump a
+// Chrome trace of the run and XBENCH_REPORT=<path> to dump the metrics
+// registry snapshot.
 #include <cstdio>
+#include <cstdlib>
 
 #include "datagen/article_generator.h"
 #include "datagen/generator.h"
 #include "datagen/word_pool.h"
 #include "engines/native_engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/runner.h"
 
 int main() {
   using namespace xbench;
+
+  obs::EnvTraceSession trace_session;
 
   // 1. Generate a ~64 KiB TC/MD database (a small news-article corpus).
   datagen::GenConfig config;
@@ -61,5 +69,17 @@ int main() {
   std::printf("articles mentioning '%s': %s", needle.c_str(),
               count->ToText().c_str());
   std::printf("virtual I/O spent: %.1f ms\n", engine.IoMillis());
+
+  // 5. Optional observability dump for tooling (ctest validates these).
+  if (const char* report_path = std::getenv("XBENCH_REPORT")) {
+    Status written = obs::WriteFile(
+        report_path, obs::MetricsRegistry::Default().ToJson());
+    if (!written.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", report_path);
+  }
   return 0;
 }

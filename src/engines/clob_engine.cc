@@ -2,6 +2,8 @@
 
 #include "common/strings.h"
 #include "engines/shredder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace xbench::engines {
@@ -23,24 +25,44 @@ Status ClobEngine::BulkLoad(datagen::DbClass db_class,
   }
   XBENCH_RETURN_IF_ERROR(CreateDadTables(dad_, *database_));
 
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan load_span("clob.bulkload");
+  obs::Counter& docs_loaded =
+      obs::MetricsRegistry::Default().GetCounter("xbench.engine.docs_loaded");
   ShredOptions options;
   options.keep_seq = true;  // dxx_seqno
   for (const LoadDocument& doc : docs) {
-    disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+    obs::ScopedSpan doc_span("load.doc");
     if (doc.text.size() > max_document_bytes_) {
       return Status::Unsupported("document '" + doc.name +
                                  "' exceeds the CLOB limit (" +
                                  std::to_string(doc.text.size()) + " bytes)");
     }
-    auto parsed = xml::Parse(doc.text, doc.name);
+    auto parsed = [&] {
+      obs::ScopedSpan parse_span("parse");
+      return xml::Parse(doc.text, doc.name);
+    }();
     if (!parsed.ok()) return parsed.status();
-    const storage::RecordId rid = clob_file_->Append(doc.text);
-    registry_[doc.name] = rid;
-    XBENCH_RETURN_IF_ERROR(ShredDocument(*parsed->root(), doc.name, dad_,
-                                         options, *database_, next_row_id_,
-                                         nullptr));
+    {
+      obs::ScopedSpan store_span("store");
+      registry_[doc.name] = clob_file_->Append(doc.text);
+    }
+    {
+      obs::ScopedSpan shred_span("shred");
+      XBENCH_RETURN_IF_ERROR(ShredDocument(*parsed->root(), doc.name, dad_,
+                                           options, *database_, next_row_id_,
+                                           nullptr));
+    }
+    {
+      obs::ScopedSpan commit_span("commit");
+      disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+    }
+    docs_loaded.Increment();
   }
-  pool_->FlushAll();
+  {
+    obs::ScopedSpan flush_span("flush");
+    pool_->FlushAll();
+  }
   return Status::Ok();
 }
 
@@ -85,6 +107,8 @@ Status ClobEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ClobEngine::CreateIndex(const IndexSpec& spec) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("clob.index_build");
   XBENCH_ASSIGN_OR_RETURN(auto target, ResolveIndex(spec.path));
   relational::Table* table = database_->FindTable(target.first);
   if (table == nullptr) {

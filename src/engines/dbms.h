@@ -65,11 +65,18 @@ class XmlDbms {
   virtual Status InsertDocument(const LoadDocument& doc) = 0;
   virtual Status DeleteDocument(const std::string& name) = 0;
 
-  /// Drops all cached state so the next query runs cold.
-  virtual void ColdRestart() { pool_->ColdRestart(); }
+  /// Drops all cached state so the next query runs cold. Pool counters
+  /// are reset too, so the stats observed after the next operation are
+  /// attributable to that operation alone.
+  virtual void ColdRestart() {
+    pool_->ColdRestart();
+    pool_->ResetCounters();
+  }
 
   storage::SimulatedDisk& disk() { return *disk_; }
+  const storage::SimulatedDisk& disk() const { return *disk_; }
   storage::BufferPool& pool() { return *pool_; }
+  const storage::BufferPool& pool() const { return *pool_; }
 
   /// Virtual I/O time accumulated so far (milliseconds).
   double IoMillis() const { return disk_->clock().ElapsedMillis(); }

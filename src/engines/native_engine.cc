@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace xbench::engines {
@@ -34,18 +36,36 @@ NativeEngine::NativeEngine() {
 
 Status NativeEngine::BulkLoad(datagen::DbClass db_class,
                               const std::vector<LoadDocument>& docs) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan load_span("native.bulkload");
+  obs::Counter& docs_loaded =
+      obs::MetricsRegistry::Default().GetCounter("xbench.engine.docs_loaded");
   db_class_ = db_class;
   for (const LoadDocument& doc : docs) {
-    disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
-    // X-Hive parses into its persistent DOM on load; we verify
-    // well-formedness (the parse) and persist the canonical serialized
-    // form, re-materializing trees on demand.
-    XBENCH_RETURN_IF_ERROR(xml::CheckWellFormed(doc.text));
-    const storage::RecordId rid = file_->Append(doc.text);
-    registry_.push_back({doc.name, rid, /*deleted=*/false});
+    obs::ScopedSpan doc_span("load.doc");
+    {
+      // X-Hive parses into its persistent DOM on load; we verify
+      // well-formedness (the parse) and persist the canonical serialized
+      // form, re-materializing trees on demand.
+      obs::ScopedSpan parse_span("parse");
+      XBENCH_RETURN_IF_ERROR(xml::CheckWellFormed(doc.text));
+    }
+    {
+      obs::ScopedSpan store_span("store");
+      const storage::RecordId rid = file_->Append(doc.text);
+      registry_.push_back({doc.name, rid, /*deleted=*/false});
+    }
+    {
+      obs::ScopedSpan commit_span("commit");
+      disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+    }
     ++live_count_;
+    docs_loaded.Increment();
   }
-  pool_->FlushAll();
+  {
+    obs::ScopedSpan flush_span("flush");
+    pool_->FlushAll();
+  }
   return Status::Ok();
 }
 
@@ -93,6 +113,8 @@ Status NativeEngine::CreateIndex(const IndexSpec& spec) {
   if (indexes_.count(spec.name) != 0) {
     return Status::AlreadyExists("index '" + spec.name + "'");
   }
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.index_build");
   auto tree = std::make_unique<relational::BTreeIndex>(disk_->clock());
   for (size_t ordinal = 0; ordinal < registry_.size(); ++ordinal) {
     if (registry_[ordinal].deleted) continue;
@@ -116,6 +138,10 @@ void NativeEngine::ColdRestart() {
 Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
   auto it = cache_.find(ordinal);
   if (it != cache_.end()) return const_cast<const xml::Document*>(it->second.get());
+  obs::ScopedSpan span("native.materialize");
+  static obs::Counter& materialized = obs::MetricsRegistry::Default().GetCounter(
+      "xbench.native.docs_materialized");
+  materialized.Increment();
   const DocEntry& entry = registry_[ordinal];
   const std::string text = file_->Read(entry.record);
   auto parsed = xml::Parse(text, entry.name);
@@ -140,6 +166,8 @@ Result<xquery::QueryResult> NativeEngine::RunOver(
 }
 
 Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.query");
   std::vector<size_t> all;
   all.reserve(registry_.size());
   for (size_t i = 0; i < registry_.size(); ++i) {
@@ -153,6 +181,8 @@ Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
     std::string_view xquery) {
   auto it = indexes_.find(index_name);
   if (it == indexes_.end()) return Query(xquery);
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.query_with_index");
   std::set<size_t> ordinals;
   for (storage::RecordId rid :
        it->second->Lookup({relational::Value::String(value)})) {

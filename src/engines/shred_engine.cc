@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "engines/shredder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace xbench::engines {
@@ -17,19 +19,36 @@ Status ShredEngine::BulkLoad(datagen::DbClass db_class,
   dad_ = ShredDadFor(db_class);
   XBENCH_RETURN_IF_ERROR(CreateDadTables(dad_, *database_));
 
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan load_span("shred.bulkload");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::Counter& docs_loaded = metrics.GetCounter("xbench.engine.docs_loaded");
+  obs::Counter& rows_shredded =
+      metrics.GetCounter("xbench.engine.rows_shredded");
   ShredOptions options;
   options.keep_seq = false;  // neither flavor maintains document order
   options.drop_mixed_content = kind_ == EngineKind::kShredMsSql;
 
   int64_t rows_loaded = 0;
   for (const LoadDocument& doc : docs) {
-    disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
-    auto parsed = xml::Parse(doc.text, doc.name);
+    obs::ScopedSpan doc_span("load.doc");
+    {
+      obs::ScopedSpan commit_span("commit");
+      disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
+    }
+    auto parsed = [&] {
+      obs::ScopedSpan parse_span("parse");
+      return xml::Parse(doc.text, doc.name);
+    }();
     if (!parsed.ok()) return parsed.status();
     std::map<std::string, int64_t> rows_per_table;
-    XBENCH_RETURN_IF_ERROR(ShredDocument(*parsed->root(), doc.name, dad_,
-                                         options, *database_, next_row_id_,
-                                         &rows_per_table));
+    {
+      obs::ScopedSpan shred_span("shred");
+      XBENCH_RETURN_IF_ERROR(ShredDocument(*parsed->root(), doc.name, dad_,
+                                           options, *database_, next_row_id_,
+                                           &rows_per_table));
+    }
+    docs_loaded.Increment();
     int64_t doc_rows = 0;
     if (kind_ == EngineKind::kShredDb2) {
       // XML Extender caps a decomposed document at kDb2RowLimit rows per
@@ -55,17 +74,24 @@ Status ShredEngine::BulkLoad(datagen::DbClass db_class,
           static_cast<uint64_t>(doc_rows) * kMsSqlRowOverheadMicros);
     }
     rows_loaded += doc_rows;
+    rows_shredded.Increment(static_cast<uint64_t>(doc_rows));
   }
 
-  // Relational systems build primary/foreign-key indexes during bulk load
-  // (paper §3.2.1); row_id is the synthetic PK, parent_row the FK.
-  for (const TableMap& map : dad_.tables) {
-    relational::Table* table = database_->FindTable(map.table);
-    XBENCH_RETURN_IF_ERROR(table->CreateIndex(map.table + "_pk", {"row_id"}));
-    XBENCH_RETURN_IF_ERROR(
-        table->CreateIndex(map.table + "_fk", {"parent_row"}));
+  {
+    // Relational systems build primary/foreign-key indexes during bulk load
+    // (paper §3.2.1); row_id is the synthetic PK, parent_row the FK.
+    obs::ScopedSpan index_span("shred.key_index_build");
+    for (const TableMap& map : dad_.tables) {
+      relational::Table* table = database_->FindTable(map.table);
+      XBENCH_RETURN_IF_ERROR(table->CreateIndex(map.table + "_pk", {"row_id"}));
+      XBENCH_RETURN_IF_ERROR(
+          table->CreateIndex(map.table + "_fk", {"parent_row"}));
+    }
   }
-  pool_->FlushAll();
+  {
+    obs::ScopedSpan flush_span("flush");
+    pool_->FlushAll();
+  }
   return Status::Ok();
 }
 
@@ -111,6 +137,8 @@ Status ShredEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ShredEngine::CreateIndex(const IndexSpec& spec) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("shred.index_build");
   XBENCH_ASSIGN_OR_RETURN(auto target, ResolveIndexPath(dad_, spec.path));
   relational::Table* table = database_->FindTable(target.first);
   if (table == nullptr) {

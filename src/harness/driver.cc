@@ -1,7 +1,11 @@
 #include "harness/driver.h"
 
+#include <cstdio>
 #include <tuple>
 
+#include "harness/scale.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "workload/classes.h"
 
 namespace xbench::harness {
@@ -38,6 +42,7 @@ Driver::LoadedEngine& Driver::Loaded(engines::EngineKind kind,
   loaded.load_status = timed.status;
   loaded.load_cpu_millis = timed.cpu_millis;
   loaded.load_io_millis = timed.io_millis;
+  loaded.load_io = timed.io;
   if (loaded.load_status.ok()) {
     Status index_status =
         workload::CreateTable3Indexes(*loaded.engine, db_class);
@@ -95,6 +100,133 @@ ResultTable Driver::QueryTable(workload::QueryId id) {
     table.AddRow(engines::EngineKindName(kind), cells);
   }
   return table;
+}
+
+namespace {
+
+void WriteIoStats(obs::JsonWriter& writer, const workload::IoStats& io) {
+  writer.Key("pool")
+      .BeginObject()
+      .Key("hits")
+      .Uint(io.pool_hits)
+      .Key("misses")
+      .Uint(io.pool_misses)
+      .Key("evictions")
+      .Uint(io.pool_evictions)
+      .Key("writebacks")
+      .Uint(io.pool_writebacks)
+      .EndObject();
+  writer.Key("disk")
+      .BeginObject()
+      .Key("page_reads")
+      .Uint(io.disk_page_reads)
+      .Key("page_writes")
+      .Uint(io.disk_page_writes)
+      .Key("bytes_read")
+      .Uint(io.disk_bytes_read)
+      .Key("bytes_written")
+      .Uint(io.disk_bytes_written)
+      .EndObject();
+}
+
+std::string HexHash(uint64_t hash) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace
+
+std::string Driver::JsonReport(const ReportOptions& options) {
+  using workload::QueryId;
+  const std::vector<QueryId> queries =
+      options.queries.empty()
+          ? std::vector<QueryId>{QueryId::kQ5, QueryId::kQ8, QueryId::kQ12,
+                                 QueryId::kQ14, QueryId::kQ17}
+          : options.queries;
+  const std::vector<Scale> scales = options.scales.empty()
+                                        ? std::vector<Scale>{Scale::kSmall}
+                                        : options.scales;
+
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("benchmark").String("xbench");
+  writer.Key("seed").Uint(BenchSeed());
+  writer.Key("scales").BeginArray();
+  for (Scale scale : scales) {
+    writer.BeginObject()
+        .Key("name")
+        .String(workload::ScaleName(scale))
+        .Key("target_bytes")
+        .Uint(TargetBytes(scale))
+        .EndObject();
+  }
+  writer.EndArray();
+
+  writer.Key("cells").BeginArray();
+  for (engines::EngineKind kind : workload::AllEngines()) {
+    for (DbClass db_class : workload::AllClasses()) {
+      for (Scale scale : scales) {
+        LoadedEngine& loaded = Loaded(kind, db_class, scale);
+        writer.BeginObject();
+        writer.Key("engine").String(engines::EngineKindName(kind));
+        writer.Key("class").String(datagen::DbClassName(db_class));
+        writer.Key("scale").String(workload::ScaleName(scale));
+        writer.Key("instance").String(
+            workload::InstanceName(db_class, scale));
+        writer.Key("load").BeginObject();
+        writer.Key("supported").Bool(loaded.load_status.ok());
+        if (loaded.load_status.ok()) {
+          writer.Key("cpu_millis").Number(loaded.load_cpu_millis);
+          writer.Key("io_millis").Number(loaded.load_io_millis);
+          WriteIoStats(writer, loaded.load_io);
+        } else {
+          writer.Key("error").String(loaded.load_status.ToString());
+        }
+        writer.EndObject();
+        if (loaded.load_status.ok()) {
+          const datagen::GeneratedDatabase& db = Database(db_class, scale);
+          const workload::QueryParams params =
+              workload::DeriveParams(db_class, db.seeds);
+          writer.Key("queries").BeginArray();
+          for (QueryId id : queries) {
+            workload::ExecutionResult result =
+                workload::RunQuery(*loaded.engine, id, db_class, params);
+            writer.BeginObject();
+            writer.Key("query").String(workload::QueryName(id));
+            writer.Key("supported").Bool(result.status.ok());
+            if (result.status.ok()) {
+              writer.Key("cpu_millis").Number(result.cpu_millis);
+              writer.Key("io_millis").Number(result.io_millis);
+              const std::vector<std::string> canonical =
+                  workload::CanonicalizeAnswer(id, result.lines);
+              writer.Key("answer_lines").Uint(canonical.size());
+              writer.Key("answer_hash")
+                  .String(HexHash(workload::AnswerHash(canonical)));
+              WriteIoStats(writer, result.io);
+            } else {
+              writer.Key("error").String(result.status.ToString());
+            }
+            writer.EndObject();
+          }
+          writer.EndArray();
+        }
+        writer.EndObject();
+      }
+    }
+  }
+  writer.EndArray();
+
+  writer.Key("metrics");
+  obs::MetricsRegistry::Default().WriteJson(writer);
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status Driver::WriteJsonReport(const std::string& path,
+                               const ReportOptions& options) {
+  return obs::WriteFile(path, JsonReport(options));
 }
 
 std::string Driver::IndexTable() const {

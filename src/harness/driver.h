@@ -31,6 +31,8 @@ class Driver {
     Status load_status;
     double load_cpu_millis = 0;
     double load_io_millis = 0;
+    /// Pool/disk traffic attributed to the bulk load + index build.
+    workload::IoStats load_io;
 
     double LoadMillis() const { return load_cpu_millis + load_io_millis; }
   };
@@ -47,6 +49,23 @@ class Driver {
 
   /// Renders Table 3 (indexes per class).
   std::string IndexTable() const;
+
+  /// Configuration for JsonReport(). Empty vectors select the defaults:
+  /// the paper's Tables 5-9 query subset at the small scale.
+  struct ReportOptions {
+    std::vector<workload::QueryId> queries;
+    std::vector<workload::Scale> scales;
+  };
+
+  /// Machine-readable run report (BENCH_RESULTS-style): one cell per
+  /// (engine, class, scale) with load timings, per-query timings, answer
+  /// hashes, and buffer-pool/disk counters, plus a snapshot of the global
+  /// metrics registry. Valid JSON by construction (tests parse it).
+  std::string JsonReport(const ReportOptions& options = {});
+
+  /// Writes JsonReport() to `path`.
+  Status WriteJsonReport(const std::string& path,
+                         const ReportOptions& options = {});
 
  private:
   std::map<std::pair<int, int>, datagen::GeneratedDatabase> databases_;

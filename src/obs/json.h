@@ -1,0 +1,58 @@
+#ifndef XBENCH_OBS_JSON_H_
+#define XBENCH_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xbench::obs {
+
+/// Minimal streaming JSON writer used for the machine-readable run
+/// reports (BENCH_RESULTS-style files) and Chrome trace dumps. Commas are
+/// inserted automatically; the caller is responsible for balancing
+/// Begin*/End* calls and pairing every value inside an object with a Key.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// Appends the JSON string escape of `text` (without surrounding quotes).
+void JsonEscape(std::string_view text, std::string& out);
+
+/// Checks that `text` is exactly one well-formed JSON value (objects,
+/// arrays, strings with escapes, numbers, true/false/null). Used by tests
+/// and `tools/json_check` to validate emitted reports and traces.
+Status ValidateJson(std::string_view text);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, std::string_view content);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace xbench::obs
+
+#endif  // XBENCH_OBS_JSON_H_

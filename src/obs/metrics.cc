@@ -1,0 +1,133 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "obs/json.h"
+
+namespace xbench::obs {
+
+void Histogram::Record(uint64_t sample) {
+  if (!*enabled_) return;
+  ++count_;
+  sum_ += sample;
+  if (sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  ++buckets_[sample == 0 ? 0 : std::bit_width(sample) - 1];
+}
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(count_) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i, clamped to the observed max.
+      const uint64_t bound =
+          i >= 63 ? max_ : (static_cast<uint64_t>(1) << (i + 1)) - 1;
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  buckets_.fill(0);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Key(name).Uint(counter->value());
+  }
+  writer.EndObject();
+  writer.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name).Number(gauge->value());
+  }
+  writer.EndObject();
+  writer.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.Key(name)
+        .BeginObject()
+        .Key("count")
+        .Uint(histogram->count())
+        .Key("sum")
+        .Uint(histogram->sum())
+        .Key("min")
+        .Uint(histogram->min())
+        .Key("max")
+        .Uint(histogram->max())
+        .Key("mean")
+        .Number(histogram->Mean())
+        .Key("p50")
+        .Uint(histogram->ApproxPercentile(0.5))
+        .Key("p99")
+        .Uint(histogram->ApproxPercentile(0.99))
+        .EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter writer;
+  WriteJson(writer);
+  return writer.TakeString();
+}
+
+}  // namespace xbench::obs

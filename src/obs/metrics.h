@@ -1,0 +1,128 @@
+#ifndef XBENCH_OBS_METRICS_H_
+#define XBENCH_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace xbench::obs {
+
+class JsonWriter;
+class MetricsRegistry;
+
+/// Monotonically increasing counter. Handles are stable for the lifetime
+/// of the owning registry, so instrumented code fetches one once and then
+/// pays only an enabled-flag check + add per event.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (*enabled_) value_ += delta;
+  }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  uint64_t value_ = 0;
+};
+
+/// Last-value gauge (e.g. live document count, pool capacity in use).
+class Gauge {
+ public:
+  void Set(double value) {
+    if (*enabled_) value_ = value;
+  }
+  void Add(double delta) {
+    if (*enabled_) value_ += delta;
+  }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0;
+};
+
+/// Histogram of nonnegative integer samples (micros, bytes, row counts)
+/// with power-of-two buckets: bucket i counts samples whose bit width is i
+/// (0 lands in bucket 0). Tracks exact count/sum/min/max; percentiles are
+/// approximated by each bucket's upper bound.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t sample);
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  /// Upper bound of the bucket containing the `p`-quantile (p in [0,1]).
+  uint64_t ApproxPercentile(double p) const;
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/// Named metric registry. Metric names follow the convention
+/// `xbench.<layer>.<name>` (e.g. `xbench.pool.hits`). The default registry
+/// is process-global and enabled by default; disabling it turns every
+/// handle into a branch-only no-op, keeping instrumented hot paths at
+/// benchmark-neutral cost.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : enabled_(std::make_unique<bool>(true)) {}
+
+  static MetricsRegistry& Default();
+
+  /// Returns the metric named `name`, creating it on first use. The
+  /// returned reference stays valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  void set_enabled(bool enabled) { *enabled_ = enabled; }
+  bool enabled() const { return *enabled_; }
+
+  /// Zeroes every metric (handles stay valid).
+  void ResetAll();
+
+  size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Serializes the current values, deterministically ordered by name.
+  void WriteJson(JsonWriter& writer) const;
+  std::string ToJson() const;
+
+ private:
+  // The enabled flag lives behind a unique_ptr so metric handles can keep
+  // a stable pointer to it even if the registry object moves.
+  std::unique_ptr<bool> enabled_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xbench::obs
+
+#endif  // XBENCH_OBS_METRICS_H_

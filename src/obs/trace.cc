@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace xbench::obs {
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  last_ticks_ = 0;
+  depth_ = 0;
+}
+
+uint64_t Tracer::NowTicks() {
+  const uint64_t virtual_ticks =
+      clock_ == nullptr ? 0 : clock_->ElapsedMicros() * kTicksPerMicro;
+  last_ticks_ = virtual_ticks > last_ticks_ ? virtual_ticks : last_ticks_ + 1;
+  return last_ticks_;
+}
+
+void Tracer::BeginSpan(std::string name) {
+  if (!enabled_) return;
+  ++depth_;
+  events_.push_back(
+      {TraceEvent::Phase::kBegin, std::move(name), NowTicks(), depth_});
+}
+
+void Tracer::EndSpan() {
+  if (depth_ == 0) return;  // unbalanced EndSpan; ignore
+  events_.push_back({TraceEvent::Phase::kEnd, std::string(), NowTicks(),
+                     depth_});
+  --depth_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("displayTimeUnit").String("ms");
+  writer.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events_) {
+    writer.BeginObject();
+    if (event.phase == TraceEvent::Phase::kBegin) {
+      writer.Key("name").String(event.name);
+      writer.Key("ph").String("B");
+    } else {
+      writer.Key("ph").String("E");
+    }
+    writer.Key("cat").String("xbench");
+    writer.Key("ts").Uint(event.ts);
+    writer.Key("pid").Uint(1);
+    writer.Key("tid").Uint(1);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  return WriteFile(path, ToChromeJson());
+}
+
+EnvTraceSession::EnvTraceSession(Tracer& tracer) : tracer_(&tracer) {
+  const char* path = std::getenv("XBENCH_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  path_ = path;
+  tracer_->Clear();
+  tracer_->Enable();
+}
+
+EnvTraceSession::~EnvTraceSession() {
+  if (path_.empty()) return;
+  tracer_->Disable();
+  Status status = tracer_->WriteChromeJson(path_);
+  if (!status.ok()) {
+    std::fprintf(stderr, "XBENCH_TRACE: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace xbench::obs

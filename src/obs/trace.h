@@ -1,0 +1,142 @@
+#ifndef XBENCH_OBS_TRACE_H_
+#define XBENCH_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace xbench::obs {
+
+/// One begin/end edge of a span. `ts` is in deterministic ticks (see
+/// Tracer::NowTicks); `depth` is the nesting depth at the time the edge
+/// was recorded (begin edges record the depth of the opened span).
+struct TraceEvent {
+  enum class Phase { kBegin, kEnd };
+  Phase phase;
+  std::string name;
+  uint64_t ts = 0;
+  size_t depth = 0;
+};
+
+/// Hierarchical span tracer with a *deterministic* timeline: timestamps
+/// are derived from the registered engine VirtualClock (simulated I/O
+/// micros, scaled to ticks) plus a logical tick that breaks ties, never
+/// from the wall clock. Two runs of the same workload therefore produce
+/// byte-identical traces. Disabled by default; when disabled, ScopedSpan
+/// costs one branch.
+class Tracer {
+ public:
+  /// Ticks per virtual microsecond; the tie-breaking logical tick
+  /// advances in units of 1, so up to kTicksPerMicro CPU-only events fit
+  /// between two I/O charges without reordering.
+  static constexpr uint64_t kTicksPerMicro = 1024;
+
+  static Tracer& Default();
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Drops all recorded events and resets the timeline.
+  void Clear();
+
+  /// Registers the virtual clock that drives span timestamps (nullptr
+  /// detaches; the timeline then advances by logical ticks only). Use
+  /// ScopedClockSource to scope this to an engine operation.
+  void SetClockSource(const VirtualClock* clock) { clock_ = clock; }
+  const VirtualClock* clock_source() const { return clock_; }
+
+  /// Current deterministic timestamp: max(virtual-clock ticks, last+1).
+  uint64_t NowTicks();
+
+  void BeginSpan(std::string name);
+  void EndSpan();
+
+  /// Nesting depth of currently open spans.
+  size_t depth() const { return depth_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serializes to Chrome trace-event JSON (load in chrome://tracing or
+  /// Perfetto). Timestamps are virtual ticks reported as microseconds.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  const VirtualClock* clock_ = nullptr;
+  uint64_t last_ticks_ = 0;
+  size_t depth_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span guard: opens a span on the tracer if it is enabled, closes
+/// it on scope exit. With tracing disabled this compiles to an
+/// enabled-flag check and a null store.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Tracer& tracer = Tracer::Default())
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(name);
+  }
+  explicit ScopedSpan(std::string name, Tracer& tracer = Tracer::Default())
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+/// RAII: points the tracer at `clock` for the current scope, restoring
+/// the previous source afterwards. Engine entry points use this so spans
+/// recorded inside an operation are stamped with that engine's virtual
+/// I/O time.
+class ScopedClockSource {
+ public:
+  explicit ScopedClockSource(const VirtualClock& clock,
+                             Tracer& tracer = Tracer::Default())
+      : tracer_(&tracer), previous_(tracer.clock_source()) {
+    tracer_->SetClockSource(&clock);
+  }
+  ~ScopedClockSource() { tracer_->SetClockSource(previous_); }
+
+  ScopedClockSource(const ScopedClockSource&) = delete;
+  ScopedClockSource& operator=(const ScopedClockSource&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const VirtualClock* previous_;
+};
+
+/// Environment hook: if XBENCH_TRACE=<path> is set, construction enables
+/// the default tracer (clearing any stale events) and destruction writes
+/// the Chrome trace to <path>. Benchmarks and examples put one at the top
+/// of main().
+class EnvTraceSession {
+ public:
+  explicit EnvTraceSession(Tracer& tracer = Tracer::Default());
+  ~EnvTraceSession();
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  EnvTraceSession(const EnvTraceSession&) = delete;
+  EnvTraceSession& operator=(const EnvTraceSession&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string path_;
+};
+
+}  // namespace xbench::obs
+
+#endif  // XBENCH_OBS_TRACE_H_

@@ -2,16 +2,30 @@
 
 namespace xbench::storage {
 
+BufferPool::BufferPool(SimulatedDisk& disk, size_t capacity_pages)
+    : disk_(disk),
+      capacity_(capacity_pages),
+      metric_hits_(
+          obs::MetricsRegistry::Default().GetCounter("xbench.pool.hits")),
+      metric_misses_(
+          obs::MetricsRegistry::Default().GetCounter("xbench.pool.misses")),
+      metric_evictions_(
+          obs::MetricsRegistry::Default().GetCounter("xbench.pool.evictions")),
+      metric_writebacks_(obs::MetricsRegistry::Default().GetCounter(
+          "xbench.pool.writebacks")) {}
+
 Page& BufferPool::Fetch(PageId page_id) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    ++hits_;
+    ++counters_.hits;
+    metric_hits_.Increment();
     lru_.erase(it->second.lru_pos);
     lru_.push_front(page_id);
     it->second.lru_pos = lru_.begin();
     return it->second.page;
   }
-  ++misses_;
+  ++counters_.misses;
+  metric_misses_.Increment();
   EvictIfFull();
   Frame& frame = frames_[page_id];
   disk_.ReadPage(page_id, frame.page);
@@ -25,12 +39,16 @@ void BufferPool::MarkDirty(PageId page_id) {
   if (it != frames_.end()) it->second.dirty = true;
 }
 
+void BufferPool::WriteBack(PageId page_id, Frame& frame) {
+  disk_.WritePage(page_id, frame.page);
+  frame.dirty = false;
+  ++counters_.writebacks;
+  metric_writebacks_.Increment();
+}
+
 void BufferPool::FlushAll() {
   for (auto& [page_id, frame] : frames_) {
-    if (frame.dirty) {
-      disk_.WritePage(page_id, frame.page);
-      frame.dirty = false;
-    }
+    if (frame.dirty) WriteBack(page_id, frame);
   }
 }
 
@@ -46,7 +64,9 @@ void BufferPool::EvictIfFull() {
     lru_.pop_back();
     auto it = frames_.find(victim);
     if (it != frames_.end()) {
-      if (it->second.dirty) disk_.WritePage(victim, it->second.page);
+      if (it->second.dirty) WriteBack(victim, it->second);
+      ++counters_.evictions;
+      metric_evictions_.Increment();
       frames_.erase(it);
     }
   }

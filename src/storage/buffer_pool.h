@@ -4,10 +4,20 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 
 namespace xbench::storage {
+
+/// Snapshot of a BufferPool's activity counters. Deltas between two
+/// snapshots attribute pool traffic to one measured operation.
+struct PoolCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  // dirty frames written back (evict or flush)
+};
 
 /// LRU buffer pool over a SimulatedDisk. Single-threaded; no pin counting
 /// is needed because callers copy data out of the frame before the next
@@ -17,8 +27,7 @@ class BufferPool {
   /// `capacity_pages` frames; the paper's testbed had 1 GB of RAM against
   /// up-to-1 GB databases, so the pool should comfortably hold the small
   /// database and progressively thrash on normal/large.
-  BufferPool(SimulatedDisk& disk, size_t capacity_pages)
-      : disk_(disk), capacity_(capacity_pages) {}
+  BufferPool(SimulatedDisk& disk, size_t capacity_pages);
 
   /// Returns the frame for `page_id`, reading from disk on a miss. The
   /// returned pointer is valid until the next Fetch/Release call.
@@ -32,10 +41,19 @@ class BufferPool {
 
   /// Cold restart: flush then drop every frame. Benchmarks call this before
   /// each measured query to reproduce the paper's cold-run methodology.
+  /// Counters are NOT reset here — XmlDbms::ColdRestart() does that, so
+  /// per-query pool statistics start from zero after each restart.
   void ColdRestart();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return counters_.hits; }
+  uint64_t misses() const { return counters_.misses; }
+  uint64_t evictions() const { return counters_.evictions; }
+  uint64_t writebacks() const { return counters_.writebacks; }
+  PoolCounters counters() const { return counters_; }
+
+  /// Zeroes the activity counters (frames are untouched).
+  void ResetCounters() { counters_ = {}; }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -46,13 +64,18 @@ class BufferPool {
   };
 
   void EvictIfFull();
+  void WriteBack(PageId page_id, Frame& frame);
 
   SimulatedDisk& disk_;
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = most recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  PoolCounters counters_;
+  // Process-wide metrics (xbench.pool.*).
+  obs::Counter& metric_hits_;
+  obs::Counter& metric_misses_;
+  obs::Counter& metric_evictions_;
+  obs::Counter& metric_writebacks_;
 };
 
 }  // namespace xbench::storage

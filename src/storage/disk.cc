@@ -4,6 +4,17 @@
 
 namespace xbench::storage {
 
+SimulatedDisk::SimulatedDisk(DiskProfile profile)
+    : profile_(profile),
+      metric_reads_(
+          obs::MetricsRegistry::Default().GetCounter("xbench.disk.page_reads")),
+      metric_writes_(obs::MetricsRegistry::Default().GetCounter(
+          "xbench.disk.page_writes")),
+      metric_bytes_read_(
+          obs::MetricsRegistry::Default().GetCounter("xbench.disk.bytes_read")),
+      metric_bytes_written_(obs::MetricsRegistry::Default().GetCounter(
+          "xbench.disk.bytes_written")) {}
+
 PageId SimulatedDisk::Allocate() {
   pages_.push_back(std::make_unique<Page>());
   return pages_.size() - 1;
@@ -16,6 +27,8 @@ void SimulatedDisk::ReadPage(PageId page_id, Page& out) {
                                   : profile_.random_read_micros);
   last_accessed_ = page_id;
   ++reads_;
+  metric_reads_.Increment();
+  metric_bytes_read_.Increment(kPageSize);
   out = *pages_[page_id];
 }
 
@@ -24,6 +37,8 @@ void SimulatedDisk::WritePage(PageId page_id, const Page& page) {
   clock_.AdvanceMicros(profile_.write_micros);
   last_accessed_ = page_id;
   ++writes_;
+  metric_writes_.Increment();
+  metric_bytes_written_.Increment(kPageSize);
   *pages_[page_id] = page;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace xbench::storage {
@@ -24,7 +25,7 @@ struct DiskProfile {
 /// page N+1 immediately after page N.
 class SimulatedDisk {
  public:
-  explicit SimulatedDisk(DiskProfile profile = {}) : profile_(profile) {}
+  explicit SimulatedDisk(DiskProfile profile = {});
 
   /// Appends a zeroed page, returning its id.
   PageId Allocate();
@@ -42,6 +43,8 @@ class SimulatedDisk {
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  uint64_t bytes_read() const { return reads_ * kPageSize; }
+  uint64_t bytes_written() const { return writes_ * kPageSize; }
 
   /// Bytes occupied by allocated pages.
   size_t SizeBytes() const { return pages_.size() * kPageSize; }
@@ -53,6 +56,12 @@ class SimulatedDisk {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   PageId last_accessed_ = static_cast<PageId>(-2);
+  // Process-wide metrics (xbench.disk.*); per-disk attribution uses the
+  // reads()/writes() accessors above.
+  obs::Counter& metric_reads_;
+  obs::Counter& metric_writes_;
+  obs::Counter& metric_bytes_read_;
+  obs::Counter& metric_bytes_written_;
 };
 
 }  // namespace xbench::storage

@@ -7,6 +7,7 @@
 #include "engines/clob_engine.h"
 #include "engines/native_engine.h"
 #include "engines/shred_engine.h"
+#include "obs/trace.h"
 #include "workload/classes.h"
 #include "workload/relational_plans.h"
 
@@ -45,14 +46,53 @@ std::vector<engines::LoadDocument> ToLoadDocuments(
   return docs;
 }
 
+IoStats CaptureIoStats(const engines::XmlDbms& engine) {
+  const storage::PoolCounters pool = engine.pool().counters();
+  const storage::SimulatedDisk& disk = engine.disk();
+  IoStats stats;
+  stats.pool_hits = pool.hits;
+  stats.pool_misses = pool.misses;
+  stats.pool_evictions = pool.evictions;
+  stats.pool_writebacks = pool.writebacks;
+  stats.disk_page_reads = disk.reads();
+  stats.disk_page_writes = disk.writes();
+  stats.disk_bytes_read = disk.bytes_read();
+  stats.disk_bytes_written = disk.bytes_written();
+  return stats;
+}
+
+IoStats IoStatsDelta(const IoStats& before, const IoStats& after) {
+  IoStats delta;
+  delta.pool_hits = after.pool_hits - before.pool_hits;
+  delta.pool_misses = after.pool_misses - before.pool_misses;
+  delta.pool_evictions = after.pool_evictions - before.pool_evictions;
+  delta.pool_writebacks = after.pool_writebacks - before.pool_writebacks;
+  delta.disk_page_reads = after.disk_page_reads - before.disk_page_reads;
+  delta.disk_page_writes = after.disk_page_writes - before.disk_page_writes;
+  delta.disk_bytes_read = after.disk_bytes_read - before.disk_bytes_read;
+  delta.disk_bytes_written =
+      after.disk_bytes_written - before.disk_bytes_written;
+  return delta;
+}
+
 TimedStatus BulkLoad(engines::XmlDbms& engine,
                      const datagen::GeneratedDatabase& db) {
   TimedStatus timed;
-  const double io_before = engine.IoMillis();
+  obs::ScopedClockSource clock_scope(engine.disk().clock());
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ScopedSpan span(
+      tracer.enabled()
+          ? "bulkload." + std::string(datagen::DbClassName(db.db_class)) +
+                "." + engine.name()
+          : std::string(),
+      tracer);
+  const IoStats io_before = CaptureIoStats(engine);
+  const double io_millis_before = engine.IoMillis();
   Stopwatch watch;
   timed.status = engine.BulkLoad(db.db_class, ToLoadDocuments(db));
   timed.cpu_millis = watch.ElapsedMillis();
-  timed.io_millis = engine.IoMillis() - io_before;
+  timed.io_millis = engine.IoMillis() - io_millis_before;
+  timed.io = IoStatsDelta(io_before, CaptureIoStats(engine));
   return timed;
 }
 
@@ -107,8 +147,16 @@ ExecutionResult RunNative(engines::NativeEngine& engine, QueryId id,
 ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
                          datagen::DbClass db_class, const QueryParams& params,
                          bool cold) {
-  if (cold) engine.ColdRestart();
+  if (cold) engine.ColdRestart();  // also resets pool counters
+  obs::ScopedClockSource clock_scope(engine.disk().clock());
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ScopedSpan span(tracer.enabled()
+                           ? std::string("query.") + QueryName(id) + "." +
+                                 engine.name()
+                           : std::string(),
+                       tracer);
   ExecutionResult result;
+  const IoStats stats_before = CaptureIoStats(engine);
   const double io_before = engine.IoMillis();
   Stopwatch watch;
   switch (engine.kind()) {
@@ -140,6 +188,7 @@ ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
   }
   result.cpu_millis = watch.ElapsedMillis();
   result.io_millis = engine.IoMillis() - io_before;
+  result.io = IoStatsDelta(stats_before, CaptureIoStats(engine));
   return result;
 }
 
@@ -150,6 +199,19 @@ std::vector<std::string> CanonicalizeAnswer(QueryId id,
     std::sort(lines.begin(), lines.end());
   }
   return lines;
+}
+
+uint64_t AnswerHash(const std::vector<std::string>& lines) {
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&hash](char c) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime
+  };
+  for (const std::string& line : lines) {
+    for (char c : line) mix(c);
+    mix('\n');
+  }
+  return hash;
 }
 
 }  // namespace xbench::workload

@@ -22,12 +22,33 @@ std::unique_ptr<engines::XmlDbms> MakeEngine(engines::EngineKind kind);
 std::vector<engines::LoadDocument> ToLoadDocuments(
     const datagen::GeneratedDatabase& db);
 
+/// Buffer-pool and disk activity attributed to one measured operation
+/// (deltas over the engine's own counters).
+struct IoStats {
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t disk_page_reads = 0;
+  uint64_t disk_page_writes = 0;
+  uint64_t disk_bytes_read = 0;
+  uint64_t disk_bytes_written = 0;
+};
+
+/// Absolute counter values for `engine`'s pool + disk.
+IoStats CaptureIoStats(const engines::XmlDbms& engine);
+
+/// Per-field difference `after - before`.
+IoStats IoStatsDelta(const IoStats& before, const IoStats& after);
+
 struct TimedStatus {
   Status status;
   /// Real CPU wall time spent by the operation.
   double cpu_millis = 0;
   /// Simulated disk time charged during the operation.
   double io_millis = 0;
+  /// Pool/disk traffic attributed to the operation.
+  IoStats io;
 
   double TotalMillis() const { return cpu_millis + io_millis; }
 };
@@ -46,6 +67,9 @@ struct ExecutionResult {
   std::vector<std::string> lines;  // canonical answer, one line per item
   double cpu_millis = 0;
   double io_millis = 0;
+  /// Pool/disk traffic attributed to the query (cold runs reset the pool
+  /// counters first, so these cover exactly this execution).
+  IoStats io;
 
   double TotalMillis() const { return cpu_millis + io_millis; }
 };
@@ -61,6 +85,10 @@ ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
 /// query's AnswerShape (sorts kValueSet shapes, trims empties).
 std::vector<std::string> CanonicalizeAnswer(QueryId id,
                                             std::vector<std::string> lines);
+
+/// FNV-1a 64-bit hash of the canonicalized answer ('\n'-joined). Stored in
+/// run reports so perf trajectories can assert answers did not change.
+uint64_t AnswerHash(const std::vector<std::string>& lines);
 
 }  // namespace xbench::workload
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/serializer.h"
 #include "xquery/functions.h"
 #include "xquery/parser.h"
@@ -56,12 +58,33 @@ bool ElementMatches(const xml::Node& node, const std::string& name_test) {
 }
 
 void CollectDescendants(const xml::Node& node, const std::string& name_test,
-                        bool include_self, Sequence& out) {
+                        bool include_self, Sequence& out,
+                        obs::Counter& visited) {
+  visited.Increment();
   if (include_self && ElementMatches(node, name_test)) {
     out.push_back(Item::Node(&node));
   }
   for (const auto& child : node.children()) {
-    CollectDescendants(*child, name_test, /*include_self=*/true, out);
+    CollectDescendants(*child, name_test, /*include_self=*/true, out, visited);
+  }
+}
+
+/// Span name for the operator kinds worth tracing individually (the ones
+/// that dominate query time); others return nullptr and get no span.
+const char* OperatorSpanName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kPath:
+      return "xquery.op.path";
+    case ExprKind::kFlwor:
+      return "xquery.op.flwor";
+    case ExprKind::kQuantified:
+      return "xquery.op.quantified";
+    case ExprKind::kFunctionCall:
+      return "xquery.op.function";
+    case ExprKind::kConstructor:
+      return "xquery.op.constructor";
+    default:
+      return nullptr;
   }
 }
 
@@ -69,9 +92,26 @@ class Evaluator {
  public:
   Evaluator(const Bindings& bindings,
             std::vector<std::unique_ptr<xml::Node>>& arena)
-      : bindings_(bindings), arena_(arena) {}
+      : bindings_(bindings),
+        arena_(arena),
+        operator_evals_(obs::MetricsRegistry::Default().GetCounter(
+            "xbench.xquery.operator_evals")),
+        nodes_visited_(obs::MetricsRegistry::Default().GetCounter(
+            "xbench.xquery.nodes_visited")),
+        trace_operators_(obs::Tracer::Default().enabled()) {}
 
   Result<Sequence> Eval(const Expr& e, const Focus& focus) {
+    operator_evals_.Increment();
+    if (trace_operators_) {
+      if (const char* span_name = OperatorSpanName(e.kind)) {
+        obs::ScopedSpan span(span_name);
+        return EvalDispatch(e, focus);
+      }
+    }
+    return EvalDispatch(e, focus);
+  }
+
+  Result<Sequence> EvalDispatch(const Expr& e, const Focus& focus) {
     switch (e.kind) {
       case ExprKind::kStringLiteral:
         return Sequence{Item::String(e.string_value)};
@@ -326,6 +366,7 @@ class Evaluator {
     Sequence out;
     switch (step.axis) {
       case Axis::kChild:
+        nodes_visited_.Increment(node.children().size());
         for (const auto& child : node.children()) {
           if (ElementMatches(*child, step.name_test)) {
             out.push_back(Item::Node(child.get()));
@@ -333,13 +374,15 @@ class Evaluator {
         }
         break;
       case Axis::kDescendant:
-        CollectDescendants(node, step.name_test, /*include_self=*/false, out);
+        CollectDescendants(node, step.name_test, /*include_self=*/false, out,
+                           nodes_visited_);
         break;
       case Axis::kDescendantOrSelf:
         if (ElementMatches(node, step.name_test)) {
           out.push_back(Item::Node(&node));
         }
-        CollectDescendants(node, step.name_test, /*include_self=*/false, out);
+        CollectDescendants(node, step.name_test, /*include_self=*/false, out,
+                           nodes_visited_);
         break;
       case Axis::kAttribute: {
         const auto& attrs = node.attributes();
@@ -646,6 +689,11 @@ class Evaluator {
   const Bindings& bindings_;
   std::vector<std::unique_ptr<xml::Node>>& arena_;
   std::vector<std::pair<std::string, Sequence>> scope_;
+  obs::Counter& operator_evals_;
+  obs::Counter& nodes_visited_;
+  // Sampled once per query: per-operator spans are only recorded when the
+  // tracer was enabled at evaluator construction.
+  const bool trace_operators_;
 };
 
 }  // namespace
@@ -664,6 +712,7 @@ std::string QueryResult::ToText() const {
 }
 
 Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings) {
+  obs::ScopedSpan span("xquery.eval");
   QueryResult result;
   Evaluator evaluator(bindings, result.constructed);
   Focus focus;  // no initial context item; queries start from variables
@@ -675,8 +724,12 @@ Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings) {
 
 Result<QueryResult> EvaluateQuery(std::string_view query,
                                   const Bindings& bindings) {
-  XBENCH_ASSIGN_OR_RETURN(ExprPtr parsed, ParseQuery(query));
-  return Evaluate(*parsed, bindings);
+  auto parsed = [&] {
+    obs::ScopedSpan span("xquery.parse");
+    return ParseQuery(query);
+  }();
+  if (!parsed.ok()) return parsed.status();
+  return Evaluate(**parsed, bindings);
 }
 
 }  // namespace xbench::xquery

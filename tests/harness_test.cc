@@ -6,6 +6,8 @@
 #include "harness/report.h"
 #include "common/strings.h"
 #include "harness/scale.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace xbench::harness {
 namespace {
@@ -101,6 +103,119 @@ TEST(DriverTest, TinyScaleEndToEnd) {
   unsetenv("XBENCH_SMALL_KB");
   unsetenv("XBENCH_NORMAL_KB");
   unsetenv("XBENCH_LARGE_KB");
+}
+
+class TinyScaleEnv : public testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("XBENCH_SMALL_KB", "24", 1);
+    setenv("XBENCH_NORMAL_KB", "32", 1);
+    setenv("XBENCH_LARGE_KB", "48", 1);
+  }
+  void TearDown() override {
+    unsetenv("XBENCH_SMALL_KB");
+    unsetenv("XBENCH_NORMAL_KB");
+    unsetenv("XBENCH_LARGE_KB");
+  }
+};
+
+using DriverReportTest = TinyScaleEnv;
+
+TEST_F(DriverReportTest, JsonReportCoversMatrixWithIoCounters) {
+  Driver driver;
+  Driver::ReportOptions options;
+  options.queries = {workload::QueryId::kQ5, workload::QueryId::kQ8};
+  const std::string json = driver.JsonReport(options);
+
+  ASSERT_TRUE(obs::ValidateJson(json).ok()) << json.substr(0, 400);
+  // All four engines and all four classes appear.
+  for (const char* engine :
+       {"X-Hive (native)", "Xcolumn", "Xcollection", "SQL Server"}) {
+    EXPECT_NE(json.find(engine), std::string::npos) << engine;
+  }
+  for (const char* db_class : {"TC/SD", "TC/MD", "DC/SD", "DC/MD"}) {
+    EXPECT_NE(json.find(db_class), std::string::npos) << db_class;
+  }
+  // Per-cell pool/disk counters and answer hashes are present.
+  for (const char* key :
+       {"\"hits\"", "\"misses\"", "\"evictions\"", "\"writebacks\"",
+        "\"page_reads\"", "\"page_writes\"", "\"answer_hash\"",
+        "\"answer_lines\"", "\"metrics\"", "\"cells\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"Q5\""), std::string::npos);
+  EXPECT_NE(json.find("\"Q8\""), std::string::npos);
+}
+
+TEST_F(DriverReportTest, WriteJsonReportRoundTrips) {
+  Driver driver;
+  Driver::ReportOptions options;
+  options.queries = {workload::QueryId::kQ14};
+  const std::string path = testing::TempDir() + "/xbench_report.json";
+  ASSERT_TRUE(driver.WriteJsonReport(path, options).ok());
+  auto contents = obs::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(obs::ValidateJson(*contents).ok());
+  EXPECT_NE(contents->find("\"Q14\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+using TraceDeterminismTest = TinyScaleEnv;
+
+TEST_F(TraceDeterminismTest, IdenticalRunsProduceIdenticalTraces) {
+  auto traced_run = [] {
+    obs::Tracer& tracer = obs::Tracer::Default();
+    tracer.Clear();
+    tracer.Enable();
+    Driver driver;
+    auto& loaded = driver.Loaded(engines::EngineKind::kNative,
+                                 datagen::DbClass::kTcSd,
+                                 workload::Scale::kSmall);
+    EXPECT_TRUE(loaded.load_status.ok());
+    const datagen::GeneratedDatabase& db =
+        driver.Database(datagen::DbClass::kTcSd, workload::Scale::kSmall);
+    workload::RunQuery(*loaded.engine, workload::QueryId::kQ5,
+                       datagen::DbClass::kTcSd,
+                       workload::DeriveParams(datagen::DbClass::kTcSd,
+                                              db.seeds));
+    std::string json = tracer.ToChromeJson();
+    tracer.Disable();
+    tracer.Clear();
+    return json;
+  };
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_TRUE(obs::ValidateJson(first).ok());
+  EXPECT_FALSE(first.empty());
+  // Byte-identical timelines: timestamps come from the virtual clock, not
+  // the wall clock.
+  EXPECT_EQ(first, second);
+  // The bulk-load phases and the query span made it into the trace.
+  EXPECT_NE(first.find("native.bulkload"), std::string::npos);
+  EXPECT_NE(first.find("parse"), std::string::npos);
+  EXPECT_NE(first.find("commit"), std::string::npos);
+  EXPECT_NE(first.find("query.Q5"), std::string::npos);
+}
+
+TEST_F(DriverReportTest, ColdRestartResetsPoolCounters) {
+  Driver driver;
+  auto& loaded = driver.Loaded(engines::EngineKind::kNative,
+                               datagen::DbClass::kTcMd,
+                               workload::Scale::kSmall);
+  ASSERT_TRUE(loaded.load_status.ok());
+  const datagen::GeneratedDatabase& db =
+      driver.Database(datagen::DbClass::kTcMd, workload::Scale::kSmall);
+  // A cold query restarts the engine first, so its pool traffic is all
+  // misses/refills; it must leave nonzero counters behind.
+  workload::RunQuery(*loaded.engine, workload::QueryId::kQ5,
+                     datagen::DbClass::kTcMd,
+                     workload::DeriveParams(datagen::DbClass::kTcMd, db.seeds));
+  EXPECT_GT(loaded.engine->pool().misses() + loaded.engine->pool().hits(), 0u);
+  loaded.engine->ColdRestart();
+  EXPECT_EQ(loaded.engine->pool().hits(), 0u);
+  EXPECT_EQ(loaded.engine->pool().misses(), 0u);
+  EXPECT_EQ(loaded.engine->pool().evictions(), 0u);
+  EXPECT_EQ(loaded.engine->pool().writebacks(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xbench::obs {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndEscapes) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("text")
+      .String("a\"b\\c\n\t\x01")
+      .Key("nums")
+      .BeginArray()
+      .Int(-3)
+      .Uint(18446744073709551615ull)
+      .Number(1.5)
+      .EndArray()
+      .Key("flags")
+      .BeginObject()
+      .Key("on")
+      .Bool(true)
+      .Key("off")
+      .Bool(false)
+      .Key("none")
+      .Null()
+      .EndObject()
+      .EndObject();
+  const std::string json = writer.TakeString();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\\\"b\\\\c\\n\\t\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(ValidateJsonTest, AcceptsWellFormedValues) {
+  EXPECT_TRUE(ValidateJson("{}").ok());
+  EXPECT_TRUE(ValidateJson("[]").ok());
+  EXPECT_TRUE(ValidateJson("  [1, 2.5, -3e4, \"x\", null, true] ").ok());
+  EXPECT_TRUE(ValidateJson("{\"a\": {\"b\": [false]}}").ok());
+}
+
+TEST(ValidateJsonTest, RejectsMalformedValues) {
+  EXPECT_FALSE(ValidateJson("").ok());
+  EXPECT_FALSE(ValidateJson("{").ok());
+  EXPECT_FALSE(ValidateJson("[1,]").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ValidateJson("{} extra").ok());
+  EXPECT_FALSE(ValidateJson("\"unterminated").ok());
+  EXPECT_FALSE(ValidateJson("nul").ok());
+}
+
+TEST(MetricsTest, CounterGaugeHistogramMath) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("xbench.test.counter");
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  Gauge& gauge = registry.GetGauge("xbench.test.gauge");
+  gauge.Set(10);
+  gauge.Add(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.5);
+
+  Histogram& histogram = registry.GetHistogram("xbench.test.histogram");
+  for (uint64_t sample : {1u, 2u, 3u, 100u}) histogram.Record(sample);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 106u);
+  EXPECT_EQ(histogram.min(), 1u);
+  EXPECT_EQ(histogram.max(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 26.5);
+  // p50 falls in the bucket holding samples 2 and 3 (bit width 2 -> upper
+  // bound 3); p100 is clamped to the exact max.
+  EXPECT_EQ(histogram.ApproxPercentile(0.5), 3u);
+  EXPECT_EQ(histogram.ApproxPercentile(1.0), 100u);
+}
+
+TEST(MetricsTest, DisabledRegistryIsNoOp) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("xbench.test.counter");
+  registry.set_enabled(false);
+  counter.Increment(100);
+  registry.GetGauge("xbench.test.gauge").Set(5);
+  registry.GetHistogram("xbench.test.histogram").Record(5);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(registry.GetGauge("xbench.test.gauge").value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("xbench.test.histogram").count(), 0u);
+  registry.set_enabled(true);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(MetricsTest, HandlesAreStableAndResettable) {
+  MetricsRegistry registry;
+  Counter& first = registry.GetCounter("xbench.test.a");
+  first.Increment(7);
+  // Creating more metrics must not invalidate existing handles.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("xbench.test.fill" + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.GetCounter("xbench.test.a"), &first);
+  EXPECT_EQ(first.value(), 7u);
+  registry.ResetAll();
+  EXPECT_EQ(first.value(), 0u);
+  EXPECT_EQ(registry.metric_count(), 101u);
+}
+
+TEST(MetricsTest, SnapshotIsValidDeterministicJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("xbench.test.b").Increment(2);
+  registry.GetCounter("xbench.test.a").Increment(1);
+  registry.GetGauge("xbench.test.g").Set(3.5);
+  registry.GetHistogram("xbench.test.h").Record(9);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  // Name-ordered: a before b regardless of creation order.
+  EXPECT_LT(json.find("xbench.test.a"), json.find("xbench.test.b"));
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(TracerTest, NestingAndOrdering) {
+  Tracer tracer;
+  tracer.Enable();
+  {
+    ScopedSpan outer("outer", tracer);
+    EXPECT_EQ(tracer.depth(), 1u);
+    {
+      ScopedSpan inner("inner", tracer);
+      EXPECT_EQ(tracer.depth(), 2u);
+    }
+  }
+  EXPECT_EQ(tracer.depth(), 0u);
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+  // Timestamps are strictly monotonic even without a clock source.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].ts, events[i - 1].ts);
+  }
+}
+
+TEST(TracerTest, VirtualClockDrivesTimestamps) {
+  Tracer tracer;
+  tracer.Enable();
+  VirtualClock clock;
+  ScopedClockSource clock_scope(clock, tracer);
+  tracer.BeginSpan("io");
+  clock.AdvanceMicros(10);
+  tracer.EndSpan();
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_GE(events[1].ts, 10 * Tracer::kTicksPerMicro);
+  EXPECT_GE(events[1].ts - events[0].ts, 9 * Tracer::kTicksPerMicro);
+}
+
+TEST(TracerTest, ChromeJsonIsValidAndDeterministic) {
+  auto record = [](Tracer& tracer) {
+    tracer.Enable();
+    VirtualClock clock;
+    ScopedClockSource clock_scope(clock, tracer);
+    ScopedSpan outer("load", tracer);
+    clock.AdvanceMicros(5);
+    ScopedSpan inner("parse \"doc\"", tracer);
+    clock.AdvanceMicros(3);
+  };
+  Tracer first, second;
+  record(first);
+  record(second);
+  const std::string json = first.ToChromeJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_EQ(json, second.ToChromeJson());
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("parse \\\"doc\\\""), std::string::npos);
+}
+
+TEST(TracerTest, DisabledSpanIsNoOp) {
+  Tracer tracer;
+  {
+    ScopedSpan span("ignored", tracer);
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.depth(), 0u);
+  // Unbalanced EndSpan at depth 0 must not underflow.
+  tracer.Enable();
+  tracer.EndSpan();
+  EXPECT_EQ(tracer.depth(), 0u);
+}
+
+TEST(TracerTest, ClockSourceRestoredOnScopeExit) {
+  Tracer tracer;
+  VirtualClock outer_clock, inner_clock;
+  tracer.SetClockSource(&outer_clock);
+  {
+    ScopedClockSource scope(inner_clock, tracer);
+    EXPECT_EQ(tracer.clock_source(), &inner_clock);
+  }
+  EXPECT_EQ(tracer.clock_source(), &outer_clock);
+  tracer.SetClockSource(nullptr);
+}
+
+TEST(EnvTraceSessionTest, WritesTraceFileOnExit) {
+  const std::string path = testing::TempDir() + "/xbench_env_trace.json";
+  ::setenv("XBENCH_TRACE", path.c_str(), 1);
+  Tracer tracer;
+  {
+    EnvTraceSession session(tracer);
+    EXPECT_TRUE(session.active());
+    EXPECT_TRUE(tracer.enabled());
+    ScopedSpan span("env.span", tracer);
+  }
+  ::unsetenv("XBENCH_TRACE");
+  EXPECT_FALSE(tracer.enabled());
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(ValidateJson(*contents).ok()) << *contents;
+  EXPECT_NE(contents->find("env.span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EnvTraceSessionTest, InactiveWithoutEnvVar) {
+  ::unsetenv("XBENCH_TRACE");
+  Tracer tracer;
+  EnvTraceSession session(tracer);
+  EXPECT_FALSE(session.active());
+  EXPECT_FALSE(tracer.enabled());
+}
+
+}  // namespace
+}  // namespace xbench::obs

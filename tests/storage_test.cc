@@ -69,6 +69,54 @@ TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
   EXPECT_EQ(check.bytes[0], 7);
 }
 
+TEST(BufferPoolTest, CountsEvictionsAndWritebacks) {
+  SimulatedDisk disk;
+  BufferPool pool(disk, 2);
+  PageId a = disk.Allocate();
+  PageId b = disk.Allocate();
+  PageId c = disk.Allocate();
+
+  pool.Fetch(a);
+  pool.MarkDirty(a);
+  pool.Fetch(b);
+  pool.Fetch(c);  // evicts dirty a -> one eviction, one writeback
+  pool.Fetch(a);  // evicts clean b -> eviction without writeback
+
+  EXPECT_EQ(pool.evictions(), 2u);
+  EXPECT_EQ(pool.writebacks(), 1u);
+  const PoolCounters counters = pool.counters();
+  EXPECT_EQ(counters.misses, 4u);
+  EXPECT_EQ(counters.evictions, 2u);
+  EXPECT_EQ(counters.writebacks, 1u);
+}
+
+TEST(BufferPoolTest, FlushCountsWritebacks) {
+  SimulatedDisk disk;
+  BufferPool pool(disk, 8);
+  PageId a = disk.Allocate();
+  pool.Fetch(a);
+  pool.MarkDirty(a);
+  pool.FlushAll();
+  EXPECT_EQ(pool.writebacks(), 1u);
+  pool.FlushAll();  // now clean: nothing to write back
+  EXPECT_EQ(pool.writebacks(), 1u);
+}
+
+TEST(BufferPoolTest, ResetCountersZeroesStatsOnly) {
+  SimulatedDisk disk;
+  BufferPool pool(disk, 8);
+  PageId a = disk.Allocate();
+  pool.Fetch(a);
+  pool.Fetch(a);
+  pool.ResetCounters();
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  // Frames survive the reset: the next fetch is still a hit.
+  pool.Fetch(a);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
 TEST(BufferPoolTest, ColdRestartDropsEverything) {
   SimulatedDisk disk;
   BufferPool pool(disk, 8);

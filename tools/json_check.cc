@@ -1,0 +1,38 @@
+// Validates that each file named on the command line is non-empty,
+// well-formed JSON. Used by the quickstart_obs ctest case to check the
+// trace and report files the observability layer emits.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check FILE...\n");
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto contents = xbench::obs::ReadFile(argv[i]);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   contents.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (contents->empty()) {
+      std::fprintf(stderr, "%s: empty file\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    xbench::Status valid = xbench::obs::ValidateJson(*contents);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], valid.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", argv[i], contents->size());
+  }
+  return failures == 0 ? 0 : 1;
+}
