@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bulkload.dir/bench_bulkload.cc.o"
+  "CMakeFiles/bench_bulkload.dir/bench_bulkload.cc.o.d"
+  "bench_bulkload"
+  "bench_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_workload.dir/bench_full_workload.cc.o"
+  "CMakeFiles/bench_full_workload.dir/bench_full_workload.cc.o.d"
+  "bench_full_workload"
+  "bench_full_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q12.dir/bench_q12.cc.o"
+  "CMakeFiles/bench_q12.dir/bench_q12.cc.o.d"
+  "bench_q12"
+  "bench_q12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

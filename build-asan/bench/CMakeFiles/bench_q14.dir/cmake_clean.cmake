@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q14.dir/bench_q14.cc.o"
+  "CMakeFiles/bench_q14.dir/bench_q14.cc.o.d"
+  "bench_q14"
+  "bench_q14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q17.dir/bench_q17.cc.o"
+  "CMakeFiles/bench_q17.dir/bench_q17.cc.o.d"
+  "bench_q17"
+  "bench_q17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

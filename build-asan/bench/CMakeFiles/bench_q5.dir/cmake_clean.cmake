@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q5.dir/bench_q5.cc.o"
+  "CMakeFiles/bench_q5.dir/bench_q5.cc.o.d"
+  "bench_q5"
+  "bench_q5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

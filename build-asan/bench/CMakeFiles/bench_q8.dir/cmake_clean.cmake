@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q8.dir/bench_q8.cc.o"
+  "CMakeFiles/bench_q8.dir/bench_q8.cc.o.d"
+  "bench_q8"
+  "bench_q8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

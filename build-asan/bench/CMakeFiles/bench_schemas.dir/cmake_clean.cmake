@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schemas.dir/bench_schemas.cc.o"
+  "CMakeFiles/bench_schemas.dir/bench_schemas.cc.o.d"
+  "bench_schemas"
+  "bench_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_archive.dir/news_archive.cpp.o"
+  "CMakeFiles/news_archive.dir/news_archive.cpp.o.d"
+  "news_archive"
+  "news_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_audit.dir/order_audit.cpp.o"
+  "CMakeFiles/order_audit.dir/order_audit.cpp.o.d"
+  "order_audit"
+  "order_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_shell.dir/xquery_shell.cpp.o"
+  "CMakeFiles/xquery_shell.dir/xquery_shell.cpp.o.d"
+  "xquery_shell"
+  "xquery_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

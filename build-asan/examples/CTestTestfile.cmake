@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-asan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(quickstart_obs_run "/root/repo/build-asan/examples/quickstart")
+set_tests_properties(quickstart_obs_run PROPERTIES  ENVIRONMENT "XBENCH_TRACE=/root/repo/build-asan/examples/quickstart_trace.json;XBENCH_REPORT=/root/repo/build-asan/examples/quickstart_metrics.json" FIXTURES_SETUP "quickstart_obs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(quickstart_obs_validate "/root/repo/build-asan/tools/json_check" "/root/repo/build-asan/examples/quickstart_trace.json" "/root/repo/build-asan/examples/quickstart_metrics.json")
+set_tests_properties(quickstart_obs_validate PROPERTIES  FIXTURES_REQUIRED "quickstart_obs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")

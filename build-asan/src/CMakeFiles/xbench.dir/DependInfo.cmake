@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/CMakeFiles/xbench.dir/analysis/analyzer.cc.o" "gcc" "src/CMakeFiles/xbench.dir/analysis/analyzer.cc.o.d"
+  "/root/repo/src/analysis/class_schemas.cc" "src/CMakeFiles/xbench.dir/analysis/class_schemas.cc.o" "gcc" "src/CMakeFiles/xbench.dir/analysis/class_schemas.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/xbench.dir/common/random.cc.o" "gcc" "src/CMakeFiles/xbench.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xbench.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xbench.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/xbench.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/xbench.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/xbench.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/xbench.dir/common/strings.cc.o.d"
+  "/root/repo/src/datagen/article_generator.cc" "src/CMakeFiles/xbench.dir/datagen/article_generator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/article_generator.cc.o.d"
+  "/root/repo/src/datagen/catalog_generator.cc" "src/CMakeFiles/xbench.dir/datagen/catalog_generator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/catalog_generator.cc.o.d"
+  "/root/repo/src/datagen/dictionary_generator.cc" "src/CMakeFiles/xbench.dir/datagen/dictionary_generator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/dictionary_generator.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/xbench.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/order_generator.cc" "src/CMakeFiles/xbench.dir/datagen/order_generator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/order_generator.cc.o.d"
+  "/root/repo/src/datagen/template_engine.cc" "src/CMakeFiles/xbench.dir/datagen/template_engine.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/template_engine.cc.o.d"
+  "/root/repo/src/datagen/word_pool.cc" "src/CMakeFiles/xbench.dir/datagen/word_pool.cc.o" "gcc" "src/CMakeFiles/xbench.dir/datagen/word_pool.cc.o.d"
+  "/root/repo/src/engines/clob_engine.cc" "src/CMakeFiles/xbench.dir/engines/clob_engine.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/clob_engine.cc.o.d"
+  "/root/repo/src/engines/dad.cc" "src/CMakeFiles/xbench.dir/engines/dad.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/dad.cc.o.d"
+  "/root/repo/src/engines/dbms.cc" "src/CMakeFiles/xbench.dir/engines/dbms.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/dbms.cc.o.d"
+  "/root/repo/src/engines/native_engine.cc" "src/CMakeFiles/xbench.dir/engines/native_engine.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/native_engine.cc.o.d"
+  "/root/repo/src/engines/shred_engine.cc" "src/CMakeFiles/xbench.dir/engines/shred_engine.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/shred_engine.cc.o.d"
+  "/root/repo/src/engines/shredder.cc" "src/CMakeFiles/xbench.dir/engines/shredder.cc.o" "gcc" "src/CMakeFiles/xbench.dir/engines/shredder.cc.o.d"
+  "/root/repo/src/harness/driver.cc" "src/CMakeFiles/xbench.dir/harness/driver.cc.o" "gcc" "src/CMakeFiles/xbench.dir/harness/driver.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/xbench.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/xbench.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/scale.cc" "src/CMakeFiles/xbench.dir/harness/scale.cc.o" "gcc" "src/CMakeFiles/xbench.dir/harness/scale.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/CMakeFiles/xbench.dir/obs/json.cc.o" "gcc" "src/CMakeFiles/xbench.dir/obs/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/xbench.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/xbench.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/CMakeFiles/xbench.dir/obs/trace.cc.o" "gcc" "src/CMakeFiles/xbench.dir/obs/trace.cc.o.d"
+  "/root/repo/src/relational/btree.cc" "src/CMakeFiles/xbench.dir/relational/btree.cc.o" "gcc" "src/CMakeFiles/xbench.dir/relational/btree.cc.o.d"
+  "/root/repo/src/relational/exec.cc" "src/CMakeFiles/xbench.dir/relational/exec.cc.o" "gcc" "src/CMakeFiles/xbench.dir/relational/exec.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/xbench.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/xbench.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/xbench.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/xbench.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/xbench.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/xbench.dir/relational/value.cc.o.d"
+  "/root/repo/src/stats/corpus_analyzer.cc" "src/CMakeFiles/xbench.dir/stats/corpus_analyzer.cc.o" "gcc" "src/CMakeFiles/xbench.dir/stats/corpus_analyzer.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/xbench.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/xbench.dir/stats/distribution.cc.o.d"
+  "/root/repo/src/stats/fitting.cc" "src/CMakeFiles/xbench.dir/stats/fitting.cc.o" "gcc" "src/CMakeFiles/xbench.dir/stats/fitting.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/xbench.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/xbench.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/xbench.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/xbench.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/xbench.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/xbench.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/xbench.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/xbench.dir/storage/page.cc.o.d"
+  "/root/repo/src/tpcw/mapping.cc" "src/CMakeFiles/xbench.dir/tpcw/mapping.cc.o" "gcc" "src/CMakeFiles/xbench.dir/tpcw/mapping.cc.o.d"
+  "/root/repo/src/tpcw/populate.cc" "src/CMakeFiles/xbench.dir/tpcw/populate.cc.o" "gcc" "src/CMakeFiles/xbench.dir/tpcw/populate.cc.o.d"
+  "/root/repo/src/tpcw/rows.cc" "src/CMakeFiles/xbench.dir/tpcw/rows.cc.o" "gcc" "src/CMakeFiles/xbench.dir/tpcw/rows.cc.o.d"
+  "/root/repo/src/workload/classes.cc" "src/CMakeFiles/xbench.dir/workload/classes.cc.o" "gcc" "src/CMakeFiles/xbench.dir/workload/classes.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/xbench.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/xbench.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/relational_plans.cc" "src/CMakeFiles/xbench.dir/workload/relational_plans.cc.o" "gcc" "src/CMakeFiles/xbench.dir/workload/relational_plans.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/xbench.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/xbench.dir/workload/runner.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/xbench.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xbench.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xbench.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/schema_summary.cc" "src/CMakeFiles/xbench.dir/xml/schema_summary.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xml/schema_summary.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xbench.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/xbench.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/evaluator.cc" "src/CMakeFiles/xbench.dir/xquery/evaluator.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/evaluator.cc.o.d"
+  "/root/repo/src/xquery/functions.cc" "src/CMakeFiles/xbench.dir/xquery/functions.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/functions.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/xbench.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/xbench.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/parser.cc.o.d"
+  "/root/repo/src/xquery/sequence.cc" "src/CMakeFiles/xbench.dir/xquery/sequence.cc.o" "gcc" "src/CMakeFiles/xbench.dir/xquery/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/core_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/core_tests.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/obs_test.cc.o.d"
+  "/root/repo/tests/relational_test.cc" "tests/CMakeFiles/core_tests.dir/relational_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/relational_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/core_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/core_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/core_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/xbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

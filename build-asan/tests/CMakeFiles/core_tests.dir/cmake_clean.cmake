@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/common_test.cc.o"
+  "CMakeFiles/core_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/obs_test.cc.o"
+  "CMakeFiles/core_tests.dir/obs_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/relational_test.cc.o"
+  "CMakeFiles/core_tests.dir/relational_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/stats_test.cc.o"
+  "CMakeFiles/core_tests.dir/stats_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/storage_test.cc.o"
+  "CMakeFiles/core_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/xml_test.cc.o"
+  "CMakeFiles/core_tests.dir/xml_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/system_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/cross_engine_test.cc" "tests/CMakeFiles/system_tests.dir/cross_engine_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/cross_engine_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/system_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/dtd_test.cc" "tests/CMakeFiles/system_tests.dir/dtd_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/dtd_test.cc.o.d"
+  "/root/repo/tests/engines_test.cc" "tests/CMakeFiles/system_tests.dir/engines_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/engines_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/system_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/system_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/shredder_test.cc" "tests/CMakeFiles/system_tests.dir/shredder_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/shredder_test.cc.o.d"
+  "/root/repo/tests/tpcw_test.cc" "tests/CMakeFiles/system_tests.dir/tpcw_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/tpcw_test.cc.o.d"
+  "/root/repo/tests/updates_test.cc" "tests/CMakeFiles/system_tests.dir/updates_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/updates_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/system_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/system_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/xbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_tests.dir/analysis_test.cc.o"
+  "CMakeFiles/system_tests.dir/analysis_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/cross_engine_test.cc.o"
+  "CMakeFiles/system_tests.dir/cross_engine_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/datagen_test.cc.o"
+  "CMakeFiles/system_tests.dir/datagen_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/dtd_test.cc.o"
+  "CMakeFiles/system_tests.dir/dtd_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/engines_test.cc.o"
+  "CMakeFiles/system_tests.dir/engines_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/harness_test.cc.o"
+  "CMakeFiles/system_tests.dir/harness_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/property_test.cc.o"
+  "CMakeFiles/system_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/shredder_test.cc.o"
+  "CMakeFiles/system_tests.dir/shredder_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/tpcw_test.cc.o"
+  "CMakeFiles/system_tests.dir/tpcw_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/updates_test.cc.o"
+  "CMakeFiles/system_tests.dir/updates_test.cc.o.d"
+  "CMakeFiles/system_tests.dir/workload_test.cc.o"
+  "CMakeFiles/system_tests.dir/workload_test.cc.o.d"
+  "system_tests"
+  "system_tests.pdb"
+  "system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xquery_eval_test.cc" "tests/CMakeFiles/xquery_tests.dir/xquery_eval_test.cc.o" "gcc" "tests/CMakeFiles/xquery_tests.dir/xquery_eval_test.cc.o.d"
+  "/root/repo/tests/xquery_functions_test.cc" "tests/CMakeFiles/xquery_tests.dir/xquery_functions_test.cc.o" "gcc" "tests/CMakeFiles/xquery_tests.dir/xquery_functions_test.cc.o.d"
+  "/root/repo/tests/xquery_lexer_test.cc" "tests/CMakeFiles/xquery_tests.dir/xquery_lexer_test.cc.o" "gcc" "tests/CMakeFiles/xquery_tests.dir/xquery_lexer_test.cc.o.d"
+  "/root/repo/tests/xquery_parser_test.cc" "tests/CMakeFiles/xquery_tests.dir/xquery_parser_test.cc.o" "gcc" "tests/CMakeFiles/xquery_tests.dir/xquery_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/xbench.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

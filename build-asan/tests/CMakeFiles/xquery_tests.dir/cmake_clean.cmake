@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_tests.dir/xquery_eval_test.cc.o"
+  "CMakeFiles/xquery_tests.dir/xquery_eval_test.cc.o.d"
+  "CMakeFiles/xquery_tests.dir/xquery_functions_test.cc.o"
+  "CMakeFiles/xquery_tests.dir/xquery_functions_test.cc.o.d"
+  "CMakeFiles/xquery_tests.dir/xquery_lexer_test.cc.o"
+  "CMakeFiles/xquery_tests.dir/xquery_lexer_test.cc.o.d"
+  "CMakeFiles/xquery_tests.dir/xquery_parser_test.cc.o"
+  "CMakeFiles/xquery_tests.dir/xquery_parser_test.cc.o.d"
+  "xquery_tests"
+  "xquery_tests.pdb"
+  "xquery_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

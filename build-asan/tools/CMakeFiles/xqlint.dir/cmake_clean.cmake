@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqlint.dir/xqlint.cc.o"
+  "CMakeFiles/xqlint.dir/xqlint.cc.o.d"
+  "xqlint"
+  "xqlint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqlint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

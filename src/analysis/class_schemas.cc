@@ -1,0 +1,45 @@
+#include "analysis/class_schemas.h"
+
+#include <array>
+#include <memory>
+
+namespace xbench::analysis {
+namespace {
+
+/// Sample size for schema inference. Large enough that every optional
+/// element of every class (the dotted boxes of the paper's Figures 1–4)
+/// occurs at least once; small enough to build in milliseconds.
+constexpr uint64_t kSampleBytes = 96 * 1024;
+constexpr uint64_t kSampleSeed = 42;
+
+std::unique_ptr<ClassSchema> BuildSchema(datagen::DbClass cls) {
+  datagen::GenConfig config;
+  config.target_bytes = kSampleBytes;
+  config.seed = kSampleSeed;
+  const datagen::GeneratedDatabase db = datagen::Generate(cls, config);
+
+  auto schema = std::make_unique<ClassSchema>();
+  schema->seeds = db.seeds;
+  for (const datagen::GeneratedDocument& doc : db.documents) {
+    schema->summary.AddDocument(doc.dom);
+  }
+  schema->roots = schema->summary.RootTypes();
+  schema->dtd_text = schema->summary.ToDtd();
+  auto dtd = xml::Dtd::Parse(schema->dtd_text);
+  // The inferred DTD always round-trips through our parser (dtd_test
+  // asserts this for every class); a failure here is a programming error.
+  if (dtd.ok()) schema->dtd = std::move(dtd).value();
+  return schema;
+}
+
+}  // namespace
+
+const ClassSchema& CanonicalClassSchema(datagen::DbClass cls) {
+  static std::array<std::unique_ptr<ClassSchema>, 4>* cache =
+      new std::array<std::unique_ptr<ClassSchema>, 4>{};
+  auto& slot = (*cache)[static_cast<size_t>(cls)];
+  if (slot == nullptr) slot = BuildSchema(cls);
+  return *slot;
+}
+
+}  // namespace xbench::analysis

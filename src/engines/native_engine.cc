@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xml/parser.h"
+#include "xquery/parser.h"
 
 namespace xbench::engines {
 
@@ -153,7 +154,7 @@ Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
 }
 
 Result<xquery::QueryResult> NativeEngine::RunOver(
-    const std::vector<size_t>& ordinals, std::string_view xquery) {
+    const std::vector<size_t>& ordinals, const xquery::Expr& query) {
   xquery::Sequence input;
   input.reserve(ordinals.size());
   for (size_t ordinal : ordinals) {
@@ -162,10 +163,16 @@ Result<xquery::QueryResult> NativeEngine::RunOver(
   }
   xquery::Bindings bindings;
   bindings["input"] = std::move(input);
-  return xquery::EvaluateQuery(xquery, bindings);
+  return xquery::Evaluate(query, bindings);
 }
 
 Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {
+  auto parsed = xquery::ParseQuery(xquery);
+  if (!parsed.ok()) return parsed.status();
+  return Query(**parsed);
+}
+
+Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.query");
   std::vector<size_t> all;
@@ -173,14 +180,22 @@ Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {
   for (size_t i = 0; i < registry_.size(); ++i) {
     if (!registry_[i].deleted) all.push_back(i);
   }
-  return RunOver(all, xquery);
+  return RunOver(all, query);
 }
 
 Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
     const std::string& index_name, const std::string& value,
     std::string_view xquery) {
+  auto parsed = xquery::ParseQuery(xquery);
+  if (!parsed.ok()) return parsed.status();
+  return QueryWithIndex(index_name, value, **parsed);
+}
+
+Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
+    const std::string& index_name, const std::string& value,
+    const xquery::Expr& query) {
   auto it = indexes_.find(index_name);
-  if (it == indexes_.end()) return Query(xquery);
+  if (it == indexes_.end()) return Query(query);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.query_with_index");
   std::set<size_t> ordinals;
@@ -189,7 +204,7 @@ Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
     const auto ordinal = static_cast<size_t>(rid);
     if (!registry_[ordinal].deleted) ordinals.insert(ordinal);
   }
-  return RunOver({ordinals.begin(), ordinals.end()}, xquery);
+  return RunOver({ordinals.begin(), ordinals.end()}, query);
 }
 
 }  // namespace xbench::engines

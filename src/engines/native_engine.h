@@ -51,6 +51,11 @@ class NativeEngine : public XmlDbms {
   /// (collection scan).
   Result<xquery::QueryResult> Query(std::string_view xquery);
 
+  /// Pre-parsed form: evaluates an AST directly. The workload runner
+  /// parses + schema-analyzes queries up front (annotating descendant
+  /// steps), so the timed region covers evaluation only.
+  Result<xquery::QueryResult> Query(const xquery::Expr& query);
+
   /// Evaluates `xquery` with $input bound to the roots of only the
   /// documents whose `index_name` entry equals `value` (index-assisted
   /// scan). Falls back to a full collection scan when the index is absent
@@ -58,6 +63,11 @@ class NativeEngine : public XmlDbms {
   Result<xquery::QueryResult> QueryWithIndex(const std::string& index_name,
                                              const std::string& value,
                                              std::string_view xquery);
+
+  /// Pre-parsed form of QueryWithIndex.
+  Result<xquery::QueryResult> QueryWithIndex(const std::string& index_name,
+                                             const std::string& value,
+                                             const xquery::Expr& query);
 
   /// Live (non-deleted) documents.
   size_t document_count() const { return live_count_; }
@@ -76,7 +86,7 @@ class NativeEngine : public XmlDbms {
   Result<const xml::Document*> Materialize(size_t ordinal);
 
   Result<xquery::QueryResult> RunOver(const std::vector<size_t>& ordinals,
-                                      std::string_view xquery);
+                                      const xquery::Expr& query);
 
   std::unique_ptr<storage::HeapFile> file_;
   std::vector<DocEntry> registry_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 
 namespace xbench::relational {
@@ -27,9 +28,14 @@ class Value {
  public:
   Value() : data_(std::monostate{}) {}
   static Value Null() { return Value(); }
-  static Value Int(int64_t v) { return Value(Data(v)); }
-  static Value Double(double v) { return Value(Data(v)); }
-  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  // Alternatives are constructed in place rather than moved in through a
+  // Data temporary: GCC 12 flags the variant move as maybe-uninitialized
+  // under sanitizer inlining.
+  static Value Int(int64_t v) { return Value(std::in_place_type<int64_t>, v); }
+  static Value Double(double v) { return Value(std::in_place_type<double>, v); }
+  static Value String(std::string v) {
+    return Value(std::in_place_type<std::string>, std::move(v));
+  }
 
   ValueType type() const {
     return static_cast<ValueType>(data_.index());
@@ -63,7 +69,9 @@ class Value {
 
  private:
   using Data = std::variant<std::monostate, int64_t, double, std::string>;
-  explicit Value(Data data) : data_(std::move(data)) {}
+  template <typename T, typename... Args>
+  explicit Value(std::in_place_type_t<T> tag, Args&&... args)
+      : data_(tag, std::forward<Args>(args)...) {}
 
   Data data_;
 };

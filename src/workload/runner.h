@@ -9,6 +9,7 @@
 #include "datagen/generator.h"
 #include "engines/dbms.h"
 #include "workload/queries.h"
+#include "xquery/ast.h"
 
 namespace xbench::workload {
 
@@ -73,6 +74,16 @@ struct ExecutionResult {
 
   double TotalMillis() const { return cpu_millis + io_millis; }
 };
+
+/// Parses `xquery` and type-checks it against the canonical schema of
+/// `db_class` (see analysis::CanonicalClassSchema). Returns the analyzed
+/// AST — with `//` steps annotated for guided evaluation — or
+/// InvalidArgument when the query references names/axes the class DTD can
+/// never satisfy. The native engine path runs every canned query through
+/// this before the timed region, so a query against the wrong class
+/// surfaces a hard error instead of a silently empty answer.
+Result<xquery::ExprPtr> AnalyzeForClass(const std::string& xquery,
+                                        datagen::DbClass db_class);
 
 /// Executes query `id` against `engine` for class `db_class`.
 /// When `cold` (default) the engine is cold-restarted first, matching the

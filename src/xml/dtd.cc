@@ -107,6 +107,13 @@ const Dtd::ElementDecl* Dtd::FindElement(const std::string& name) const {
   return it == elements_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> Dtd::ElementNames() const {
+  std::vector<std::string> out;
+  out.reserve(elements_.size());
+  for (const auto& [name, decl] : elements_) out.push_back(name);
+  return out;
+}
+
 namespace {
 
 Status ValidateElement(const Dtd& dtd, const Node& node);

@@ -50,6 +50,10 @@ class Dtd {
   const ElementDecl* FindElement(const std::string& name) const;
   size_t element_count() const { return elements_.size(); }
 
+  /// All declared element names, sorted. The static analyzer walks the
+  /// element graph through this.
+  std::vector<std::string> ElementNames() const;
+
  private:
   std::map<std::string, ElementDecl> elements_;
 };

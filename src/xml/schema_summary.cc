@@ -8,6 +8,10 @@ void SchemaSummary::AddDocument(const Document& doc) {
   if (doc.root() == nullptr) return;
   ++document_count_;
   if (root_type_.empty()) root_type_ = doc.root()->name();
+  if (std::find(root_types_.begin(), root_types_.end(),
+                doc.root()->name()) == root_types_.end()) {
+    root_types_.push_back(doc.root()->name());
+  }
   Accumulate(*doc.root(), 1);
 }
 

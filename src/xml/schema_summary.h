@@ -43,6 +43,10 @@ class SchemaSummary {
   /// All element type names seen.
   std::vector<std::string> ElementTypes() const;
 
+  /// Distinct document-root element types in first-seen order. Multi-root
+  /// collections (DC/MD order documents plus flat tables) have several.
+  const std::vector<std::string>& RootTypes() const { return root_types_; }
+
   /// Attribute names seen on `element_type`.
   std::vector<std::string> AttributesOf(const std::string& element_type) const;
 
@@ -72,6 +76,7 @@ class SchemaSummary {
 
   std::map<std::string, TypeInfo> types_;
   std::string root_type_;
+  std::vector<std::string> root_types_;
   int max_depth_ = 0;
   size_t document_count_ = 0;
 };

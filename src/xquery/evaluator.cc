@@ -69,6 +69,36 @@ void CollectDescendants(const xml::Node& node, const std::string& name_test,
   }
 }
 
+/// Schema-guided descendant collection: descends only along the label
+/// chains the analyzer proved possible, emitting matches in document order
+/// (pre-order). `chains` are the expansions applicable to the context
+/// element; `depth` indexes into their labels.
+void GuidedCollect(const xml::Node& node, size_t depth,
+                   const std::vector<const StepExpansion*>& chains,
+                   Sequence& out, obs::Counter& visited) {
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    visited.Increment();
+    bool emit = false;
+    std::vector<const StepExpansion*> deeper;
+    for (const StepExpansion* chain : chains) {
+      if (chain->labels.size() <= depth ||
+          chain->labels[depth] != child->name()) {
+        continue;
+      }
+      if (chain->labels.size() == depth + 1) {
+        emit = true;
+      } else {
+        deeper.push_back(chain);
+      }
+    }
+    if (emit) out.push_back(Item::Node(child.get()));
+    if (!deeper.empty()) {
+      GuidedCollect(*child, depth + 1, deeper, out, visited);
+    }
+  }
+}
+
 /// Span name for the operator kinds worth tracing individually (the ones
 /// that dominate query time); others return nullptr and get no span.
 const char* OperatorSpanName(ExprKind kind) {
@@ -304,10 +334,58 @@ class Evaluator {
       }
       current.push_back(focus.item);
     }
-    for (const Step& step : e.steps) {
+    for (size_t i = 0; i < e.steps.size(); ++i) {
+      const Step& step = e.steps[i];
+      // `//name` fusion: when the analyzer resolved the descendant step
+      // into concrete child chains, walk those instead of scanning every
+      // subtree node (the paper's Q8/Q9 "unknown step" substitution).
+      if (step.axis == Axis::kDescendantOrSelf && step.name_test == "*" &&
+          step.predicates.empty() && i + 1 < e.steps.size() &&
+          e.steps[i + 1].axis == Axis::kChild &&
+          !e.steps[i + 1].expansions.empty()) {
+        XBENCH_ASSIGN_OR_RETURN(
+            current, EvalExpandedDescendant(e.steps[i + 1], current));
+        ++i;
+        continue;
+      }
       XBENCH_ASSIGN_OR_RETURN(current, EvalStep(step, current, focus));
     }
     return current;
+  }
+
+  /// Evaluates the fused `//name` pair through `step.expansions`. Context
+  /// elements whose type the analyzer did not cover fall back to a full
+  /// subtree scan, so the fast path can never drop results.
+  Result<Sequence> EvalExpandedDescendant(const Step& step,
+                                          const Sequence& input) {
+    Sequence result;
+    for (const Item& context : input) {
+      if (!context.is_node_kind()) {
+        return Status::InvalidArgument("path step applied to an atomic value");
+      }
+      if (context.kind == Item::Kind::kAttribute) continue;
+      const xml::Node& node = *context.node;
+      std::vector<const StepExpansion*> chains;
+      bool covered = false;
+      for (const StepExpansion& expansion : step.expansions) {
+        if (expansion.context_type == node.name()) {
+          covered = true;
+          chains.push_back(&expansion);
+        }
+      }
+      Sequence candidates;
+      if (covered) {
+        GuidedCollect(node, 0, chains, candidates, nodes_visited_);
+      } else {
+        CollectDescendants(node, step.name_test, /*include_self=*/false,
+                           candidates, nodes_visited_);
+      }
+      XBENCH_ASSIGN_OR_RETURN(
+          candidates, ApplyPredicates(step.predicates, std::move(candidates)));
+      result.insert(result.end(), candidates.begin(), candidates.end());
+    }
+    SortDocumentOrderUnique(result);
+    return result;
   }
 
   /// Handles absolute paths: the context is the document node (the parent

@@ -493,14 +493,17 @@ class Parser {
       return std::string("*");
     }
     if (tok.kind == TokenKind::kName) {
-      std::string name = lexer_.Next().text;
+      // Keep the whole token alive (copying the string member out of the
+      // temporary trips a GCC 12 spurious -Wmaybe-uninitialized).
+      Token name_tok = lexer_.Next();
       // `text()` node test.
-      if (name == "text" && lexer_.Peek().kind == TokenKind::kLParen) {
+      if (name_tok.text == "text" &&
+          lexer_.Peek().kind == TokenKind::kLParen) {
         lexer_.Next();
         XBENCH_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
         return std::string("text()");
       }
-      return name;
+      return std::move(name_tok.text);
     }
     return Err("expected a name test");
   }

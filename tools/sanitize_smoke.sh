@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# AddressSanitizer smoke job: builds the tree in a separate build dir with
+# -DXBENCH_SANITIZE=address and runs the fast test binaries plus the xqlint
+# gate under ASan. Intended for CI / pre-release, not the default tier-1
+# loop (a full sanitized rebuild is too slow there).
+#
+# Usage: tools/sanitize_smoke.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+SAN="${XBENCH_SANITIZE:-address}"
+
+cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j"$(nproc)" \
+      --target core_tests xquery_tests system_tests xqlint
+
+"$BUILD/tests/core_tests"
+"$BUILD/tests/xquery_tests"
+"$BUILD/tests/system_tests" --gtest_filter='*Analy*:InferredDtd*'
+"$BUILD/tools/xqlint" --class all --query all
+
+echo "sanitize smoke ($SAN): OK"

@@ -1,0 +1,165 @@
+// xqlint: static schema analysis of the XBench canned queries.
+//
+// For each selected database class, builds the canonical class schema
+// (DTD inferred from a deterministic sample database, plus instance
+// statistics), then parses and analyzes every selected query, printing an
+// explain-style report: diagnostics, per-path cardinality classes, and
+// the concrete child chains each `//` step resolves to (the paper's §2.2
+// "unknown steps", Q8/Q9).
+//
+// Usage:
+//   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
+//          [--verbose]
+//
+// Exit status: 0 when every selected query parses and has no error
+// diagnostics; 1 otherwise.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/class_schemas.h"
+#include "datagen/generator.h"
+#include "workload/queries.h"
+#include "xquery/parser.h"
+
+namespace {
+
+using xbench::analysis::AnalysisReport;
+using xbench::analysis::Analyze;
+using xbench::analysis::CanonicalClassSchema;
+using xbench::analysis::ClassSchema;
+using xbench::datagen::DbClass;
+using xbench::workload::DeriveParams;
+using xbench::workload::QueryId;
+using xbench::workload::QueryName;
+using xbench::workload::QueryParams;
+using xbench::workload::XQueryFor;
+
+constexpr DbClass kAllClasses[] = {DbClass::kTcSd, DbClass::kTcMd,
+                                   DbClass::kDcSd, DbClass::kDcMd};
+constexpr int kQueryCount = 20;
+
+bool ParseClass(const std::string& text, std::vector<DbClass>& out) {
+  if (text == "all") {
+    out.assign(std::begin(kAllClasses), std::end(kAllClasses));
+    return true;
+  }
+  for (DbClass cls : kAllClasses) {
+    if (text == xbench::datagen::DbClassName(cls)) {
+      out = {cls};
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseQueryArg(const std::string& text, std::vector<QueryId>& out) {
+  if (text == "all") {
+    out.clear();
+    for (int i = 0; i < kQueryCount; ++i) {
+      out.push_back(static_cast<QueryId>(i));
+    }
+    return true;
+  }
+  for (int i = 0; i < kQueryCount; ++i) {
+    const auto id = static_cast<QueryId>(i);
+    if (text == QueryName(id)) {
+      out = {id};
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Lints one (class, query) cell. Returns false on parse failure or error
+/// diagnostics. Undefined cells (empty query text) are skipped silently
+/// unless verbose.
+bool LintOne(DbClass cls, QueryId id, const ClassSchema& schema,
+             const QueryParams& params, bool verbose) {
+  const std::string xquery =
+      XQueryFor(id, cls, params);
+  if (xquery.empty()) {
+    if (verbose) {
+      std::printf("  %-4s (not defined for this class)\n", QueryName(id));
+    }
+    return true;
+  }
+  auto parsed = xbench::xquery::ParseQuery(xquery);
+  if (!parsed.ok()) {
+    std::printf("  %-4s PARSE ERROR: %s\n", QueryName(id),
+                parsed.status().ToString().c_str());
+    return false;
+  }
+  AnalysisReport report = Analyze(**parsed, schema.Context());
+  const bool clean = report.diagnostics.empty();
+  if (verbose || !clean) {
+    std::printf("  %-4s %s", QueryName(id),
+                report.HasErrors() ? "FAIL"
+                                   : (clean ? "ok" : "ok (warnings)"));
+    if (report.resolved_steps > 0) {
+      std::printf("  [%d // step%s resolved]", report.resolved_steps,
+                  report.resolved_steps == 1 ? "" : "s");
+    }
+    std::printf("\n");
+    std::printf("%s", report.ToString().c_str());
+  }
+  return !report.HasErrors();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<DbClass> classes(std::begin(kAllClasses),
+                               std::end(kAllClasses));
+  std::vector<QueryId> queries;
+  ParseQueryArg("all", queries);
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--class" && has_value) {
+      if (!ParseClass(argv[++i], classes)) {
+        std::fprintf(stderr, "unknown class '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--query" && has_value) {
+      if (!ParseQueryArg(argv[++i], queries)) {
+        std::fprintf(stderr, "unknown query '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
+                   "[--query Q1..Q20|all] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (DbClass cls : classes) {
+    const ClassSchema& schema = CanonicalClassSchema(cls);
+    const QueryParams params = DeriveParams(cls, schema.seeds);
+    std::printf("class %s (%zu element types, roots:",
+                xbench::datagen::DbClassName(cls),
+                schema.dtd.ElementNames().size());
+    for (const std::string& root : schema.roots) {
+      std::printf(" %s", root.c_str());
+    }
+    std::printf(")\n");
+    for (QueryId id : queries) {
+      if (!LintOne(cls, id, schema, params, verbose)) ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::printf("%d quer%s failed analysis\n", failures,
+                failures == 1 ? "y" : "ies");
+    return 1;
+  }
+  std::printf("all queries clean\n");
+  return 0;
+}
