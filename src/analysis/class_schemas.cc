@@ -1,7 +1,11 @@
 #include "analysis/class_schemas.h"
 
+#include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
 
 namespace xbench::analysis {
 namespace {
@@ -26,20 +30,91 @@ std::unique_ptr<ClassSchema> BuildSchema(datagen::DbClass cls) {
   schema->roots = schema->summary.RootTypes();
   schema->dtd_text = schema->summary.ToDtd();
   auto dtd = xml::Dtd::Parse(schema->dtd_text);
-  // The inferred DTD always round-trips through our parser (dtd_test
-  // asserts this for every class); a failure here is a programming error.
-  if (dtd.ok()) schema->dtd = std::move(dtd).value();
+  if (!dtd.ok()) {
+    // The inferred DTD always round-trips through our parser (dtd_test
+    // asserts this for every class); a failure here is a programming
+    // error, and continuing with an empty DTD would turn every later
+    // analysis into misleading unknown-name errors.
+    std::fprintf(stderr,
+                 "xbench: canonical DTD for class %s failed to parse: %s\n",
+                 datagen::DbClassName(cls), dtd.status().ToString().c_str());
+    std::abort();
+  }
+  schema->dtd = std::move(dtd).value();
   return schema;
+}
+
+/// Does `decl`'s content model admit an element child named `child`?
+bool AdmitsChild(const xml::Dtd::ElementDecl& decl, const std::string& child) {
+  switch (decl.model) {
+    case xml::Dtd::Model::kSequence:
+      return std::any_of(decl.sequence.begin(), decl.sequence.end(),
+                         [&](const xml::Dtd::Particle& particle) {
+                           return particle.name == child;
+                         });
+    case xml::Dtd::Model::kMixed:
+      return decl.mixed.count(child) != 0;
+    case xml::Dtd::Model::kEmpty:
+    case xml::Dtd::Model::kPcdata:
+      return false;
+  }
+  return false;
+}
+
+Status ValidateElementEdges(const xml::Node& node, const xml::Dtd& dtd) {
+  const xml::Dtd::ElementDecl* decl = dtd.FindElement(node.name());
+  if (decl == nullptr) {
+    return Status::InvalidArgument("element '" + node.name() +
+                                   "' is not declared in the class schema");
+  }
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    if (!AdmitsChild(*decl, child->name())) {
+      return Status::InvalidArgument("edge '" + node.name() + "' -> '" +
+                                     child->name() +
+                                     "' is not admitted by the class schema");
+    }
+    XBENCH_RETURN_IF_ERROR(ValidateElementEdges(*child, dtd));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
 const ClassSchema& CanonicalClassSchema(datagen::DbClass cls) {
+  static std::array<std::once_flag, 4> flags;
   static std::array<std::unique_ptr<ClassSchema>, 4>* cache =
       new std::array<std::unique_ptr<ClassSchema>, 4>{};
-  auto& slot = (*cache)[static_cast<size_t>(cls)];
-  if (slot == nullptr) slot = BuildSchema(cls);
-  return *slot;
+  const auto index = static_cast<size_t>(cls);
+  std::call_once(flags[index], [&] { (*cache)[index] = BuildSchema(cls); });
+  return *(*cache)[index];
+}
+
+Status ValidateForGuidedEval(const xml::Node& root,
+                             const ClassSchema& schema) {
+  if (std::find(schema.roots.begin(), schema.roots.end(), root.name()) ==
+      schema.roots.end()) {
+    return Status::InvalidArgument("document root '" + root.name() +
+                                   "' is not a root type of the class schema");
+  }
+  return ValidateElementEdges(root, schema.dtd);
+}
+
+Status ValidateDatabaseForGuidedEval(const datagen::GeneratedDatabase& db) {
+  const ClassSchema& schema = CanonicalClassSchema(db.db_class);
+  for (const datagen::GeneratedDocument& doc : db.documents) {
+    const xml::Node* root = doc.dom.root();
+    if (root == nullptr) {
+      return Status::InvalidArgument("document '" + doc.name +
+                                     "' has no root element");
+    }
+    Status status = ValidateForGuidedEval(*root, schema);
+    if (!status.ok()) {
+      return Status::InvalidArgument("document '" + doc.name +
+                                     "': " + status.message());
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace xbench::analysis

@@ -42,6 +42,9 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
   obs::Counter& docs_loaded =
       obs::MetricsRegistry::Default().GetCounter("xbench.engine.docs_loaded");
   db_class_ = db_class;
+  // The collection is changing; any earlier conformance proof no longer
+  // covers it. workload::BulkLoad re-enables after re-validating.
+  guided_eval_enabled_ = false;
   for (const LoadDocument& doc : docs) {
     obs::ScopedSpan doc_span("load.doc");
     {
@@ -71,6 +74,10 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status NativeEngine::InsertDocument(const LoadDocument& doc) {
+  // The inserted document was not part of the validated bulk load, so the
+  // collection may no longer conform to the schema the analyzer resolved
+  // expansions from; fall back to (always-correct) full subtree scans.
+  guided_eval_enabled_ = false;
   disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
   auto parsed = xml::Parse(doc.text, doc.name);
   if (!parsed.ok()) return parsed.status();
@@ -163,7 +170,9 @@ Result<xquery::QueryResult> NativeEngine::RunOver(
   }
   xquery::Bindings bindings;
   bindings["input"] = std::move(input);
-  return xquery::Evaluate(query, bindings);
+  xquery::EvalOptions options;
+  options.use_step_expansions = guided_eval_enabled_;
+  return xquery::Evaluate(query, bindings, options);
 }
 
 Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {

@@ -73,6 +73,18 @@ class NativeEngine : public XmlDbms {
   size_t document_count() const { return live_count_; }
   uint64_t stored_bytes() const { return file_->size_bytes(); }
 
+  /// Whether queries may follow analyzer-resolved `Step::expansions`
+  /// (guided descendant evaluation). Off by default: the expansions are
+  /// derived from the canonical class schema, and walking them is only
+  /// sound over a collection validated against that schema. The workload
+  /// bulk-load path enables this after
+  /// analysis::ValidateDatabaseForGuidedEval passes; inserting a document
+  /// turns it back off (the collection may no longer conform).
+  bool guided_eval_enabled() const { return guided_eval_enabled_; }
+  void set_guided_eval_enabled(bool enabled) {
+    guided_eval_enabled_ = enabled;
+  }
+
  private:
   struct DocEntry {
     std::string name;
@@ -91,6 +103,7 @@ class NativeEngine : public XmlDbms {
   std::unique_ptr<storage::HeapFile> file_;
   std::vector<DocEntry> registry_;
   size_t live_count_ = 0;
+  bool guided_eval_enabled_ = false;
   datagen::DbClass db_class_ = datagen::DbClass::kTcSd;
   // Index: value -> document ordinals (B+-tree so lookups charge realistic
   // page I/O).

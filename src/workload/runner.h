@@ -55,6 +55,11 @@ struct TimedStatus {
 };
 
 /// Bulk-loads `db` into `engine` (timed) — the Table 4 measurement.
+/// For the native engine it additionally validates the loaded collection
+/// against the canonical class schema (outside the timed region) and
+/// enables guided descendant evaluation only when validation passes, so
+/// analyzer-resolved `//` chains can never drop matches on a database
+/// whose edges the fixed-sample schema missed.
 TimedStatus BulkLoad(engines::XmlDbms& engine,
                      const datagen::GeneratedDatabase& db);
 

@@ -99,6 +99,61 @@ void GuidedCollect(const xml::Node& node, size_t depth,
   }
 }
 
+/// Per-parent variant of GuidedCollect for fused steps that carry
+/// predicates: each group holds every chain-final match under one parent
+/// element, so positional predicates ([1], position(), last()) see the
+/// same candidate list the unfused child step would build for that parent.
+void GuidedCollectGroups(const xml::Node& node, size_t depth,
+                         const std::vector<const StepExpansion*>& chains,
+                         std::vector<Sequence>& groups,
+                         obs::Counter& visited) {
+  Sequence here;
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    visited.Increment();
+    bool emit = false;
+    std::vector<const StepExpansion*> deeper;
+    for (const StepExpansion* chain : chains) {
+      if (chain->labels.size() <= depth ||
+          chain->labels[depth] != child->name()) {
+        continue;
+      }
+      if (chain->labels.size() == depth + 1) {
+        emit = true;
+      } else {
+        deeper.push_back(chain);
+      }
+    }
+    if (emit) here.push_back(Item::Node(child.get()));
+    if (!deeper.empty()) {
+      GuidedCollectGroups(*child, depth + 1, deeper, groups, visited);
+    }
+  }
+  if (!here.empty()) groups.push_back(std::move(here));
+}
+
+/// Full-scan counterpart of GuidedCollectGroups: for `node` and every
+/// descendant element, the children matching `name_test` form one group —
+/// exactly the candidate lists of an unfused descendant-or-self::* /
+/// child::name pair.
+void CollectChildGroups(const xml::Node& node, const std::string& name_test,
+                        std::vector<Sequence>& groups,
+                        obs::Counter& visited) {
+  visited.Increment();
+  Sequence here;
+  for (const auto& child : node.children()) {
+    if (ElementMatches(*child, name_test)) {
+      here.push_back(Item::Node(child.get()));
+    }
+  }
+  if (!here.empty()) groups.push_back(std::move(here));
+  for (const auto& child : node.children()) {
+    if (child->is_element()) {
+      CollectChildGroups(*child, name_test, groups, visited);
+    }
+  }
+}
+
 /// Span name for the operator kinds worth tracing individually (the ones
 /// that dominate query time); others return nullptr and get no span.
 const char* OperatorSpanName(ExprKind kind) {
@@ -120,9 +175,10 @@ const char* OperatorSpanName(ExprKind kind) {
 
 class Evaluator {
  public:
-  Evaluator(const Bindings& bindings,
+  Evaluator(const Bindings& bindings, const EvalOptions& options,
             std::vector<std::unique_ptr<xml::Node>>& arena)
       : bindings_(bindings),
+        options_(options),
         arena_(arena),
         operator_evals_(obs::MetricsRegistry::Default().GetCounter(
             "xbench.xquery.operator_evals")),
@@ -339,7 +395,8 @@ class Evaluator {
       // `//name` fusion: when the analyzer resolved the descendant step
       // into concrete child chains, walk those instead of scanning every
       // subtree node (the paper's Q8/Q9 "unknown step" substitution).
-      if (step.axis == Axis::kDescendantOrSelf && step.name_test == "*" &&
+      if (options_.use_step_expansions &&
+          step.axis == Axis::kDescendantOrSelf && step.name_test == "*" &&
           step.predicates.empty() && i + 1 < e.steps.size() &&
           e.steps[i + 1].axis == Axis::kChild &&
           !e.steps[i + 1].expansions.empty()) {
@@ -355,7 +412,9 @@ class Evaluator {
 
   /// Evaluates the fused `//name` pair through `step.expansions`. Context
   /// elements whose type the analyzer did not cover fall back to a full
-  /// subtree scan, so the fast path can never drop results.
+  /// subtree scan, so the fast path can never drop results. Predicates
+  /// evaluate per parent element — the same candidate lists the unfused
+  /// child step builds — so positional predicates keep their meaning.
   Result<Sequence> EvalExpandedDescendant(const Step& step,
                                           const Sequence& input) {
     Sequence result;
@@ -373,16 +432,28 @@ class Evaluator {
           chains.push_back(&expansion);
         }
       }
-      Sequence candidates;
-      if (covered) {
-        GuidedCollect(node, 0, chains, candidates, nodes_visited_);
-      } else {
-        CollectDescendants(node, step.name_test, /*include_self=*/false,
-                           candidates, nodes_visited_);
+      if (step.predicates.empty()) {
+        Sequence candidates;
+        if (covered) {
+          GuidedCollect(node, 0, chains, candidates, nodes_visited_);
+        } else {
+          CollectDescendants(node, step.name_test, /*include_self=*/false,
+                             candidates, nodes_visited_);
+        }
+        result.insert(result.end(), candidates.begin(), candidates.end());
+        continue;
       }
-      XBENCH_ASSIGN_OR_RETURN(
-          candidates, ApplyPredicates(step.predicates, std::move(candidates)));
-      result.insert(result.end(), candidates.begin(), candidates.end());
+      std::vector<Sequence> groups;
+      if (covered) {
+        GuidedCollectGroups(node, 0, chains, groups, nodes_visited_);
+      } else {
+        CollectChildGroups(node, step.name_test, groups, nodes_visited_);
+      }
+      for (Sequence& group : groups) {
+        XBENCH_ASSIGN_OR_RETURN(
+            group, ApplyPredicates(step.predicates, std::move(group)));
+        result.insert(result.end(), group.begin(), group.end());
+      }
     }
     SortDocumentOrderUnique(result);
     return result;
@@ -765,6 +836,7 @@ class Evaluator {
   }
 
   const Bindings& bindings_;
+  const EvalOptions& options_;
   std::vector<std::unique_ptr<xml::Node>>& arena_;
   std::vector<std::pair<std::string, Sequence>> scope_;
   obs::Counter& operator_evals_;
@@ -789,10 +861,11 @@ std::string QueryResult::ToText() const {
   return out;
 }
 
-Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings) {
+Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings,
+                             const EvalOptions& options) {
   obs::ScopedSpan span("xquery.eval");
   QueryResult result;
-  Evaluator evaluator(bindings, result.constructed);
+  Evaluator evaluator(bindings, options, result.constructed);
   Focus focus;  // no initial context item; queries start from variables
   auto items = evaluator.Eval(query, focus);
   if (!items.ok()) return items.status();

@@ -29,9 +29,21 @@ struct QueryResult {
 /// External variable bindings (e.g. $input = collection roots).
 using Bindings = std::map<std::string, Sequence>;
 
+/// Evaluation switches.
+struct EvalOptions {
+  /// When false, analyzer-provided `Step::expansions` annotations are
+  /// ignored and descendant steps always run the full subtree scan.
+  /// Engines must disable expansions unless the collection they evaluate
+  /// over has been validated against the schema the expansions were
+  /// resolved from — a parent→child edge present in the data but missing
+  /// from that schema would make the guided walk silently drop matches.
+  bool use_step_expansions = true;
+};
+
 /// Evaluates a parsed query. The documents referenced by `bindings` must
 /// outlive the result.
-Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings);
+Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings,
+                             const EvalOptions& options = {});
 
 /// Parse + evaluate convenience.
 Result<QueryResult> EvaluateQuery(std::string_view query,
