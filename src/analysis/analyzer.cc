@@ -88,6 +88,20 @@ Cardinality CardFromCount(uint64_t n) {
   return n == 1 ? Cardinality::kAtMostOne : Cardinality::kMany;
 }
 
+xquery::plan::Card ToPlanCard(Cardinality card) {
+  switch (card) {
+    case Cardinality::kEmpty:
+      return xquery::plan::Card::kEmpty;
+    case Cardinality::kAtMostOne:
+      return xquery::plan::Card::kAtMostOne;
+    case Cardinality::kMany:
+      return xquery::plan::Card::kMany;
+    case Cardinality::kUnknown:
+      return xquery::plan::Card::kUnknown;
+  }
+  return xquery::plan::Card::kUnknown;
+}
+
 class Analyzer {
  public:
   explicit Analyzer(const SchemaContext& context) : ctx_(context) {}
@@ -464,6 +478,7 @@ class Analyzer {
     }
 
     if (!e.steps.empty()) {
+      report_.annotations.path_cardinality[&e] = ToPlanCard(state.card);
       PathInfo info;
       info.rendered = state.rendered;
       info.cardinality = state.card;
@@ -769,6 +784,7 @@ class Analyzer {
           state.expansions.push_back(std::move(rendered));
         }
         annotate->expansions = std::move(expansions);
+        report_.annotations.step_expansions[annotate] = annotate->expansions;
         ++report_.resolved_steps;
       }
       if (include_self && context.count(name) != 0 && bound_known) {
@@ -880,7 +896,8 @@ AnalysisReport Analyze(xquery::Expr& query, const SchemaContext& context) {
 
 Status AnalyzeQuery(xquery::Expr& query, const xml::Dtd& dtd,
                     const xml::SchemaSummary* summary,
-                    const std::vector<std::string>& roots) {
+                    const std::vector<std::string>& roots,
+                    AnalysisReport* report_out) {
   SchemaContext context;
   context.dtd = &dtd;
   context.summary = summary;
@@ -901,7 +918,10 @@ Status AnalyzeQuery(xquery::Expr& query, const xml::Dtd& dtd,
                         : "xbench.analysis.warnings")
         .Increment();
   }
-  if (!report.HasErrors()) return Status::Ok();
+  if (!report.HasErrors()) {
+    if (report_out != nullptr) *report_out = std::move(report);
+    return Status::Ok();
+  }
   std::string message = "query fails schema analysis:";
   for (const Diagnostic& diagnostic : report.diagnostics) {
     if (diagnostic.severity != Severity::kError) continue;

@@ -8,6 +8,7 @@
 #include "xml/dtd.h"
 #include "xml/schema_summary.h"
 #include "xquery/ast.h"
+#include "xquery/plan/logical.h"
 
 namespace xbench::analysis {
 
@@ -63,6 +64,11 @@ struct AnalysisReport {
   std::vector<PathInfo> paths;
   /// Number of descendant (`//`) steps resolved to concrete child chains.
   int resolved_steps = 0;
+  /// Planner-facing annotations keyed by AST node identity (valid only
+  /// while the analyzed AST is alive). Same facts as the legacy
+  /// Step::expansions mutations + kAlwaysEmptyPath diagnostics, but
+  /// consumable off the AST by plan::BuildLogicalPlan.
+  xquery::plan::PlanAnnotations annotations;
 
   bool HasErrors() const;
   /// Explain-style rendering: diagnostics first, then one line per path.
@@ -90,10 +96,12 @@ AnalysisReport Analyze(xquery::Expr& query, const SchemaContext& context);
 
 /// Status form threaded through the workload runner: Ok when no error
 /// diagnostics, InvalidArgument listing them otherwise. `summary` may be
-/// null.
+/// null. When `report_out` is non-null the full report is moved into it
+/// (the planner consumes `report_out->annotations`).
 Status AnalyzeQuery(xquery::Expr& query, const xml::Dtd& dtd,
                     const xml::SchemaSummary* summary,
-                    const std::vector<std::string>& roots);
+                    const std::vector<std::string>& roots,
+                    AnalysisReport* report_out = nullptr);
 
 }  // namespace xbench::analysis
 

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xml/parser.h"
+#include "xquery/parser.h"
 
 namespace xbench::engines {
 
@@ -164,9 +165,23 @@ Result<std::string> ClobEngine::FetchRaw(const std::string& doc_name) {
 Result<xquery::QueryResult> ClobEngine::QueryDocument(
     const std::string& doc_name, std::string_view xquery) {
   XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, FetchDocument(doc_name));
+  auto it = ast_cache_.find(xquery);
+  if (it == ast_cache_.end()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xbench.plan.ast_cache_misses")
+        .Increment();
+    auto parsed = xquery::ParseQuery(xquery);
+    if (!parsed.ok()) return parsed.status();
+    it = ast_cache_.emplace(std::string(xquery), std::move(parsed).value())
+             .first;
+  } else {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xbench.plan.ast_cache_hits")
+        .Increment();
+  }
   xquery::Bindings bindings;
   bindings["input"] = xquery::Sequence{xquery::Item::Node(doc->root())};
-  return xquery::EvaluateQuery(xquery, bindings);
+  return xquery::Evaluate(*it->second, bindings);
 }
 
 }  // namespace xbench::engines

@@ -43,8 +43,10 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
       obs::MetricsRegistry::Default().GetCounter("xbench.engine.docs_loaded");
   db_class_ = db_class;
   // The collection is changing; any earlier conformance proof no longer
-  // covers it. workload::BulkLoad re-enables after re-validating.
+  // covers it. workload::BulkLoad re-enables after re-validating. Compiled
+  // plans froze access paths under the old gate state, so they go too.
   guided_eval_enabled_ = false;
+  plan_cache_.Invalidate();
   for (const LoadDocument& doc : docs) {
     obs::ScopedSpan doc_span("load.doc");
     {
@@ -76,8 +78,10 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
 Status NativeEngine::InsertDocument(const LoadDocument& doc) {
   // The inserted document was not part of the validated bulk load, so the
   // collection may no longer conform to the schema the analyzer resolved
-  // expansions from; fall back to (always-correct) full subtree scans.
+  // expansions from; fall back to (always-correct) full subtree scans and
+  // drop plans compiled for the guided collection.
   guided_eval_enabled_ = false;
+  plan_cache_.Invalidate();
   disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
   auto parsed = xml::Parse(doc.text, doc.name);
   if (!parsed.ok()) return parsed.status();
@@ -112,6 +116,7 @@ Status NativeEngine::DeleteDocument(const std::string& name) {
     entry.deleted = true;
     --live_count_;
     cache_.erase(ordinal);
+    plan_cache_.Invalidate();
     return Status::Ok();
   }
   return Status::NotFound("document '" + name + "'");
@@ -181,15 +186,64 @@ Result<xquery::QueryResult> NativeEngine::Query(std::string_view xquery) {
   return Query(**parsed);
 }
 
-Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
-  obs::ScopedClockSource clock_scope(disk_->clock());
-  obs::ScopedSpan span("native.query");
+std::vector<size_t> NativeEngine::LiveOrdinals() const {
   std::vector<size_t> all;
   all.reserve(registry_.size());
   for (size_t i = 0; i < registry_.size(); ++i) {
     if (!registry_[i].deleted) all.push_back(i);
   }
-  return RunOver(all, query);
+  return all;
+}
+
+Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.query");
+  return RunOver(LiveOrdinals(), query);
+}
+
+Result<xquery::QueryResult> NativeEngine::RunPlanOver(
+    const std::vector<size_t>& ordinals,
+    const xquery::plan::CompiledQuery& compiled) {
+  if (compiled.guided && !guided_eval_enabled_) {
+    return Status::InvalidArgument(
+        "guided plan on an unvalidated collection: the plan was compiled "
+        "for a collection that passed the guided-eval gate");
+  }
+  xquery::Sequence input;
+  input.reserve(ordinals.size());
+  for (size_t ordinal : ordinals) {
+    XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, Materialize(ordinal));
+    input.push_back(xquery::Item::Node(doc->root()));
+  }
+  xquery::Bindings bindings;
+  bindings["input"] = std::move(input);
+  xquery::EvalOptions options;
+  options.use_step_expansions = guided_eval_enabled_;
+  return xquery::exec::Execute(compiled.physical, bindings, options,
+                               &last_plan_stats_);
+}
+
+Result<xquery::QueryResult> NativeEngine::ExecutePlan(
+    const xquery::plan::CompiledQuery& compiled) {
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.exec_plan");
+  return RunPlanOver(LiveOrdinals(), compiled);
+}
+
+Result<xquery::QueryResult> NativeEngine::ExecutePlanWithIndex(
+    const std::string& index_name, const std::string& value,
+    const xquery::plan::CompiledQuery& compiled) {
+  auto it = indexes_.find(index_name);
+  if (it == indexes_.end()) return ExecutePlan(compiled);
+  obs::ScopedClockSource clock_scope(disk_->clock());
+  obs::ScopedSpan span("native.exec_plan_with_index");
+  std::set<size_t> ordinals;
+  for (storage::RecordId rid :
+       it->second->Lookup({relational::Value::String(value)})) {
+    const auto ordinal = static_cast<size_t>(rid);
+    if (!registry_[ordinal].deleted) ordinals.insert(ordinal);
+  }
+  return RunPlanOver({ordinals.begin(), ordinals.end()}, compiled);
 }
 
 Result<xquery::QueryResult> NativeEngine::QueryWithIndex(

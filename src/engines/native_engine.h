@@ -11,6 +11,8 @@
 #include "storage/heap_file.h"
 #include "xml/node.h"
 #include "xquery/evaluator.h"
+#include "xquery/exec/exec.h"
+#include "xquery/plan/cache.h"
 
 namespace xbench::engines {
 
@@ -69,6 +71,30 @@ class NativeEngine : public XmlDbms {
                                              const std::string& value,
                                              const xquery::Expr& query);
 
+  /// Compiled form of Query(Expr): runs a physical plan over the whole
+  /// collection. Guided plans are rejected while the collection has not
+  /// passed the guided-eval gate (the plan cache key carries the guided
+  /// flag, so a rejection here means the caller compiled for the wrong
+  /// gate state). Per-operator counters land in last_plan_stats().
+  Result<xquery::QueryResult> ExecutePlan(
+      const xquery::plan::CompiledQuery& compiled);
+
+  /// Compiled form of QueryWithIndex.
+  Result<xquery::QueryResult> ExecutePlanWithIndex(
+      const std::string& index_name, const std::string& value,
+      const xquery::plan::CompiledQuery& compiled);
+
+  /// This engine's compiled-plan cache (the DBMS statement cache). Document
+  /// mutations invalidate it — the data change can flip the guided-eval
+  /// gate — but ColdRestart does not: compiled statements survive a
+  /// buffer-pool flush.
+  xquery::plan::PlanCache& plan_cache() { return plan_cache_; }
+
+  /// Per-operator counters of the most recent ExecutePlan* call.
+  const xquery::exec::ExecStats& last_plan_stats() const {
+    return last_plan_stats_;
+  }
+
   /// Live (non-deleted) documents.
   size_t document_count() const { return live_count_; }
   uint64_t stored_bytes() const { return file_->size_bytes(); }
@@ -100,6 +126,14 @@ class NativeEngine : public XmlDbms {
   Result<xquery::QueryResult> RunOver(const std::vector<size_t>& ordinals,
                                       const xquery::Expr& query);
 
+  Result<xquery::QueryResult> RunPlanOver(
+      const std::vector<size_t>& ordinals,
+      const xquery::plan::CompiledQuery& compiled);
+
+  /// Candidate ordinals for an index lookup (all live documents when the
+  /// index is absent); shared by the interpreted and compiled paths.
+  std::vector<size_t> LiveOrdinals() const;
+
   std::unique_ptr<storage::HeapFile> file_;
   std::vector<DocEntry> registry_;
   size_t live_count_ = 0;
@@ -110,6 +144,8 @@ class NativeEngine : public XmlDbms {
   std::map<std::string, std::unique_ptr<relational::BTreeIndex>> indexes_;
   std::map<std::string, std::string> index_paths_;
   std::map<size_t, std::unique_ptr<xml::Document>> cache_;
+  xquery::plan::PlanCache plan_cache_;
+  xquery::exec::ExecStats last_plan_stats_;
 };
 
 /// Extracts the indexed values for `path` from a document tree. Path forms

@@ -205,6 +205,27 @@ std::string Driver::JsonReport(const ReportOptions& options) {
               writer.Key("answer_hash")
                   .String(HexHash(workload::AnswerHash(canonical)));
               WriteIoStats(writer, result.io);
+              if (result.compiled) {
+                writer.Key("plan").BeginObject();
+                writer.Key("compiled").Bool(true);
+                writer.Key("cache_hit").Bool(result.plan_cache_hit);
+                writer.Key("operators").BeginArray();
+                for (const xquery::exec::OperatorStats& op :
+                     result.plan_stats.operators) {
+                  writer.BeginObject()
+                      .Key("op")
+                      .String(op.label)
+                      .Key("rows_out")
+                      .Uint(op.rows_out)
+                      .Key("invocations")
+                      .Uint(op.invocations)
+                      .Key("millis")
+                      .Number(op.millis)
+                      .EndObject();
+                }
+                writer.EndArray();
+                writer.EndObject();
+              }
             } else {
               writer.Key("error").String(result.status.ToString());
             }

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -130,13 +131,31 @@ JsonWriter& JsonWriter::Null() {
 
 namespace {
 
-/// Recursive-descent JSON checker over a string_view cursor.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
+/// Appends `codepoint` to `out` as UTF-8 (1-3 bytes; \u escapes cannot
+/// encode codepoints above U+FFFF without surrogate pairs, which we pass
+/// through individually like most lenient decoders).
+void AppendUtf8(unsigned codepoint, std::string& out) {
+  if (codepoint < 0x80) {
+    out.push_back(static_cast<char>(codepoint));
+  } else if (codepoint < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+    out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  }
+}
 
-  Status Check() {
-    XBENCH_RETURN_IF_ERROR(Value());
+/// Recursive-descent JSON parser over a string_view cursor. Builds a
+/// JsonValue tree; ValidateJson discards the tree, so validation and
+/// parsing cannot drift apart.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    XBENCH_RETURN_IF_ERROR(Value(out));
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::Corruption("trailing characters after JSON value at " +
@@ -166,28 +185,35 @@ class JsonChecker {
     return Status::Ok();
   }
 
-  Status Value() {
+  Status Value(JsonValue* out) {
     SkipSpace();
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{':
-        return Object();
+        return Object(out);
       case '[':
-        return Array();
+        return Array(out);
       case '"':
-        return QuotedString();
+        out->kind = JsonValue::Kind::kString;
+        return QuotedString(&out->string);
       case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
         return Literal("true");
       case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
         return Literal("false");
       case 'n':
+        out->kind = JsonValue::Kind::kNull;
         return Literal("null");
       default:
-        return NumberToken();
+        return NumberToken(out);
     }
   }
 
-  Status Object() {
+  Status Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
     XBENCH_RETURN_IF_ERROR(Expect('{'));
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == '}') {
@@ -196,10 +222,13 @@ class JsonChecker {
     }
     while (true) {
       SkipSpace();
-      XBENCH_RETURN_IF_ERROR(QuotedString());
+      std::string key;
+      XBENCH_RETURN_IF_ERROR(QuotedString(&key));
       SkipSpace();
       XBENCH_RETURN_IF_ERROR(Expect(':'));
-      XBENCH_RETURN_IF_ERROR(Value());
+      JsonValue member;
+      XBENCH_RETURN_IF_ERROR(Value(&member));
+      out->members.emplace_back(std::move(key), std::move(member));
       SkipSpace();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -209,7 +238,8 @@ class JsonChecker {
     }
   }
 
-  Status Array() {
+  Status Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
     XBENCH_RETURN_IF_ERROR(Expect('['));
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == ']') {
@@ -217,7 +247,9 @@ class JsonChecker {
       return Status::Ok();
     }
     while (true) {
-      XBENCH_RETURN_IF_ERROR(Value());
+      JsonValue item;
+      XBENCH_RETURN_IF_ERROR(Value(&item));
+      out->items.push_back(std::move(item));
       SkipSpace();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -227,7 +259,7 @@ class JsonChecker {
     }
   }
 
-  Status QuotedString() {
+  Status QuotedString(std::string* out) {
     XBENCH_RETURN_IF_ERROR(Expect('"'));
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
@@ -243,17 +275,48 @@ class JsonChecker {
         if (pos_ >= text_.size()) return Fail("dangling escape");
         const char esc = text_[pos_];
         if (esc == 'u') {
+          unsigned codepoint = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos_;
             if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(
                                             text_[pos_]))) {
               return Fail("bad \\u escape");
             }
+            const char hex = text_[pos_];
+            codepoint = codepoint * 16 +
+                        static_cast<unsigned>(
+                            hex <= '9' ? hex - '0'
+                                       : (hex | 0x20) - 'a' + 10);
           }
-        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
-                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
-          return Fail("bad escape character");
+          AppendUtf8(codepoint, *out);
+        } else {
+          switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+              out->push_back(esc);
+              break;
+            case 'b':
+              out->push_back('\b');
+              break;
+            case 'f':
+              out->push_back('\f');
+              break;
+            case 'n':
+              out->push_back('\n');
+              break;
+            case 'r':
+              out->push_back('\r');
+              break;
+            case 't':
+              out->push_back('\t');
+              break;
+            default:
+              return Fail("bad escape character");
+          }
         }
+      } else {
+        out->push_back(c);
       }
       ++pos_;
     }
@@ -268,7 +331,7 @@ class JsonChecker {
     return Status::Ok();
   }
 
-  Status NumberToken() {
+  Status NumberToken(JsonValue* out) {
     const size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     auto digits = [&] {
@@ -292,7 +355,9 @@ class JsonChecker {
       }
       if (digits() == 0) return Fail("malformed number exponent");
     }
-    (void)start;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
     return Status::Ok();
   }
 
@@ -302,8 +367,23 @@ class JsonChecker {
 
 }  // namespace
 
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
 Status ValidateJson(std::string_view text) {
-  return JsonChecker(text).Check();
+  JsonValue discard;
+  return JsonParser(text).Parse(&discard);
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  JsonValue value;
+  XBENCH_RETURN_IF_ERROR(JsonParser(text).Parse(&value));
+  return value;
 }
 
 Status WriteFile(const std::string& path, std::string_view content) {

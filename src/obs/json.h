@@ -47,6 +47,34 @@ void JsonEscape(std::string_view text, std::string& out);
 /// and `tools/json_check` to validate emitted reports and traces.
 Status ValidateJson(std::string_view text);
 
+/// A parsed JSON value tree (see ParseJson). Object members keep source
+/// order; lookup is linear — the run reports this is built for are small.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// First member named `key`; null when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as exactly one JSON value, decoding string escapes
+/// (\uXXXX becomes UTF-8). Accepts exactly what ValidateJson accepts.
+/// Used by `tools/json_check --schema report` to structurally validate
+/// the driver's run reports.
+Result<JsonValue> ParseJson(std::string_view text);
+
 /// Writes `content` to `path`, replacing any existing file.
 Status WriteFile(const std::string& path, std::string_view content);
 

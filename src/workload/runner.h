@@ -5,11 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/status.h"
 #include "datagen/generator.h"
 #include "engines/dbms.h"
 #include "workload/queries.h"
 #include "xquery/ast.h"
+#include "xquery/exec/exec.h"
 
 namespace xbench::workload {
 
@@ -76,6 +78,14 @@ struct ExecutionResult {
   /// Pool/disk traffic attributed to the query (cold runs reset the pool
   /// counters first, so these cover exactly this execution).
   IoStats io;
+  /// Compiled-plan path (native engine): `compiled` is set when the timed
+  /// region executed a physical plan, `plan_cache_hit` when that plan came
+  /// from the engine's statement cache instead of being compiled for this
+  /// run, and `plan_stats` carries the run's per-operator counters in plan
+  /// pre-order.
+  bool compiled = false;
+  bool plan_cache_hit = false;
+  xquery::exec::ExecStats plan_stats;
 
   double TotalMillis() const { return cpu_millis + io_millis; }
 };
@@ -89,6 +99,19 @@ struct ExecutionResult {
 /// surfaces a hard error instead of a silently empty answer.
 Result<xquery::ExprPtr> AnalyzeForClass(const std::string& xquery,
                                         datagen::DbClass db_class);
+
+/// An analyzed query: the AST together with the analysis report whose
+/// `annotations` the planner consumes. The annotations are keyed by AST
+/// node identity, so the pair must travel (and stay alive) together.
+struct AnalyzedQuery {
+  xquery::ExprPtr ast;
+  analysis::AnalysisReport report;
+};
+
+/// Like AnalyzeForClass, but also hands back the analysis report so a
+/// compile phase can feed `report.annotations` to plan::Compile.
+Result<AnalyzedQuery> AnalyzeForClassFull(const std::string& xquery,
+                                          datagen::DbClass db_class);
 
 /// Executes query `id` against `engine` for class `db_class`.
 /// When `cold` (default) the engine is cold-restarted first, matching the

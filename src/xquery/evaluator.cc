@@ -9,6 +9,7 @@
 #include "xml/serializer.h"
 #include "xquery/functions.h"
 #include "xquery/parser.h"
+#include "xquery/step_eval.h"
 
 namespace xbench::xquery {
 namespace {
@@ -51,109 +52,6 @@ bool CompareAtomic(const Item& a, const Item& b, CompareOp op) {
   return false;
 }
 
-bool ElementMatches(const xml::Node& node, const std::string& name_test) {
-  if (node.is_text()) return name_test == "text()";
-  if (name_test == "text()") return false;
-  return name_test == "*" || node.name() == name_test;
-}
-
-void CollectDescendants(const xml::Node& node, const std::string& name_test,
-                        bool include_self, Sequence& out,
-                        obs::Counter& visited) {
-  visited.Increment();
-  if (include_self && ElementMatches(node, name_test)) {
-    out.push_back(Item::Node(&node));
-  }
-  for (const auto& child : node.children()) {
-    CollectDescendants(*child, name_test, /*include_self=*/true, out, visited);
-  }
-}
-
-/// Schema-guided descendant collection: descends only along the label
-/// chains the analyzer proved possible, emitting matches in document order
-/// (pre-order). `chains` are the expansions applicable to the context
-/// element; `depth` indexes into their labels.
-void GuidedCollect(const xml::Node& node, size_t depth,
-                   const std::vector<const StepExpansion*>& chains,
-                   Sequence& out, obs::Counter& visited) {
-  for (const auto& child : node.children()) {
-    if (!child->is_element()) continue;
-    visited.Increment();
-    bool emit = false;
-    std::vector<const StepExpansion*> deeper;
-    for (const StepExpansion* chain : chains) {
-      if (chain->labels.size() <= depth ||
-          chain->labels[depth] != child->name()) {
-        continue;
-      }
-      if (chain->labels.size() == depth + 1) {
-        emit = true;
-      } else {
-        deeper.push_back(chain);
-      }
-    }
-    if (emit) out.push_back(Item::Node(child.get()));
-    if (!deeper.empty()) {
-      GuidedCollect(*child, depth + 1, deeper, out, visited);
-    }
-  }
-}
-
-/// Per-parent variant of GuidedCollect for fused steps that carry
-/// predicates: each group holds every chain-final match under one parent
-/// element, so positional predicates ([1], position(), last()) see the
-/// same candidate list the unfused child step would build for that parent.
-void GuidedCollectGroups(const xml::Node& node, size_t depth,
-                         const std::vector<const StepExpansion*>& chains,
-                         std::vector<Sequence>& groups,
-                         obs::Counter& visited) {
-  Sequence here;
-  for (const auto& child : node.children()) {
-    if (!child->is_element()) continue;
-    visited.Increment();
-    bool emit = false;
-    std::vector<const StepExpansion*> deeper;
-    for (const StepExpansion* chain : chains) {
-      if (chain->labels.size() <= depth ||
-          chain->labels[depth] != child->name()) {
-        continue;
-      }
-      if (chain->labels.size() == depth + 1) {
-        emit = true;
-      } else {
-        deeper.push_back(chain);
-      }
-    }
-    if (emit) here.push_back(Item::Node(child.get()));
-    if (!deeper.empty()) {
-      GuidedCollectGroups(*child, depth + 1, deeper, groups, visited);
-    }
-  }
-  if (!here.empty()) groups.push_back(std::move(here));
-}
-
-/// Full-scan counterpart of GuidedCollectGroups: for `node` and every
-/// descendant element, the children matching `name_test` form one group —
-/// exactly the candidate lists of an unfused descendant-or-self::* /
-/// child::name pair.
-void CollectChildGroups(const xml::Node& node, const std::string& name_test,
-                        std::vector<Sequence>& groups,
-                        obs::Counter& visited) {
-  visited.Increment();
-  Sequence here;
-  for (const auto& child : node.children()) {
-    if (ElementMatches(*child, name_test)) {
-      here.push_back(Item::Node(child.get()));
-    }
-  }
-  if (!here.empty()) groups.push_back(std::move(here));
-  for (const auto& child : node.children()) {
-    if (child->is_element()) {
-      CollectChildGroups(*child, name_test, groups, visited);
-    }
-  }
-}
-
 /// Span name for the operator kinds worth tracing individually (the ones
 /// that dominate query time); others return nullptr and get no span.
 const char* OperatorSpanName(ExprKind kind) {
@@ -176,7 +74,8 @@ const char* OperatorSpanName(ExprKind kind) {
 class Evaluator {
  public:
   Evaluator(const Bindings& bindings, const EvalOptions& options,
-            std::vector<std::unique_ptr<xml::Node>>& arena)
+            std::vector<std::unique_ptr<xml::Node>>& arena,
+            const std::vector<ScopeBinding>* seed_scope = nullptr)
       : bindings_(bindings),
         options_(options),
         arena_(arena),
@@ -184,7 +83,9 @@ class Evaluator {
             "xbench.xquery.operator_evals")),
         nodes_visited_(obs::MetricsRegistry::Default().GetCounter(
             "xbench.xquery.nodes_visited")),
-        trace_operators_(obs::Tracer::Default().enabled()) {}
+        trace_operators_(obs::Tracer::Default().enabled()) {
+    if (seed_scope != nullptr) scope_ = *seed_scope;
+  }
 
   Result<Sequence> Eval(const Expr& e, const Focus& focus) {
     operator_evals_.Increment();
@@ -502,86 +403,15 @@ class Evaluator {
         if (step.axis == Axis::kSelf) result.push_back(context);
         continue;
       }
-      Sequence candidates = AxisNodes(*context.node, step);
+      Sequence candidates =
+          AxisCandidates(*context.node, step.axis, step.name_test,
+                         nodes_visited_);
       XBENCH_ASSIGN_OR_RETURN(
           candidates, ApplyPredicates(step.predicates, std::move(candidates)));
       result.insert(result.end(), candidates.begin(), candidates.end());
     }
     SortDocumentOrderUnique(result);
     return result;
-  }
-
-  Sequence AxisNodes(const xml::Node& node, const Step& step) {
-    Sequence out;
-    switch (step.axis) {
-      case Axis::kChild:
-        nodes_visited_.Increment(node.children().size());
-        for (const auto& child : node.children()) {
-          if (ElementMatches(*child, step.name_test)) {
-            out.push_back(Item::Node(child.get()));
-          }
-        }
-        break;
-      case Axis::kDescendant:
-        CollectDescendants(node, step.name_test, /*include_self=*/false, out,
-                           nodes_visited_);
-        break;
-      case Axis::kDescendantOrSelf:
-        if (ElementMatches(node, step.name_test)) {
-          out.push_back(Item::Node(&node));
-        }
-        CollectDescendants(node, step.name_test, /*include_self=*/false, out,
-                           nodes_visited_);
-        break;
-      case Axis::kAttribute: {
-        const auto& attrs = node.attributes();
-        for (size_t i = 0; i < attrs.size(); ++i) {
-          if (step.name_test == "*" || attrs[i].name == step.name_test) {
-            out.push_back(Item::Attr(&node, static_cast<int>(i)));
-          }
-        }
-        break;
-      }
-      case Axis::kSelf:
-        if (ElementMatches(node, step.name_test)) {
-          out.push_back(Item::Node(&node));
-        }
-        break;
-      case Axis::kParent:
-        if (node.parent() != nullptr &&
-            ElementMatches(*node.parent(), step.name_test)) {
-          out.push_back(Item::Node(node.parent()));
-        }
-        break;
-      case Axis::kFollowingSibling:
-      case Axis::kPrecedingSibling: {
-        const xml::Node* parent = node.parent();
-        if (parent == nullptr) break;
-        const auto& siblings = parent->children();
-        size_t self_index = siblings.size();
-        for (size_t i = 0; i < siblings.size(); ++i) {
-          if (siblings[i].get() == &node) {
-            self_index = i;
-            break;
-          }
-        }
-        if (step.axis == Axis::kFollowingSibling) {
-          for (size_t i = self_index + 1; i < siblings.size(); ++i) {
-            if (ElementMatches(*siblings[i], step.name_test)) {
-              out.push_back(Item::Node(siblings[i].get()));
-            }
-          }
-        } else {
-          for (size_t i = self_index; i-- > 0;) {
-            if (ElementMatches(*siblings[i], step.name_test)) {
-              out.push_back(Item::Node(siblings[i].get()));
-            }
-          }
-        }
-        break;
-      }
-    }
-    return out;
   }
 
   /// Applies a predicate list to a candidate sequence, with positional
@@ -871,6 +701,22 @@ Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings,
   if (!items.ok()) return items.status();
   result.items = std::move(items).value();
   return result;
+}
+
+Result<Sequence> EvalWithEnv(const Expr& expr, const Bindings& bindings,
+                             const std::vector<ScopeBinding>& scope,
+                             const Item* context_item, size_t position,
+                             size_t size, const EvalOptions& options,
+                             std::vector<std::unique_ptr<xml::Node>>& arena) {
+  Evaluator evaluator(bindings, options, arena, &scope);
+  Focus focus;
+  if (context_item != nullptr) {
+    focus.item = *context_item;
+    focus.position = position;
+    focus.size = size;
+    focus.valid = true;
+  }
+  return evaluator.Eval(expr, focus);
 }
 
 Result<QueryResult> EvaluateQuery(std::string_view query,

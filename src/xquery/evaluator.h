@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,12 +41,36 @@ struct EvalOptions {
   bool use_step_expansions = true;
 };
 
-/// Evaluates a parsed query. The documents referenced by `bindings` must
-/// outlive the result.
+/// One lexical-scope binding (FLWOR/quantifier variable → value). The
+/// innermost binding of a name is the last matching entry.
+using ScopeBinding = std::pair<std::string, Sequence>;
+
+/// Evaluates a parsed query with the tree-walking interpreter. This is
+/// the semantic reference: the compiled pipeline (xquery/plan/ +
+/// xquery/exec/) must produce byte-identical ToText() output, and
+/// differential tests hold it to that. The documents referenced by
+/// `bindings` must outlive the result.
 Result<QueryResult> Evaluate(const Expr& query, const Bindings& bindings,
                              const EvalOptions& options = {});
 
-/// Parse + evaluate convenience.
+/// Interpreter-core hook for the compiled physical operators: evaluates
+/// one expression exactly as the tree-walking interpreter would, under
+/// `bindings` plus an explicit variable scope and an optional dynamic
+/// focus (`context_item` null = no focus; `position`/`size` are 1-based
+/// when a focus exists). Constructed nodes are appended to `arena`, which
+/// must outlive the returned items. Physical operators delegate every
+/// scalar leaf (predicates, where clauses, order keys, constructor
+/// content) here, so compiled plans cannot diverge from the interpreter
+/// on expression semantics.
+Result<Sequence> EvalWithEnv(const Expr& expr, const Bindings& bindings,
+                             const std::vector<ScopeBinding>& scope,
+                             const Item* context_item, size_t position,
+                             size_t size, const EvalOptions& options,
+                             std::vector<std::unique_ptr<xml::Node>>& arena);
+
+/// Parse + evaluate convenience (one-shot callers only; the workload
+/// runner and engines hold parsed ASTs / compiled plans instead of
+/// re-parsing query text per execution).
 Result<QueryResult> EvaluateQuery(std::string_view query,
                                   const Bindings& bindings);
 

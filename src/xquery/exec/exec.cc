@@ -1,0 +1,1027 @@
+#include "xquery/exec/exec.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "xquery/functions.h"
+#include "xquery/step_eval.h"
+
+namespace xbench::xquery::exec {
+namespace {
+
+using plan::AccessPath;
+using plan::LogicalKind;
+using plan::LogicalNode;
+
+/// A tuple of the FLWOR pipeline: the variable bindings accumulated by the
+/// for/let operators upstream of the current position.
+using Env = std::vector<ScopeBinding>;
+
+/// Everything one Execute() call threads through the operator tree. The
+/// scope holds the bindings of enclosing tuples while a sub-plan runs, so
+/// expression leaves see exactly the variables the interpreter would.
+struct ExecContext {
+  const Bindings* bindings = nullptr;
+  const EvalOptions* options = nullptr;
+  std::vector<std::unique_ptr<xml::Node>>* arena = nullptr;
+  Env scope;
+  std::vector<OperatorStats>* stats = nullptr;
+  obs::Counter* nodes_visited = nullptr;
+  bool trace = false;
+};
+
+/// Pushes a tuple's bindings onto the evaluation scope for the duration of
+/// one sub-plan run.
+class ScopedTuple {
+ public:
+  ScopedTuple(ExecContext& ctx, const Env& tuple)
+      : scope_(ctx.scope), mark_(ctx.scope.size()) {
+    scope_.insert(scope_.end(), tuple.begin(), tuple.end());
+  }
+  ~ScopedTuple() { scope_.resize(mark_); }
+
+  ScopedTuple(const ScopedTuple&) = delete;
+  ScopedTuple& operator=(const ScopedTuple&) = delete;
+
+ private:
+  Env& scope_;
+  size_t mark_;
+};
+
+/// Interpreter-core evaluation of an expression leaf under the current
+/// scope (and an optional focus for predicates).
+Result<Sequence> EvalLeaf(ExecContext& ctx, const Expr& expr,
+                          const Item* context_item = nullptr,
+                          size_t position = 0, size_t size = 0) {
+  return EvalWithEnv(expr, *ctx.bindings, ctx.scope, context_item, position,
+                     size, *ctx.options, *ctx.arena);
+}
+
+/// Predicate application with positional semantics, byte-compatible with
+/// the interpreter's ApplyPredicates (a numeric singleton selects by
+/// position, anything else filters by effective boolean value).
+Result<Sequence> RunPredicates(ExecContext& ctx,
+                               const std::vector<const Expr*>& predicates,
+                               Sequence candidates) {
+  for (const Expr* pred : predicates) {
+    Sequence kept;
+    const size_t n = candidates.size();
+    for (size_t i = 0; i < n; ++i) {
+      XBENCH_ASSIGN_OR_RETURN(
+          Sequence value, EvalLeaf(ctx, *pred, &candidates[i], i + 1, n));
+      bool keep;
+      if (value.size() == 1 && value.front().kind == Item::Kind::kNumber) {
+        keep = static_cast<double>(i + 1) == value.front().num;
+      } else {
+        XBENCH_ASSIGN_OR_RETURN(keep, EffectiveBooleanValue(value));
+      }
+      if (keep) kept.push_back(candidates[i]);
+    }
+    candidates = std::move(kept);
+  }
+  return candidates;
+}
+
+}  // namespace
+
+/// Item operator: pulls its inputs and produces an item sequence. Run()
+/// wraps the subclass body with per-slot counters and an optional span.
+class ItemOp {
+ public:
+  ItemOp(std::string label, size_t slot)
+      : label_(std::move(label)), slot_(slot) {}
+  virtual ~ItemOp() = default;
+
+  Result<Sequence> Run(ExecContext& ctx) const {
+    OperatorStats& stats = (*ctx.stats)[slot_];
+    ++stats.invocations;
+    Stopwatch watch;
+    Result<Sequence> result = RunTraced(ctx);
+    stats.millis += watch.ElapsedMillis();
+    if (result.ok()) stats.rows_out += result.value().size();
+    return result;
+  }
+
+ protected:
+  virtual Result<Sequence> DoRun(ExecContext& ctx) const = 0;
+
+ private:
+  Result<Sequence> RunTraced(ExecContext& ctx) const {
+    if (ctx.trace) {
+      obs::ScopedSpan span("plan.op." + label_);
+      return DoRun(ctx);
+    }
+    return DoRun(ctx);
+  }
+
+  std::string label_;
+  size_t slot_;
+};
+
+namespace {
+
+class ScanOp final : public ItemOp {
+ public:
+  ScanOp(std::string label, size_t slot, std::string name)
+      : ItemOp(std::move(label), slot), name_(std::move(name)) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    // Innermost tuple binding wins; globals ($input) come from Bindings.
+    for (auto it = ctx.scope.rbegin(); it != ctx.scope.rend(); ++it) {
+      if (it->first == name_) return it->second;
+    }
+    auto it = ctx.bindings->find(name_);
+    if (it != ctx.bindings->end()) return it->second;
+    return Status::NotFound("unbound variable $" + name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Interpreter-core leaf: any expression the planner did not decompose
+/// (literals, comparisons, constructors, fallback shapes).
+class EvalExprOp final : public ItemOp {
+ public:
+  EvalExprOp(std::string label, size_t slot, const Expr* expr)
+      : ItemOp(std::move(label), slot), expr_(expr) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    return EvalLeaf(ctx, *expr_);
+  }
+
+ private:
+  const Expr* expr_;
+};
+
+class AxisStepOp final : public ItemOp {
+ public:
+  AxisStepOp(std::string label, size_t slot, std::unique_ptr<ItemOp> input,
+             Axis axis, std::string name_test,
+             std::vector<const Expr*> predicates)
+      : ItemOp(std::move(label), slot),
+        input_(std::move(input)),
+        axis_(axis),
+        name_test_(std::move(name_test)),
+        predicates_(std::move(predicates)) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
+    Sequence result;
+    for (const Item& context : input) {
+      if (!context.is_node_kind()) {
+        return Status::InvalidArgument("path step applied to an atomic value");
+      }
+      if (context.kind == Item::Kind::kAttribute) {
+        // Only self::* is meaningful on attributes.
+        if (axis_ == Axis::kSelf) result.push_back(context);
+        continue;
+      }
+      Sequence candidates = AxisCandidates(*context.node, axis_, name_test_,
+                                           *ctx.nodes_visited);
+      XBENCH_ASSIGN_OR_RETURN(
+          candidates, RunPredicates(ctx, predicates_, std::move(candidates)));
+      result.insert(result.end(), candidates.begin(), candidates.end());
+    }
+    SortDocumentOrderUnique(result);
+    return result;
+  }
+
+ private:
+  std::unique_ptr<ItemOp> input_;
+  Axis axis_;
+  std::string name_test_;
+  std::vector<const Expr*> predicates_;
+};
+
+/// The fused `//name` operator. The access path is frozen at plan time:
+/// kGuidedWalk descends only along analyzer chains (falling back to the
+/// full scan for context element types the chains do not cover, so it can
+/// never drop results); kFullScan always scans the subtree. Predicates
+/// evaluate per parent element — the candidate lists the unfused child
+/// step would build — so positional predicates keep their meaning.
+class DescendantStepOp final : public ItemOp {
+ public:
+  DescendantStepOp(std::string label, size_t slot,
+                   std::unique_ptr<ItemOp> input, std::string name_test,
+                   std::vector<const Expr*> predicates,
+                   std::vector<StepExpansion> expansions, bool guided)
+      : ItemOp(std::move(label), slot),
+        input_(std::move(input)),
+        name_test_(std::move(name_test)),
+        predicates_(std::move(predicates)),
+        expansions_(std::move(expansions)),
+        guided_(guided) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
+    Sequence result;
+    for (const Item& context : input) {
+      if (!context.is_node_kind()) {
+        return Status::InvalidArgument("path step applied to an atomic value");
+      }
+      if (context.kind == Item::Kind::kAttribute) continue;
+      const xml::Node& node = *context.node;
+      std::vector<const StepExpansion*> chains;
+      bool covered = false;
+      if (guided_) {
+        for (const StepExpansion& expansion : expansions_) {
+          if (expansion.context_type == node.name()) {
+            covered = true;
+            chains.push_back(&expansion);
+          }
+        }
+      }
+      if (predicates_.empty()) {
+        Sequence candidates;
+        if (covered) {
+          GuidedCollect(node, 0, chains, candidates, *ctx.nodes_visited);
+        } else {
+          CollectDescendants(node, name_test_, /*include_self=*/false,
+                             candidates, *ctx.nodes_visited);
+        }
+        result.insert(result.end(), candidates.begin(), candidates.end());
+        continue;
+      }
+      std::vector<Sequence> groups;
+      if (covered) {
+        GuidedCollectGroups(node, 0, chains, groups, *ctx.nodes_visited);
+      } else {
+        CollectChildGroups(node, name_test_, groups, *ctx.nodes_visited);
+      }
+      for (Sequence& group : groups) {
+        XBENCH_ASSIGN_OR_RETURN(
+            group, RunPredicates(ctx, predicates_, std::move(group)));
+        result.insert(result.end(), group.begin(), group.end());
+      }
+    }
+    SortDocumentOrderUnique(result);
+    return result;
+  }
+
+ private:
+  std::unique_ptr<ItemOp> input_;
+  std::string name_test_;
+  std::vector<const Expr*> predicates_;
+  std::vector<StepExpansion> expansions_;
+  bool guided_;
+};
+
+class FilterOp final : public ItemOp {
+ public:
+  FilterOp(std::string label, size_t slot, std::unique_ptr<ItemOp> input,
+           std::vector<const Expr*> predicates)
+      : ItemOp(std::move(label), slot),
+        input_(std::move(input)),
+        predicates_(std::move(predicates)) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
+    return RunPredicates(ctx, predicates_, std::move(input));
+  }
+
+ private:
+  std::unique_ptr<ItemOp> input_;
+  std::vector<const Expr*> predicates_;
+};
+
+class AggregateOp final : public ItemOp {
+ public:
+  AggregateOp(std::string label, size_t slot, std::unique_ptr<ItemOp> input,
+              std::string function)
+      : ItemOp(std::move(label), slot),
+        input_(std::move(input)),
+        function_(std::move(function)) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
+    std::vector<Sequence> args;
+    args.push_back(std::move(input));
+    return CallFunction(function_, std::move(args));
+  }
+
+ private:
+  std::unique_ptr<ItemOp> input_;
+  std::string function_;
+};
+
+class EmptyOp final : public ItemOp {
+ public:
+  EmptyOp(std::string label, size_t slot) : ItemOp(std::move(label), slot) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext&) const override { return Sequence{}; }
+};
+
+// --- tuple operators ------------------------------------------------------
+
+/// Streaming cursor over a tuple operator's output. Next() wraps the
+/// subclass body with the owning operator's counters.
+class TupleCursor {
+ public:
+  virtual ~TupleCursor() = default;
+
+  /// Emits the next tuple into `out`; false at end of stream.
+  Result<bool> Next(ExecContext& ctx, Env* out) {
+    Stopwatch watch;
+    Result<bool> result = DoNext(ctx, out);
+    OperatorStats& stats = (*ctx.stats)[slot_];
+    stats.millis += watch.ElapsedMillis();
+    if (result.ok() && result.value()) ++stats.rows_out;
+    return result;
+  }
+
+ protected:
+  explicit TupleCursor(size_t slot) : slot_(slot) {}
+  virtual Result<bool> DoNext(ExecContext& ctx, Env* out) = 0;
+
+ private:
+  size_t slot_;
+};
+
+class TupleOp {
+ public:
+  TupleOp(std::string label, size_t slot)
+      : label_(std::move(label)), slot_(slot) {}
+  virtual ~TupleOp() = default;
+
+  std::unique_ptr<TupleCursor> Open(ExecContext& ctx) const {
+    ++(*ctx.stats)[slot_].invocations;
+    return MakeCursor(ctx);
+  }
+
+  const std::string& label() const { return label_; }
+
+ protected:
+  virtual std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const = 0;
+  size_t slot() const { return slot_; }
+
+ private:
+  std::string label_;
+  size_t slot_;
+};
+
+class SingletonCursor final : public TupleCursor {
+ public:
+  explicit SingletonCursor(size_t slot) : TupleCursor(slot) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext&, Env* out) override {
+    if (done_) return false;
+    done_ = true;
+    out->clear();
+    return true;
+  }
+
+ private:
+  bool done_ = false;
+};
+
+class SingletonOp final : public TupleOp {
+ public:
+  SingletonOp(std::string label, size_t slot)
+      : TupleOp(std::move(label), slot) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext&) const override {
+    return std::make_unique<SingletonCursor>(slot());
+  }
+};
+
+/// Dependent for clause: evaluates the input plan once per upstream tuple
+/// and fans each item out as a new tuple. Depth-first pulling produces the
+/// same lexicographic tuple order as the interpreter's breadth-first env
+/// construction.
+class ForOp final : public TupleOp {
+ public:
+  ForOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
+        std::unique_ptr<ItemOp> items, std::string variable,
+        std::string position_variable)
+      : TupleOp(std::move(label), slot),
+        input_(std::move(input)),
+        items_(std::move(items)),
+        variable_(std::move(variable)),
+        position_variable_(std::move(position_variable)) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
+
+ private:
+  friend class ForCursor;
+  std::unique_ptr<TupleOp> input_;
+  std::unique_ptr<ItemOp> items_;
+  std::string variable_;
+  std::string position_variable_;
+};
+
+class ForCursor final : public TupleCursor {
+ public:
+  ForCursor(size_t slot, const ForOp& op, std::unique_ptr<TupleCursor> input)
+      : TupleCursor(slot), op_(op), input_(std::move(input)) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext& ctx, Env* out) override {
+    while (true) {
+      if (have_items_ && index_ < items_.size()) {
+        *out = base_;
+        out->emplace_back(op_.variable_, Sequence{items_[index_]});
+        if (!op_.position_variable_.empty()) {
+          out->emplace_back(
+              op_.position_variable_,
+              Sequence{Item::Number(static_cast<double>(index_ + 1))});
+        }
+        ++index_;
+        return true;
+      }
+      have_items_ = false;
+      XBENCH_ASSIGN_OR_RETURN(bool more, input_->Next(ctx, &base_));
+      if (!more) return false;
+      Sequence items;
+      {
+        ScopedTuple tuple(ctx, base_);
+        XBENCH_ASSIGN_OR_RETURN(items, op_.items_->Run(ctx));
+      }
+      items_ = std::move(items);
+      index_ = 0;
+      have_items_ = true;
+    }
+  }
+
+ private:
+  const ForOp& op_;
+  std::unique_ptr<TupleCursor> input_;
+  Env base_;
+  Sequence items_;
+  size_t index_ = 0;
+  bool have_items_ = false;
+};
+
+std::unique_ptr<TupleCursor> ForOp::MakeCursor(ExecContext& ctx) const {
+  return std::make_unique<ForCursor>(slot(), *this, input_->Open(ctx));
+}
+
+/// Independent for clause: the right side has no free variable bound by
+/// any enclosing pipeline (the planner proved it), so it is materialized
+/// once — lazily, on the first upstream tuple — instead of once per tuple.
+class JoinOp final : public TupleOp {
+ public:
+  JoinOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
+         std::unique_ptr<ItemOp> items, std::string variable,
+         std::string position_variable)
+      : TupleOp(std::move(label), slot),
+        input_(std::move(input)),
+        items_(std::move(items)),
+        variable_(std::move(variable)),
+        position_variable_(std::move(position_variable)) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
+
+ private:
+  friend class JoinCursor;
+  std::unique_ptr<TupleOp> input_;
+  std::unique_ptr<ItemOp> items_;
+  std::string variable_;
+  std::string position_variable_;
+};
+
+class JoinCursor final : public TupleCursor {
+ public:
+  JoinCursor(size_t slot, const JoinOp& op, std::unique_ptr<TupleCursor> input)
+      : TupleCursor(slot), op_(op), input_(std::move(input)) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext& ctx, Env* out) override {
+    while (true) {
+      if (have_base_ && index_ < items_.size()) {
+        *out = base_;
+        out->emplace_back(op_.variable_, Sequence{items_[index_]});
+        if (!op_.position_variable_.empty()) {
+          out->emplace_back(
+              op_.position_variable_,
+              Sequence{Item::Number(static_cast<double>(index_ + 1))});
+        }
+        ++index_;
+        return true;
+      }
+      have_base_ = false;
+      XBENCH_ASSIGN_OR_RETURN(bool more, input_->Next(ctx, &base_));
+      if (!more) return false;
+      if (!materialized_) {
+        XBENCH_ASSIGN_OR_RETURN(items_, op_.items_->Run(ctx));
+        materialized_ = true;
+      }
+      index_ = 0;
+      have_base_ = true;
+    }
+  }
+
+ private:
+  const JoinOp& op_;
+  std::unique_ptr<TupleCursor> input_;
+  Env base_;
+  Sequence items_;
+  size_t index_ = 0;
+  bool have_base_ = false;
+  bool materialized_ = false;
+};
+
+std::unique_ptr<TupleCursor> JoinOp::MakeCursor(ExecContext& ctx) const {
+  return std::make_unique<JoinCursor>(slot(), *this, input_->Open(ctx));
+}
+
+class LetOp final : public TupleOp {
+ public:
+  LetOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
+        std::unique_ptr<ItemOp> value, std::string variable)
+      : TupleOp(std::move(label), slot),
+        input_(std::move(input)),
+        value_(std::move(value)),
+        variable_(std::move(variable)) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
+
+ private:
+  friend class LetCursor;
+  std::unique_ptr<TupleOp> input_;
+  std::unique_ptr<ItemOp> value_;
+  std::string variable_;
+};
+
+class LetCursor final : public TupleCursor {
+ public:
+  LetCursor(size_t slot, const LetOp& op, std::unique_ptr<TupleCursor> input)
+      : TupleCursor(slot), op_(op), input_(std::move(input)) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext& ctx, Env* out) override {
+    Env base;
+    XBENCH_ASSIGN_OR_RETURN(bool more, input_->Next(ctx, &base));
+    if (!more) return false;
+    Sequence value;
+    {
+      ScopedTuple tuple(ctx, base);
+      XBENCH_ASSIGN_OR_RETURN(value, op_.value_->Run(ctx));
+    }
+    *out = std::move(base);
+    out->emplace_back(op_.variable_, std::move(value));
+    return true;
+  }
+
+ private:
+  const LetOp& op_;
+  std::unique_ptr<TupleCursor> input_;
+};
+
+std::unique_ptr<TupleCursor> LetOp::MakeCursor(ExecContext& ctx) const {
+  return std::make_unique<LetCursor>(slot(), *this, input_->Open(ctx));
+}
+
+class WhereOp final : public TupleOp {
+ public:
+  WhereOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
+          const Expr* condition)
+      : TupleOp(std::move(label), slot),
+        input_(std::move(input)),
+        condition_(condition) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
+
+ private:
+  friend class WhereCursor;
+  std::unique_ptr<TupleOp> input_;
+  const Expr* condition_;
+};
+
+class WhereCursor final : public TupleCursor {
+ public:
+  WhereCursor(size_t slot, const WhereOp& op,
+              std::unique_ptr<TupleCursor> input)
+      : TupleCursor(slot), op_(op), input_(std::move(input)) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext& ctx, Env* out) override {
+    while (true) {
+      Env base;
+      XBENCH_ASSIGN_OR_RETURN(bool more, input_->Next(ctx, &base));
+      if (!more) return false;
+      Sequence condition;
+      {
+        ScopedTuple tuple(ctx, base);
+        XBENCH_ASSIGN_OR_RETURN(condition, EvalLeaf(ctx, *op_.condition_));
+      }
+      XBENCH_ASSIGN_OR_RETURN(bool keep, EffectiveBooleanValue(condition));
+      if (keep) {
+        *out = std::move(base);
+        return true;
+      }
+    }
+  }
+
+ private:
+  const WhereOp& op_;
+  std::unique_ptr<TupleCursor> input_;
+};
+
+std::unique_ptr<TupleCursor> WhereOp::MakeCursor(ExecContext& ctx) const {
+  return std::make_unique<WhereCursor>(slot(), *this, input_->Open(ctx));
+}
+
+/// Blocking sort: drains the upstream on first Next(), computes order keys
+/// per tuple and stable-sorts with exactly the interpreter's comparator
+/// (numeric keys sort empty-first; ties keep arrival order).
+class SortOp final : public TupleOp {
+ public:
+  SortOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
+         const Expr* order_source)
+      : TupleOp(std::move(label), slot),
+        input_(std::move(input)),
+        order_source_(order_source) {}
+
+ protected:
+  std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
+
+ private:
+  friend class SortCursor;
+  std::unique_ptr<TupleOp> input_;
+  const Expr* order_source_;
+};
+
+class SortCursor final : public TupleCursor {
+ public:
+  SortCursor(size_t slot, const SortOp& op, std::unique_ptr<TupleCursor> input)
+      : TupleCursor(slot), op_(op), input_(std::move(input)) {}
+
+ protected:
+  Result<bool> DoNext(ExecContext& ctx, Env* out) override {
+    if (!loaded_) {
+      XBENCH_RETURN_IF_ERROR(Load(ctx));
+      loaded_ = true;
+    }
+    if (position_ >= tuples_.size()) return false;
+    *out = std::move(tuples_[position_++]);
+    return true;
+  }
+
+ private:
+  Status Load(ExecContext& ctx) {
+    std::vector<Env> tuples;
+    while (true) {
+      Env base;
+      auto more = input_->Next(ctx, &base);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      tuples.push_back(std::move(base));
+    }
+    const Expr& e = *op_.order_source_;
+    struct Keyed {
+      size_t index;
+      std::vector<std::pair<bool, double>> numeric_keys;  // (has, value)
+      std::vector<std::string> string_keys;
+    };
+    std::vector<Keyed> keyed(tuples.size());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      keyed[i].index = i;
+      for (const OrderSpec& spec : e.order_by) {
+        Sequence key;
+        {
+          ScopedTuple tuple(ctx, tuples[i]);
+          auto value = EvalLeaf(ctx, *spec.key);
+          if (!value.ok()) return value.status();
+          key = std::move(value).value();
+        }
+        if (spec.numeric) {
+          std::optional<double> v;
+          if (!key.empty()) v = AtomizeToNumber(key.front());
+          keyed[i].numeric_keys.emplace_back(v.has_value(), v.value_or(0.0));
+          keyed[i].string_keys.emplace_back();
+        } else {
+          keyed[i].numeric_keys.emplace_back(false, 0.0);
+          keyed[i].string_keys.push_back(
+              key.empty() ? "" : AtomizeToString(key.front()));
+        }
+      }
+    }
+    std::stable_sort(
+        keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+          for (size_t k = 0; k < e.order_by.size(); ++k) {
+            const OrderSpec& spec = e.order_by[k];
+            int cmp = 0;
+            if (spec.numeric) {
+              const auto& [ha, va] = a.numeric_keys[k];
+              const auto& [hb, vb] = b.numeric_keys[k];
+              if (ha != hb) {
+                cmp = ha ? 1 : -1;  // empty sorts first
+              } else {
+                cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+              }
+            } else {
+              cmp = a.string_keys[k].compare(b.string_keys[k]);
+              cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+            }
+            if (cmp == 0) continue;
+            return spec.ascending ? cmp < 0 : cmp > 0;
+          }
+          return false;
+        });
+    tuples_.reserve(tuples.size());
+    for (const Keyed& k : keyed) tuples_.push_back(std::move(tuples[k.index]));
+    return Status::Ok();
+  }
+
+  const SortOp& op_;
+  std::unique_ptr<TupleCursor> input_;
+  std::vector<Env> tuples_;
+  size_t position_ = 0;
+  bool loaded_ = false;
+};
+
+std::unique_ptr<TupleCursor> SortOp::MakeCursor(ExecContext& ctx) const {
+  return std::make_unique<SortCursor>(slot(), *this, input_->Open(ctx));
+}
+
+/// Drives the tuple pipeline and concatenates the return plan's output per
+/// tuple — the boundary between the tuple and item worlds.
+class ReturnOp final : public ItemOp {
+ public:
+  ReturnOp(std::string label, size_t slot, std::unique_ptr<TupleOp> pipeline,
+           std::unique_ptr<ItemOp> item)
+      : ItemOp(std::move(label), slot),
+        pipeline_(std::move(pipeline)),
+        item_(std::move(item)) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    std::unique_ptr<TupleCursor> cursor = pipeline_->Open(ctx);
+    Sequence out;
+    Env tuple;
+    while (true) {
+      XBENCH_ASSIGN_OR_RETURN(bool more, cursor->Next(ctx, &tuple));
+      if (!more) break;
+      ScopedTuple scoped(ctx, tuple);
+      XBENCH_ASSIGN_OR_RETURN(Sequence part, item_->Run(ctx));
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+ private:
+  std::unique_ptr<TupleOp> pipeline_;
+  std::unique_ptr<ItemOp> item_;
+};
+
+// --- lowering -------------------------------------------------------------
+
+std::string PredicateSuffix(const LogicalNode& n) {
+  if (n.predicates.empty()) return "";
+  return " [" + std::to_string(n.predicates.size()) +
+         (n.predicates.size() == 1 ? " pred]" : " preds]");
+}
+
+class PhysicalBuilder {
+ public:
+  explicit PhysicalBuilder(PhysicalPlan& plan) : plan_(plan) {}
+
+  Result<std::unique_ptr<ItemOp>> BuildItem(const LogicalNode& n, int depth) {
+    switch (n.kind) {
+      case LogicalKind::kScan: {
+        const std::string label = "Scan($" + n.name + ")";
+        const size_t slot = AddSlot(label, depth);
+        return {std::make_unique<ScanOp>(label, slot, n.name)};
+      }
+      case LogicalKind::kEval:
+      case LogicalKind::kConstruct: {
+        if (n.expr == nullptr) {
+          return Status::Internal("plan leaf without an expression");
+        }
+        const std::string label =
+            n.kind == LogicalKind::kConstruct
+                ? "Construct(<" + n.name + ">)"
+                : std::string("Eval(") + plan::ExprKindLabel(n.expr) + ")";
+        const size_t slot = AddSlot(label, depth);
+        return {std::make_unique<EvalExprOp>(label, slot, n.expr)};
+      }
+      case LogicalKind::kChildStep:
+      case LogicalKind::kAxisStep: {
+        const std::string label =
+            n.kind == LogicalKind::kChildStep
+                ? "ChildStep(" + n.name + ")" + PredicateSuffix(n)
+                : std::string("AxisStep(") + plan::AxisLabel(n.axis) + "::" +
+                      n.name + ")" + PredicateSuffix(n);
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
+                                BuildInput(n, depth));
+        return {std::make_unique<AxisStepOp>(label, slot, std::move(input),
+                                             n.axis, n.name, n.predicates)};
+      }
+      case LogicalKind::kDescendantStep: {
+        const bool guided = n.access == AccessPath::kGuidedWalk;
+        std::string label =
+            guided ? "GuidedWalk(" + n.name + ") [" +
+                         std::to_string(n.expansions.size()) +
+                         (n.expansions.size() == 1 ? " chain]" : " chains]")
+                   : "DescendantScan(" + n.name + ")";
+        label += PredicateSuffix(n);
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
+                                BuildInput(n, depth));
+        return {std::make_unique<DescendantStepOp>(
+            label, slot, std::move(input), n.name, n.predicates, n.expansions,
+            guided)};
+      }
+      case LogicalKind::kFilter: {
+        const std::string label = "Filter" + PredicateSuffix(n);
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
+                                BuildInput(n, depth));
+        return {std::make_unique<FilterOp>(label, slot, std::move(input),
+                                           n.predicates)};
+      }
+      case LogicalKind::kAggregate: {
+        const std::string label = "Aggregate(" + n.name + ")";
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
+                                BuildInput(n, depth));
+        return {std::make_unique<AggregateOp>(label, slot, std::move(input),
+                                              n.name)};
+      }
+      case LogicalKind::kEmpty: {
+        // The pruned subtree stays in the logical plan for explain output;
+        // the physical operator is a constant.
+        const std::string label = "Empty [statically empty]";
+        const size_t slot = AddSlot(label, depth);
+        return {std::make_unique<EmptyOp>(label, slot)};
+      }
+      case LogicalKind::kReturn: {
+        if (n.inputs.size() != 2) {
+          return Status::Internal("Return expects a pipeline and an item plan");
+        }
+        const std::string label = "Return";
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> pipeline,
+                                BuildTuple(*n.inputs[0], depth + 1));
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> item,
+                                BuildItem(*n.inputs[1], depth + 1));
+        return {std::make_unique<ReturnOp>(label, slot, std::move(pipeline),
+                                           std::move(item))};
+      }
+      default:
+        return Status::Internal("tuple operator outside a FLWOR pipeline");
+    }
+  }
+
+ private:
+  Result<std::unique_ptr<ItemOp>> BuildInput(const LogicalNode& n, int depth) {
+    if (n.inputs.size() != 1) {
+      return Status::Internal("item operator expects exactly one input");
+    }
+    return BuildItem(*n.inputs[0], depth + 1);
+  }
+
+  Result<std::unique_ptr<TupleOp>> BuildTuple(const LogicalNode& n,
+                                              int depth) {
+    switch (n.kind) {
+      case LogicalKind::kSingleton: {
+        const std::string label = "Singleton";
+        const size_t slot = AddSlot(label, depth);
+        return {std::make_unique<SingletonOp>(label, slot)};
+      }
+      case LogicalKind::kFor:
+      case LogicalKind::kJoin: {
+        if (n.inputs.size() != 2) {
+          return Status::Internal("for clause expects a pipeline and an input");
+        }
+        const bool join = n.kind == LogicalKind::kJoin;
+        std::string label = join ? "NestedLoopJoin($" + n.name + ")"
+                                 : "ForLoop($" + n.name +
+                                       (n.position_variable.empty()
+                                            ? ""
+                                            : " at $" + n.position_variable) +
+                                       ")";
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
+                                BuildTuple(*n.inputs[0], depth + 1));
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> items,
+                                BuildItem(*n.inputs[1], depth + 1));
+        if (join) {
+          return {std::make_unique<JoinOp>(label, slot, std::move(input),
+                                           std::move(items), n.name,
+                                           n.position_variable)};
+        }
+        return {std::make_unique<ForOp>(label, slot, std::move(input),
+                                        std::move(items), n.name,
+                                        n.position_variable)};
+      }
+      case LogicalKind::kLet: {
+        if (n.inputs.size() != 2) {
+          return Status::Internal("let clause expects a pipeline and a value");
+        }
+        const std::string label = "Let($" + n.name + ")";
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
+                                BuildTuple(*n.inputs[0], depth + 1));
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> value,
+                                BuildItem(*n.inputs[1], depth + 1));
+        return {std::make_unique<LetOp>(label, slot, std::move(input),
+                                        std::move(value), n.name)};
+      }
+      case LogicalKind::kWhere: {
+        if (n.inputs.size() != 1 || n.expr == nullptr) {
+          return Status::Internal("where clause expects an input and an expr");
+        }
+        const std::string label = "Where";
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
+                                BuildTuple(*n.inputs[0], depth + 1));
+        return {std::make_unique<WhereOp>(label, slot, std::move(input),
+                                          n.expr)};
+      }
+      case LogicalKind::kSort: {
+        if (n.inputs.size() != 1 || n.order_source == nullptr) {
+          return Status::Internal("sort expects an input and order keys");
+        }
+        const size_t keys = n.order_source->order_by.size();
+        const std::string label = "SortMaterialize(" + std::to_string(keys) +
+                                  (keys == 1 ? " key)" : " keys)");
+        const size_t slot = AddSlot(label, depth);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
+                                BuildTuple(*n.inputs[0], depth + 1));
+        return {std::make_unique<SortOp>(label, slot, std::move(input),
+                                         n.order_source)};
+      }
+      default:
+        return Status::Internal("item operator inside the tuple pipeline");
+    }
+  }
+
+  size_t AddSlot(const std::string& label, int depth) {
+    plan_.rendered.append(static_cast<size_t>(depth) * 2, ' ');
+    plan_.rendered += label;
+    plan_.rendered.push_back('\n');
+    plan_.labels.push_back(label);
+    return plan_.labels.size() - 1;
+  }
+
+  PhysicalPlan& plan_;
+};
+
+}  // namespace
+
+PhysicalPlan::PhysicalPlan() = default;
+PhysicalPlan::~PhysicalPlan() = default;
+PhysicalPlan::PhysicalPlan(PhysicalPlan&&) noexcept = default;
+PhysicalPlan& PhysicalPlan::operator=(PhysicalPlan&&) noexcept = default;
+
+Result<PhysicalPlan> BuildPhysicalPlan(const plan::LogicalPlan& logical) {
+  if (logical.root == nullptr) {
+    return Status::Internal("logical plan has no root");
+  }
+  PhysicalPlan physical;
+  PhysicalBuilder builder(physical);
+  XBENCH_ASSIGN_OR_RETURN(physical.root, builder.BuildItem(*logical.root, 0));
+  return physical;
+}
+
+Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
+                            const EvalOptions& options, ExecStats* stats) {
+  if (plan.root == nullptr) {
+    return Status::Internal("physical plan has no root");
+  }
+  static obs::Counter& executions = obs::MetricsRegistry::Default().GetCounter(
+      "xbench.plan.executions");
+  static obs::Counter& rows_out = obs::MetricsRegistry::Default().GetCounter(
+      "xbench.plan.rows_out");
+  QueryResult result;
+  std::vector<OperatorStats> op_stats(plan.labels.size());
+  for (size_t i = 0; i < plan.labels.size(); ++i) {
+    op_stats[i].label = plan.labels[i];
+  }
+  ExecContext ctx;
+  ctx.bindings = &bindings;
+  ctx.options = &options;
+  ctx.arena = &result.constructed;
+  ctx.stats = &op_stats;
+  ctx.nodes_visited = &obs::MetricsRegistry::Default().GetCounter(
+      "xbench.xquery.nodes_visited");
+  ctx.trace = obs::Tracer::Default().enabled();
+  obs::ScopedSpan span("xquery.plan.exec");
+  XBENCH_ASSIGN_OR_RETURN(result.items, plan.root->Run(ctx));
+  executions.Increment();
+  rows_out.Increment(result.items.size());
+  if (stats != nullptr) stats->operators = std::move(op_stats);
+  return result;
+}
+
+}  // namespace xbench::xquery::exec

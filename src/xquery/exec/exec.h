@@ -1,0 +1,68 @@
+#ifndef XBENCH_XQUERY_EXEC_EXEC_H_
+#define XBENCH_XQUERY_EXEC_EXEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xquery/evaluator.h"
+#include "xquery/plan/logical.h"
+
+namespace xbench::xquery::exec {
+
+/// Per-operator execution counters for one Execute() call. Times are
+/// inclusive (a pipeline operator's time contains its inputs').
+struct OperatorStats {
+  std::string label;
+  uint64_t rows_out = 0;
+  /// Item operators: evaluations (once per driving tuple). Tuple
+  /// operators: cursor opens.
+  uint64_t invocations = 0;
+  double millis = 0;
+};
+
+/// Snapshot of every operator's counters, in plan pre-order (root first).
+struct ExecStats {
+  std::vector<OperatorStats> operators;
+};
+
+class ItemOp;
+
+/// A compiled physical plan: a tree of pull-based operators mirroring the
+/// logical plan 1:1, with descendant access paths (full scan vs. guided
+/// walk) frozen in. Immutable after construction — one plan may be
+/// executed many times (and is shared through the plan cache).
+struct PhysicalPlan {
+  PhysicalPlan();
+  ~PhysicalPlan();
+  PhysicalPlan(PhysicalPlan&&) noexcept;
+  PhysicalPlan& operator=(PhysicalPlan&&) noexcept;
+
+  std::unique_ptr<ItemOp> root;
+  /// Stats slot index -> operator label, plan pre-order.
+  std::vector<std::string> labels;
+
+  /// Indented operator-tree rendering (for `xqlint --explain`).
+  std::string ToString() const { return rendered; }
+
+  std::string rendered;
+};
+
+/// Lowers a logical plan to physical operators.
+Result<PhysicalPlan> BuildPhysicalPlan(const plan::LogicalPlan& logical);
+
+/// Runs a compiled plan. `options` is forwarded to interpreter-core leaf
+/// evaluation (so nested `//` steps inside predicates honor the same
+/// guided/full-scan mode the plan was compiled for). When `stats` is
+/// non-null, this execution's per-operator counters are copied into it.
+/// The result's ToText() is byte-identical to the interpreter's for the
+/// same query, bindings and options — differential tests enforce this.
+Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
+                            const EvalOptions& options,
+                            ExecStats* stats = nullptr);
+
+}  // namespace xbench::xquery::exec
+
+#endif  // XBENCH_XQUERY_EXEC_EXEC_H_

@@ -1,0 +1,55 @@
+#include "xquery/plan/cache.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xbench::xquery::plan {
+
+Result<std::shared_ptr<const CompiledQuery>> Compile(
+    ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options) {
+  if (ast == nullptr) {
+    return Status::InvalidArgument("cannot compile a null query");
+  }
+  obs::ScopedSpan span("xquery.plan.compile");
+  auto compiled = std::make_shared<CompiledQuery>();
+  compiled->ast = std::move(ast);
+  compiled->guided = options.guided;
+  XBENCH_ASSIGN_OR_RETURN(compiled->logical,
+                          BuildLogicalPlan(*compiled->ast, notes, options));
+  XBENCH_ASSIGN_OR_RETURN(compiled->physical,
+                          exec::BuildPhysicalPlan(compiled->logical));
+  obs::MetricsRegistry::Default()
+      .GetCounter("xbench.plan.compiles")
+      .Increment();
+  return {std::shared_ptr<const CompiledQuery>(std::move(compiled))};
+}
+
+std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
+    const PlanCacheKey& key) const {
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("xbench.plan.cache_misses")
+        .Increment();
+    return nullptr;
+  }
+  obs::MetricsRegistry::Default()
+      .GetCounter("xbench.plan.cache_hits")
+      .Increment();
+  return it->second;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key,
+                       std::shared_ptr<const CompiledQuery> plan) {
+  plans_[key] = std::move(plan);
+}
+
+void PlanCache::Invalidate() {
+  if (plans_.empty()) return;
+  plans_.clear();
+  obs::MetricsRegistry::Default()
+      .GetCounter("xbench.plan.invalidations")
+      .Increment();
+}
+
+}  // namespace xbench::xquery::plan

@@ -1,0 +1,81 @@
+#ifndef XBENCH_XQUERY_PLAN_CACHE_H_
+#define XBENCH_XQUERY_PLAN_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+#include "xquery/exec/exec.h"
+#include "xquery/plan/logical.h"
+
+namespace xbench::xquery::plan {
+
+/// A fully compiled query: the analyzed AST (the plans reference its
+/// expressions, so it must stay alive exactly as long as they do), the
+/// logical plan, and the executable physical plan. Shared immutably via
+/// shared_ptr so a cache invalidation cannot pull a plan out from under an
+/// in-flight execution.
+struct CompiledQuery {
+  ExprPtr ast;
+  LogicalPlan logical;
+  exec::PhysicalPlan physical;
+  /// Whether descendant steps were compiled to schema-guided walks. A
+  /// guided plan is only executable on an engine whose collection passed
+  /// the load-time validation gate; the cache key carries this flag so a
+  /// gate flip compiles a fresh plan instead of reusing a stale one.
+  bool guided = false;
+};
+
+/// Compiles an analyzed AST into a logical + physical plan, taking
+/// ownership of the AST. Increments xbench.plan.compiles and records a
+/// "xquery.plan.compile" span.
+Result<std::shared_ptr<const CompiledQuery>> Compile(
+    ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options);
+
+/// Cache key: (query id, database class, engine kind, guided flag). The
+/// ints mirror workload::QueryId / workload::DbClass / engines::EngineKind
+/// without depending on those headers.
+struct PlanCacheKey {
+  int query_id = 0;
+  int db_class = 0;
+  int engine = 0;
+  bool guided = false;
+
+  bool operator<(const PlanCacheKey& other) const {
+    return std::tie(query_id, db_class, engine, guided) <
+           std::tie(other.query_id, other.db_class, other.engine,
+                    other.guided);
+  }
+};
+
+/// Per-engine compiled-plan cache. Engines own one and invalidate it on
+/// document mutations (BulkLoad / InsertDocument / DeleteDocument): the
+/// data change can flip the validation gate or the statistics underlying
+/// plan choices, so every compiled plan for that engine is dropped.
+/// ColdRestart does NOT invalidate — compiled plans model the DBMS's
+/// statement cache, which survives buffer-pool flushes.
+class PlanCache {
+ public:
+  /// Returns the cached plan or nullptr, counting
+  /// xbench.plan.cache_hits / cache_misses.
+  std::shared_ptr<const CompiledQuery> Lookup(const PlanCacheKey& key) const;
+
+  void Insert(const PlanCacheKey& key,
+              std::shared_ptr<const CompiledQuery> plan);
+
+  /// Drops every cached plan; counts xbench.plan.invalidations when the
+  /// cache was non-empty.
+  void Invalidate();
+
+  size_t size() const { return plans_.size(); }
+
+ private:
+  std::map<PlanCacheKey, std::shared_ptr<const CompiledQuery>> plans_;
+};
+
+}  // namespace xbench::xquery::plan
+
+#endif  // XBENCH_XQUERY_PLAN_CACHE_H_

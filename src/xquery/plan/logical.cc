@@ -1,0 +1,478 @@
+#include "xquery/plan/logical.h"
+
+#include <set>
+#include <utility>
+
+namespace xbench::xquery::plan {
+namespace {
+
+/// Sequence functions whose single argument compiles to an item sub-plan
+/// (the argument is the operator input; the function body stays the
+/// interpreter's CallFunction).
+const std::set<std::string>& AggregateFunctions() {
+  static const auto* kFns = new std::set<std::string>{
+      "count", "sum",    "avg",   "min",           "max",
+      "data",  "empty",  "exists", "distinct-values"};
+  return *kFns;
+}
+
+void CollectFree(const Expr& e, std::set<std::string> bound,
+                 std::set<std::string>& free);
+
+void CollectFreePredicates(const std::vector<Step>& steps,
+                           const std::set<std::string>& bound,
+                           std::set<std::string>& free) {
+  for (const Step& step : steps) {
+    for (const auto& pred : step.predicates) {
+      CollectFree(*pred, bound, free);
+    }
+  }
+}
+
+void CollectFree(const Expr& e, std::set<std::string> bound,
+                 std::set<std::string>& free) {
+  switch (e.kind) {
+    case ExprKind::kVariable:
+      if (bound.count(e.variable) == 0) free.insert(e.variable);
+      return;
+    case ExprKind::kFlwor: {
+      size_t fi = 0;
+      size_t li = 0;
+      for (char kind : e.clause_order) {
+        if (kind == 'f') {
+          const ForClause& clause = e.for_clauses[fi++];
+          CollectFree(*clause.input, bound, free);
+          bound.insert(clause.variable);
+          if (!clause.position_variable.empty()) {
+            bound.insert(clause.position_variable);
+          }
+        } else {
+          const LetClause& clause = e.let_clauses[li++];
+          CollectFree(*clause.value, bound, free);
+          bound.insert(clause.variable);
+        }
+      }
+      if (e.where != nullptr) CollectFree(*e.where, bound, free);
+      for (const OrderSpec& spec : e.order_by) {
+        CollectFree(*spec.key, bound, free);
+      }
+      CollectFree(*e.return_expr, bound, free);
+      return;
+    }
+    case ExprKind::kQuantified:
+      CollectFree(*e.quant_input, bound, free);
+      bound.insert(e.quant_variable);
+      CollectFree(*e.quant_satisfies, bound, free);
+      return;
+    default:
+      break;
+  }
+  if (e.path_root != nullptr) CollectFree(*e.path_root, bound, free);
+  CollectFreePredicates(e.steps, bound, free);
+  for (const auto& child : e.children) CollectFree(*child, bound, free);
+  if (e.lhs != nullptr) CollectFree(*e.lhs, bound, free);
+  if (e.rhs != nullptr) CollectFree(*e.rhs, bound, free);
+  if (e.then_branch != nullptr) CollectFree(*e.then_branch, bound, free);
+  if (e.else_branch != nullptr) CollectFree(*e.else_branch, bound, free);
+  for (const ConstructorAttr& attr : e.constructor_attrs) {
+    for (const ConstructorContent& part : attr.value_parts) {
+      if (part.expr != nullptr) CollectFree(*part.expr, bound, free);
+    }
+  }
+  for (const ConstructorContent& part : e.constructor_content) {
+    if (part.expr != nullptr) CollectFree(*part.expr, bound, free);
+    if (part.child != nullptr) CollectFree(*part.child, bound, free);
+  }
+}
+
+std::string NodeLabel(const LogicalNode& n) {
+  std::string label;
+  switch (n.kind) {
+    case LogicalKind::kScan:
+      label = "Scan($" + n.name + ")";
+      break;
+    case LogicalKind::kEval:
+      label = std::string("Eval(") + ExprKindLabel(n.expr) + ")";
+      break;
+    case LogicalKind::kChildStep:
+      label = "ChildStep(" + n.name + ")";
+      break;
+    case LogicalKind::kAxisStep:
+      label = std::string("AxisStep(") + AxisLabel(n.axis) + "::" + n.name +
+              ")";
+      break;
+    case LogicalKind::kDescendantStep:
+      label = "DescendantStep(" + n.name + ")";
+      label += n.access == AccessPath::kGuidedWalk
+                   ? " [guided, " + std::to_string(n.expansions.size()) +
+                         (n.expansions.size() == 1 ? " chain]" : " chains]")
+                   : " [full-scan]";
+      break;
+    case LogicalKind::kFilter:
+      label = "Filter";
+      break;
+    case LogicalKind::kAggregate:
+      label = "Aggregate(" + n.name + ")";
+      break;
+    case LogicalKind::kConstruct:
+      label = "Construct(<" + n.name + ">)";
+      break;
+    case LogicalKind::kEmpty:
+      label = "Empty [statically empty]";
+      break;
+    case LogicalKind::kReturn:
+      label = "Return";
+      break;
+    case LogicalKind::kSingleton:
+      label = "Singleton";
+      break;
+    case LogicalKind::kFor:
+      label = "For($" + n.name +
+              (n.position_variable.empty() ? ""
+                                           : " at $" + n.position_variable) +
+              ")";
+      break;
+    case LogicalKind::kJoin:
+      label = "Join($" + n.name + ")";
+      break;
+    case LogicalKind::kLet:
+      label = "Let($" + n.name + ")";
+      break;
+    case LogicalKind::kWhere:
+      label = "Where";
+      break;
+    case LogicalKind::kSort: {
+      const size_t keys =
+          n.order_source == nullptr ? 0 : n.order_source->order_by.size();
+      label = "Sort(" + std::to_string(keys) +
+              (keys == 1 ? " key)" : " keys)");
+      break;
+    }
+  }
+  if (!n.predicates.empty()) {
+    label += " [" + std::to_string(n.predicates.size()) +
+             (n.predicates.size() == 1 ? " pred]" : " preds]");
+  }
+  if (n.cardinality != Card::kUnknown) {
+    label += std::string(" {card=") + CardName(n.cardinality) + "}";
+  }
+  return label;
+}
+
+void Render(const LogicalNode& n, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += NodeLabel(n);
+  out.push_back('\n');
+  for (const LogicalNodePtr& input : n.inputs) {
+    Render(*input, depth + 1, out);
+  }
+}
+
+class Builder {
+ public:
+  Builder(const PlanAnnotations* notes, const PlannerOptions& options)
+      : notes_(notes), options_(options) {}
+
+  LogicalNodePtr BuildItem(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVariable: {
+        auto node = std::make_unique<LogicalNode>(LogicalKind::kScan);
+        node->name = e.variable;
+        return node;
+      }
+      case ExprKind::kPath:
+        return BuildPath(e);
+      case ExprKind::kFilter: {
+        auto node = std::make_unique<LogicalNode>(LogicalKind::kFilter);
+        for (const auto& pred : e.children) {
+          node->predicates.push_back(pred.get());
+        }
+        node->inputs.push_back(BuildItem(*e.lhs));
+        return node;
+      }
+      case ExprKind::kFlwor:
+        return BuildFlwor(e);
+      case ExprKind::kConstructor: {
+        auto node = std::make_unique<LogicalNode>(LogicalKind::kConstruct);
+        node->name = e.element_name;
+        node->expr = &e;
+        return node;
+      }
+      case ExprKind::kFunctionCall:
+        if (e.children.size() == 1 &&
+            AggregateFunctions().count(e.function_name) != 0) {
+          LogicalNodePtr arg = BuildItem(*e.children.front());
+          if (arg->kind != LogicalKind::kEval) {
+            auto node =
+                std::make_unique<LogicalNode>(LogicalKind::kAggregate);
+            node->name = e.function_name;
+            node->inputs.push_back(std::move(arg));
+            return node;
+          }
+        }
+        return Fallback(e);
+      default:
+        return Fallback(e);
+    }
+  }
+
+ private:
+  LogicalNodePtr Fallback(const Expr& e) {
+    auto node = std::make_unique<LogicalNode>(LogicalKind::kEval);
+    node->expr = &e;
+    return node;
+  }
+
+  std::vector<StepExpansion> ExpansionsFor(const Step& step) const {
+    if (notes_ != nullptr) {
+      auto it = notes_->step_expansions.find(&step);
+      if (it != notes_->step_expansions.end()) return it->second;
+    }
+    return step.expansions;
+  }
+
+  Card CardinalityFor(const Expr& e) const {
+    if (notes_ == nullptr) return Card::kUnknown;
+    auto it = notes_->path_cardinality.find(&e);
+    return it == notes_->path_cardinality.end() ? Card::kUnknown : it->second;
+  }
+
+  LogicalNodePtr BuildPath(const Expr& e) {
+    if (e.path_from_root || e.path_root == nullptr) {
+      // Absolute and context-relative paths need the interpreter's
+      // document-node / dynamic-focus handling; no canned query takes
+      // this shape at the top level.
+      return Fallback(e);
+    }
+    LogicalNodePtr current = BuildItem(*e.path_root);
+    for (size_t i = 0; i < e.steps.size(); ++i) {
+      const Step& step = e.steps[i];
+      // `//name` fusion, mirroring the interpreter's condition — except
+      // that the plan fuses even without analyzer chains (the full-scan
+      // descendant operator selects the same nodes the unfused step pair
+      // does, per-parent groups preserving predicate positions).
+      if (step.axis == Axis::kDescendantOrSelf && step.name_test == "*" &&
+          step.predicates.empty() && i + 1 < e.steps.size() &&
+          e.steps[i + 1].axis == Axis::kChild) {
+        const Step& target = e.steps[i + 1];
+        auto node =
+            std::make_unique<LogicalNode>(LogicalKind::kDescendantStep);
+        node->name = target.name_test;
+        for (const auto& pred : target.predicates) {
+          node->predicates.push_back(pred.get());
+        }
+        node->expansions = ExpansionsFor(target);
+        node->access = options_.guided && !node->expansions.empty()
+                           ? AccessPath::kGuidedWalk
+                           : AccessPath::kFullScan;
+        node->inputs.push_back(std::move(current));
+        current = std::move(node);
+        ++i;
+        continue;
+      }
+      auto node = std::make_unique<LogicalNode>(
+          step.axis == Axis::kChild ? LogicalKind::kChildStep
+                                    : LogicalKind::kAxisStep);
+      node->name = step.name_test;
+      node->axis = step.axis;
+      for (const auto& pred : step.predicates) {
+        node->predicates.push_back(pred.get());
+      }
+      node->inputs.push_back(std::move(current));
+      current = std::move(node);
+    }
+    current->cardinality = CardinalityFor(e);
+    if (options_.trust_statistics &&
+        current->cardinality == Card::kEmpty) {
+      // Cardinality rewrite: the instance statistics bound this path to
+      // zero matches. The pruned subtree stays attached for explain
+      // output; execution never opens it.
+      auto empty = std::make_unique<LogicalNode>(LogicalKind::kEmpty);
+      empty->cardinality = Card::kEmpty;
+      empty->inputs.push_back(std::move(current));
+      return empty;
+    }
+    return current;
+  }
+
+  LogicalNodePtr BuildFlwor(const Expr& e) {
+    auto pipe = std::make_unique<LogicalNode>(LogicalKind::kSingleton);
+    LogicalNodePtr pipeline = std::move(pipe);
+    const size_t scope_mark = scope_vars_.size();
+    size_t fi = 0;
+    size_t li = 0;
+    bool first_for = true;
+    for (char kind : e.clause_order) {
+      if (kind == 'f') {
+        const ForClause& clause = e.for_clauses[fi++];
+        // An input with no free variable bound anywhere in the enclosing
+        // pipeline is tuple-invariant: evaluate it once (nested-loop join
+        // with a materialized right side) instead of once per tuple.
+        bool independent = !first_for && !scope_vars_.empty();
+        if (independent) {
+          for (const std::string& name : FreeVariables(*clause.input)) {
+            if (InScope(name)) {
+              independent = false;
+              break;
+            }
+          }
+        }
+        auto node = std::make_unique<LogicalNode>(
+            independent ? LogicalKind::kJoin : LogicalKind::kFor);
+        node->name = clause.variable;
+        node->position_variable = clause.position_variable;
+        node->inputs.push_back(std::move(pipeline));
+        node->inputs.push_back(BuildItem(*clause.input));
+        pipeline = std::move(node);
+        scope_vars_.push_back(clause.variable);
+        if (!clause.position_variable.empty()) {
+          scope_vars_.push_back(clause.position_variable);
+        }
+        first_for = false;
+      } else {
+        const LetClause& clause = e.let_clauses[li++];
+        auto node = std::make_unique<LogicalNode>(LogicalKind::kLet);
+        node->name = clause.variable;
+        node->inputs.push_back(std::move(pipeline));
+        node->inputs.push_back(BuildItem(*clause.value));
+        pipeline = std::move(node);
+        scope_vars_.push_back(clause.variable);
+      }
+    }
+    if (e.where != nullptr) {
+      auto node = std::make_unique<LogicalNode>(LogicalKind::kWhere);
+      node->expr = e.where.get();
+      node->inputs.push_back(std::move(pipeline));
+      pipeline = std::move(node);
+    }
+    if (!e.order_by.empty()) {
+      auto node = std::make_unique<LogicalNode>(LogicalKind::kSort);
+      node->order_source = &e;
+      node->inputs.push_back(std::move(pipeline));
+      pipeline = std::move(node);
+    }
+    auto ret = std::make_unique<LogicalNode>(LogicalKind::kReturn);
+    ret->inputs.push_back(std::move(pipeline));
+    ret->inputs.push_back(BuildItem(*e.return_expr));
+    scope_vars_.resize(scope_mark);
+    return ret;
+  }
+
+  bool InScope(const std::string& name) const {
+    for (const std::string& var : scope_vars_) {
+      if (var == name) return true;
+    }
+    return false;
+  }
+
+  const PlanAnnotations* notes_;
+  const PlannerOptions& options_;
+  /// FLWOR variables visible at the point being compiled (outer pipelines
+  /// included) — the set a kJoin input must be disjoint from.
+  std::vector<std::string> scope_vars_;
+};
+
+}  // namespace
+
+const char* ExprKindLabel(const Expr* e) {
+  if (e == nullptr) return "expr";
+  switch (e->kind) {
+    case ExprKind::kStringLiteral:
+      return "string-literal";
+    case ExprKind::kNumberLiteral:
+      return "number-literal";
+    case ExprKind::kVariable:
+      return "variable";
+    case ExprKind::kContextItem:
+      return "context-item";
+    case ExprKind::kSequence:
+      return "sequence";
+    case ExprKind::kPath:
+      return "path";
+    case ExprKind::kComparison:
+      return "comparison";
+    case ExprKind::kArithmetic:
+      return "arithmetic";
+    case ExprKind::kLogical:
+      return "logical";
+    case ExprKind::kFunctionCall:
+      return "function-call";
+    case ExprKind::kFlwor:
+      return "flwor";
+    case ExprKind::kQuantified:
+      return "quantified";
+    case ExprKind::kIfThenElse:
+      return "if-then-else";
+    case ExprKind::kConstructor:
+      return "constructor";
+    case ExprKind::kFilter:
+      return "filter";
+    case ExprKind::kRange:
+      return "range";
+    case ExprKind::kUnion:
+      return "union";
+  }
+  return "expr";
+}
+
+const char* AxisLabel(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "?";
+}
+
+const char* CardName(Card card) {
+  switch (card) {
+    case Card::kUnknown:
+      return "unknown";
+    case Card::kEmpty:
+      return "empty";
+    case Card::kAtMostOne:
+      return "at-most-one";
+    case Card::kMany:
+      return "many";
+  }
+  return "?";
+}
+
+std::vector<std::string> FreeVariables(const Expr& expr) {
+  std::set<std::string> free;
+  CollectFree(expr, {}, free);
+  return {free.begin(), free.end()};
+}
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  if (root != nullptr) Render(*root, 0, out);
+  return out;
+}
+
+Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
+                                     const PlanAnnotations* notes,
+                                     const PlannerOptions& options) {
+  Builder builder(notes, options);
+  LogicalPlan plan;
+  plan.root = builder.BuildItem(query);
+  if (plan.root == nullptr) {
+    return Status::Internal("logical planning produced no root");
+  }
+  return plan;
+}
+
+}  // namespace xbench::xquery::plan

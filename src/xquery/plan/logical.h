@@ -1,0 +1,128 @@
+#ifndef XBENCH_XQUERY_PLAN_LOGICAL_H_
+#define XBENCH_XQUERY_PLAN_LOGICAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xbench::xquery::plan {
+
+/// Result-size class of a plan node, mirrored from analysis::Cardinality
+/// so the planner does not depend on the analyzer headers.
+enum class Card { kUnknown, kEmpty, kAtMostOne, kMany };
+
+const char* CardName(Card card);
+
+/// Display label for an expression kind ("path", "flwor", ...); null expr
+/// renders as "expr". Shared by the logical and physical plan renderings.
+const char* ExprKindLabel(const Expr* e);
+
+/// Display label for an axis ("child", "descendant-or-self", ...).
+const char* AxisLabel(Axis axis);
+
+/// Analyzer output the planner consumes, keyed by AST node identity (the
+/// maps are valid only while the analyzed AST is alive). This is how the
+/// `//`-expansion and cardinality rewrites ride on plans instead of AST
+/// field mutations: analysis::Analyze fills these alongside the legacy
+/// `Step::expansions` annotations, and BuildLogicalPlan copies what it
+/// needs into the plan nodes.
+struct PlanAnnotations {
+  std::map<const Step*, std::vector<StepExpansion>> step_expansions;
+  std::map<const Expr*, Card> path_cardinality;
+};
+
+/// The logical algebra. Item operators produce an item sequence; tuple
+/// operators (kSingleton through kSort) produce a stream of variable
+/// environments threaded through a FLWOR pipeline.
+enum class LogicalKind {
+  // Item operators.
+  kScan,        // variable lookup ($input, FLWOR-bound vars)
+  kEval,        // interpreter-core fallback for any expression leaf
+  kChildStep,   // child::name over the input sequence
+  kAxisStep,    // any other single axis step
+  kDescendantStep,  // fused descendant-or-self::* / child::name pair
+  kFilter,      // predicate list over the input sequence
+  kAggregate,   // single-argument sequence function (count, sum, ...)
+  kConstruct,   // direct element constructor
+  kEmpty,       // statically provably empty (cardinality rewrite)
+  kReturn,      // tuple input × item plan -> concatenated item sequence
+  // Tuple operators.
+  kSingleton,   // one empty environment (FLWOR pipeline source)
+  kFor,         // dependent for clause: one tuple per input item
+  kJoin,        // independent for clause: right side evaluated once
+  kLet,         // binds one value per tuple
+  kWhere,       // filters tuples by effective boolean value
+  kSort,        // materializes + stable-sorts tuples by order keys
+};
+
+/// How a descendant step reaches its matches at execution time. Chosen at
+/// plan time: the guided walk needs analyzer chains *and* an engine whose
+/// collection passed the load-time validation gate (the planner is told
+/// via PlannerOptions::guided).
+enum class AccessPath { kFullScan, kGuidedWalk };
+
+struct LogicalNode;
+using LogicalNodePtr = std::unique_ptr<LogicalNode>;
+
+struct LogicalNode {
+  explicit LogicalNode(LogicalKind k) : kind(k) {}
+
+  LogicalKind kind;
+  /// Step name test, variable name, function name, or element name —
+  /// whichever the kind uses for display and execution.
+  std::string name;
+  /// kFor/kJoin position variable (`at $i`), empty when absent.
+  std::string position_variable;
+  Axis axis = Axis::kChild;
+  AccessPath access = AccessPath::kFullScan;
+  /// kDescendantStep: analyzer chains copied off the AST at plan time.
+  std::vector<StepExpansion> expansions;
+  /// Predicates / where / order-by / fallback expressions stay AST
+  /// references; CompiledQuery keeps the analyzed AST alive for them.
+  std::vector<const Expr*> predicates;
+  const Expr* expr = nullptr;
+  /// kSort: the FLWOR whose order_by this node applies.
+  const Expr* order_source = nullptr;
+  Card cardinality = Card::kUnknown;
+  std::vector<LogicalNodePtr> inputs;
+};
+
+struct LogicalPlan {
+  LogicalNodePtr root;
+
+  /// Indented tree rendering (root first), used by `xqlint --explain` and
+  /// the golden-plan snapshots.
+  std::string ToString() const;
+};
+
+struct PlannerOptions {
+  /// Compile descendant steps with analyzer chains to guided walks. Only
+  /// set when the target engine's collection passed the validation gate;
+  /// the compiled plan is keyed by this flag in the plan cache.
+  bool guided = false;
+  /// Apply the provably-empty-path rewrite (Card::kEmpty -> kEmpty node).
+  /// The cardinality classes come from *instance* statistics of the
+  /// canonical sample database, so this is only sound when the data the
+  /// plan will run over matches those statistics; the workload runner
+  /// leaves it off, `xqlint --explain` and schema-bound tests turn it on.
+  bool trust_statistics = false;
+};
+
+/// Free variables of `expr` (names read but not bound within it).
+std::vector<std::string> FreeVariables(const Expr& expr);
+
+/// Lowers an analyzed AST to the logical algebra. `notes` may be null
+/// (the planner then reads legacy `Step::expansions` annotations off the
+/// AST). Never fails on canned queries: any unsupported shape lowers to a
+/// kEval interpreter-core leaf.
+Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
+                                     const PlanAnnotations* notes,
+                                     const PlannerOptions& options);
+
+}  // namespace xbench::xquery::plan
+
+#endif  // XBENCH_XQUERY_PLAN_LOGICAL_H_

@@ -6,6 +6,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "xquery/exec/exec.h"
+#include "xquery/parser.h"
+#include "xquery/plan/cache.h"
 
 namespace xbench::obs {
 namespace {
@@ -52,6 +55,41 @@ TEST(ValidateJsonTest, RejectsMalformedValues) {
   EXPECT_FALSE(ValidateJson("{} extra").ok());
   EXPECT_FALSE(ValidateJson("\"unterminated").ok());
   EXPECT_FALSE(ValidateJson("nul").ok());
+}
+
+TEST(ParseJsonTest, BuildsValueTreeAndDecodesEscapes) {
+  auto parsed = ParseJson(
+      "{\"name\": \"a\\u0041\\u20ac\\n\", \"nums\": [1, -2.5e1], "
+      "\"on\": true, \"none\": null}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* name = parsed->Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "aA\xe2\x82\xac\n");  // € is the euro sign.
+  const JsonValue* nums = parsed->Find("nums");
+  ASSERT_NE(nums, nullptr);
+  ASSERT_TRUE(nums->is_array());
+  ASSERT_EQ(nums->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums->items[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(nums->items[1].number, -25.0);
+  EXPECT_TRUE(parsed->Find("on")->boolean);
+  EXPECT_EQ(parsed->Find("none")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(ParseJsonTest, RoundTripsWriterOutput) {
+  JsonWriter writer;
+  writer.BeginObject().Key("plan").BeginArray().BeginObject()
+      .Key("op").String("GuidedWalk(item)")
+      .Key("rows_out").Uint(42)
+      .EndObject().EndArray().EndObject();
+  auto parsed = ParseJson(writer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* plan = parsed->Find("plan");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_EQ(plan->items.size(), 1u);
+  EXPECT_EQ(plan->items[0].Find("op")->string, "GuidedWalk(item)");
+  EXPECT_DOUBLE_EQ(plan->items[0].Find("rows_out")->number, 42.0);
 }
 
 TEST(MetricsTest, CounterGaugeHistogramMath) {
@@ -120,6 +158,29 @@ TEST(MetricsTest, SnapshotIsValidDeterministicJson) {
   // Name-ordered: a before b regardless of creation order.
   EXPECT_LT(json.find("xbench.test.a"), json.find("xbench.test.b"));
   EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsTest, PlanPipelineCountersTrack) {
+  // The compile-then-execute pipeline reports into the default registry:
+  // one compile per plan::Compile, one execution per exec::Execute.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const uint64_t compiles0 =
+      registry.GetCounter("xbench.plan.compiles").value();
+  const uint64_t executions0 =
+      registry.GetCounter("xbench.plan.executions").value();
+  auto parsed = xquery::ParseQuery("count($input)");
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(registry.GetCounter("xbench.plan.compiles").value(),
+            compiles0 + 1);
+  xquery::Bindings bindings;
+  bindings["input"] = xquery::Sequence{};
+  auto result = xquery::exec::Execute((*compiled)->physical, bindings, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(registry.GetCounter("xbench.plan.executions").value(),
+            executions0 + 1);
+  EXPECT_EQ(result->ToText(), "0\n");
 }
 
 TEST(TracerTest, NestingAndOrdering) {

@@ -1,0 +1,343 @@
+// Tests for the compile-then-execute pipeline: logical planning, physical
+// execution, the per-engine plan cache, and — most importantly — the
+// differential guarantee that a compiled plan produces byte-identical
+// output to the legacy AST interpreter for every canned query of every
+// class, with guided descendant walks both on and off.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "datagen/generator.h"
+#include "engines/clob_engine.h"
+#include "engines/native_engine.h"
+#include "obs/metrics.h"
+#include "workload/classes.h"
+#include "workload/queries.h"
+#include "workload/runner.h"
+#include "xquery/parser.h"
+#include "xquery/plan/cache.h"
+
+namespace xbench {
+namespace {
+
+using datagen::DbClass;
+using workload::QueryId;
+using workload::QueryName;
+
+/// One natively loaded database per class, shared across the test cases
+/// (loading through workload::BulkLoad so the guided-eval gate is set the
+/// same way the benchmark runner sets it).
+class PlanFixture {
+ public:
+  static PlanFixture& Get() {
+    static auto* instance = new PlanFixture();
+    return *instance;
+  }
+
+  struct ClassSetup {
+    datagen::GeneratedDatabase db;
+    workload::QueryParams params;
+    std::unique_ptr<engines::XmlDbms> engine;
+
+    engines::NativeEngine& native() {
+      return static_cast<engines::NativeEngine&>(*engine);
+    }
+  };
+
+  ClassSetup& ForClass(DbClass cls) {
+    auto it = setups_.find(cls);
+    if (it != setups_.end()) return *it->second;
+    auto setup = std::make_unique<ClassSetup>();
+    datagen::GenConfig config;
+    config.target_bytes = 160 * 1024;
+    config.seed = 42;
+    setup->db = datagen::Generate(cls, config);
+    setup->params = workload::DeriveParams(cls, setup->db.seeds);
+    setup->engine = workload::MakeEngine(engines::EngineKind::kNative);
+    EXPECT_TRUE(workload::BulkLoad(*setup->engine, setup->db).status.ok());
+    EXPECT_TRUE(workload::CreateTable3Indexes(*setup->engine, cls).ok());
+    auto [inserted, ok] = setups_.emplace(cls, std::move(setup));
+    return *inserted->second;
+  }
+
+ private:
+  std::map<DbClass, std::unique_ptr<ClassSetup>> setups_;
+};
+
+/// Analyzes + compiles one canned query the way the runner's prepare phase
+/// does, but with an explicit guided flag.
+Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileFor(
+    const std::string& text, DbClass cls, bool guided) {
+  XBENCH_ASSIGN_OR_RETURN(workload::AnalyzedQuery analyzed,
+                          workload::AnalyzeForClassFull(text, cls));
+  xquery::plan::PlannerOptions options;
+  options.guided = guided;
+  return xquery::plan::Compile(std::move(analyzed.ast),
+                               &analyzed.report.annotations, options);
+}
+
+// --- Differential equivalence: compiled plans vs the interpreter ------------
+
+struct Cell {
+  QueryId query;
+  DbClass cls;
+};
+
+std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = QueryName(info.param.query);
+  name += "_";
+  std::string cls = datagen::DbClassName(info.param.cls);
+  cls.erase(cls.find('/'), 1);
+  return name + cls;
+}
+
+class PlanDifferentialTest : public ::testing::TestWithParam<Cell> {};
+
+/// The acceptance bar of the pipeline: for every defined (query, class)
+/// cell, the compiled physical plan — with guided walks on and off — must
+/// produce byte-identical QueryResult::ToText() output to the legacy AST
+/// interpreter over the same collection, through the same index hints.
+TEST_P(PlanDifferentialTest, CompiledPlanMatchesInterpreterByteForByte) {
+  const auto [id, cls] = GetParam();
+  auto& setup = PlanFixture::Get().ForClass(cls);
+  const std::string text = workload::XQueryFor(id, cls, setup.params);
+  if (text.empty()) GTEST_SKIP() << "query not defined for this class";
+  engines::NativeEngine& engine = setup.native();
+  // Generated databases validate against the canonical schema, so the
+  // workload bulk-load enables guided evaluation; both plan flavours are
+  // executable.
+  ASSERT_TRUE(engine.guided_eval_enabled());
+
+  auto ast = workload::AnalyzeForClass(text, cls);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  const auto hint = workload::IndexHintFor(id, cls, setup.params);
+  auto reference = hint.has_value()
+                       ? engine.QueryWithIndex(hint->index_name, hint->value,
+                                               **ast)
+                       : engine.Query(**ast);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (bool guided : {false, true}) {
+    auto compiled = CompileFor(text, cls, guided);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    auto result = hint.has_value()
+                      ? engine.ExecutePlanWithIndex(hint->index_name,
+                                                    hint->value, **compiled)
+                      : engine.ExecutePlan(**compiled);
+    ASSERT_TRUE(result.ok())
+        << (guided ? "guided: " : "full-scan: ") << result.status().ToString();
+    EXPECT_EQ(result->ToText(), reference->ToText())
+        << QueryName(id) << " on " << datagen::DbClassName(cls)
+        << (guided ? " (guided)" : " (full-scan)");
+  }
+}
+
+std::vector<Cell> AllCells() {
+  std::vector<Cell> cells;
+  for (int q = 0; q < 20; ++q) {
+    for (DbClass cls : workload::AllClasses()) {
+      cells.push_back({static_cast<QueryId>(q), cls});
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueriesAllClasses, PlanDifferentialTest,
+                         ::testing::ValuesIn(AllCells()), CellName);
+
+// --- Plan shapes ------------------------------------------------------------
+
+TEST(PlanShapeTest, Q19CompilesToNestedLoopJoin) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kDcMd);
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ19, DbClass::kDcMd, setup.params);
+  ASSERT_FALSE(text.empty());
+  auto compiled = CompileFor(text, DbClass::kDcMd, /*guided=*/false);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  // Q19's second for clause reads no variable of the first, so the planner
+  // proves independence and evaluates the right side once.
+  EXPECT_NE((*compiled)->logical.ToString().find("Join($"),
+            std::string::npos);
+  EXPECT_NE((*compiled)->physical.ToString().find("NestedLoopJoin($"),
+            std::string::npos);
+}
+
+TEST(PlanShapeTest, GuidedFlagSelectsDescendantAccessPath) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kDcSd);
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ8, DbClass::kDcSd, setup.params);
+  ASSERT_FALSE(text.empty());
+  auto guided = CompileFor(text, DbClass::kDcSd, /*guided=*/true);
+  ASSERT_TRUE(guided.ok());
+  EXPECT_NE((*guided)->physical.ToString().find("GuidedWalk("),
+            std::string::npos);
+  auto full = CompileFor(text, DbClass::kDcSd, /*guided=*/false);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NE((*full)->physical.ToString().find("DescendantScan("),
+            std::string::npos);
+  EXPECT_EQ((*full)->physical.ToString().find("GuidedWalk("),
+            std::string::npos);
+}
+
+TEST(PlanShapeTest, EmptyRewriteGatedOnTrustStatistics) {
+  // The rewrite consumes analyzer cardinality via PlanAnnotations; feed a
+  // synthetic kEmpty annotation and check the gate.
+  for (bool trust : {true, false}) {
+    auto parsed = xquery::ParseQuery("$input/absent_child");
+    ASSERT_TRUE(parsed.ok());
+    xquery::plan::PlanAnnotations notes;
+    notes.path_cardinality[parsed->get()] = xquery::plan::Card::kEmpty;
+    xquery::plan::PlannerOptions options;
+    options.trust_statistics = trust;
+    auto logical =
+        xquery::plan::BuildLogicalPlan(**parsed, &notes, options);
+    ASSERT_TRUE(logical.ok());
+    const bool rewritten = logical->ToString().find(
+                               "Empty [statically empty]") !=
+                           std::string::npos;
+    EXPECT_EQ(rewritten, trust);
+  }
+}
+
+// --- Plan cache -------------------------------------------------------------
+
+TEST(PlanCacheTest, LookupInsertInvalidateWithMetrics) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  const uint64_t hits0 = metrics.GetCounter("xbench.plan.cache_hits").value();
+  const uint64_t misses0 =
+      metrics.GetCounter("xbench.plan.cache_misses").value();
+  const uint64_t inval0 =
+      metrics.GetCounter("xbench.plan.invalidations").value();
+
+  xquery::plan::PlanCache cache;
+  const xquery::plan::PlanCacheKey key{1, 2, 3, false};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+
+  auto parsed = xquery::ParseQuery("count($input)");
+  ASSERT_TRUE(parsed.ok());
+  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, {});
+  ASSERT_TRUE(compiled.ok());
+  cache.Insert(key, *compiled);
+  EXPECT_NE(cache.Lookup(key), nullptr);
+  // The guided flag is part of the key: a gate flip never reuses a plan
+  // compiled for the other access paths.
+  const xquery::plan::PlanCacheKey guided_key{1, 2, 3, true};
+  EXPECT_EQ(cache.Lookup(guided_key), nullptr);
+
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_hits").value(), hits0 + 1);
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_misses").value(),
+            misses0 + 2);
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.invalidations").value(),
+            inval0 + 1);
+  // Invalidating an empty cache is not an invalidation event.
+  cache.Invalidate();
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.invalidations").value(),
+            inval0 + 1);
+}
+
+TEST(PlanCacheTest, RunnerCachesAcrossColdRunsAndInvalidatesOnInsert) {
+  datagen::GenConfig config;
+  config.target_bytes = 96 * 1024;
+  config.seed = 7;
+  datagen::GeneratedDatabase db = datagen::Generate(DbClass::kTcMd, config);
+  const workload::QueryParams params =
+      workload::DeriveParams(DbClass::kTcMd, db.seeds);
+  auto engine = workload::MakeEngine(engines::EngineKind::kNative);
+  ASSERT_TRUE(workload::BulkLoad(*engine, db).status.ok());
+  auto& native = static_cast<engines::NativeEngine&>(*engine);
+
+  workload::ExecutionResult first =
+      workload::RunQuery(*engine, QueryId::kQ8, DbClass::kTcMd, params);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_TRUE(first.compiled);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_EQ(native.plan_cache().size(), 1u);
+
+  // RunQuery cold-restarts the engine; the statement cache must survive.
+  workload::ExecutionResult second =
+      workload::RunQuery(*engine, QueryId::kQ8, DbClass::kTcMd, params);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(second.lines, first.lines);
+
+  // A document mutation drops every cached plan (it can flip the guided
+  // gate), and the next run recompiles for the new gate state.
+  ASSERT_TRUE(
+      native.InsertDocument({"extra.xml", db.documents[0].text}).ok());
+  EXPECT_EQ(native.plan_cache().size(), 0u);
+  EXPECT_FALSE(native.guided_eval_enabled());
+  workload::ExecutionResult third =
+      workload::RunQuery(*engine, QueryId::kQ8, DbClass::kTcMd, params);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.compiled);
+  EXPECT_FALSE(third.plan_cache_hit);
+}
+
+TEST(PlanCacheTest, GuidedPlanRejectedOnUnvalidatedCollection) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcMd);
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ8, DbClass::kTcMd, setup.params);
+  auto compiled = CompileFor(text, DbClass::kTcMd, /*guided=*/true);
+  ASSERT_TRUE(compiled.ok());
+  engines::NativeEngine fresh;
+  ASSERT_TRUE(
+      fresh.BulkLoad(DbClass::kTcMd,
+                     workload::ToLoadDocuments(setup.db)).ok());
+  ASSERT_FALSE(fresh.guided_eval_enabled());  // no validation ran
+  auto result = fresh.ExecutePlan(**compiled);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Per-operator stats -----------------------------------------------------
+
+TEST(PlanExecTest, OperatorStatsMirrorPlanLabels) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcMd);
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ17, DbClass::kTcMd, setup.params);
+  auto compiled = CompileFor(text, DbClass::kTcMd, /*guided=*/false);
+  ASSERT_TRUE(compiled.ok());
+  auto result = setup.native().ExecutePlan(**compiled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const xquery::exec::ExecStats& stats = setup.native().last_plan_stats();
+  ASSERT_EQ(stats.operators.size(), (*compiled)->physical.labels.size());
+  ASSERT_FALSE(stats.operators.empty());
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    EXPECT_EQ(stats.operators[i].label, (*compiled)->physical.labels[i]);
+  }
+  // The root operator ran and produced the answer rows.
+  EXPECT_GE(stats.operators[0].invocations, 1u);
+  EXPECT_EQ(stats.operators[0].rows_out, result->items.size());
+}
+
+// --- Xcolumn AST cache ------------------------------------------------------
+
+TEST(ClobAstCacheTest, QueryDocumentParsesEachQueryTextOnce) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcMd);
+  engines::ClobEngine clob;
+  ASSERT_TRUE(clob.BulkLoad(DbClass::kTcMd,
+                            workload::ToLoadDocuments(setup.db)).ok());
+  const std::vector<std::string> names = clob.DocumentNames();
+  ASSERT_GE(names.size(), 2u);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  const uint64_t hits0 =
+      metrics.GetCounter("xbench.plan.ast_cache_hits").value();
+  const uint64_t misses0 =
+      metrics.GetCounter("xbench.plan.ast_cache_misses").value();
+  const std::string query = "count($input//title)";
+  ASSERT_TRUE(clob.QueryDocument(names[0], query).ok());
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.ast_cache_misses").value(),
+            misses0 + 1);
+  ASSERT_TRUE(clob.QueryDocument(names[1], query).ok());
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.ast_cache_hits").value(),
+            hits0 + 1);
+  EXPECT_EQ(metrics.GetCounter("xbench.plan.ast_cache_misses").value(),
+            misses0 + 1);
+}
+
+}  // namespace
+}  // namespace xbench

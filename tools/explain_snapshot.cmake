@@ -1,0 +1,21 @@
+# Golden-plan snapshot check: `xqlint --explain --class all --query all`
+# must reproduce tools/golden/xqlint_explain.txt byte for byte. Run as
+#   cmake -DXQLINT=<binary> -DGOLDEN=<golden> -DACTUAL=<scratch> -P this
+# Regenerate the golden after an intentional planner change with
+#   build/tools/xqlint --explain --class all --query all \
+#       > tools/golden/xqlint_explain.txt
+execute_process(
+  COMMAND ${XQLINT} --explain --class all --query all
+  OUTPUT_FILE ${ACTUAL}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "xqlint --explain exited with ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${ACTUAL}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "plan snapshot drift: ${ACTUAL} differs from ${GOLDEN}; diff them and, "
+    "if the new plans are intended, regenerate the golden file")
+endif()

@@ -1,19 +1,176 @@
 // Validates that each file named on the command line is non-empty,
-// well-formed JSON. Used by the quickstart_obs ctest case to check the
-// trace and report files the observability layer emits.
+// well-formed JSON. With --schema report it additionally checks that the
+// file matches the harness driver's run-report structure (see
+// Driver::JsonReport), including the per-operator "plan" section emitted
+// for compiled-plan executions. Used by the quickstart_obs and
+// bench_query_report ctest cases.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "obs/json.h"
 
+namespace {
+
+using xbench::Status;
+using xbench::obs::JsonValue;
+
+Status SchemaError(const std::string& what) {
+  return Status::Corruption("report schema: " + what);
+}
+
+Status RequireString(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return SchemaError(std::string("missing string \"") + key + "\"");
+  }
+  return Status::Ok();
+}
+
+Status RequireNumber(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    return SchemaError(std::string("missing number \"") + key + "\"");
+  }
+  return Status::Ok();
+}
+
+xbench::Result<bool> RequireBool(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_bool()) {
+    return SchemaError(std::string("missing bool \"") + key + "\"");
+  }
+  return value->boolean;
+}
+
+/// Per-operator counters attached to a compiled-plan query entry.
+Status CheckPlan(const JsonValue& plan, size_t* operators_seen) {
+  if (!plan.is_object()) return SchemaError("\"plan\" is not an object");
+  XBENCH_RETURN_IF_ERROR(RequireBool(plan, "compiled").status());
+  XBENCH_RETURN_IF_ERROR(RequireBool(plan, "cache_hit").status());
+  const JsonValue* operators = plan.Find("operators");
+  if (operators == nullptr || !operators->is_array()) {
+    return SchemaError("\"plan\" lacks an \"operators\" array");
+  }
+  if (operators->items.empty()) {
+    return SchemaError("\"operators\" is empty — a compiled plan has at "
+                       "least a root operator");
+  }
+  for (const JsonValue& op : operators->items) {
+    if (!op.is_object()) return SchemaError("operator entry is not an object");
+    XBENCH_RETURN_IF_ERROR(RequireString(op, "op"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(op, "rows_out"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(op, "invocations"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(op, "millis"));
+  }
+  *operators_seen += operators->items.size();
+  return Status::Ok();
+}
+
+Status CheckQuery(const JsonValue& query, size_t* operators_seen) {
+  if (!query.is_object()) return SchemaError("query entry is not an object");
+  XBENCH_RETURN_IF_ERROR(RequireString(query, "query"));
+  XBENCH_ASSIGN_OR_RETURN(bool supported, RequireBool(query, "supported"));
+  if (!supported) return RequireString(query, "error");
+  XBENCH_RETURN_IF_ERROR(RequireNumber(query, "cpu_millis"));
+  XBENCH_RETURN_IF_ERROR(RequireNumber(query, "io_millis"));
+  XBENCH_RETURN_IF_ERROR(RequireNumber(query, "answer_lines"));
+  XBENCH_RETURN_IF_ERROR(RequireString(query, "answer_hash"));
+  if (const JsonValue* plan = query.Find("plan")) {
+    XBENCH_RETURN_IF_ERROR(CheckPlan(*plan, operators_seen));
+  }
+  return Status::Ok();
+}
+
+Status CheckCell(const JsonValue& cell, size_t* queries_seen,
+                 size_t* operators_seen) {
+  if (!cell.is_object()) return SchemaError("cell entry is not an object");
+  for (const char* key : {"engine", "class", "scale", "instance"}) {
+    XBENCH_RETURN_IF_ERROR(RequireString(cell, key));
+  }
+  const JsonValue* load = cell.Find("load");
+  if (load == nullptr || !load->is_object()) {
+    return SchemaError("cell lacks a \"load\" object");
+  }
+  XBENCH_ASSIGN_OR_RETURN(bool load_supported, RequireBool(*load, "supported"));
+  if (!load_supported) return RequireString(*load, "error");
+  XBENCH_RETURN_IF_ERROR(RequireNumber(*load, "cpu_millis"));
+  XBENCH_RETURN_IF_ERROR(RequireNumber(*load, "io_millis"));
+  const JsonValue* queries = cell.Find("queries");
+  if (queries == nullptr || !queries->is_array()) {
+    return SchemaError("loaded cell lacks a \"queries\" array");
+  }
+  for (const JsonValue& query : queries->items) {
+    XBENCH_RETURN_IF_ERROR(CheckQuery(query, operators_seen));
+  }
+  *queries_seen += queries->items.size();
+  return Status::Ok();
+}
+
+/// Validates one Driver::JsonReport document; on success reports how many
+/// cells/queries/plan operators it covered so the ctest log shows the
+/// check saw real content.
+Status CheckReport(const JsonValue& root, std::string* summary) {
+  if (!root.is_object()) return SchemaError("root is not an object");
+  const JsonValue* benchmark = root.Find("benchmark");
+  if (benchmark == nullptr || !benchmark->is_string() ||
+      benchmark->string != "xbench") {
+    return SchemaError("\"benchmark\" is not the string \"xbench\"");
+  }
+  XBENCH_RETURN_IF_ERROR(RequireNumber(root, "seed"));
+  const JsonValue* scales = root.Find("scales");
+  if (scales == nullptr || !scales->is_array() || scales->items.empty()) {
+    return SchemaError("missing non-empty \"scales\" array");
+  }
+  for (const JsonValue& scale : scales->items) {
+    if (!scale.is_object()) return SchemaError("scale entry is not an object");
+    XBENCH_RETURN_IF_ERROR(RequireString(scale, "name"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(scale, "target_bytes"));
+  }
+  const JsonValue* cells = root.Find("cells");
+  if (cells == nullptr || !cells->is_array() || cells->items.empty()) {
+    return SchemaError("missing non-empty \"cells\" array");
+  }
+  size_t queries_seen = 0;
+  size_t operators_seen = 0;
+  for (const JsonValue& cell : cells->items) {
+    XBENCH_RETURN_IF_ERROR(CheckCell(cell, &queries_seen, &operators_seen));
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return SchemaError("missing \"metrics\" object");
+  }
+  if (operators_seen == 0) {
+    return SchemaError("no compiled-plan operator stats anywhere in the "
+                       "report — the native engine should emit them");
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu cells, %zu queries, %zu plan operators",
+                cells->items.size(), queries_seen, operators_seen);
+  *summary = buf;
+  return Status::Ok();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: json_check FILE...\n");
+  bool schema_report = false;
+  int first_file = 1;
+  if (argc >= 3 && std::strcmp(argv[1], "--schema") == 0) {
+    if (std::strcmp(argv[2], "report") != 0) {
+      std::fprintf(stderr, "json_check: unknown schema '%s'\n", argv[2]);
+      return 1;
+    }
+    schema_report = true;
+    first_file = 3;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: json_check [--schema report] FILE...\n");
     return 1;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     auto contents = xbench::obs::ReadFile(argv[i]);
     if (!contents.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[i],
@@ -26,13 +183,28 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    xbench::Status valid = xbench::obs::ValidateJson(*contents);
-    if (!valid.ok()) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], valid.ToString().c_str());
+    auto parsed = xbench::obs::ParseJson(*contents);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   parsed.status().ToString().c_str());
       ++failures;
       continue;
     }
-    std::printf("%s: ok (%zu bytes)\n", argv[i], contents->size());
+    std::string summary;
+    if (schema_report) {
+      xbench::Status valid = CheckReport(*parsed, &summary);
+      if (!valid.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i], valid.ToString().c_str());
+        ++failures;
+        continue;
+      }
+    }
+    if (summary.empty()) {
+      std::printf("%s: ok (%zu bytes)\n", argv[i], contents->size());
+    } else {
+      std::printf("%s: ok (%zu bytes; %s)\n", argv[i], contents->size(),
+                  summary.c_str());
+    }
   }
   return failures == 0 ? 0 : 1;
 }

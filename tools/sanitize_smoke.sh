@@ -14,11 +14,15 @@ SAN="${XBENCH_SANITIZE:-address}"
 cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j"$(nproc)" \
-      --target core_tests xquery_tests system_tests xqlint
+      --target core_tests xquery_tests plan_tests system_tests xqlint
 
 "$BUILD/tests/core_tests"
 "$BUILD/tests/xquery_tests"
+# Exec-layer coverage: the pull-based physical operators, the differential
+# plan-vs-interpreter sweep and the plan cache all run fully sanitized.
+"$BUILD/tests/plan_tests"
 "$BUILD/tests/system_tests" --gtest_filter='*Analy*:InferredDtd*'
 "$BUILD/tools/xqlint" --class all --query all
+"$BUILD/tools/xqlint" --explain --class all --query all > /dev/null
 
 echo "sanitize smoke ($SAN): OK"

@@ -7,12 +7,19 @@
 // the concrete child chains each `//` step resolves to (the paper's §2.2
 // "unknown steps", Q8/Q9).
 //
+// With --explain, each analyzed query is additionally compiled through the
+// query planner (guided walks on, statistics-based pruning on — the
+// statistics here describe exactly the sample database the schema came
+// from) and the logical + physical plan trees are printed. The rendering
+// is deterministic; the xqlint_explain_snapshots test diffs it against
+// tools/golden/xqlint_explain.txt.
+//
 // Usage:
 //   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
-//          [--verbose]
+//          [--verbose] [--explain]
 //
 // Exit status: 0 when every selected query parses and has no error
-// diagnostics; 1 otherwise.
+// diagnostics (and, under --explain, compiles); 1 otherwise.
 
 #include <cstdio>
 #include <string>
@@ -23,6 +30,7 @@
 #include "datagen/generator.h"
 #include "workload/queries.h"
 #include "xquery/parser.h"
+#include "xquery/plan/cache.h"
 
 namespace {
 
@@ -108,6 +116,56 @@ bool LintOne(DbClass cls, QueryId id, const ClassSchema& schema,
   return !report.HasErrors();
 }
 
+/// Prefixes every line of a plan rendering for nesting under the query
+/// header.
+void PrintIndented(const std::string& text) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::printf("    %.*s\n", static_cast<int>(end - start),
+                text.c_str() + start);
+    start = end + 1;
+  }
+}
+
+/// Explains one (class, query) cell: analyzes, compiles with guided walks
+/// and statistics-based pruning enabled (sound here — the statistics
+/// describe exactly the sample database the schema was inferred from),
+/// and prints the logical and physical plan trees.
+bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
+                const QueryParams& params) {
+  const std::string xquery = XQueryFor(id, cls, params);
+  if (xquery.empty()) return true;
+  auto parsed = xbench::xquery::ParseQuery(xquery);
+  if (!parsed.ok()) {
+    std::printf("  %-4s PARSE ERROR: %s\n", QueryName(id),
+                parsed.status().ToString().c_str());
+    return false;
+  }
+  AnalysisReport report = Analyze(**parsed, schema.Context());
+  if (report.HasErrors()) {
+    std::printf("  %-4s FAIL\n%s", QueryName(id), report.ToString().c_str());
+    return false;
+  }
+  xbench::xquery::plan::PlannerOptions options;
+  options.guided = true;
+  options.trust_statistics = true;
+  auto compiled = xbench::xquery::plan::Compile(std::move(*parsed),
+                                                &report.annotations, options);
+  if (!compiled.ok()) {
+    std::printf("  %-4s COMPILE ERROR: %s\n", QueryName(id),
+                compiled.status().ToString().c_str());
+    return false;
+  }
+  std::printf("  %s\n", QueryName(id));
+  std::printf("   logical:\n");
+  PrintIndented((*compiled)->logical.ToString());
+  std::printf("   physical:\n");
+  PrintIndented((*compiled)->physical.ToString());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +174,7 @@ int main(int argc, char** argv) {
   std::vector<QueryId> queries;
   ParseQueryArg("all", queries);
   bool verbose = false;
+  bool explain = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,10 +191,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       std::fprintf(stderr,
                    "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
-                   "[--query Q1..Q20|all] [--verbose]\n");
+                   "[--query Q1..Q20|all] [--verbose] [--explain]\n");
       return 2;
     }
   }
@@ -152,7 +213,11 @@ int main(int argc, char** argv) {
     }
     std::printf(")\n");
     for (QueryId id : queries) {
-      if (!LintOne(cls, id, schema, params, verbose)) ++failures;
+      if (explain) {
+        if (!ExplainOne(cls, id, schema, params)) ++failures;
+      } else if (!LintOne(cls, id, schema, params, verbose)) {
+        ++failures;
+      }
     }
   }
   if (failures != 0) {
