@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "workload/classes.h"
 #include "workload/runner.h"
+#include "workload/session.h"
 
 int main(int argc, char** argv) {
   using namespace xbench;
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
     struct Loaded {
       engines::EngineKind kind;
       std::unique_ptr<engines::XmlDbms> engine;
+      std::unique_ptr<workload::Session> session;
       bool ok;
     };
     std::vector<Loaded> engines_loaded;
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
           loaded.engine->BulkLoad(cls, workload::ToLoadDocuments(db)).ok();
       if (loaded.ok) {
         (void)workload::CreateTable3Indexes(*loaded.engine, cls);
+        loaded.session = std::make_unique<workload::Session>(
+            *loaded.engine, cls, params,
+            std::string(engines::EngineKindName(kind)));
       }
       engines_loaded.push_back(std::move(loaded));
     }
@@ -83,7 +88,7 @@ int main(int argc, char** argv) {
         }
         workload::ExecutionResult result;
         for (int r = 0; r < repeat; ++r) {
-          result = workload::RunQuery(*loaded.engine, id, cls, params);
+          result = loaded.session->Run(id);
           if (!result.status.ok()) break;
         }
         if (!result.status.ok()) {

@@ -1,4 +1,14 @@
 #include "common/stopwatch.h"
 
-// Header-only for now; this translation unit anchors the header in the
-// library so include errors surface at library build time.
+#include <ctime>
+
+namespace xbench {
+
+uint64_t ThreadCpuStopwatch::NowNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace xbench

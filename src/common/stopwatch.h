@@ -1,8 +1,11 @@
 #ifndef XBENCH_COMMON_STOPWATCH_H_
 #define XBENCH_COMMON_STOPWATCH_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+
+#include "common/thread_io.h"
 
 namespace xbench {
 
@@ -24,21 +27,56 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Thread-CPU stopwatch (CLOCK_THREAD_CPUTIME_ID): measures CPU actually
+/// consumed by the calling thread, so a session timed on a timesliced core
+/// is not billed for other sessions' work. The multi-client throughput
+/// driver uses this to model each client as owning a core, keeping MPL
+/// sweeps meaningful on machines with fewer cores than sessions.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() { Restart(); }
+
+  void Restart() { start_nanos_ = NowNanos(); }
+
+  /// Thread CPU time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(NowNanos() - start_nanos_) / 1e6;
+  }
+
+ private:
+  static uint64_t NowNanos();
+
+  uint64_t start_nanos_ = 0;
+};
+
 /// Deterministic virtual clock advanced by the simulated-disk layer.
 ///
 /// The paper measures cold-run times on a 2 GHz disk-backed machine; our
 /// storage substrate is in-memory, so the I/O component of each measurement
 /// is modelled explicitly: every simulated page read/write charges this
 /// clock. Benchmarks report CPU wall time + virtual I/O time.
+///
+/// Thread safety: AdvanceMicros is an atomic add, so concurrent sessions
+/// can charge one engine's clock without tearing; each charge is also
+/// attributed to the calling thread (ThisThreadIo), which is how
+/// per-session I/O time stays exact under concurrency while this clock
+/// keeps the engine-lifetime total.
 class VirtualClock {
  public:
-  void AdvanceMicros(uint64_t micros) { micros_ += micros; }
-  uint64_t ElapsedMicros() const { return micros_; }
-  double ElapsedMillis() const { return static_cast<double>(micros_) / 1000.0; }
-  void Reset() { micros_ = 0; }
+  void AdvanceMicros(uint64_t micros) {
+    micros_.fetch_add(micros, std::memory_order_relaxed);
+    ThisThreadIo().io_micros += micros;
+  }
+  uint64_t ElapsedMicros() const {
+    return micros_.load(std::memory_order_relaxed);
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+  void Reset() { micros_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t micros_ = 0;
+  std::atomic<uint64_t> micros_{0};
 };
 
 }  // namespace xbench

@@ -1,0 +1,10 @@
+#include "common/thread_io.h"
+
+namespace xbench {
+
+ThreadIoCounters& ThisThreadIo() {
+  thread_local ThreadIoCounters counters;
+  return counters;
+}
+
+}  // namespace xbench

@@ -1,0 +1,34 @@
+#ifndef XBENCH_COMMON_THREAD_IO_H_
+#define XBENCH_COMMON_THREAD_IO_H_
+
+#include <cstdint>
+
+namespace xbench {
+
+/// Per-thread I/O attribution counters. Every simulated-disk access,
+/// buffer-pool event and virtual-clock charge also adds to the calling
+/// thread's instance, so a session that captures a before/after delta
+/// around an operation observes exactly the I/O its own thread performed.
+/// Concurrent sessions on the same engine never perturb each other's
+/// deltas, and a ColdRestart on a shared engine cannot misattribute
+/// another session's in-flight traffic (the counters are per-thread and
+/// monotonic; nothing ever resets them).
+struct ThreadIoCounters {
+  uint64_t io_micros = 0;  // virtual-clock charges (disk, index, ingest)
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t disk_page_reads = 0;
+  uint64_t disk_page_writes = 0;
+  uint64_t disk_bytes_read = 0;
+  uint64_t disk_bytes_written = 0;
+};
+
+/// The calling thread's attribution counters. Monotonically increasing:
+/// capture deltas, never reset.
+ThreadIoCounters& ThisThreadIo();
+
+}  // namespace xbench
+
+#endif  // XBENCH_COMMON_THREAD_IO_H_

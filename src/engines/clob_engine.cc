@@ -17,6 +17,7 @@ ClobEngine::ClobEngine(uint64_t max_document_bytes)
 
 Status ClobEngine::BulkLoad(datagen::DbClass db_class,
                             const std::vector<LoadDocument>& docs) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   db_class_ = db_class;
   dad_ = ClobSideTablesFor(db_class);
   if (dad_.tables.empty()) {
@@ -68,6 +69,7 @@ Status ClobEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status ClobEngine::InsertDocument(const LoadDocument& doc) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   if (dad_.tables.empty()) {
     return Status::Unsupported("engine holds no loaded database");
   }
@@ -86,12 +88,16 @@ Status ClobEngine::InsertDocument(const LoadDocument& doc) {
 }
 
 Status ClobEngine::DeleteDocument(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   auto it = registry_.find(name);
   if (it == registry_.end()) {
     return Status::NotFound("document '" + name + "'");
   }
   registry_.erase(it);
-  cache_.erase(name);
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    cache_.erase(name);
+  }
   for (const TableMap& map : dad_.tables) {
     relational::Table* table = database_->FindTable(map.table);
     if (table == nullptr) continue;
@@ -108,6 +114,7 @@ Status ClobEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ClobEngine::CreateIndex(const IndexSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("clob.index_build");
   XBENCH_ASSIGN_OR_RETURN(auto target, ResolveIndex(spec.path));
@@ -123,16 +130,20 @@ Result<std::pair<std::string, std::string>> ClobEngine::ResolveIndex(
   return ResolveIndexPath(dad_, path);
 }
 
-void ClobEngine::ColdRestart() {
-  XmlDbms::ColdRestart();
+void ClobEngine::ColdRestartLocked() {
+  XmlDbms::ColdRestartLocked();
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   cache_.clear();
 }
 
 Result<const xml::Document*> ClobEngine::FetchDocument(
     const std::string& doc_name) {
-  auto cached = cache_.find(doc_name);
-  if (cached != cache_.end()) {
-    return const_cast<const xml::Document*>(cached->second.get());
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    auto cached = cache_.find(doc_name);
+    if (cached != cache_.end()) {
+      return const_cast<const xml::Document*>(cached->second.get());
+    }
   }
   auto it = registry_.find(doc_name);
   if (it == registry_.end()) {
@@ -142,9 +153,10 @@ Result<const xml::Document*> ClobEngine::FetchDocument(
   auto parsed = xml::Parse(text, doc_name);
   if (!parsed.ok()) return parsed.status();
   auto doc = std::make_unique<xml::Document>(std::move(parsed).value());
-  const xml::Document* raw = doc.get();
-  cache_[doc_name] = std::move(doc);
-  return raw;
+  // Racing fetches of one document both parse; the first insert wins.
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  auto [slot, inserted] = cache_.emplace(doc_name, std::move(doc));
+  return const_cast<const xml::Document*>(slot->second.get());
 }
 
 std::vector<std::string> ClobEngine::DocumentNames() const {
@@ -165,23 +177,31 @@ Result<std::string> ClobEngine::FetchRaw(const std::string& doc_name) {
 Result<xquery::QueryResult> ClobEngine::QueryDocument(
     const std::string& doc_name, std::string_view xquery) {
   XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, FetchDocument(doc_name));
-  auto it = ast_cache_.find(xquery);
-  if (it == ast_cache_.end()) {
+  const xquery::Expr* ast = nullptr;
+  {
+    std::lock_guard<std::mutex> ast_lock(ast_mu_);
+    auto it = ast_cache_.find(xquery);
+    if (it != ast_cache_.end()) {
+      obs::MetricsRegistry::Default()
+          .GetCounter("xbench.plan.ast_cache_hits")
+          .Increment();
+      ast = it->second.get();
+    }
+  }
+  if (ast == nullptr) {
     obs::MetricsRegistry::Default()
         .GetCounter("xbench.plan.ast_cache_misses")
         .Increment();
     auto parsed = xquery::ParseQuery(xquery);
     if (!parsed.ok()) return parsed.status();
-    it = ast_cache_.emplace(std::string(xquery), std::move(parsed).value())
-             .first;
-  } else {
-    obs::MetricsRegistry::Default()
-        .GetCounter("xbench.plan.ast_cache_hits")
-        .Increment();
+    std::lock_guard<std::mutex> ast_lock(ast_mu_);
+    auto [slot, inserted] =
+        ast_cache_.emplace(std::string(xquery), std::move(parsed).value());
+    ast = slot->second.get();
   }
   xquery::Bindings bindings;
   bindings["input"] = xquery::Sequence{xquery::Item::Node(doc->root())};
-  return xquery::Evaluate(*it->second, bindings);
+  return xquery::Evaluate(*ast, bindings);
 }
 
 }  // namespace xbench::engines

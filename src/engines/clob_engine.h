@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "engines/dad.h"
@@ -22,6 +23,14 @@ namespace xbench::engines {
 /// Limits (paper §3.1.1): a document larger than the CLOB cap cannot be
 /// stored — so the SD classes (one huge file) are unsupported, exactly as
 /// in the paper's runs.
+///
+/// Thread safety: mutations take the collection lock exclusively inside
+/// the engine. The read-side methods (FetchDocument / QueryDocument /
+/// FetchRaw / side_tables access in query plans) do NOT take it — CLOB
+/// query plans span several engine calls per statement, so the *caller*
+/// (workload::Session) holds the lock shared for the whole statement.
+/// The document and AST caches have leaf mutexes, making the read side
+/// safe for any number of shared-lock holders.
 class ClobEngine : public XmlDbms {
  public:
   /// `max_document_bytes` is the scaled-down 2 GB CLOB cap; 256 KiB keeps
@@ -40,8 +49,6 @@ class ClobEngine : public XmlDbms {
 
   /// Drops a document from the registry and deletes its side-table rows.
   Status DeleteDocument(const std::string& name) override;
-
-  void ColdRestart() override;
 
   /// The side-table database (query plans read it directly).
   relational::Database& side_tables() { return *database_; }
@@ -69,6 +76,9 @@ class ClobEngine : public XmlDbms {
   Result<std::pair<std::string, std::string>> ResolveIndex(
       const std::string& path) const;
 
+ protected:
+  void ColdRestartLocked() override;
+
  private:
   uint64_t max_document_bytes_;
   std::unique_ptr<storage::HeapFile> clob_file_;
@@ -76,7 +86,9 @@ class ClobEngine : public XmlDbms {
   Dad dad_;
   datagen::DbClass db_class_ = datagen::DbClass::kDcMd;
   std::map<std::string, storage::RecordId> registry_;
+  mutable std::mutex cache_mu_;  // guards cache_ (leaf lock; see dbms.h)
   std::map<std::string, std::unique_ptr<xml::Document>> cache_;
+  mutable std::mutex ast_mu_;  // guards ast_cache_ (leaf lock)
   std::map<std::string, xquery::ExprPtr, std::less<>> ast_cache_;
   int64_t next_row_id_ = 0;
 };

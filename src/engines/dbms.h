@@ -2,6 +2,7 @@
 #define XBENCH_ENGINES_DBMS_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ const char* EngineKindName(EngineKind kind);
 /// Base class for the four storage engines. Engines own a SimulatedDisk +
 /// BufferPool; the harness reads the virtual clock to report I/O time and
 /// calls ColdRestart() before each measured query (paper §3.1: cold runs).
+///
+/// Concurrency model: engines carry a collection-level reader/writer lock
+/// (collection_mu()). Mutations (BulkLoad / InsertDocument /
+/// DeleteDocument / CreateIndex / ColdRestart) acquire it exclusively
+/// *inside* the engine; query entry points acquire it shared, so any
+/// number of sessions can query one engine concurrently while loads are
+/// serialized against them. Lock acquisition order across the system is:
+/// collection lock -> engine cache mutex -> pool shard latch -> disk
+/// mutex (never the reverse), which keeps the latch graph acyclic.
 class XmlDbms {
  public:
   XmlDbms();
@@ -65,12 +75,15 @@ class XmlDbms {
   virtual Status InsertDocument(const LoadDocument& doc) = 0;
   virtual Status DeleteDocument(const std::string& name) = 0;
 
-  /// Drops all cached state so the next query runs cold. Pool counters
-  /// are reset too, so the stats observed after the next operation are
-  /// attributable to that operation alone.
-  virtual void ColdRestart() {
-    pool_->ColdRestart();
-    pool_->ResetCounters();
+  /// Drops all cached state so the next query runs cold. Takes the
+  /// collection lock exclusively, then delegates to ColdRestartLocked().
+  /// Pool/disk counters are NOT reset: engine-lifetime totals stay
+  /// monotonic, and per-operation attribution comes from per-thread
+  /// deltas (ThisThreadIo) so a restart by one session can never
+  /// misattribute I/O charged by another.
+  void ColdRestart() {
+    std::unique_lock<std::shared_mutex> lock(collection_mu_);
+    ColdRestartLocked();
   }
 
   storage::SimulatedDisk& disk() { return *disk_; }
@@ -78,12 +91,24 @@ class XmlDbms {
   storage::BufferPool& pool() { return *pool_; }
   const storage::BufferPool& pool() const { return *pool_; }
 
+  /// Collection-level reader/writer lock. Engines take it internally;
+  /// exposed so session-layer code driving engine-external query paths
+  /// (CLOB/shred relational plans) can hold it shared for the duration of
+  /// a statement.
+  std::shared_mutex& collection_mu() const { return collection_mu_; }
+
   /// Virtual I/O time accumulated so far (milliseconds).
   double IoMillis() const { return disk_->clock().ElapsedMillis(); }
 
  protected:
+  /// Cache-dropping body; the caller already holds the collection lock
+  /// exclusively. Overrides must call the base (or flush the pool
+  /// themselves) and must NOT re-take the collection lock.
+  virtual void ColdRestartLocked() { pool_->ColdRestart(); }
+
   std::unique_ptr<storage::SimulatedDisk> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
+  mutable std::shared_mutex collection_mu_;
 };
 
 /// Buffer-pool capacity shared by every engine (frames). ~16 MiB: holds

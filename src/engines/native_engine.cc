@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <shared_mutex>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -37,6 +38,7 @@ NativeEngine::NativeEngine() {
 
 Status NativeEngine::BulkLoad(datagen::DbClass db_class,
                               const std::vector<LoadDocument>& docs) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan load_span("native.bulkload");
   obs::Counter& docs_loaded =
@@ -45,7 +47,7 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
   // The collection is changing; any earlier conformance proof no longer
   // covers it. workload::BulkLoad re-enables after re-validating. Compiled
   // plans froze access paths under the old gate state, so they go too.
-  guided_eval_enabled_ = false;
+  set_guided_eval_enabled(false);
   plan_cache_.Invalidate();
   for (const LoadDocument& doc : docs) {
     obs::ScopedSpan doc_span("load.doc");
@@ -65,7 +67,7 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
       obs::ScopedSpan commit_span("commit");
       disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
     }
-    ++live_count_;
+    live_count_.fetch_add(1, std::memory_order_relaxed);
     docs_loaded.Increment();
   }
   {
@@ -76,11 +78,12 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status NativeEngine::InsertDocument(const LoadDocument& doc) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   // The inserted document was not part of the validated bulk load, so the
   // collection may no longer conform to the schema the analyzer resolved
   // expansions from; fall back to (always-correct) full subtree scans and
   // drop plans compiled for the guided collection.
-  guided_eval_enabled_ = false;
+  set_guided_eval_enabled(false);
   plan_cache_.Invalidate();
   disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
   auto parsed = xml::Parse(doc.text, doc.name);
@@ -88,7 +91,7 @@ Status NativeEngine::InsertDocument(const LoadDocument& doc) {
   const storage::RecordId rid = file_->Append(doc.text);
   const size_t ordinal = registry_.size();
   registry_.push_back({doc.name, rid, /*deleted=*/false});
-  ++live_count_;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   // Maintain every value index.
   for (auto& [index_name, tree] : indexes_) {
     for (std::string& value :
@@ -100,6 +103,7 @@ Status NativeEngine::InsertDocument(const LoadDocument& doc) {
 }
 
 Status NativeEngine::DeleteDocument(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   for (size_t ordinal = 0; ordinal < registry_.size(); ++ordinal) {
     DocEntry& entry = registry_[ordinal];
     if (entry.deleted || entry.name != name) continue;
@@ -114,8 +118,11 @@ Status NativeEngine::DeleteDocument(const std::string& name) {
       }
     }
     entry.deleted = true;
-    --live_count_;
-    cache_.erase(ordinal);
+    live_count_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> cache_lock(cache_mu_);
+      cache_.erase(ordinal);
+    }
     plan_cache_.Invalidate();
     return Status::Ok();
   }
@@ -123,6 +130,7 @@ Status NativeEngine::DeleteDocument(const std::string& name) {
 }
 
 Status NativeEngine::CreateIndex(const IndexSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(collection_mu_);
   if (indexes_.count(spec.name) != 0) {
     return Status::AlreadyExists("index '" + spec.name + "'");
   }
@@ -138,19 +146,27 @@ Status NativeEngine::CreateIndex(const IndexSpec& spec) {
   }
   indexes_[spec.name] = std::move(tree);
   index_paths_[spec.name] = spec.path;
-  // Index building materialized every document; drop that warmth.
-  ColdRestart();
+  // Index building materialized every document; drop that warmth. The
+  // collection lock is already held exclusively, so call the locked body
+  // directly (ColdRestart() would self-deadlock).
+  ColdRestartLocked();
   return Status::Ok();
 }
 
-void NativeEngine::ColdRestart() {
-  XmlDbms::ColdRestart();
+void NativeEngine::ColdRestartLocked() {
+  XmlDbms::ColdRestartLocked();
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
   cache_.clear();
 }
 
 Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
-  auto it = cache_.find(ordinal);
-  if (it != cache_.end()) return const_cast<const xml::Document*>(it->second.get());
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    auto it = cache_.find(ordinal);
+    if (it != cache_.end()) {
+      return const_cast<const xml::Document*>(it->second.get());
+    }
+  }
   obs::ScopedSpan span("native.materialize");
   static obs::Counter& materialized = obs::MetricsRegistry::Default().GetCounter(
       "xbench.native.docs_materialized");
@@ -160,9 +176,13 @@ Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
   auto parsed = xml::Parse(text, entry.name);
   if (!parsed.ok()) return parsed.status();
   auto doc = std::make_unique<xml::Document>(std::move(parsed).value());
-  const xml::Document* raw = doc.get();
-  cache_[ordinal] = std::move(doc);
-  return raw;
+  // Racing materializations of the same ordinal both reach here; the
+  // first insert wins and the loser's parse is discarded. Entries are
+  // never replaced while readers hold the collection lock shared, so the
+  // returned pointer stays valid for the statement.
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  auto [it, inserted] = cache_.emplace(ordinal, std::move(doc));
+  return const_cast<const xml::Document*>(it->second.get());
 }
 
 Result<xquery::QueryResult> NativeEngine::RunOver(
@@ -176,7 +196,7 @@ Result<xquery::QueryResult> NativeEngine::RunOver(
   xquery::Bindings bindings;
   bindings["input"] = std::move(input);
   xquery::EvalOptions options;
-  options.use_step_expansions = guided_eval_enabled_;
+  options.use_step_expansions = guided_eval_enabled();
   return xquery::Evaluate(query, bindings, options);
 }
 
@@ -196,6 +216,12 @@ std::vector<size_t> NativeEngine::LiveOrdinals() const {
 }
 
 Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return QueryImpl(query);
+}
+
+Result<xquery::QueryResult> NativeEngine::QueryImpl(
+    const xquery::Expr& query) {
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.query");
   return RunOver(LiveOrdinals(), query);
@@ -203,8 +229,9 @@ Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
 
 Result<xquery::QueryResult> NativeEngine::RunPlanOver(
     const std::vector<size_t>& ordinals,
-    const xquery::plan::CompiledQuery& compiled) {
-  if (compiled.guided && !guided_eval_enabled_) {
+    const xquery::plan::CompiledQuery& compiled,
+    xquery::exec::ExecStats* stats) {
+  if (compiled.guided && !guided_eval_enabled()) {
     return Status::InvalidArgument(
         "guided plan on an unvalidated collection: the plan was compiled "
         "for a collection that passed the guided-eval gate");
@@ -218,23 +245,40 @@ Result<xquery::QueryResult> NativeEngine::RunPlanOver(
   xquery::Bindings bindings;
   bindings["input"] = std::move(input);
   xquery::EvalOptions options;
-  options.use_step_expansions = guided_eval_enabled_;
+  options.use_step_expansions = guided_eval_enabled();
   return xquery::exec::Execute(compiled.physical, bindings, options,
-                               &last_plan_stats_);
+                               stats != nullptr ? stats : &last_plan_stats_);
 }
 
 Result<xquery::QueryResult> NativeEngine::ExecutePlan(
-    const xquery::plan::CompiledQuery& compiled) {
+    const xquery::plan::CompiledQuery& compiled,
+    xquery::exec::ExecStats* stats) {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return ExecutePlanImpl(compiled, stats);
+}
+
+Result<xquery::QueryResult> NativeEngine::ExecutePlanImpl(
+    const xquery::plan::CompiledQuery& compiled,
+    xquery::exec::ExecStats* stats) {
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.exec_plan");
-  return RunPlanOver(LiveOrdinals(), compiled);
+  return RunPlanOver(LiveOrdinals(), compiled, stats);
 }
 
 Result<xquery::QueryResult> NativeEngine::ExecutePlanWithIndex(
     const std::string& index_name, const std::string& value,
-    const xquery::plan::CompiledQuery& compiled) {
+    const xquery::plan::CompiledQuery& compiled,
+    xquery::exec::ExecStats* stats) {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return ExecutePlanWithIndexImpl(index_name, value, compiled, stats);
+}
+
+Result<xquery::QueryResult> NativeEngine::ExecutePlanWithIndexImpl(
+    const std::string& index_name, const std::string& value,
+    const xquery::plan::CompiledQuery& compiled,
+    xquery::exec::ExecStats* stats) {
   auto it = indexes_.find(index_name);
-  if (it == indexes_.end()) return ExecutePlan(compiled);
+  if (it == indexes_.end()) return ExecutePlanImpl(compiled, stats);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.exec_plan_with_index");
   std::set<size_t> ordinals;
@@ -243,7 +287,7 @@ Result<xquery::QueryResult> NativeEngine::ExecutePlanWithIndex(
     const auto ordinal = static_cast<size_t>(rid);
     if (!registry_[ordinal].deleted) ordinals.insert(ordinal);
   }
-  return RunPlanOver({ordinals.begin(), ordinals.end()}, compiled);
+  return RunPlanOver({ordinals.begin(), ordinals.end()}, compiled, stats);
 }
 
 Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
@@ -257,8 +301,15 @@ Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
 Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
     const std::string& index_name, const std::string& value,
     const xquery::Expr& query) {
+  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  return QueryWithIndexImpl(index_name, value, query);
+}
+
+Result<xquery::QueryResult> NativeEngine::QueryWithIndexImpl(
+    const std::string& index_name, const std::string& value,
+    const xquery::Expr& query) {
   auto it = indexes_.find(index_name);
-  if (it == indexes_.end()) return Query(query);
+  if (it == indexes_.end()) return QueryImpl(query);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("native.query_with_index");
   std::set<size_t> ordinals;

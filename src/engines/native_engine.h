@@ -1,8 +1,10 @@
 #ifndef XBENCH_ENGINES_NATIVE_ENGINE_H_
 #define XBENCH_ENGINES_NATIVE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,14 @@ namespace xbench::engines {
 /// narrows the candidate set to matching documents but each one must still
 /// be materialized — the behaviour behind the paper's X-Hive numbers (fast
 /// on TC/MD, collapsing on DC/MD-large whole-collection scans).
+///
+/// Thread safety: query entry points take the collection lock shared and
+/// may run from any number of sessions concurrently; mutations take it
+/// exclusive. The materialized-document cache has its own leaf mutex so
+/// parallel readers can fault documents in without serializing whole
+/// queries. Callers running concurrently must pass their own ExecStats to
+/// ExecutePlan*/— the last_plan_stats() convenience slot is only
+/// meaningful for single-threaded use.
 class NativeEngine : public XmlDbms {
  public:
   NativeEngine();
@@ -46,8 +56,6 @@ class NativeEngine : public XmlDbms {
   /// reclaimed on the next rebuild, which this benchmark never needs) and
   /// its index entries are erased.
   Status DeleteDocument(const std::string& name) override;
-
-  void ColdRestart() override;
 
   /// Evaluates `xquery` with $input bound to the roots of all documents
   /// (collection scan).
@@ -75,14 +83,18 @@ class NativeEngine : public XmlDbms {
   /// collection. Guided plans are rejected while the collection has not
   /// passed the guided-eval gate (the plan cache key carries the guided
   /// flag, so a rejection here means the caller compiled for the wrong
-  /// gate state). Per-operator counters land in last_plan_stats().
+  /// gate state). Per-operator counters land in `*stats` when given,
+  /// otherwise in the shared last_plan_stats() slot (single-threaded
+  /// callers only).
   Result<xquery::QueryResult> ExecutePlan(
-      const xquery::plan::CompiledQuery& compiled);
+      const xquery::plan::CompiledQuery& compiled,
+      xquery::exec::ExecStats* stats = nullptr);
 
   /// Compiled form of QueryWithIndex.
   Result<xquery::QueryResult> ExecutePlanWithIndex(
       const std::string& index_name, const std::string& value,
-      const xquery::plan::CompiledQuery& compiled);
+      const xquery::plan::CompiledQuery& compiled,
+      xquery::exec::ExecStats* stats = nullptr);
 
   /// This engine's compiled-plan cache (the DBMS statement cache). Document
   /// mutations invalidate it — the data change can flip the guided-eval
@@ -90,13 +102,16 @@ class NativeEngine : public XmlDbms {
   /// buffer-pool flush.
   xquery::plan::PlanCache& plan_cache() { return plan_cache_; }
 
-  /// Per-operator counters of the most recent ExecutePlan* call.
+  /// Per-operator counters of the most recent ExecutePlan* call that did
+  /// not supply its own ExecStats. Not meaningful under concurrency.
   const xquery::exec::ExecStats& last_plan_stats() const {
     return last_plan_stats_;
   }
 
   /// Live (non-deleted) documents.
-  size_t document_count() const { return live_count_; }
+  size_t document_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   uint64_t stored_bytes() const { return file_->size_bytes(); }
 
   /// Whether queries may follow analyzer-resolved `Step::expansions`
@@ -106,10 +121,15 @@ class NativeEngine : public XmlDbms {
   /// bulk-load path enables this after
   /// analysis::ValidateDatabaseForGuidedEval passes; inserting a document
   /// turns it back off (the collection may no longer conform).
-  bool guided_eval_enabled() const { return guided_eval_enabled_; }
-  void set_guided_eval_enabled(bool enabled) {
-    guided_eval_enabled_ = enabled;
+  bool guided_eval_enabled() const {
+    return guided_eval_enabled_.load(std::memory_order_acquire);
   }
+  void set_guided_eval_enabled(bool enabled) {
+    guided_eval_enabled_.store(enabled, std::memory_order_release);
+  }
+
+ protected:
+  void ColdRestartLocked() override;
 
  private:
   struct DocEntry {
@@ -120,7 +140,8 @@ class NativeEngine : public XmlDbms {
   };
 
   /// Parses document `ordinal` out of the page store (I/O + parse cost),
-  /// caching it until the next cold restart.
+  /// caching it until the next cold restart. Thread-safe: racing
+  /// materializations of the same ordinal both parse, first insert wins.
   Result<const xml::Document*> Materialize(size_t ordinal);
 
   Result<xquery::QueryResult> RunOver(const std::vector<size_t>& ordinals,
@@ -128,7 +149,23 @@ class NativeEngine : public XmlDbms {
 
   Result<xquery::QueryResult> RunPlanOver(
       const std::vector<size_t>& ordinals,
-      const xquery::plan::CompiledQuery& compiled);
+      const xquery::plan::CompiledQuery& compiled,
+      xquery::exec::ExecStats* stats);
+
+  // Query bodies; the caller holds the collection lock shared. Public
+  // entry points wrap these so fallback paths (index absent -> full scan)
+  // never re-acquire the non-reentrant shared lock.
+  Result<xquery::QueryResult> QueryImpl(const xquery::Expr& query);
+  Result<xquery::QueryResult> QueryWithIndexImpl(const std::string& index_name,
+                                                 const std::string& value,
+                                                 const xquery::Expr& query);
+  Result<xquery::QueryResult> ExecutePlanImpl(
+      const xquery::plan::CompiledQuery& compiled,
+      xquery::exec::ExecStats* stats);
+  Result<xquery::QueryResult> ExecutePlanWithIndexImpl(
+      const std::string& index_name, const std::string& value,
+      const xquery::plan::CompiledQuery& compiled,
+      xquery::exec::ExecStats* stats);
 
   /// Candidate ordinals for an index lookup (all live documents when the
   /// index is absent); shared by the interpreted and compiled paths.
@@ -136,13 +173,14 @@ class NativeEngine : public XmlDbms {
 
   std::unique_ptr<storage::HeapFile> file_;
   std::vector<DocEntry> registry_;
-  size_t live_count_ = 0;
-  bool guided_eval_enabled_ = false;
+  std::atomic<size_t> live_count_{0};
+  std::atomic<bool> guided_eval_enabled_{false};
   datagen::DbClass db_class_ = datagen::DbClass::kTcSd;
   // Index: value -> document ordinals (B+-tree so lookups charge realistic
   // page I/O).
   std::map<std::string, std::unique_ptr<relational::BTreeIndex>> indexes_;
   std::map<std::string, std::string> index_paths_;
+  mutable std::mutex cache_mu_;  // guards cache_ (leaf lock; see dbms.h)
   std::map<size_t, std::unique_ptr<xml::Document>> cache_;
   xquery::plan::PlanCache plan_cache_;
   xquery::exec::ExecStats last_plan_stats_;

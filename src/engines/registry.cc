@@ -1,0 +1,83 @@
+#include "engines/registry.h"
+
+#include "engines/clob_engine.h"
+#include "engines/native_engine.h"
+#include "engines/shred_engine.h"
+
+namespace xbench::engines {
+
+const char* EngineKindRegistryName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNative:
+      return "native";
+    case EngineKind::kClob:
+      return "clob";
+    case EngineKind::kShredDb2:
+      return "shred-db2";
+    case EngineKind::kShredMsSql:
+      return "shred-mssql";
+  }
+  return "?";
+}
+
+EngineRegistry& EngineRegistry::Default() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    (void)r->Register("native",
+                      [] { return std::make_unique<NativeEngine>(); });
+    (void)r->Register("clob", [] { return std::make_unique<ClobEngine>(); });
+    (void)r->Register("shred-db2", [] {
+      return std::make_unique<ShredEngine>(EngineKind::kShredDb2);
+    });
+    (void)r->Register("shred-mssql", [] {
+      return std::make_unique<ShredEngine>(EngineKind::kShredMsSql);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status EngineRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return Status::AlreadyExists("engine '" + name + "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<XmlDbms>> EngineRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [known_name, f] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += known_name;
+      }
+      return Status::NotFound("engine '" + name +
+                              "' is not registered (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  // Construct outside the lock: factories may be arbitrarily expensive.
+  return factory();
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace xbench::engines

@@ -1,0 +1,56 @@
+#ifndef XBENCH_ENGINES_REGISTRY_H_
+#define XBENCH_ENGINES_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engines/dbms.h"
+
+namespace xbench::engines {
+
+/// Name -> factory registry for storage engines, so tools and benchmarks
+/// resolve engines from a --engine=<name> flag without duplicating the
+/// EngineKind switch. The default registry comes pre-registered with the
+/// four paper engines under their stable short names:
+///
+///   "native"      X-Hive analogue (NativeEngine)
+///   "clob"        DB2 XML Extender Xcolumn analogue (ClobEngine)
+///   "shred-db2"   DB2 XML Extender Xcollection analogue (ShredEngine)
+///   "shred-mssql" SQL Server + SQLXML analogue (ShredEngine)
+///
+/// Thread-safe: registration and creation serialize on an internal mutex.
+class EngineRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<XmlDbms>()>;
+
+  /// The process-wide registry with the built-in engines registered.
+  static EngineRegistry& Default();
+
+  /// Registers `factory` under `name`. AlreadyExists when taken.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the engine registered under `name`; NotFound lists the
+  /// registered names to make flag typos self-explanatory.
+  Result<std::unique_ptr<XmlDbms>> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// The registry short name for a built-in engine kind ("native", ...).
+const char* EngineKindRegistryName(EngineKind kind);
+
+}  // namespace xbench::engines
+
+#endif  // XBENCH_ENGINES_REGISTRY_H_

@@ -23,6 +23,11 @@ namespace xbench::engines {
 ///
 /// Both flavors auto-create primary/foreign-key indexes (row_id,
 /// parent_row) at load time, as the paper notes relational systems do.
+///
+/// Thread safety: mutations take the collection lock exclusively inside
+/// the engine. The query path is the free function RunShredQuery, which
+/// only reads tables()/dad(); concurrent callers (workload::Session) hold
+/// the collection lock shared around each statement.
 class ShredEngine : public XmlDbms {
  public:
   explicit ShredEngine(EngineKind kind);

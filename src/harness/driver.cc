@@ -7,6 +7,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "workload/classes.h"
+#include "workload/session.h"
 
 namespace xbench::harness {
 
@@ -75,10 +76,6 @@ ResultTable Driver::QueryTable(workload::QueryId id) {
   for (engines::EngineKind kind : workload::AllEngines()) {
     std::vector<std::string> cells;
     for (DbClass db_class : workload::AllClasses()) {
-      const datagen::GeneratedDatabase& db =
-          Database(db_class, Scale::kSmall);
-      const workload::QueryParams params =
-          workload::DeriveParams(db_class, db.seeds);
       for (Scale scale : workload::AllScales()) {
         LoadedEngine& loaded = Loaded(kind, db_class, scale);
         if (!loaded.load_status.ok()) {
@@ -87,15 +84,14 @@ ResultTable Driver::QueryTable(workload::QueryId id) {
         }
         const datagen::GeneratedDatabase& scale_db =
             Database(db_class, scale);
-        const workload::QueryParams scale_params =
-            workload::DeriveParams(db_class, scale_db.seeds);
-        workload::ExecutionResult result =
-            workload::RunQuery(*loaded.engine, id, db_class, scale_params);
+        workload::Session session(
+            *loaded.engine, db_class,
+            workload::DeriveParams(db_class, scale_db.seeds), "table");
+        workload::ExecutionResult result = session.Run(id);
         cells.push_back(result.status.ok()
                             ? FormatMillis(result.TotalMillis())
                             : "-");
       }
-      (void)params;
     }
     table.AddRow(engines::EngineKindName(kind), cells);
   }
@@ -187,12 +183,12 @@ std::string Driver::JsonReport(const ReportOptions& options) {
         writer.EndObject();
         if (loaded.load_status.ok()) {
           const datagen::GeneratedDatabase& db = Database(db_class, scale);
-          const workload::QueryParams params =
-              workload::DeriveParams(db_class, db.seeds);
+          workload::Session session(
+              *loaded.engine, db_class,
+              workload::DeriveParams(db_class, db.seeds), "report");
           writer.Key("queries").BeginArray();
           for (QueryId id : queries) {
-            workload::ExecutionResult result =
-                workload::RunQuery(*loaded.engine, id, db_class, params);
+            workload::ExecutionResult result = session.Run(id);
             writer.BeginObject();
             writer.Key("query").String(workload::QueryName(id));
             writer.Key("supported").Bool(result.status.ok());

@@ -1,0 +1,266 @@
+#include "harness/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "harness/scale.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "workload/runner.h"
+#include "workload/session.h"
+
+namespace xbench::harness {
+
+namespace {
+
+using workload::QueryId;
+
+std::vector<QueryId> DefaultMix() {
+  return {QueryId::kQ5, QueryId::kQ8, QueryId::kQ12, QueryId::kQ14,
+          QueryId::kQ17};
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// What one session's worker thread hands back after joining.
+struct SessionOutcome {
+  std::vector<double> latencies_millis;
+  double busy_millis = 0;
+  uint64_t failures = 0;
+  uint64_t hash_mismatches = 0;
+};
+
+}  // namespace
+
+bool ThroughputReport::AllAnswersMatchSerial() const {
+  for (const MplResult& result : mpls) {
+    if (result.hash_mismatches != 0) return false;
+  }
+  return true;
+}
+
+double ThroughputReport::SpeedupAt(int mpl) const {
+  double base_qps = 0;
+  double at_qps = 0;
+  for (const MplResult& result : mpls) {
+    if (result.mpl == 1) base_qps = result.qps;
+    if (result.mpl == mpl) at_qps = result.qps;
+  }
+  if (base_qps <= 0 || at_qps <= 0) return 0;
+  return at_qps / base_qps;
+}
+
+std::string ToJson(const ThroughputReport& report) {
+  obs::JsonWriter writer;
+  WriteJson(report, writer);
+  return writer.TakeString();
+}
+
+void WriteJson(const ThroughputReport& report, obs::JsonWriter& writer) {
+  writer.BeginObject();
+  writer.Key("engine").String(engines::EngineKindName(report.engine));
+  writer.Key("class").String(datagen::DbClassName(report.db_class));
+  writer.Key("scale").String(workload::ScaleName(report.scale));
+  writer.Key("answers_match_serial").Bool(report.AllAnswersMatchSerial());
+  writer.Key("baseline").BeginArray();
+  for (const BaselineAnswer& answer : report.baseline) {
+    writer.BeginObject()
+        .Key("query")
+        .String(workload::QueryName(answer.id))
+        .Key("answer_hash")
+        .Uint(answer.answer_hash)
+        .Key("answer_lines")
+        .Uint(answer.answer_lines)
+        .EndObject();
+  }
+  writer.EndArray();
+  writer.Key("mpls").BeginArray();
+  for (const MplResult& result : report.mpls) {
+    writer.BeginObject()
+        .Key("mpl")
+        .Uint(static_cast<uint64_t>(result.mpl))
+        .Key("ops")
+        .Uint(result.ops)
+        .Key("failures")
+        .Uint(result.failures)
+        .Key("hash_mismatches")
+        .Uint(result.hash_mismatches)
+        .Key("makespan_millis")
+        .Number(result.makespan_millis)
+        .Key("qps")
+        .Number(result.qps)
+        .Key("mean_millis")
+        .Number(result.mean_millis)
+        .Key("p50_millis")
+        .Number(result.p50_millis)
+        .Key("p99_millis")
+        .Number(result.p99_millis)
+        .EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+ThroughputDriver::ThroughputDriver(ThroughputOptions options)
+    : options_(std::move(options)) {}
+
+Result<ThroughputReport> ThroughputDriver::Run() {
+  ThroughputReport report;
+  report.engine = options_.engine;
+  report.db_class = options_.db_class;
+  report.scale = options_.scale;
+
+  datagen::GenConfig config;
+  config.target_bytes = TargetBytes(options_.scale);
+  config.seed = BenchSeed();
+  const datagen::GeneratedDatabase db =
+      datagen::Generate(options_.db_class, config);
+
+  std::unique_ptr<engines::XmlDbms> engine =
+      workload::MakeEngine(options_.engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("unknown engine kind");
+  }
+  workload::TimedStatus load = workload::BulkLoad(*engine, db);
+  XBENCH_RETURN_IF_ERROR(load.status);
+  XBENCH_RETURN_IF_ERROR(
+      workload::CreateTable3Indexes(*engine, options_.db_class));
+
+  const workload::QueryParams params =
+      workload::DeriveParams(options_.db_class, db.seeds);
+  std::vector<QueryId> mix =
+      options_.mix.empty() ? DefaultMix() : options_.mix;
+
+  // Serial baseline: one warm run per query on this thread establishes the
+  // canonical answer hash the concurrent sweep must reproduce exactly.
+  // Unsupported queries are dropped from the mix (an engine that cannot
+  // run a query at MPL 1 cannot run it at MPL 8 either); other failures
+  // are real errors and abort the sweep.
+  workload::RunOptions serial_options;
+  serial_options.cold = false;
+  serial_options.thread_time = true;
+  workload::Session baseline_session(*engine, options_.db_class, params,
+                                     "baseline");
+  std::vector<QueryId> supported;
+  for (QueryId id : mix) {
+    workload::ExecutionResult result = baseline_session.Run(id, serial_options);
+    if (result.status.code() == StatusCode::kUnsupported) continue;
+    XBENCH_RETURN_IF_ERROR(result.status);
+    const std::vector<std::string> canonical =
+        workload::CanonicalizeAnswer(id, std::move(result.lines));
+    BaselineAnswer answer;
+    answer.id = id;
+    answer.answer_hash = workload::AnswerHash(canonical);
+    answer.answer_lines = canonical.size();
+    report.baseline.push_back(answer);
+    supported.push_back(id);
+  }
+  if (supported.empty()) {
+    return Status::Unsupported("no query in the mix is supported by " +
+                               engine->name());
+  }
+  mix = std::move(supported);
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  for (int mpl : options_.mpls) {
+    if (mpl <= 0) {
+      return Status::InvalidArgument("MPL values must be positive");
+    }
+    std::vector<workload::Session> sessions;
+    sessions.reserve(static_cast<size_t>(mpl));
+    for (int s = 0; s < mpl; ++s) {
+      sessions.emplace_back(*engine, options_.db_class, params,
+                            "mpl" + std::to_string(mpl) + ".s" +
+                                std::to_string(s));
+    }
+    std::vector<SessionOutcome> outcomes(static_cast<size_t>(mpl));
+    const int ops = std::max(1, options_.ops_per_session);
+    auto worker = [&](int index) {
+      workload::Session& session = sessions[static_cast<size_t>(index)];
+      SessionOutcome& outcome = outcomes[static_cast<size_t>(index)];
+      workload::RunOptions run_options;
+      run_options.cold = false;
+      run_options.thread_time = true;
+      run_options.collect_plan_stats = false;
+      for (int op = 0; op < ops; ++op) {
+        // Offset by the session index so concurrent sessions interleave
+        // different statements instead of marching in lockstep.
+        const QueryId id = mix[static_cast<size_t>(index + op) % mix.size()];
+        workload::ExecutionResult result = session.Run(id, run_options);
+        const double latency = result.TotalMillis();
+        outcome.latencies_millis.push_back(latency);
+        outcome.busy_millis += latency;
+        if (!result.status.ok()) {
+          ++outcome.failures;
+          continue;
+        }
+        const uint64_t hash = workload::AnswerHash(
+            workload::CanonicalizeAnswer(id, std::move(result.lines)));
+        uint64_t expected = 0;
+        for (const BaselineAnswer& answer : report.baseline) {
+          if (answer.id == id) expected = answer.answer_hash;
+        }
+        if (hash != expected) ++outcome.hash_mismatches;
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(mpl));
+    for (int s = 0; s < mpl; ++s) threads.emplace_back(worker, s);
+    for (std::thread& t : threads) t.join();
+
+    MplResult result;
+    result.mpl = mpl;
+    std::vector<double> latencies;
+    for (const SessionOutcome& outcome : outcomes) {
+      result.ops += outcome.latencies_millis.size();
+      result.failures += outcome.failures;
+      result.hash_mismatches += outcome.hash_mismatches;
+      result.makespan_millis =
+          std::max(result.makespan_millis, outcome.busy_millis);
+      latencies.insert(latencies.end(), outcome.latencies_millis.begin(),
+                       outcome.latencies_millis.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0;
+    for (double latency : latencies) sum += latency;
+    result.mean_millis =
+        latencies.empty() ? 0 : sum / static_cast<double>(latencies.size());
+    result.p50_millis = PercentileSorted(latencies, 0.50);
+    result.p99_millis = PercentileSorted(latencies, 0.99);
+    result.qps = result.makespan_millis > 0
+                     ? static_cast<double>(result.ops) /
+                           (result.makespan_millis / 1000.0)
+                     : 0;
+    report.mpls.push_back(result);
+
+    const std::string prefix =
+        "xbench.concurrency.mpl" + std::to_string(mpl);
+    metrics.GetGauge(prefix + ".qps").Set(result.qps);
+    metrics.GetGauge(prefix + ".p50_millis").Set(result.p50_millis);
+    metrics.GetGauge(prefix + ".p99_millis").Set(result.p99_millis);
+    metrics.GetCounter("xbench.concurrency.ops").Increment(result.ops);
+    metrics.GetCounter("xbench.concurrency.hash_mismatches")
+        .Increment(result.hash_mismatches);
+  }
+  metrics.GetGauge("xbench.concurrency.max_speedup")
+      .Set([&report] {
+        double best = 0;
+        for (const MplResult& result : report.mpls) {
+          best = std::max(best, report.SpeedupAt(result.mpl));
+        }
+        return best;
+      }());
+  return report;
+}
+
+}  // namespace xbench::harness

@@ -6,42 +6,58 @@
 
 namespace xbench::obs {
 
+namespace {
+
+/// CAS-folds `sample` into `slot` with the monotone comparison `better`.
+template <typename Better>
+void AtomicFold(std::atomic<uint64_t>& slot, uint64_t sample, Better better) {
+  uint64_t current = slot.load(std::memory_order_relaxed);
+  while (better(sample, current) &&
+         !slot.compare_exchange_weak(current, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 void Histogram::Record(uint64_t sample) {
-  if (!*enabled_) return;
-  ++count_;
-  sum_ += sample;
-  if (sample < min_) min_ = sample;
-  if (sample > max_) max_ = sample;
-  ++buckets_[sample == 0 ? 0 : std::bit_width(sample) - 1];
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  AtomicFold(min_, sample, [](uint64_t s, uint64_t cur) { return s < cur; });
+  AtomicFold(max_, sample, [](uint64_t s, uint64_t cur) { return s > cur; });
+  buckets_[sample == 0 ? 0 : std::bit_width(sample) - 1].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 uint64_t Histogram::ApproxPercentile(double p) const {
-  if (count_ == 0) return 0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
   if (p < 0) p = 0;
   if (p > 1) p = 1;
-  uint64_t rank =
-      static_cast<uint64_t>(p * static_cast<double>(count_) + 0.999999);
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n) + 0.999999);
   if (rank == 0) rank = 1;
-  if (rank > count_) rank = count_;
+  if (rank > n) rank = n;
+  const uint64_t observed_max = max();
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
+    seen += bucket(i);
     if (seen >= rank) {
       // Upper bound of bucket i, clamped to the observed max.
       const uint64_t bound =
-          i >= 63 ? max_ : (static_cast<uint64_t>(1) << (i + 1)) - 1;
-      return bound < max_ ? bound : max_;
+          i >= 63 ? observed_max : (static_cast<uint64_t>(1) << (i + 1)) - 1;
+      return bound < observed_max ? bound : observed_max;
     }
   }
-  return max_;
+  return observed_max;
 }
 
 void Histogram::Reset() {
-  count_ = 0;
-  sum_ = 0;
-  min_ = std::numeric_limits<uint64_t>::max();
-  max_ = 0;
-  buckets_.fill(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
@@ -50,6 +66,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -61,6 +78,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -72,6 +90,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -83,12 +102,14 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mu_);
   writer.BeginObject();
   writer.Key("counters").BeginObject();
   for (const auto& [name, counter] : counters_) {

@@ -2,10 +2,12 @@
 #define XBENCH_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -16,81 +18,100 @@ class MetricsRegistry;
 
 /// Monotonically increasing counter. Handles are stable for the lifetime
 /// of the owning registry, so instrumented code fetches one once and then
-/// pays only an enabled-flag check + add per event.
+/// pays only an enabled-flag check + relaxed atomic add per event. All
+/// operations are thread-safe; concurrent sessions share one registry.
 class Counter {
  public:
   void Increment(uint64_t delta = 1) {
-    if (*enabled_) value_ += delta;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
   }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  uint64_t value_ = 0;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-value gauge (e.g. live document count, pool capacity in use).
+/// Thread-safe; Add() uses a compare-exchange loop since atomic doubles
+/// have no fetch_add before C++20 library support is universal.
 class Gauge {
  public:
   void Set(double value) {
-    if (*enabled_) value_ = value;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(value, std::memory_order_relaxed);
+    }
   }
   void Add(double delta) {
-    if (*enabled_) value_ += delta;
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return value_; }
-  void Reset() { value_ = 0; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  double value_ = 0;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0};
 };
 
 /// Histogram of nonnegative integer samples (micros, bytes, row counts)
 /// with power-of-two buckets: bucket i counts samples whose bit width is i
 /// (0 lands in bucket 0). Tracks exact count/sum/min/max; percentiles are
-/// approximated by each bucket's upper bound.
+/// approximated by each bucket's upper bound. Record() is thread-safe;
+/// a reader racing a writer may observe a sample in count() before it
+/// lands in a bucket, which the approximate percentiles tolerate.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
 
   void Record(uint64_t sample);
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
   }
   /// Upper bound of the bucket containing the `p`-quantile (p in [0,1]).
   uint64_t ApproxPercentile(double p) const;
-  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
   void Reset();
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
-  const bool* enabled_;
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = std::numeric_limits<uint64_t>::max();
-  uint64_t max_ = 0;
-  std::array<uint64_t, kBuckets> buckets_{};
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
 /// Named metric registry. Metric names follow the convention
 /// `xbench.<layer>.<name>` (e.g. `xbench.pool.hits`). The default registry
 /// is process-global and enabled by default; disabling it turns every
 /// handle into a branch-only no-op, keeping instrumented hot paths at
-/// benchmark-neutral cost.
+/// benchmark-neutral cost. Lookup/creation serializes on an internal
+/// mutex; returned handles are lock-free to use.
 class MetricsRegistry {
  public:
-  MetricsRegistry() : enabled_(std::make_unique<bool>(true)) {}
+  MetricsRegistry() : enabled_(std::make_unique<std::atomic<bool>>(true)) {}
 
   static MetricsRegistry& Default();
 
@@ -100,13 +121,16 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
-  void set_enabled(bool enabled) { *enabled_ = enabled; }
-  bool enabled() const { return *enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_->store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_->load(std::memory_order_relaxed); }
 
   /// Zeroes every metric (handles stay valid).
   void ResetAll();
 
   size_t metric_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -117,7 +141,8 @@ class MetricsRegistry {
  private:
   // The enabled flag lives behind a unique_ptr so metric handles can keep
   // a stable pointer to it even if the registry object moves.
-  std::unique_ptr<bool> enabled_;
+  std::unique_ptr<std::atomic<bool>> enabled_;
+  mutable std::mutex mu_;  // guards the three maps (not the metric values)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -13,38 +13,48 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   last_ticks_ = 0;
   depth_ = 0;
 }
 
-uint64_t Tracer::NowTicks() {
+uint64_t Tracer::NowTicksLocked() {
+  const VirtualClock* clock = clock_.load(std::memory_order_relaxed);
   const uint64_t virtual_ticks =
-      clock_ == nullptr ? 0 : clock_->ElapsedMicros() * kTicksPerMicro;
+      clock == nullptr ? 0 : clock->ElapsedMicros() * kTicksPerMicro;
   last_ticks_ = virtual_ticks > last_ticks_ ? virtual_ticks : last_ticks_ + 1;
   return last_ticks_;
 }
 
+uint64_t Tracer::NowTicks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NowTicksLocked();
+}
+
 void Tracer::BeginSpan(std::string name) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++depth_;
   events_.push_back(
-      {TraceEvent::Phase::kBegin, std::move(name), NowTicks(), depth_});
+      {TraceEvent::Phase::kBegin, std::move(name), NowTicksLocked(), depth_});
 }
 
 void Tracer::EndSpan() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (depth_ == 0) return;  // unbalanced EndSpan; ignore
-  events_.push_back({TraceEvent::Phase::kEnd, std::string(), NowTicks(),
+  events_.push_back({TraceEvent::Phase::kEnd, std::string(), NowTicksLocked(),
                      depth_});
   --depth_;
 }
 
 std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> snapshot = events();
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("displayTimeUnit").String("ms");
   writer.Key("traceEvents").BeginArray();
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : snapshot) {
     writer.BeginObject();
     if (event.phase == TraceEvent::Phase::kBegin) {
       writer.Key("name").String(event.name);

@@ -1,7 +1,9 @@
 #ifndef XBENCH_OBS_TRACE_H_
 #define XBENCH_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +28,13 @@ struct TraceEvent {
 /// micros, scaled to ticks) plus a logical tick that breaks ties, never
 /// from the wall clock. Two runs of the same workload therefore produce
 /// byte-identical traces. Disabled by default; when disabled, ScopedSpan
-/// costs one branch.
+/// costs one atomic load.
+///
+/// Thread safety: the enabled flag and clock source are atomics, and the
+/// event log serializes on an internal mutex, so spans from concurrent
+/// sessions interleave without races. Note the span *hierarchy* is
+/// process-global — deterministic traces remain a single-session tool;
+/// multi-session runs disable tracing during the measured region.
 class Tracer {
  public:
   /// Ticks per virtual microsecond; the tie-breaking logical tick
@@ -36,9 +44,9 @@ class Tracer {
 
   static Tracer& Default();
 
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Drops all recorded events and resets the timeline.
   void Clear();
@@ -46,8 +54,12 @@ class Tracer {
   /// Registers the virtual clock that drives span timestamps (nullptr
   /// detaches; the timeline then advances by logical ticks only). Use
   /// ScopedClockSource to scope this to an engine operation.
-  void SetClockSource(const VirtualClock* clock) { clock_ = clock; }
-  const VirtualClock* clock_source() const { return clock_; }
+  void SetClockSource(const VirtualClock* clock) {
+    clock_.store(clock, std::memory_order_relaxed);
+  }
+  const VirtualClock* clock_source() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
 
   /// Current deterministic timestamp: max(virtual-clock ticks, last+1).
   uint64_t NowTicks();
@@ -56,8 +68,16 @@ class Tracer {
   void EndSpan();
 
   /// Nesting depth of currently open spans.
-  size_t depth() const { return depth_; }
-  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return depth_;
+  }
+  /// Snapshot of the recorded events. (Tests and report writers call this
+  /// after the traced region has quiesced.)
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
 
   /// Serializes to Chrome trace-event JSON (load in chrome://tracing or
   /// Perfetto). Timestamps are virtual ticks reported as microseconds.
@@ -65,8 +85,11 @@ class Tracer {
   Status WriteChromeJson(const std::string& path) const;
 
  private:
-  bool enabled_ = false;
-  const VirtualClock* clock_ = nullptr;
+  uint64_t NowTicksLocked();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const VirtualClock*> clock_{nullptr};
+  mutable std::mutex mu_;  // guards last_ticks_, depth_, events_
   uint64_t last_ticks_ = 0;
   size_t depth_ = 0;
   std::vector<TraceEvent> events_;

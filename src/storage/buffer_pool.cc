@@ -1,10 +1,28 @@
 #include "storage/buffer_pool.h"
 
+#include "common/thread_io.h"
+
 namespace xbench::storage {
+
+namespace {
+
+/// Pools below this size keep one shard so tests with hand-counted
+/// eviction orders see strict global LRU; larger pools shard 16 ways.
+constexpr size_t kShardThresholdPages = 512;
+constexpr size_t kMaxShards = 16;
+
+size_t PickShardCount(size_t capacity_pages) {
+  return capacity_pages >= kShardThresholdPages ? kMaxShards : 1;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(SimulatedDisk& disk, size_t capacity_pages)
     : disk_(disk),
       capacity_(capacity_pages),
+      shard_count_(PickShardCount(capacity_pages)),
+      shard_capacity_(capacity_pages / shard_count_),
+      shards_(std::make_unique<Shard[]>(shard_count_)),
       metric_hits_(
           obs::MetricsRegistry::Default().GetCounter("xbench.pool.hits")),
       metric_misses_(
@@ -14,60 +32,105 @@ BufferPool::BufferPool(SimulatedDisk& disk, size_t capacity_pages)
       metric_writebacks_(obs::MetricsRegistry::Default().GetCounter(
           "xbench.pool.writebacks")) {}
 
-Page& BufferPool::Fetch(PageId page_id) {
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) {
-    ++counters_.hits;
+BufferPool::Frame& BufferPool::FetchLocked(Shard& shard, PageId page_id) {
+  auto it = shard.frames.find(page_id);
+  if (it != shard.frames.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     metric_hits_.Increment();
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(page_id);
-    it->second.lru_pos = lru_.begin();
-    return it->second.page;
+    ++ThisThreadIo().pool_hits;
+    shard.lru.erase(it->second.lru_pos);
+    shard.lru.push_front(page_id);
+    it->second.lru_pos = shard.lru.begin();
+    return it->second;
   }
-  ++counters_.misses;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   metric_misses_.Increment();
-  EvictIfFull();
-  Frame& frame = frames_[page_id];
+  ++ThisThreadIo().pool_misses;
+  EvictIfFullLocked(shard);
+  Frame& frame = shard.frames[page_id];
   disk_.ReadPage(page_id, frame.page);
-  lru_.push_front(page_id);
-  frame.lru_pos = lru_.begin();
-  return frame.page;
+  shard.lru.push_front(page_id);
+  frame.lru_pos = shard.lru.begin();
+  return frame;
+}
+
+void BufferPool::ReadAt(PageId page_id, size_t offset, void* dst,
+                        size_t size) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> latch(shard.mu);
+  FetchLocked(shard, page_id).page.Read(offset, dst, size);
+}
+
+void BufferPool::WriteAt(PageId page_id, size_t offset, const void* src,
+                         size_t size) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> latch(shard.mu);
+  Frame& frame = FetchLocked(shard, page_id);
+  frame.page.Write(offset, src, size);
+  frame.dirty = true;
+}
+
+Page& BufferPool::Fetch(PageId page_id) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> latch(shard.mu);
+  return FetchLocked(shard, page_id).page;
 }
 
 void BufferPool::MarkDirty(PageId page_id) {
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) it->second.dirty = true;
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> latch(shard.mu);
+  auto it = shard.frames.find(page_id);
+  if (it != shard.frames.end()) it->second.dirty = true;
 }
 
-void BufferPool::WriteBack(PageId page_id, Frame& frame) {
+void BufferPool::WriteBackLocked(PageId page_id, Frame& frame) {
   disk_.WritePage(page_id, frame.page);
   frame.dirty = false;
-  ++counters_.writebacks;
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
   metric_writebacks_.Increment();
+  ++ThisThreadIo().pool_writebacks;
 }
 
 void BufferPool::FlushAll() {
-  for (auto& [page_id, frame] : frames_) {
-    if (frame.dirty) WriteBack(page_id, frame);
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> latch(shard.mu);
+    for (auto& [page_id, frame] : shard.frames) {
+      if (frame.dirty) WriteBackLocked(page_id, frame);
+    }
   }
 }
 
 void BufferPool::ColdRestart() {
-  FlushAll();
-  frames_.clear();
-  lru_.clear();
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> latch(shard.mu);
+    for (auto& [page_id, frame] : shard.frames) {
+      if (frame.dirty) WriteBackLocked(page_id, frame);
+    }
+    shard.frames.clear();
+    shard.lru.clear();
+  }
 }
 
-void BufferPool::EvictIfFull() {
-  while (frames_.size() >= capacity_ && !lru_.empty()) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    auto it = frames_.find(victim);
-    if (it != frames_.end()) {
-      if (it->second.dirty) WriteBack(victim, it->second);
-      ++counters_.evictions;
+void BufferPool::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  writebacks_.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::EvictIfFullLocked(Shard& shard) {
+  while (shard.frames.size() >= shard_capacity_ && !shard.lru.empty()) {
+    PageId victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.frames.find(victim);
+    if (it != shard.frames.end()) {
+      if (it->second.dirty) WriteBackLocked(victim, it->second);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
       metric_evictions_.Increment();
-      frames_.erase(it);
+      ++ThisThreadIo().pool_evictions;
+      shard.frames.erase(it);
     }
   }
 }

@@ -1,7 +1,10 @@
 #ifndef XBENCH_STORAGE_BUFFER_POOL_H_
 #define XBENCH_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "obs/metrics.h"
@@ -11,7 +14,9 @@
 namespace xbench::storage {
 
 /// Snapshot of a BufferPool's activity counters. Deltas between two
-/// snapshots attribute pool traffic to one measured operation.
+/// snapshots attribute pool traffic to one measured operation (for
+/// concurrent sessions, capture per-thread deltas via ThisThreadIo()
+/// instead — these totals cover the whole pool lifetime).
 struct PoolCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -19,9 +24,19 @@ struct PoolCounters {
   uint64_t writebacks = 0;  // dirty frames written back (evict or flush)
 };
 
-/// LRU buffer pool over a SimulatedDisk. Single-threaded; no pin counting
-/// is needed because callers copy data out of the frame before the next
-/// Fetch (the engines never hold frame pointers across pool calls).
+/// LRU buffer pool over a SimulatedDisk, latch-sharded by page id.
+///
+/// Thread safety: frames are partitioned into shards keyed by
+/// `page_id % shard_count()`; each shard owns a mutex, its frame map and
+/// its LRU list, so sessions touching different pages proceed in
+/// parallel. The latched accessors ReadAt()/WriteAt() copy bytes while
+/// holding the shard latch and are the only frame access paths that are
+/// safe under concurrency; Fetch()/MarkDirty() remain for single-threaded
+/// callers (the returned frame reference is unprotected by design).
+///
+/// Small pools (tests with hand-counted eviction sequences) get exactly
+/// one shard, preserving strict global LRU order; benchmark-sized pools
+/// shard 16 ways, each shard running LRU over capacity/16 frames.
 class BufferPool {
  public:
   /// `capacity_pages` frames; the paper's testbed had 1 GB of RAM against
@@ -29,8 +44,18 @@ class BufferPool {
   /// database and progressively thrash on normal/large.
   BufferPool(SimulatedDisk& disk, size_t capacity_pages);
 
+  /// Copies `size` bytes at `offset` within `page_id` into `dst`, reading
+  /// the page from disk on a miss. Holds the page's shard latch for the
+  /// duration of the copy — safe under concurrency.
+  void ReadAt(PageId page_id, size_t offset, void* dst, size_t size);
+
+  /// Copies `size` bytes from `src` into `page_id` at `offset` and marks
+  /// the frame dirty, under the shard latch.
+  void WriteAt(PageId page_id, size_t offset, const void* src, size_t size);
+
   /// Returns the frame for `page_id`, reading from disk on a miss. The
   /// returned pointer is valid until the next Fetch/Release call.
+  /// Single-threaded callers only: the reference escapes the shard latch.
   Page& Fetch(PageId page_id);
 
   /// Marks the frame dirty so eviction writes it back.
@@ -41,20 +66,28 @@ class BufferPool {
 
   /// Cold restart: flush then drop every frame. Benchmarks call this before
   /// each measured query to reproduce the paper's cold-run methodology.
-  /// Counters are NOT reset here — XmlDbms::ColdRestart() does that, so
-  /// per-query pool statistics start from zero after each restart.
+  /// Counters are NOT reset — per-operation statistics come from
+  /// per-thread deltas (ThisThreadIo), so engine-lifetime totals here stay
+  /// monotonic even when sessions restart a shared engine.
   void ColdRestart();
 
-  uint64_t hits() const { return counters_.hits; }
-  uint64_t misses() const { return counters_.misses; }
-  uint64_t evictions() const { return counters_.evictions; }
-  uint64_t writebacks() const { return counters_.writebacks; }
-  PoolCounters counters() const { return counters_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t writebacks() const {
+    return writebacks_.load(std::memory_order_relaxed);
+  }
+  PoolCounters counters() const {
+    return {hits(), misses(), evictions(), writebacks()};
+  }
 
   /// Zeroes the activity counters (frames are untouched).
-  void ResetCounters() { counters_ = {}; }
+  void ResetCounters();
 
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shard_count_; }
 
  private:
   struct Frame {
@@ -63,14 +96,34 @@ class BufferPool {
     std::list<PageId>::iterator lru_pos;
   };
 
-  void EvictIfFull();
-  void WriteBack(PageId page_id, Frame& frame);
+  /// One latch domain: a mutex plus the frames and LRU order it guards.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, Frame> frames;
+    std::list<PageId> lru;  // front = most recently used
+  };
+
+  Shard& ShardFor(PageId page_id) {
+    return shards_[page_id % shard_count_];
+  }
+
+  /// Returns the frame for `page_id` within `shard`; caller holds the
+  /// shard latch. Reads from disk on a miss, evicting first if the shard
+  /// is at capacity.
+  Frame& FetchLocked(Shard& shard, PageId page_id);
+
+  void EvictIfFullLocked(Shard& shard);
+  void WriteBackLocked(PageId page_id, Frame& frame);
 
   SimulatedDisk& disk_;
   size_t capacity_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // front = most recently used
-  PoolCounters counters_;
+  size_t shard_count_;
+  size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
   // Process-wide metrics (xbench.pool.*).
   obs::Counter& metric_hits_;
   obs::Counter& metric_misses_;

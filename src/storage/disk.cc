@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/thread_io.h"
+
 namespace xbench::storage {
 
 SimulatedDisk::SimulatedDisk(DiskProfile profile)
@@ -16,30 +18,45 @@ SimulatedDisk::SimulatedDisk(DiskProfile profile)
           "xbench.disk.bytes_written")) {}
 
 PageId SimulatedDisk::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   return pages_.size() - 1;
 }
 
 void SimulatedDisk::ReadPage(PageId page_id, Page& out) {
-  assert(page_id < pages_.size());
-  const bool sequential = page_id == last_accessed_ + 1;
-  clock_.AdvanceMicros(sequential ? profile_.sequential_read_micros
-                                  : profile_.random_read_micros);
-  last_accessed_ = page_id;
-  ++reads_;
+  uint64_t charge = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(page_id < pages_.size());
+    const bool sequential = page_id == last_accessed_ + 1;
+    charge = sequential ? profile_.sequential_read_micros
+                        : profile_.random_read_micros;
+    last_accessed_ = page_id;
+    out = *pages_[page_id];
+  }
+  clock_.AdvanceMicros(charge);
+  reads_.fetch_add(1, std::memory_order_relaxed);
   metric_reads_.Increment();
   metric_bytes_read_.Increment(kPageSize);
-  out = *pages_[page_id];
+  ThreadIoCounters& mine = ThisThreadIo();
+  ++mine.disk_page_reads;
+  mine.disk_bytes_read += kPageSize;
 }
 
 void SimulatedDisk::WritePage(PageId page_id, const Page& page) {
-  assert(page_id < pages_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(page_id < pages_.size());
+    last_accessed_ = page_id;
+    *pages_[page_id] = page;
+  }
   clock_.AdvanceMicros(profile_.write_micros);
-  last_accessed_ = page_id;
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   metric_writes_.Increment();
   metric_bytes_written_.Increment(kPageSize);
-  *pages_[page_id] = page;
+  ThreadIoCounters& mine = ThisThreadIo();
+  ++mine.disk_page_writes;
+  mine.disk_bytes_written += kPageSize;
 }
 
 }  // namespace xbench::storage

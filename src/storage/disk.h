@@ -1,7 +1,9 @@
 #ifndef XBENCH_STORAGE_DISK_H_
 #define XBENCH_STORAGE_DISK_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -23,6 +25,11 @@ struct DiskProfile {
 /// In-memory page store that charges a VirtualClock for every page access,
 /// standing in for the testbed disk. "Sequential" is detected as accessing
 /// page N+1 immediately after page N.
+///
+/// Thread safety: page transfers serialize on an internal mutex (one disk
+/// arm), the clock advances atomically, and every access is attributed to
+/// the calling thread's ThreadIoCounters in addition to the engine-lifetime
+/// totals below — so concurrent sessions keep exact per-session I/O stats.
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(DiskProfile profile = {});
@@ -30,7 +37,10 @@ class SimulatedDisk {
   /// Appends a zeroed page, returning its id.
   PageId Allocate();
 
-  size_t PageCount() const { return pages_.size(); }
+  size_t PageCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
   /// Reads `page_id` into `out`, charging read latency.
   void ReadPage(PageId page_id, Page& out);
@@ -41,20 +51,21 @@ class SimulatedDisk {
   VirtualClock& clock() { return clock_; }
   const VirtualClock& clock() const { return clock_; }
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  uint64_t bytes_read() const { return reads_ * kPageSize; }
-  uint64_t bytes_written() const { return writes_ * kPageSize; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t bytes_read() const { return reads() * kPageSize; }
+  uint64_t bytes_written() const { return writes() * kPageSize; }
 
   /// Bytes occupied by allocated pages.
-  size_t SizeBytes() const { return pages_.size() * kPageSize; }
+  size_t SizeBytes() const { return PageCount() * kPageSize; }
 
  private:
   DiskProfile profile_;
+  mutable std::mutex mu_;  // guards pages_ and last_accessed_
   std::vector<std::unique_ptr<Page>> pages_;
   VirtualClock clock_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
   PageId last_accessed_ = static_cast<PageId>(-2);
   // Process-wide metrics (xbench.disk.*); per-disk attribution uses the
   // reads()/writes() accessors above.

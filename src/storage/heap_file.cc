@@ -1,18 +1,20 @@
 #include "storage/heap_file.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace xbench::storage {
 
-Page& HeapFile::FetchPageForOffset(uint64_t offset, bool for_write) {
+PageId HeapFile::PageForOffset(uint64_t offset, bool grow) {
   const uint64_t page_index = offset / kPageSize;
-  while (page_index >= pages_.size()) {
-    pages_.push_back(disk_.Allocate());
+  if (grow) {
+    while (page_index >= pages_.size()) {
+      pages_.push_back(disk_.Allocate());
+    }
   }
-  Page& page = pool_->Fetch(pages_[page_index]);
-  if (for_write) pool_->MarkDirty(pages_[page_index]);
-  return page;
+  assert(page_index < pages_.size());
+  return pages_[page_index];
 }
 
 void HeapFile::WriteBytes(uint64_t offset, const void* data, size_t size) {
@@ -20,8 +22,7 @@ void HeapFile::WriteBytes(uint64_t offset, const void* data, size_t size) {
   while (size > 0) {
     const size_t in_page = offset % kPageSize;
     const size_t chunk = std::min(size, kPageSize - in_page);
-    Page& page = FetchPageForOffset(offset, /*for_write=*/true);
-    page.Write(in_page, src, chunk);
+    pool_->WriteAt(PageForOffset(offset, /*grow=*/true), in_page, src, chunk);
     src += chunk;
     offset += chunk;
     size -= chunk;
@@ -33,8 +34,7 @@ void HeapFile::ReadBytes(uint64_t offset, void* data, size_t size) {
   while (size > 0) {
     const size_t in_page = offset % kPageSize;
     const size_t chunk = std::min(size, kPageSize - in_page);
-    Page& page = FetchPageForOffset(offset, /*for_write=*/false);
-    page.Read(in_page, dst, chunk);
+    pool_->ReadAt(PageForOffset(offset, /*grow=*/false), in_page, dst, chunk);
     dst += chunk;
     offset += chunk;
     size -= chunk;

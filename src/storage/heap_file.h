@@ -21,28 +21,35 @@ using RecordId = uint64_t;
 ///
 /// The workload is load-then-query (the paper defers updates to future
 /// versions), so deletion/update support is intentionally absent.
+///
+/// Thread safety: Read()/Scan() go through the pool's latched ReadAt()
+/// path and may run from any number of threads concurrently. Append()
+/// mutates the page directory and file extent and requires exclusive
+/// access — the engines guarantee this by taking their collection lock
+/// exclusively around all load/insert paths.
 class HeapFile {
  public:
   explicit HeapFile(SimulatedDisk& disk, BufferPool& pool)
       : disk_(disk), pool_(&pool) {}
 
-  /// Appends a record and returns its id.
+  /// Appends a record and returns its id. Requires exclusive access.
   RecordId Append(std::string_view payload);
 
-  /// Reads the record at `id`.
+  /// Reads the record at `id`. Safe to call concurrently.
   std::string Read(RecordId id);
 
   /// Sequentially visits every record in append order. The callback gets
-  /// (id, payload); returning false stops the scan early.
+  /// (id, payload); returning false stops the scan early. Safe to call
+  /// concurrently.
   void Scan(const std::function<bool(RecordId, std::string_view)>& visit);
 
   uint64_t record_count() const { return record_count_; }
   uint64_t size_bytes() const { return end_offset_; }
 
  private:
-  /// Translates a byte offset to (page, offset-in-page), allocating pages
-  /// on demand for writes.
-  Page& FetchPageForOffset(uint64_t offset, bool for_write);
+  /// Translates a byte offset to its page id, allocating pages on demand
+  /// when `grow` is set (write path only).
+  PageId PageForOffset(uint64_t offset, bool grow);
 
   void WriteBytes(uint64_t offset, const void* data, size_t size);
   void ReadBytes(uint64_t offset, void* data, size_t size);
@@ -51,7 +58,6 @@ class HeapFile {
   BufferPool* pool_;
   uint64_t end_offset_ = 0;
   uint64_t record_count_ = 0;
-  uint64_t allocated_pages_ = 0;
   // Page ids are allocated from the shared disk, so this file's pages need
   // an explicit index (they are not necessarily contiguous on the disk).
   std::vector<PageId> pages_;

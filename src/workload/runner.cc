@@ -6,15 +6,14 @@
 #include "analysis/class_schemas.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
-#include "engines/clob_engine.h"
+#include "common/thread_io.h"
 #include "engines/native_engine.h"
-#include "engines/shred_engine.h"
+#include "engines/registry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/classes.h"
-#include "workload/relational_plans.h"
+#include "workload/session.h"
 #include "xquery/parser.h"
-#include "xquery/plan/cache.h"
 
 namespace xbench::workload {
 
@@ -28,17 +27,9 @@ const std::vector<EngineKind>& AllEngines() {
 }
 
 std::unique_ptr<engines::XmlDbms> MakeEngine(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kNative:
-      return std::make_unique<engines::NativeEngine>();
-    case EngineKind::kClob:
-      return std::make_unique<engines::ClobEngine>();
-    case EngineKind::kShredDb2:
-      return std::make_unique<engines::ShredEngine>(EngineKind::kShredDb2);
-    case EngineKind::kShredMsSql:
-      return std::make_unique<engines::ShredEngine>(EngineKind::kShredMsSql);
-  }
-  return nullptr;
+  auto created = engines::EngineRegistry::Default().Create(
+      engines::EngineKindRegistryName(kind));
+  return created.ok() ? std::move(created).value() : nullptr;
 }
 
 std::vector<engines::LoadDocument> ToLoadDocuments(
@@ -66,6 +57,24 @@ IoStats CaptureIoStats(const engines::XmlDbms& engine) {
   return stats;
 }
 
+IoStats ThreadIoSnapshot() {
+  const ThreadIoCounters& mine = ThisThreadIo();
+  IoStats stats;
+  stats.pool_hits = mine.pool_hits;
+  stats.pool_misses = mine.pool_misses;
+  stats.pool_evictions = mine.pool_evictions;
+  stats.pool_writebacks = mine.pool_writebacks;
+  stats.disk_page_reads = mine.disk_page_reads;
+  stats.disk_page_writes = mine.disk_page_writes;
+  stats.disk_bytes_read = mine.disk_bytes_read;
+  stats.disk_bytes_written = mine.disk_bytes_written;
+  return stats;
+}
+
+double ThreadIoMillis() {
+  return static_cast<double>(ThisThreadIo().io_micros) / 1000.0;
+}
+
 IoStats IoStatsDelta(const IoStats& before, const IoStats& after) {
   IoStats delta;
   delta.pool_hits = after.pool_hits - before.pool_hits;
@@ -91,13 +100,15 @@ TimedStatus BulkLoad(engines::XmlDbms& engine,
                 "." + engine.name()
           : std::string(),
       tracer);
-  const IoStats io_before = CaptureIoStats(engine);
-  const double io_millis_before = engine.IoMillis();
+  // Loads are attributed per-thread like queries, so a load on one session
+  // and queries on others keep disjoint, exact deltas.
+  const IoStats io_before = ThreadIoSnapshot();
+  const double io_millis_before = ThreadIoMillis();
   Stopwatch watch;
   timed.status = engine.BulkLoad(db.db_class, ToLoadDocuments(db));
   timed.cpu_millis = watch.ElapsedMillis();
-  timed.io_millis = engine.IoMillis() - io_millis_before;
-  timed.io = IoStatsDelta(io_before, CaptureIoStats(engine));
+  timed.io_millis = ThreadIoMillis() - io_millis_before;
+  timed.io = IoStatsDelta(io_before, ThreadIoSnapshot());
   if (timed.status.ok() && engine.kind() == EngineKind::kNative) {
     // Guided descendant evaluation (Step::expansions) is sound only when
     // the loaded collection conforms to the canonical schema the analyzer
@@ -130,79 +141,6 @@ Status CreateTable3Indexes(engines::XmlDbms& engine,
   return Status::Ok();
 }
 
-namespace {
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines = Split(text, '\n');
-  while (!lines.empty() && lines.back().empty()) lines.pop_back();
-  return lines;
-}
-
-ExecutionResult RunNative(engines::NativeEngine& engine, QueryId id,
-                          datagen::DbClass db_class,
-                          const QueryParams& params,
-                          const xquery::plan::CompiledQuery& compiled) {
-  ExecutionResult result;
-  auto hint = IndexHintFor(id, db_class, params);
-  auto query_result =
-      hint.has_value() ? engine.ExecutePlanWithIndex(hint->index_name,
-                                                     hint->value, compiled)
-                       : engine.ExecutePlan(compiled);
-  if (!query_result.ok()) {
-    result.status = query_result.status();
-    return result;
-  }
-  result.lines = SplitLines(query_result->ToText());
-  result.compiled = true;
-  result.plan_stats = engine.last_plan_stats();
-  return result;
-}
-
-/// Compile phase for the native engine, done before the stopwatch starts:
-/// parse, schema analysis, and plan compilation are the DBMS's
-/// statement-prepare work, so the timed region covers plan execution only
-/// (the paper times query execution, not compilation). Compiled plans are
-/// cached in the engine keyed by (query, class, engine, guided flag), so a
-/// repeat run skips the whole phase. Query parameters are derived
-/// deterministically from the database's seeds and every mutation
-/// invalidates the cache, so a cached plan's embedded parameter values
-/// always match the collection it runs over.
-Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
-    engines::NativeEngine& engine, QueryId id, datagen::DbClass db_class,
-    const QueryParams& params, bool* cache_hit) {
-  const bool guided = engine.guided_eval_enabled();
-  const xquery::plan::PlanCacheKey key{
-      static_cast<int>(id), static_cast<int>(db_class),
-      static_cast<int>(EngineKind::kNative), guided};
-  if (auto cached = engine.plan_cache().Lookup(key)) {
-    *cache_hit = true;
-    return cached;
-  }
-  *cache_hit = false;
-  const std::string xquery = XQueryFor(id, db_class, params);
-  if (xquery.empty()) {
-    return Status::Unsupported(std::string(QueryName(id)) +
-                               " is not defined for " +
-                               datagen::DbClassName(db_class));
-  }
-  XBENCH_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
-                          AnalyzeForClassFull(xquery, db_class));
-  xquery::plan::PlannerOptions options;
-  options.guided = guided;
-  // The canonical schema's statistics describe the sample database, not
-  // the engine's actual collection, so cardinality-zero pruning stays off
-  // when answers count.
-  options.trust_statistics = false;
-  XBENCH_ASSIGN_OR_RETURN(
-      std::shared_ptr<const xquery::plan::CompiledQuery> compiled,
-      xquery::plan::Compile(std::move(analyzed.ast),
-                            &analyzed.report.annotations, options));
-  engine.plan_cache().Insert(key, compiled);
-  return compiled;
-}
-
-}  // namespace
-
 Result<xquery::ExprPtr> AnalyzeForClass(const std::string& xquery,
                                         datagen::DbClass db_class) {
   XBENCH_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
@@ -224,70 +162,17 @@ Result<AnalyzedQuery> AnalyzeForClassFull(const std::string& xquery,
 
 ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
                          datagen::DbClass db_class, const QueryParams& params,
+                         const RunOptions& options) {
+  Session session(engine, db_class, params, "one-shot");
+  return session.Run(id, options);
+}
+
+ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
+                         datagen::DbClass db_class, const QueryParams& params,
                          bool cold) {
-  if (cold) engine.ColdRestart();  // also resets pool counters
-  // Native-path compile phase (parse + schema analysis + plan build, or a
-  // plan-cache hit), outside the timed region. Analysis failures are hard
-  // errors: a canned query that names an element the class DTD cannot
-  // produce must not report a (fast, empty) success. ColdRestart above does
-  // not touch the plan cache, so cold runs still hit compiled plans — the
-  // statement cache survives a buffer-pool flush.
-  std::shared_ptr<const xquery::plan::CompiledQuery> native_plan;
-  bool native_cache_hit = false;
-  if (engine.kind() == EngineKind::kNative) {
-    auto prepared =
-        PrepareNativePlan(static_cast<engines::NativeEngine&>(engine), id,
-                          db_class, params, &native_cache_hit);
-    if (!prepared.ok()) {
-      ExecutionResult failed;
-      failed.status = prepared.status();
-      return failed;
-    }
-    native_plan = std::move(prepared).value();
-  }
-  obs::ScopedClockSource clock_scope(engine.disk().clock());
-  obs::Tracer& tracer = obs::Tracer::Default();
-  obs::ScopedSpan span(tracer.enabled()
-                           ? std::string("query.") + QueryName(id) + "." +
-                                 engine.name()
-                           : std::string(),
-                       tracer);
-  ExecutionResult result;
-  const IoStats stats_before = CaptureIoStats(engine);
-  const double io_before = engine.IoMillis();
-  Stopwatch watch;
-  switch (engine.kind()) {
-    case EngineKind::kNative:
-      result = RunNative(static_cast<engines::NativeEngine&>(engine), id,
-                         db_class, params, *native_plan);
-      result.plan_cache_hit = native_cache_hit;
-      break;
-    case EngineKind::kClob: {
-      auto lines = RunClobQuery(static_cast<engines::ClobEngine&>(engine), id,
-                                params);
-      if (lines.ok()) {
-        result.lines = std::move(lines).value();
-      } else {
-        result.status = lines.status();
-      }
-      break;
-    }
-    case EngineKind::kShredDb2:
-    case EngineKind::kShredMsSql: {
-      auto lines = RunShredQuery(static_cast<engines::ShredEngine&>(engine),
-                                 id, params);
-      if (lines.ok()) {
-        result.lines = std::move(lines).value();
-      } else {
-        result.status = lines.status();
-      }
-      break;
-    }
-  }
-  result.cpu_millis = watch.ElapsedMillis();
-  result.io_millis = engine.IoMillis() - io_before;
-  result.io = IoStatsDelta(stats_before, CaptureIoStats(engine));
-  return result;
+  RunOptions options;
+  options.cold = cold;
+  return RunQuery(engine, id, db_class, params, options);
 }
 
 std::vector<std::string> CanonicalizeAnswer(QueryId id,

@@ -18,15 +18,15 @@ namespace xbench::workload {
 /// Every engine kind, in the paper's row order.
 const std::vector<engines::EngineKind>& AllEngines();
 
-/// Engine factory.
+/// Engine factory. Delegates to engines::EngineRegistry::Default(), which
+/// also resolves engines by string name for --engine flags.
 std::unique_ptr<engines::XmlDbms> MakeEngine(engines::EngineKind kind);
 
 /// Converts generated documents to bulk-load form.
 std::vector<engines::LoadDocument> ToLoadDocuments(
     const datagen::GeneratedDatabase& db);
 
-/// Buffer-pool and disk activity attributed to one measured operation
-/// (deltas over the engine's own counters).
+/// Buffer-pool and disk activity attributed to one measured operation.
 struct IoStats {
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
@@ -38,15 +38,30 @@ struct IoStats {
   uint64_t disk_bytes_written = 0;
 };
 
-/// Absolute counter values for `engine`'s pool + disk.
+/// Absolute counter values for `engine`'s pool + disk: engine-lifetime
+/// totals across all sessions. For attributing I/O to one operation under
+/// concurrency, use ThreadIoSnapshot() deltas instead.
 IoStats CaptureIoStats(const engines::XmlDbms& engine);
+
+/// The calling thread's attributed pool/disk activity so far (see
+/// common/thread_io.h). Deltas between two snapshots cover exactly the
+/// work this thread did in between — other sessions' traffic and
+/// ColdRestart calls cannot perturb them.
+IoStats ThreadIoSnapshot();
+
+/// Virtual I/O time charged by the calling thread so far (milliseconds).
+double ThreadIoMillis();
 
 /// Per-field difference `after - before`.
 IoStats IoStatsDelta(const IoStats& before, const IoStats& after);
 
-struct TimedStatus {
+/// Common outcome of one measured engine operation (a bulk load, a query
+/// execution): status plus the cpu/io time split and the I/O attributed
+/// to the operation.
+struct OpOutcome {
   Status status;
-  /// Real CPU wall time spent by the operation.
+  /// CPU time spent by the operation (wall time by default; thread CPU
+  /// time when the operation ran with RunOptions::thread_time).
   double cpu_millis = 0;
   /// Simulated disk time charged during the operation.
   double io_millis = 0;
@@ -55,6 +70,9 @@ struct TimedStatus {
 
   double TotalMillis() const { return cpu_millis + io_millis; }
 };
+
+/// Load outcomes carry nothing beyond the common fields.
+using TimedStatus = OpOutcome;
 
 /// Bulk-loads `db` into `engine` (timed) — the Table 4 measurement.
 /// For the native engine it additionally validates the loaded collection
@@ -70,14 +88,27 @@ TimedStatus BulkLoad(engines::XmlDbms& engine,
 Status CreateTable3Indexes(engines::XmlDbms& engine,
                            datagen::DbClass db_class);
 
-struct ExecutionResult {
-  Status status;
+/// Per-execution knobs for running one benchmark query.
+struct RunOptions {
+  /// Cold-restart the engine before the timed region (paper §3.1 cold-run
+  /// methodology). Warm runs reuse whatever the pool and document caches
+  /// hold.
+  bool cold = true;
+  /// Allow schema-guided descendant plans (native engine; effective only
+  /// when the engine's validation gate is also open). Off forces
+  /// always-correct full-scan plans regardless of the gate.
+  bool use_guided = true;
+  /// Copy the run's per-operator counters into ExecutionResult::plan_stats
+  /// (native compiled path).
+  bool collect_plan_stats = true;
+  /// Measure cpu_millis as thread CPU time (CLOCK_THREAD_CPUTIME_ID)
+  /// instead of wall time. Concurrent throughput runs use this so one
+  /// session's latency is unaffected by timeslicing against the others.
+  bool thread_time = false;
+};
+
+struct ExecutionResult : OpOutcome {
   std::vector<std::string> lines;  // canonical answer, one line per item
-  double cpu_millis = 0;
-  double io_millis = 0;
-  /// Pool/disk traffic attributed to the query (cold runs reset the pool
-  /// counters first, so these cover exactly this execution).
-  IoStats io;
   /// Compiled-plan path (native engine): `compiled` is set when the timed
   /// region executed a physical plan, `plan_cache_hit` when that plan came
   /// from the engine's statement cache instead of being compiled for this
@@ -86,8 +117,6 @@ struct ExecutionResult {
   bool compiled = false;
   bool plan_cache_hit = false;
   xquery::exec::ExecStats plan_stats;
-
-  double TotalMillis() const { return cpu_millis + io_millis; }
 };
 
 /// Parses `xquery` and type-checks it against the canonical schema of
@@ -113,12 +142,19 @@ struct AnalyzedQuery {
 Result<AnalyzedQuery> AnalyzeForClassFull(const std::string& xquery,
                                           datagen::DbClass db_class);
 
-/// Executes query `id` against `engine` for class `db_class`.
-/// When `cold` (default) the engine is cold-restarted first, matching the
-/// paper's cold-run methodology.
+/// Executes query `id` against `engine` for class `db_class`. Convenience
+/// wrapper over a one-shot workload::Session (see workload/session.h);
+/// multi-statement clients and concurrent clients should hold a Session.
 ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
                          datagen::DbClass db_class, const QueryParams& params,
-                         bool cold = true);
+                         const RunOptions& options = {});
+
+/// Transitional overload for the old boolean `cold` flag. Use
+/// RunOptions{.cold = ...} instead.
+[[deprecated("pass RunOptions instead of a bare cold flag")]]
+ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
+                         datagen::DbClass db_class, const QueryParams& params,
+                         bool cold);
 
 /// Canonicalizes answer lines for cross-engine comparison under the
 /// query's AnswerShape (sorts kValueSet shapes, trims empties).

@@ -1,0 +1,199 @@
+#include "workload/session.h"
+
+#include <shared_mutex>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_io.h"
+#include "engines/clob_engine.h"
+#include "engines/native_engine.h"
+#include "engines/shred_engine.h"
+#include "obs/trace.h"
+#include "workload/relational_plans.h"
+#include "xquery/plan/cache.h"
+
+namespace xbench::workload {
+
+namespace {
+
+using engines::EngineKind;
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+/// Compile phase for the native engine, done before the stopwatch starts:
+/// parse, schema analysis, and plan compilation are the DBMS's
+/// statement-prepare work, so the timed region covers plan execution only
+/// (the paper times query execution, not compilation). Compiled plans are
+/// cached in the engine keyed by (query, class, engine, guided flag), so a
+/// repeat run skips the whole phase — including a run from another
+/// session: the plan cache is the engine's shared statement cache. Query
+/// parameters are derived deterministically from the database's seeds and
+/// every mutation invalidates the cache, so a cached plan's embedded
+/// parameter values always match the collection it runs over.
+Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
+    engines::NativeEngine& engine, QueryId id, datagen::DbClass db_class,
+    const QueryParams& params, bool use_guided, bool* cache_hit) {
+  const bool guided = use_guided && engine.guided_eval_enabled();
+  const xquery::plan::PlanCacheKey key{
+      static_cast<int>(id), static_cast<int>(db_class),
+      static_cast<int>(EngineKind::kNative), guided};
+  if (auto cached = engine.plan_cache().Lookup(key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+  const std::string xquery = XQueryFor(id, db_class, params);
+  if (xquery.empty()) {
+    return Status::Unsupported(std::string(QueryName(id)) +
+                               " is not defined for " +
+                               datagen::DbClassName(db_class));
+  }
+  XBENCH_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                          AnalyzeForClassFull(xquery, db_class));
+  xquery::plan::PlannerOptions options;
+  options.guided = guided;
+  // The canonical schema's statistics describe the sample database, not
+  // the engine's actual collection, so cardinality-zero pruning stays off
+  // when answers count.
+  options.trust_statistics = false;
+  XBENCH_ASSIGN_OR_RETURN(
+      std::shared_ptr<const xquery::plan::CompiledQuery> compiled,
+      xquery::plan::Compile(std::move(analyzed.ast),
+                            &analyzed.report.annotations, options));
+  engine.plan_cache().Insert(key, compiled);
+  return compiled;
+}
+
+void RunNative(engines::NativeEngine& engine, QueryId id,
+               datagen::DbClass db_class, const QueryParams& params,
+               const xquery::plan::CompiledQuery& compiled,
+               bool collect_plan_stats, ExecutionResult& result) {
+  xquery::exec::ExecStats scratch;
+  xquery::exec::ExecStats* stats =
+      collect_plan_stats ? &result.plan_stats : &scratch;
+  auto hint = IndexHintFor(id, db_class, params);
+  auto query_result =
+      hint.has_value()
+          ? engine.ExecutePlanWithIndex(hint->index_name, hint->value,
+                                        compiled, stats)
+          : engine.ExecutePlan(compiled, stats);
+  if (!query_result.ok()) {
+    result.status = query_result.status();
+    return;
+  }
+  result.lines = SplitLines(query_result->ToText());
+  result.compiled = true;
+}
+
+}  // namespace
+
+Session::Session(engines::XmlDbms& engine, datagen::DbClass db_class,
+                 QueryParams params, std::string name)
+    : engine_(&engine),
+      db_class_(db_class),
+      params_(std::move(params)),
+      name_(std::move(name)) {}
+
+ExecutionResult Session::Run(QueryId id, const RunOptions& options) {
+  return Run(id, params_, options);
+}
+
+ExecutionResult Session::Run(QueryId id, const QueryParams& params,
+                             const RunOptions& options) {
+  engines::XmlDbms& engine = *engine_;
+  if (options.cold) engine.ColdRestart();
+  // Native-path compile phase (parse + schema analysis + plan build, or a
+  // plan-cache hit), outside the timed region. Analysis failures are hard
+  // errors: a canned query that names an element the class DTD cannot
+  // produce must not report a (fast, empty) success. ColdRestart above does
+  // not touch the plan cache, so cold runs still hit compiled plans — the
+  // statement cache survives a buffer-pool flush.
+  std::shared_ptr<const xquery::plan::CompiledQuery> native_plan;
+  bool native_cache_hit = false;
+  if (engine.kind() == EngineKind::kNative) {
+    auto prepared =
+        PrepareNativePlan(static_cast<engines::NativeEngine&>(engine), id,
+                          db_class_, params, options.use_guided,
+                          &native_cache_hit);
+    if (!prepared.ok()) {
+      ExecutionResult failed;
+      failed.status = prepared.status();
+      ++stats_.queries_run;
+      ++stats_.failures;
+      return failed;
+    }
+    native_plan = std::move(prepared).value();
+  }
+  obs::ScopedClockSource clock_scope(engine.disk().clock());
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ScopedSpan span(tracer.enabled()
+                           ? std::string("query.") + QueryName(id) + "." +
+                                 engine.name()
+                           : std::string(),
+                       tracer);
+  ExecutionResult result;
+  // Timed region. The I/O side is attributed per-thread, so a concurrent
+  // session's page reads — or a ColdRestart it issues — never land in this
+  // statement's delta.
+  const IoStats io_before = ThreadIoSnapshot();
+  const double io_millis_before = ThreadIoMillis();
+  Stopwatch wall;
+  ThreadCpuStopwatch cpu;
+  switch (engine.kind()) {
+    case EngineKind::kNative:
+      RunNative(static_cast<engines::NativeEngine&>(engine), id, db_class_,
+                params, *native_plan, options.collect_plan_stats, result);
+      result.plan_cache_hit = native_cache_hit;
+      break;
+    case EngineKind::kClob: {
+      // CLOB statements issue several engine calls (side-table filter,
+      // CLOB fetch, reconstruction); hold the collection lock shared so a
+      // concurrent mutation cannot land mid-statement.
+      std::shared_lock<std::shared_mutex> lock(engine.collection_mu());
+      auto lines =
+          RunClobQuery(static_cast<engines::ClobEngine&>(engine), id, params);
+      if (lines.ok()) {
+        result.lines = std::move(lines).value();
+      } else {
+        result.status = lines.status();
+      }
+      break;
+    }
+    case EngineKind::kShredDb2:
+    case EngineKind::kShredMsSql: {
+      std::shared_lock<std::shared_mutex> lock(engine.collection_mu());
+      auto lines = RunShredQuery(static_cast<engines::ShredEngine&>(engine),
+                                 id, params);
+      if (lines.ok()) {
+        result.lines = std::move(lines).value();
+      } else {
+        result.status = lines.status();
+      }
+      break;
+    }
+  }
+  result.cpu_millis =
+      options.thread_time ? cpu.ElapsedMillis() : wall.ElapsedMillis();
+  result.io_millis = ThreadIoMillis() - io_millis_before;
+  result.io = IoStatsDelta(io_before, ThreadIoSnapshot());
+  ++stats_.queries_run;
+  if (!result.status.ok()) ++stats_.failures;
+  stats_.cpu_millis += result.cpu_millis;
+  stats_.io_millis += result.io_millis;
+  stats_.io.pool_hits += result.io.pool_hits;
+  stats_.io.pool_misses += result.io.pool_misses;
+  stats_.io.pool_evictions += result.io.pool_evictions;
+  stats_.io.pool_writebacks += result.io.pool_writebacks;
+  stats_.io.disk_page_reads += result.io.disk_page_reads;
+  stats_.io.disk_page_writes += result.io.disk_page_writes;
+  stats_.io.disk_bytes_read += result.io.disk_bytes_read;
+  stats_.io.disk_bytes_written += result.io.disk_bytes_written;
+  return result;
+}
+
+}  // namespace xbench::workload

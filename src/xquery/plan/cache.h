@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <utility>
 
@@ -57,6 +58,10 @@ struct PlanCacheKey {
 /// plan choices, so every compiled plan for that engine is dropped.
 /// ColdRestart does NOT invalidate — compiled plans model the DBMS's
 /// statement cache, which survives buffer-pool flushes.
+///
+/// Thread-safe: lookups/inserts from concurrent sessions serialize on an
+/// internal mutex; the shared_ptr payloads are immutable, so a plan
+/// fetched by one session stays valid even if another invalidates.
 class PlanCache {
  public:
   /// Returns the cached plan or nullptr, counting
@@ -70,9 +75,13 @@ class PlanCache {
   /// cache was non-empty.
   void Invalidate();
 
-  size_t size() const { return plans_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<PlanCacheKey, std::shared_ptr<const CompiledQuery>> plans_;
 };
 

@@ -414,10 +414,14 @@ TEST(WorkloadInvariants, ColdRunsCostMoreIoThanWarmRuns) {
   const workload::QueryParams params =
       workload::DeriveParams(db.db_class, db.seeds);
 
+  workload::RunOptions cold_run;
+  cold_run.cold = true;
+  workload::RunOptions warm_run;
+  warm_run.cold = false;
   auto cold = workload::RunQuery(engine, workload::QueryId::kQ17,
-                                 db.db_class, params, /*cold=*/true);
+                                 db.db_class, params, cold_run);
   auto warm = workload::RunQuery(engine, workload::QueryId::kQ17,
-                                 db.db_class, params, /*cold=*/false);
+                                 db.db_class, params, warm_run);
   ASSERT_TRUE(cold.status.ok());
   ASSERT_TRUE(warm.status.ok());
   EXPECT_EQ(workload::CanonicalizeAnswer(workload::QueryId::kQ17, cold.lines),

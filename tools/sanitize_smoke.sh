@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# AddressSanitizer smoke job: builds the tree in a separate build dir with
-# -DXBENCH_SANITIZE=address and runs the fast test binaries plus the xqlint
-# gate under ASan. Intended for CI / pre-release, not the default tier-1
-# loop (a full sanitized rebuild is too slow there).
+# Sanitizer smoke job: builds the tree in a separate build dir with
+# -DXBENCH_SANITIZE=$XBENCH_SANITIZE (default address) and runs the fast
+# test binaries plus the xqlint gate under the sanitizer. Intended for
+# CI / pre-release, not the default tier-1 loop (a full sanitized rebuild
+# is too slow there).
+#
+# XBENCH_SANITIZE=thread runs the tsan_smoke variant instead: the
+# concurrency suite (sharded pool latches, per-thread I/O attribution,
+# concurrent-vs-serial differential answers, the MPL throughput driver)
+# plus a bench_throughput sweep, all under ThreadSanitizer.
 #
 # Usage: tools/sanitize_smoke.sh [build-dir]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build-asan}"
 SAN="${XBENCH_SANITIZE:-address}"
+BUILD="${1:-$ROOT/build-$SAN}"
 
 cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+if [ "$SAN" = "thread" ]; then
+  # tsan_smoke: everything that takes locks or spawns threads.
+  cmake --build "$BUILD" -j"$(nproc)" \
+        --target concurrency_tests bench_throughput
+  "$BUILD/tests/concurrency_tests"
+  "$BUILD/bench/bench_throughput" --mpl 1,4,8 --ops 4
+  echo "sanitize smoke ($SAN): OK"
+  exit 0
+fi
+
 cmake --build "$BUILD" -j"$(nproc)" \
       --target core_tests xquery_tests plan_tests system_tests xqlint
 
