@@ -1,0 +1,233 @@
+#include "common/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xbench {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kEngineRegistry:
+      return "engine.registry";
+    case LockRank::kCollection:
+      return "collection";
+    case LockRank::kDocumentCache:
+      return "doc.cache";
+    case LockRank::kAstCache:
+      return "ast.cache";
+    case LockRank::kPlanCache:
+      return "plan.cache";
+    case LockRank::kPoolShard:
+      return "pool.shard";
+    case LockRank::kDisk:
+      return "disk";
+    case LockRank::kMetrics:
+      return "metrics";
+    case LockRank::kTracer:
+      return "tracer";
+  }
+  return "?";
+}
+
+namespace lockrank {
+
+namespace {
+
+/// One tracked acquisition.
+struct HeldLock {
+  const void* lock = nullptr;
+  LockRank rank = LockRank::kEngineRegistry;
+  const char* name = nullptr;
+};
+
+/// More simultaneously held locks than any sane path needs; overflowing
+/// this is itself reported as a discipline violation.
+constexpr size_t kMaxHeld = 16;
+
+/// Per-thread held-lock stack. Only the owning thread writes it; the
+/// violation dump reads other threads' states immediately before abort,
+/// which is a deliberately tolerated diagnostic-only race.
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  size_t count = 0;
+  unsigned long long thread_label = 0;
+};
+
+/// Leaky singletons so thread_local destructors running at process exit
+/// never touch a destroyed mutex (same pattern as MetricsRegistry).
+std::mutex& StatesMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<ThreadLockState*>& States() {
+  static auto* states = new std::vector<ThreadLockState*>();
+  return *states;
+}
+
+/// Re-entrancy guard: the enforcer's own metric updates acquire the
+/// metrics-registry mutex, which must not be rank-checked recursively.
+thread_local int suppress_depth = 0;
+
+struct ScopedSuppress {
+  ScopedSuppress() { ++suppress_depth; }
+  ~ScopedSuppress() { --suppress_depth; }
+};
+
+struct Registrar {
+  explicit Registrar(ThreadLockState* state) : state_(state) {
+    static std::atomic<unsigned long long> next_label{1};
+    state->thread_label = next_label.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(StatesMu());
+    States().push_back(state);
+  }
+  ~Registrar() {
+    std::lock_guard<std::mutex> lock(StatesMu());
+    auto& states = States();
+    for (auto it = states.begin(); it != states.end(); ++it) {
+      if (*it == state_) {
+        states.erase(it);
+        break;
+      }
+    }
+  }
+  ThreadLockState* state_;
+};
+
+ThreadLockState& State() {
+  thread_local ThreadLockState state;
+  thread_local Registrar registrar(&state);
+  return state;
+}
+
+bool DefaultEnabled() {
+#ifdef XBENCH_LOCK_RANKS
+  return true;
+#else
+  const char* env = std::getenv("XBENCH_LOCK_RANKS");
+  if (env == nullptr || *env == '\0') return false;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "OFF") != 0;
+#endif
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{DefaultEnabled()};
+  return enabled;
+}
+
+void AppendHeld(std::string& out, const ThreadLockState& state) {
+  if (state.count == 0) {
+    out += "<none>";
+    return;
+  }
+  for (size_t i = 0; i < state.count; ++i) {
+    if (i > 0) out += " -> ";
+    out += state.held[i].name;
+    out += "(";
+    out += std::to_string(static_cast<int>(state.held[i].rank));
+    out += ")";
+  }
+}
+
+/// Counts the violation in xbench.lock.* (so a report collected by an
+/// outer harness still shows it), prints every thread's held-lock list,
+/// and aborts. Never returns.
+[[noreturn]] void Violation(const char* what, const HeldLock& incoming,
+                            const ThreadLockState& state) {
+  {
+    ScopedSuppress suppress;
+    obs::MetricsRegistry::Default()
+        .GetCounter("xbench.lock.violations")
+        .Increment();
+  }
+  std::string held;
+  AppendHeld(held, state);
+  std::fprintf(stderr,
+               "xbench lock-rank violation: %s\n"
+               "  acquiring: %s(%d)\n"
+               "  thread %llu holds: %s\n",
+               what, incoming.name, static_cast<int>(incoming.rank),
+               state.thread_label, held.c_str());
+  {
+    std::lock_guard<std::mutex> lock(StatesMu());
+    for (const ThreadLockState* other : States()) {
+      if (other == &state) continue;
+      std::string other_held;
+      AppendHeld(other_held, *other);
+      std::fprintf(stderr, "  thread %llu holds: %s\n", other->thread_label,
+                   other_held.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "  lock order (outer -> inner) is defined in "
+               "common/lock_rank.h and DESIGN.md §9\n");
+  std::abort();
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void NoteAcquire(const void* lock, LockRank rank, const char* name) {
+  if (!Enabled() || suppress_depth > 0) return;
+  ThreadLockState& state = State();
+  const HeldLock incoming{lock, rank, name};
+  for (size_t i = 0; i < state.count; ++i) {
+    if (state.held[i].lock == lock) {
+      Violation("lock already held by this thread (self-deadlock)", incoming,
+                state);
+    }
+    if (static_cast<int>(rank) <= static_cast<int>(state.held[i].rank)) {
+      Violation("acquisition out of rank order", incoming, state);
+    }
+  }
+  if (state.count >= kMaxHeld) {
+    Violation("too many locks held at once", incoming, state);
+  }
+  state.held[state.count++] = incoming;
+  {
+    ScopedSuppress suppress;
+    static obs::Counter& acquires =
+        obs::MetricsRegistry::Default().GetCounter("xbench.lock.acquires");
+    acquires.Increment();
+  }
+}
+
+void NoteRelease(const void* lock) {
+  if (!Enabled() || suppress_depth > 0) return;
+  ThreadLockState& state = State();
+  // Scoped holders release LIFO, so scan from the top.
+  for (size_t i = state.count; i > 0; --i) {
+    if (state.held[i - 1].lock == lock) {
+      for (size_t j = i - 1; j + 1 < state.count; ++j) {
+        state.held[j] = state.held[j + 1];
+      }
+      --state.count;
+      return;
+    }
+  }
+  // Releasing an untracked lock: acquisition predated enabling, or
+  // enforcement was toggled mid-hold. Not an error.
+}
+
+size_t HeldCount() { return State().count; }
+
+std::string DescribeHeld() {
+  std::string out;
+  AppendHeld(out, State());
+  return out;
+}
+
+}  // namespace lockrank
+}  // namespace xbench

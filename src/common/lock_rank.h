@@ -1,0 +1,78 @@
+#ifndef XBENCH_COMMON_LOCK_RANK_H_
+#define XBENCH_COMMON_LOCK_RANK_H_
+
+#include <cstddef>
+#include <string>
+
+namespace xbench {
+
+/// Global lock-acquisition order, outermost first. A thread may only
+/// acquire a lock whose rank is strictly greater than every lock it
+/// already holds, which makes the latch graph acyclic and the system
+/// deadlock-free by construction. This table is the machine-checked form
+/// of the DESIGN.md §9 lock order; keep the two in sync 1:1.
+///
+/// Gaps between values leave room for future locks without renumbering.
+enum class LockRank : int {
+  /// engines::EngineRegistry::mu_ — name→factory map. Outermost: never
+  /// held while an engine lock is taken (Create() copies the factory out
+  /// and constructs outside the lock).
+  kEngineRegistry = 10,
+  /// engines::XmlDbms::collection_mu_ — the per-engine collection
+  /// reader/writer lock. Mutations hold it exclusive, statements shared.
+  kCollection = 20,
+  /// Native/CLOB engines' materialized-document cache mutex (cache_mu_).
+  kDocumentCache = 30,
+  /// CLOB engine's parsed-AST statement cache mutex (ast_mu_).
+  kAstCache = 31,
+  /// xquery::plan::PlanCache::mu_ — the compiled-plan statement cache.
+  kPlanCache = 40,
+  /// storage::BufferPool per-shard latch (Shard::mu).
+  kPoolShard = 50,
+  /// storage::SimulatedDisk::mu_ — the single disk arm.
+  kDisk = 60,
+  /// obs::MetricsRegistry::mu_ — metric handle maps (handles themselves
+  /// are lock-free). Above the storage locks: GetCounter may be called
+  /// while any engine or storage lock is held.
+  kMetrics = 70,
+  /// obs::Tracer::mu_ — span event log. Innermost: spans open inside any
+  /// critical section, and the tracer calls nothing else while locked.
+  kTracer = 80,
+};
+
+/// Stable name of a rank ("collection", "pool.shard", ...) for messages
+/// and the DESIGN.md §9 table.
+const char* LockRankName(LockRank rank);
+
+namespace lockrank {
+
+/// Whether acquisitions are being checked. Defaults to on when the tree
+/// was configured with -DXBENCH_LOCK_RANKS=ON (the tsan/asan smoke
+/// builds), or when the XBENCH_LOCK_RANKS environment variable is set to
+/// anything but "0"/"off"; otherwise off. Checking costs one relaxed
+/// atomic load per acquisition when disabled.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Called by xbench::Mutex / xbench::SharedMutex immediately before
+/// blocking on the underlying lock. When enforcement is on and the
+/// acquisition is out of rank (rank <= some held lock's rank) or a
+/// re-acquisition of a lock this thread already holds, it increments
+/// xbench.lock.violations, prints every thread's held-lock list to
+/// stderr, and aborts — before the would-be deadlock can happen.
+void NoteAcquire(const void* lock, LockRank rank, const char* name);
+
+/// Called after releasing the underlying lock.
+void NoteRelease(const void* lock);
+
+/// Number of tracked locks the calling thread currently holds.
+size_t HeldCount();
+
+/// Human-readable held-lock list of the calling thread, outermost first
+/// ("collection(20) -> pool.shard(50)"); "<none>" when empty.
+std::string DescribeHeld();
+
+}  // namespace lockrank
+}  // namespace xbench
+
+#endif  // XBENCH_COMMON_LOCK_RANK_H_

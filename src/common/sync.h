@@ -1,0 +1,117 @@
+#ifndef XBENCH_COMMON_SYNC_H_
+#define XBENCH_COMMON_SYNC_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace xbench {
+
+/// Annotated std::mutex wrapper. Carries a LockRank and a stable name so
+/// the runtime lock-rank enforcer (common/lock_rank.h) can check every
+/// acquisition against the DESIGN.md §9 order, and is declared a Clang
+/// thread-safety capability so fields can be XBENCH_GUARDED_BY it.
+class XBENCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XBENCH_ACQUIRE() {
+    lockrank::NoteAcquire(this, rank_, name_);
+    mu_.lock();
+  }
+  void unlock() XBENCH_RELEASE() {
+    mu_.unlock();
+    lockrank::NoteRelease(this);
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Annotated std::shared_mutex wrapper; see Mutex. Shared (reader)
+/// acquisitions are rank-checked exactly like exclusive ones — a reader
+/// still deadlocks a writer if taken out of order.
+class XBENCH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() XBENCH_ACQUIRE() {
+    lockrank::NoteAcquire(this, rank_, name_);
+    mu_.lock();
+  }
+  void unlock() XBENCH_RELEASE() {
+    mu_.unlock();
+    lockrank::NoteRelease(this);
+  }
+  void lock_shared() XBENCH_ACQUIRE_SHARED() {
+    lockrank::NoteAcquire(this, rank_, name_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() XBENCH_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockrank::NoteRelease(this);
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Scoped exclusive holder for xbench::Mutex.
+class XBENCH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XBENCH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() XBENCH_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) holder for xbench::SharedMutex.
+class XBENCH_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) XBENCH_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() XBENCH_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) holder for xbench::SharedMutex.
+class XBENCH_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) XBENCH_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() XBENCH_RELEASE_SHARED() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace xbench
+
+#endif  // XBENCH_COMMON_SYNC_H_

@@ -1,0 +1,100 @@
+#ifndef XBENCH_COMMON_THREAD_ANNOTATIONS_H_
+#define XBENCH_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety).
+///
+/// These macros attach lock-capability contracts to types, fields and
+/// functions so a Clang build statically proves the locking discipline
+/// documented in DESIGN.md §9: which mutex guards which field, which
+/// functions require which locks held, and which scoped types acquire and
+/// release them. Under any other compiler they expand to nothing, so GCC
+/// builds are unaffected.
+///
+/// Usage convention in this tree:
+///  * lockable wrapper types (xbench::Mutex / xbench::SharedMutex in
+///    common/sync.h) are declared XBENCH_CAPABILITY("mutex");
+///  * fields protected by a lock get XBENCH_GUARDED_BY(mu_);
+///  * `FooLocked()`-style internals get XBENCH_REQUIRES(mu_) (or
+///    XBENCH_REQUIRES_SHARED for read-side contracts);
+///  * scoped holders are XBENCH_SCOPED_CAPABILITY with
+///    XBENCH_ACQUIRE/XBENCH_RELEASE on constructor/destructor.
+///
+/// XBENCH_NO_THREAD_SAFETY_ANALYSIS exists for completeness but must not
+/// appear outside this header: every analysis finding is fixed with a real
+/// contract, never silenced (enforced by tools/static_gate.sh).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define XBENCH_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define XBENCH_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a lock capability ("mutex", "shared_mutex", ...).
+#define XBENCH_CAPABILITY(x) XBENCH_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define XBENCH_SCOPED_CAPABILITY XBENCH_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the given capability
+/// (exclusively for writes, at least shared for reads).
+#define XBENCH_GUARDED_BY(x) XBENCH_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define XBENCH_PT_GUARDED_BY(x) XBENCH_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively for the whole call.
+#define XBENCH_REQUIRES(...) \
+  XBENCH_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared for the whole call.
+#define XBENCH_REQUIRES_SHARED(...) \
+  XBENCH_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and holds it on return.
+#define XBENCH_ACQUIRE(...) \
+  XBENCH_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and holds it on return.
+#define XBENCH_ACQUIRE_SHARED(...) \
+  XBENCH_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases an exclusively held capability.
+#define XBENCH_RELEASE(...) \
+  XBENCH_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases a shared-held capability.
+#define XBENCH_RELEASE_SHARED(...) \
+  XBENCH_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held in either mode.
+#define XBENCH_RELEASE_GENERIC(...) \
+  XBENCH_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define XBENCH_TRY_ACQUIRE(...) \
+  XBENCH_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (documents deadlock hazards of
+/// non-reentrant locks).
+#define XBENCH_EXCLUDES(...) \
+  XBENCH_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (annotates
+/// accessors so callers' lock expressions resolve to the same capability).
+#define XBENCH_RETURN_CAPABILITY(x) \
+  XBENCH_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow). Unused in this tree; prefer real contracts.
+#define XBENCH_ASSERT_CAPABILITY(x) \
+  XBENCH_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Escape hatch disabling analysis for one function. Must not be used
+/// outside this header — see the header comment.
+#define XBENCH_NO_THREAD_SAFETY_ANALYSIS \
+  XBENCH_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // XBENCH_COMMON_THREAD_ANNOTATIONS_H_

@@ -17,7 +17,7 @@ ClobEngine::ClobEngine(uint64_t max_document_bytes)
 
 Status ClobEngine::BulkLoad(datagen::DbClass db_class,
                             const std::vector<LoadDocument>& docs) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   db_class_ = db_class;
   dad_ = ClobSideTablesFor(db_class);
   if (dad_.tables.empty()) {
@@ -69,7 +69,7 @@ Status ClobEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status ClobEngine::InsertDocument(const LoadDocument& doc) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   if (dad_.tables.empty()) {
     return Status::Unsupported("engine holds no loaded database");
   }
@@ -88,14 +88,14 @@ Status ClobEngine::InsertDocument(const LoadDocument& doc) {
 }
 
 Status ClobEngine::DeleteDocument(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   auto it = registry_.find(name);
   if (it == registry_.end()) {
     return Status::NotFound("document '" + name + "'");
   }
   registry_.erase(it);
   {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    MutexLock cache_lock(cache_mu_);
     cache_.erase(name);
   }
   for (const TableMap& map : dad_.tables) {
@@ -114,7 +114,7 @@ Status ClobEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ClobEngine::CreateIndex(const IndexSpec& spec) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("clob.index_build");
   XBENCH_ASSIGN_OR_RETURN(auto target, ResolveIndex(spec.path));
@@ -132,14 +132,14 @@ Result<std::pair<std::string, std::string>> ClobEngine::ResolveIndex(
 
 void ClobEngine::ColdRestartLocked() {
   XmlDbms::ColdRestartLocked();
-  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  MutexLock cache_lock(cache_mu_);
   cache_.clear();
 }
 
 Result<const xml::Document*> ClobEngine::FetchDocument(
     const std::string& doc_name) {
   {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    MutexLock cache_lock(cache_mu_);
     auto cached = cache_.find(doc_name);
     if (cached != cache_.end()) {
       return const_cast<const xml::Document*>(cached->second.get());
@@ -154,7 +154,7 @@ Result<const xml::Document*> ClobEngine::FetchDocument(
   if (!parsed.ok()) return parsed.status();
   auto doc = std::make_unique<xml::Document>(std::move(parsed).value());
   // Racing fetches of one document both parse; the first insert wins.
-  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  MutexLock cache_lock(cache_mu_);
   auto [slot, inserted] = cache_.emplace(doc_name, std::move(doc));
   return const_cast<const xml::Document*>(slot->second.get());
 }
@@ -179,7 +179,7 @@ Result<xquery::QueryResult> ClobEngine::QueryDocument(
   XBENCH_ASSIGN_OR_RETURN(const xml::Document* doc, FetchDocument(doc_name));
   const xquery::Expr* ast = nullptr;
   {
-    std::lock_guard<std::mutex> ast_lock(ast_mu_);
+    MutexLock ast_lock(ast_mu_);
     auto it = ast_cache_.find(xquery);
     if (it != ast_cache_.end()) {
       obs::MetricsRegistry::Default()
@@ -194,7 +194,7 @@ Result<xquery::QueryResult> ClobEngine::QueryDocument(
         .Increment();
     auto parsed = xquery::ParseQuery(xquery);
     if (!parsed.ok()) return parsed.status();
-    std::lock_guard<std::mutex> ast_lock(ast_mu_);
+    MutexLock ast_lock(ast_mu_);
     auto [slot, inserted] =
         ast_cache_.emplace(std::string(xquery), std::move(parsed).value());
     ast = slot->second.get();

@@ -3,9 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "engines/dad.h"
 #include "engines/dbms.h"
 #include "relational/table.h"
@@ -50,18 +51,26 @@ class ClobEngine : public XmlDbms {
   /// Drops a document from the registry and deletes its side-table rows.
   Status DeleteDocument(const std::string& name) override;
 
-  /// The side-table database (query plans read it directly).
-  relational::Database& side_tables() { return *database_; }
-  const Dad& side_dad() const { return dad_; }
+  /// The side-table database (query plans read it directly). Caller holds
+  /// the collection lock — shared for reads, exclusive inside mutations.
+  relational::Database& side_tables() XBENCH_REQUIRES_SHARED(collection_mu_) {
+    return *database_;
+  }
+  const Dad& side_dad() const XBENCH_REQUIRES_SHARED(collection_mu_) {
+    return dad_;
+  }
 
   /// Fetches + parses the CLOB of the named document.
-  Result<const xml::Document*> FetchDocument(const std::string& doc_name);
+  Result<const xml::Document*> FetchDocument(const std::string& doc_name)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   /// Names of all stored documents (registry order).
-  std::vector<std::string> DocumentNames() const;
+  std::vector<std::string> DocumentNames() const
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   /// Raw serialized CLOB of the named document (whole-document retrieval).
-  Result<std::string> FetchRaw(const std::string& doc_name);
+  Result<std::string> FetchRaw(const std::string& doc_name)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   /// Runs an XQuery over one fetched document ($input = its root). The
   /// parsed AST is cached by query text — XML Extender compiles the
@@ -70,27 +79,35 @@ class ClobEngine : public XmlDbms {
   /// Query text is data-independent, so this cache never needs mutation
   /// invalidation; it survives ColdRestart like a statement cache.
   Result<xquery::QueryResult> QueryDocument(const std::string& doc_name,
-                                            std::string_view xquery);
+                                            std::string_view xquery)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   /// Resolves a Table 3 index path against the side DAD.
   Result<std::pair<std::string, std::string>> ResolveIndex(
-      const std::string& path) const;
+      const std::string& path) const XBENCH_REQUIRES_SHARED(collection_mu_);
 
  protected:
-  void ColdRestartLocked() override;
+  void ColdRestartLocked() override XBENCH_REQUIRES(collection_mu_);
 
  private:
   uint64_t max_document_bytes_;
+  // clob_file_ is set once in the constructor; record access goes through
+  // the registry under the collection lock.
   std::unique_ptr<storage::HeapFile> clob_file_;
-  std::unique_ptr<relational::Database> database_;
-  Dad dad_;
-  datagen::DbClass db_class_ = datagen::DbClass::kDcMd;
-  std::map<std::string, storage::RecordId> registry_;
-  mutable std::mutex cache_mu_;  // guards cache_ (leaf lock; see dbms.h)
-  std::map<std::string, std::unique_ptr<xml::Document>> cache_;
-  mutable std::mutex ast_mu_;  // guards ast_cache_ (leaf lock)
-  std::map<std::string, xquery::ExprPtr, std::less<>> ast_cache_;
-  int64_t next_row_id_ = 0;
+  std::unique_ptr<relational::Database> database_
+      XBENCH_PT_GUARDED_BY(collection_mu_);
+  Dad dad_ XBENCH_GUARDED_BY(collection_mu_);
+  datagen::DbClass db_class_ XBENCH_GUARDED_BY(collection_mu_) =
+      datagen::DbClass::kDcMd;
+  std::map<std::string, storage::RecordId> registry_
+      XBENCH_GUARDED_BY(collection_mu_);
+  mutable Mutex cache_mu_{LockRank::kDocumentCache, "clob.doc.cache"};
+  std::map<std::string, std::unique_ptr<xml::Document>> cache_
+      XBENCH_GUARDED_BY(cache_mu_);
+  mutable Mutex ast_mu_{LockRank::kAstCache, "clob.ast.cache"};
+  std::map<std::string, xquery::ExprPtr, std::less<>> ast_cache_
+      XBENCH_GUARDED_BY(ast_mu_);
+  int64_t next_row_id_ XBENCH_GUARDED_BY(collection_mu_) = 0;
 };
 
 }  // namespace xbench::engines

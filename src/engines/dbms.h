@@ -2,11 +2,12 @@
 #define XBENCH_ENGINES_DBMS_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "datagen/generator.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
@@ -45,9 +46,9 @@ const char* EngineKindName(EngineKind kind);
 /// DeleteDocument / CreateIndex / ColdRestart) acquire it exclusively
 /// *inside* the engine; query entry points acquire it shared, so any
 /// number of sessions can query one engine concurrently while loads are
-/// serialized against them. Lock acquisition order across the system is:
-/// collection lock -> engine cache mutex -> pool shard latch -> disk
-/// mutex (never the reverse), which keeps the latch graph acyclic.
+/// serialized against them. Lock acquisition order across the system is
+/// the common/lock_rank.h rank table (DESIGN.md §9), enforced at runtime
+/// under XBENCH_LOCK_RANKS and statically by Clang -Wthread-safety.
 class XmlDbms {
  public:
   XmlDbms();
@@ -82,7 +83,7 @@ class XmlDbms {
   /// deltas (ThisThreadIo) so a restart by one session can never
   /// misattribute I/O charged by another.
   void ColdRestart() {
-    std::unique_lock<std::shared_mutex> lock(collection_mu_);
+    WriterLock lock(collection_mu_);
     ColdRestartLocked();
   }
 
@@ -95,7 +96,9 @@ class XmlDbms {
   /// exposed so session-layer code driving engine-external query paths
   /// (CLOB/shred relational plans) can hold it shared for the duration of
   /// a statement.
-  std::shared_mutex& collection_mu() const { return collection_mu_; }
+  SharedMutex& collection_mu() const XBENCH_RETURN_CAPABILITY(collection_mu_) {
+    return collection_mu_;
+  }
 
   /// Virtual I/O time accumulated so far (milliseconds).
   double IoMillis() const { return disk_->clock().ElapsedMillis(); }
@@ -104,11 +107,13 @@ class XmlDbms {
   /// Cache-dropping body; the caller already holds the collection lock
   /// exclusively. Overrides must call the base (or flush the pool
   /// themselves) and must NOT re-take the collection lock.
-  virtual void ColdRestartLocked() { pool_->ColdRestart(); }
+  virtual void ColdRestartLocked() XBENCH_REQUIRES(collection_mu_) {
+    pool_->ColdRestart();
+  }
 
   std::unique_ptr<storage::SimulatedDisk> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
-  mutable std::shared_mutex collection_mu_;
+  mutable SharedMutex collection_mu_{LockRank::kCollection, "collection"};
 };
 
 /// Buffer-pool capacity shared by every engine (frames). ~16 MiB: holds

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <set>
-#include <shared_mutex>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -38,7 +37,7 @@ NativeEngine::NativeEngine() {
 
 Status NativeEngine::BulkLoad(datagen::DbClass db_class,
                               const std::vector<LoadDocument>& docs) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan load_span("native.bulkload");
   obs::Counter& docs_loaded =
@@ -78,7 +77,7 @@ Status NativeEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status NativeEngine::InsertDocument(const LoadDocument& doc) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   // The inserted document was not part of the validated bulk load, so the
   // collection may no longer conform to the schema the analyzer resolved
   // expansions from; fall back to (always-correct) full subtree scans and
@@ -103,7 +102,7 @@ Status NativeEngine::InsertDocument(const LoadDocument& doc) {
 }
 
 Status NativeEngine::DeleteDocument(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   for (size_t ordinal = 0; ordinal < registry_.size(); ++ordinal) {
     DocEntry& entry = registry_[ordinal];
     if (entry.deleted || entry.name != name) continue;
@@ -120,7 +119,7 @@ Status NativeEngine::DeleteDocument(const std::string& name) {
     entry.deleted = true;
     live_count_.fetch_sub(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> cache_lock(cache_mu_);
+      MutexLock cache_lock(cache_mu_);
       cache_.erase(ordinal);
     }
     plan_cache_.Invalidate();
@@ -130,7 +129,7 @@ Status NativeEngine::DeleteDocument(const std::string& name) {
 }
 
 Status NativeEngine::CreateIndex(const IndexSpec& spec) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   if (indexes_.count(spec.name) != 0) {
     return Status::AlreadyExists("index '" + spec.name + "'");
   }
@@ -155,13 +154,13 @@ Status NativeEngine::CreateIndex(const IndexSpec& spec) {
 
 void NativeEngine::ColdRestartLocked() {
   XmlDbms::ColdRestartLocked();
-  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  MutexLock cache_lock(cache_mu_);
   cache_.clear();
 }
 
 Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
   {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    MutexLock cache_lock(cache_mu_);
     auto it = cache_.find(ordinal);
     if (it != cache_.end()) {
       return const_cast<const xml::Document*>(it->second.get());
@@ -180,7 +179,7 @@ Result<const xml::Document*> NativeEngine::Materialize(size_t ordinal) {
   // first insert wins and the loser's parse is discarded. Entries are
   // never replaced while readers hold the collection lock shared, so the
   // returned pointer stays valid for the statement.
-  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  MutexLock cache_lock(cache_mu_);
   auto [it, inserted] = cache_.emplace(ordinal, std::move(doc));
   return const_cast<const xml::Document*>(it->second.get());
 }
@@ -216,7 +215,7 @@ std::vector<size_t> NativeEngine::LiveOrdinals() const {
 }
 
 Result<xquery::QueryResult> NativeEngine::Query(const xquery::Expr& query) {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderLock lock(collection_mu_);
   return QueryImpl(query);
 }
 
@@ -253,7 +252,7 @@ Result<xquery::QueryResult> NativeEngine::RunPlanOver(
 Result<xquery::QueryResult> NativeEngine::ExecutePlan(
     const xquery::plan::CompiledQuery& compiled,
     xquery::exec::ExecStats* stats) {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderLock lock(collection_mu_);
   return ExecutePlanImpl(compiled, stats);
 }
 
@@ -269,7 +268,7 @@ Result<xquery::QueryResult> NativeEngine::ExecutePlanWithIndex(
     const std::string& index_name, const std::string& value,
     const xquery::plan::CompiledQuery& compiled,
     xquery::exec::ExecStats* stats) {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderLock lock(collection_mu_);
   return ExecutePlanWithIndexImpl(index_name, value, compiled, stats);
 }
 
@@ -301,7 +300,7 @@ Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
 Result<xquery::QueryResult> NativeEngine::QueryWithIndex(
     const std::string& index_name, const std::string& value,
     const xquery::Expr& query) {
-  std::shared_lock<std::shared_mutex> lock(collection_mu_);
+  ReaderLock lock(collection_mu_);
   return QueryWithIndexImpl(index_name, value, query);
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "engines/dbms.h"
 #include "relational/btree.h"
 #include "storage/heap_file.h"
@@ -129,7 +130,7 @@ class NativeEngine : public XmlDbms {
   }
 
  protected:
-  void ColdRestartLocked() override;
+  void ColdRestartLocked() override XBENCH_REQUIRES(collection_mu_);
 
  private:
   struct DocEntry {
@@ -142,47 +143,60 @@ class NativeEngine : public XmlDbms {
   /// Parses document `ordinal` out of the page store (I/O + parse cost),
   /// caching it until the next cold restart. Thread-safe: racing
   /// materializations of the same ordinal both parse, first insert wins.
-  Result<const xml::Document*> Materialize(size_t ordinal);
+  Result<const xml::Document*> Materialize(size_t ordinal)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   Result<xquery::QueryResult> RunOver(const std::vector<size_t>& ordinals,
-                                      const xquery::Expr& query);
+                                      const xquery::Expr& query)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
   Result<xquery::QueryResult> RunPlanOver(
       const std::vector<size_t>& ordinals,
       const xquery::plan::CompiledQuery& compiled,
-      xquery::exec::ExecStats* stats);
+      xquery::exec::ExecStats* stats) XBENCH_REQUIRES_SHARED(collection_mu_);
 
   // Query bodies; the caller holds the collection lock shared. Public
   // entry points wrap these so fallback paths (index absent -> full scan)
   // never re-acquire the non-reentrant shared lock.
-  Result<xquery::QueryResult> QueryImpl(const xquery::Expr& query);
+  Result<xquery::QueryResult> QueryImpl(const xquery::Expr& query)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
   Result<xquery::QueryResult> QueryWithIndexImpl(const std::string& index_name,
                                                  const std::string& value,
-                                                 const xquery::Expr& query);
+                                                 const xquery::Expr& query)
+      XBENCH_REQUIRES_SHARED(collection_mu_);
   Result<xquery::QueryResult> ExecutePlanImpl(
       const xquery::plan::CompiledQuery& compiled,
-      xquery::exec::ExecStats* stats);
+      xquery::exec::ExecStats* stats) XBENCH_REQUIRES_SHARED(collection_mu_);
   Result<xquery::QueryResult> ExecutePlanWithIndexImpl(
       const std::string& index_name, const std::string& value,
       const xquery::plan::CompiledQuery& compiled,
-      xquery::exec::ExecStats* stats);
+      xquery::exec::ExecStats* stats) XBENCH_REQUIRES_SHARED(collection_mu_);
 
   /// Candidate ordinals for an index lookup (all live documents when the
   /// index is absent); shared by the interpreted and compiled paths.
-  std::vector<size_t> LiveOrdinals() const;
+  std::vector<size_t> LiveOrdinals() const
+      XBENCH_REQUIRES_SHARED(collection_mu_);
 
+  // file_ itself is set once in the constructor; record-level access is
+  // mediated by the collection lock like the registry entries below.
   std::unique_ptr<storage::HeapFile> file_;
-  std::vector<DocEntry> registry_;
+  std::vector<DocEntry> registry_ XBENCH_GUARDED_BY(collection_mu_);
   std::atomic<size_t> live_count_{0};
   std::atomic<bool> guided_eval_enabled_{false};
-  datagen::DbClass db_class_ = datagen::DbClass::kTcSd;
+  datagen::DbClass db_class_ XBENCH_GUARDED_BY(collection_mu_) =
+      datagen::DbClass::kTcSd;
   // Index: value -> document ordinals (B+-tree so lookups charge realistic
   // page I/O).
-  std::map<std::string, std::unique_ptr<relational::BTreeIndex>> indexes_;
-  std::map<std::string, std::string> index_paths_;
-  mutable std::mutex cache_mu_;  // guards cache_ (leaf lock; see dbms.h)
-  std::map<size_t, std::unique_ptr<xml::Document>> cache_;
+  std::map<std::string, std::unique_ptr<relational::BTreeIndex>> indexes_
+      XBENCH_GUARDED_BY(collection_mu_);
+  std::map<std::string, std::string> index_paths_
+      XBENCH_GUARDED_BY(collection_mu_);
+  mutable Mutex cache_mu_{LockRank::kDocumentCache, "native.doc.cache"};
+  std::map<size_t, std::unique_ptr<xml::Document>> cache_
+      XBENCH_GUARDED_BY(cache_mu_);
   xquery::plan::PlanCache plan_cache_;
+  // Convenience slot for single-threaded callers; unsynchronized by
+  // documented contract (see last_plan_stats()).
   xquery::exec::ExecStats last_plan_stats_;
 };
 

@@ -38,7 +38,7 @@ EngineRegistry& EngineRegistry::Default() {
 }
 
 Status EngineRegistry::Register(const std::string& name, Factory factory) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = factories_.emplace(name, std::move(factory));
   if (!inserted) {
     return Status::AlreadyExists("engine '" + name + "' is already registered");
@@ -50,7 +50,7 @@ Result<std::unique_ptr<XmlDbms>> EngineRegistry::Create(
     const std::string& name) const {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = factories_.find(name);
     if (it == factories_.end()) {
       std::string known;
@@ -68,12 +68,12 @@ Result<std::unique_ptr<XmlDbms>> EngineRegistry::Create(
 }
 
 bool EngineRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return factories_.count(name) != 0;
 }
 
 std::vector<std::string> EngineRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);

@@ -4,11 +4,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "engines/dbms.h"
 
 namespace xbench::engines {
@@ -44,8 +45,8 @@ class EngineRegistry {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mu_{LockRank::kEngineRegistry, "engine.registry"};
+  std::map<std::string, Factory> factories_ XBENCH_GUARDED_BY(mu_);
 };
 
 /// The registry short name for a built-in engine kind ("native", ...).

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <mutex>
-#include <shared_mutex>
 
 #include "engines/shredder.h"
 #include "obs/metrics.h"
@@ -17,7 +16,7 @@ ShredEngine::ShredEngine(EngineKind kind) : kind_(kind) {
 
 Status ShredEngine::BulkLoad(datagen::DbClass db_class,
                              const std::vector<LoadDocument>& docs) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   db_class_ = db_class;
   dad_ = ShredDadFor(db_class);
   XBENCH_RETURN_IF_ERROR(CreateDadTables(dad_, *database_));
@@ -99,7 +98,7 @@ Status ShredEngine::BulkLoad(datagen::DbClass db_class,
 }
 
 Status ShredEngine::InsertDocument(const LoadDocument& doc) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   disk_->clock().AdvanceMicros(kPerDocumentIngestMicros);
   auto parsed = xml::Parse(doc.text, doc.name);
   if (!parsed.ok()) return parsed.status();
@@ -122,7 +121,7 @@ Status ShredEngine::InsertDocument(const LoadDocument& doc) {
 }
 
 Status ShredEngine::DeleteDocument(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   bool found = false;
   for (const TableMap& map : dad_.tables) {
     relational::Table* table = database_->FindTable(map.table);
@@ -142,7 +141,7 @@ Status ShredEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ShredEngine::CreateIndex(const IndexSpec& spec) {
-  std::unique_lock<std::shared_mutex> lock(collection_mu_);
+  WriterLock lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("shred.index_build");
   XBENCH_ASSIGN_OR_RETURN(auto target, ResolveIndexPath(dad_, spec.path));

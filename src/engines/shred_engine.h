@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "engines/dad.h"
 #include "engines/dbms.h"
 #include "relational/table.h"
@@ -46,9 +47,16 @@ class ShredEngine : public XmlDbms {
   /// cost relational mappings pay for document-level deletion.
   Status DeleteDocument(const std::string& name) override;
 
-  relational::Database& tables() { return *database_; }
-  const Dad& dad() const { return dad_; }
-  datagen::DbClass db_class() const { return db_class_; }
+  /// Caller holds the collection lock (shared suffices for reads).
+  relational::Database& tables() XBENCH_REQUIRES_SHARED(collection_mu_) {
+    return *database_;
+  }
+  const Dad& dad() const XBENCH_REQUIRES_SHARED(collection_mu_) {
+    return dad_;
+  }
+  datagen::DbClass db_class() const XBENCH_REQUIRES_SHARED(collection_mu_) {
+    return db_class_;
+  }
 
   /// The flavor's document-order guarantee (false for both: the paper's
   /// problem 2 — plans relying on order are "not guaranteed correct").
@@ -56,10 +64,12 @@ class ShredEngine : public XmlDbms {
 
  private:
   EngineKind kind_;
-  std::unique_ptr<relational::Database> database_;
-  Dad dad_;
-  datagen::DbClass db_class_ = datagen::DbClass::kDcSd;
-  int64_t next_row_id_ = 0;
+  std::unique_ptr<relational::Database> database_
+      XBENCH_PT_GUARDED_BY(collection_mu_);
+  Dad dad_ XBENCH_GUARDED_BY(collection_mu_);
+  datagen::DbClass db_class_ XBENCH_GUARDED_BY(collection_mu_) =
+      datagen::DbClass::kDcSd;
+  int64_t next_row_id_ XBENCH_GUARDED_BY(collection_mu_) = 0;
 };
 
 /// DB2's per-document decomposition row cap and the largest number of

@@ -7,9 +7,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace xbench::obs {
 
@@ -130,7 +132,7 @@ class MetricsRegistry {
   void ResetAll();
 
   size_t metric_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -142,10 +144,14 @@ class MetricsRegistry {
   // The enabled flag lives behind a unique_ptr so metric handles can keep
   // a stable pointer to it even if the registry object moves.
   std::unique_ptr<std::atomic<bool>> enabled_;
-  mutable std::mutex mu_;  // guards the three maps (not the metric values)
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards the three maps (not the metric values, which are atomic).
+  mutable Mutex mu_{LockRank::kMetrics, "metrics"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      XBENCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      XBENCH_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      XBENCH_GUARDED_BY(mu_);
 };
 
 }  // namespace xbench::obs

@@ -13,7 +13,7 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   last_ticks_ = 0;
   depth_ = 0;
@@ -28,20 +28,20 @@ uint64_t Tracer::NowTicksLocked() {
 }
 
 uint64_t Tracer::NowTicks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return NowTicksLocked();
 }
 
 void Tracer::BeginSpan(std::string name) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++depth_;
   events_.push_back(
       {TraceEvent::Phase::kBegin, std::move(name), NowTicksLocked(), depth_});
 }
 
 void Tracer::EndSpan() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (depth_ == 0) return;  // unbalanced EndSpan; ignore
   events_.push_back({TraceEvent::Phase::kEnd, std::string(), NowTicksLocked(),
                      depth_});

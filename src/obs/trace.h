@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace xbench::obs {
 
@@ -69,13 +70,13 @@ class Tracer {
 
   /// Nesting depth of currently open spans.
   size_t depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return depth_;
   }
   /// Snapshot of the recorded events. (Tests and report writers call this
   /// after the traced region has quiesced.)
   std::vector<TraceEvent> events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return events_;
   }
 
@@ -85,14 +86,14 @@ class Tracer {
   Status WriteChromeJson(const std::string& path) const;
 
  private:
-  uint64_t NowTicksLocked();
+  uint64_t NowTicksLocked() XBENCH_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<const VirtualClock*> clock_{nullptr};
-  mutable std::mutex mu_;  // guards last_ticks_, depth_, events_
-  uint64_t last_ticks_ = 0;
-  size_t depth_ = 0;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_{LockRank::kTracer, "tracer"};
+  uint64_t last_ticks_ XBENCH_GUARDED_BY(mu_) = 0;
+  size_t depth_ XBENCH_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ XBENCH_GUARDED_BY(mu_);
 };
 
 /// RAII span guard: opens a span on the tracer if it is enabled, closes

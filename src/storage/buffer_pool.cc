@@ -57,14 +57,14 @@ BufferPool::Frame& BufferPool::FetchLocked(Shard& shard, PageId page_id) {
 void BufferPool::ReadAt(PageId page_id, size_t offset, void* dst,
                         size_t size) {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> latch(shard.mu);
+  MutexLock latch(shard.mu);
   FetchLocked(shard, page_id).page.Read(offset, dst, size);
 }
 
 void BufferPool::WriteAt(PageId page_id, size_t offset, const void* src,
                          size_t size) {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> latch(shard.mu);
+  MutexLock latch(shard.mu);
   Frame& frame = FetchLocked(shard, page_id);
   frame.page.Write(offset, src, size);
   frame.dirty = true;
@@ -72,18 +72,19 @@ void BufferPool::WriteAt(PageId page_id, size_t offset, const void* src,
 
 Page& BufferPool::Fetch(PageId page_id) {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> latch(shard.mu);
+  MutexLock latch(shard.mu);
   return FetchLocked(shard, page_id).page;
 }
 
 void BufferPool::MarkDirty(PageId page_id) {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> latch(shard.mu);
+  MutexLock latch(shard.mu);
   auto it = shard.frames.find(page_id);
   if (it != shard.frames.end()) it->second.dirty = true;
 }
 
-void BufferPool::WriteBackLocked(PageId page_id, Frame& frame) {
+void BufferPool::WriteBackLocked(Shard& /*shard: latch witness*/,
+                                 PageId page_id, Frame& frame) {
   disk_.WritePage(page_id, frame.page);
   frame.dirty = false;
   writebacks_.fetch_add(1, std::memory_order_relaxed);
@@ -94,9 +95,9 @@ void BufferPool::WriteBackLocked(PageId page_id, Frame& frame) {
 void BufferPool::FlushAll() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> latch(shard.mu);
+    MutexLock latch(shard.mu);
     for (auto& [page_id, frame] : shard.frames) {
-      if (frame.dirty) WriteBackLocked(page_id, frame);
+      if (frame.dirty) WriteBackLocked(shard, page_id, frame);
     }
   }
 }
@@ -104,9 +105,9 @@ void BufferPool::FlushAll() {
 void BufferPool::ColdRestart() {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> latch(shard.mu);
+    MutexLock latch(shard.mu);
     for (auto& [page_id, frame] : shard.frames) {
-      if (frame.dirty) WriteBackLocked(page_id, frame);
+      if (frame.dirty) WriteBackLocked(shard, page_id, frame);
     }
     shard.frames.clear();
     shard.lru.clear();
@@ -126,7 +127,7 @@ void BufferPool::EvictIfFullLocked(Shard& shard) {
     shard.lru.pop_back();
     auto it = shard.frames.find(victim);
     if (it != shard.frames.end()) {
-      if (it->second.dirty) WriteBackLocked(victim, it->second);
+      if (it->second.dirty) WriteBackLocked(shard, victim, it->second);
       evictions_.fetch_add(1, std::memory_order_relaxed);
       metric_evictions_.Increment();
       ++ThisThreadIo().pool_evictions;

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
@@ -98,9 +99,9 @@ class BufferPool {
 
   /// One latch domain: a mutex plus the frames and LRU order it guards.
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<PageId, Frame> frames;
-    std::list<PageId> lru;  // front = most recently used
+    Mutex mu{LockRank::kPoolShard, "pool.shard"};
+    std::unordered_map<PageId, Frame> frames XBENCH_GUARDED_BY(mu);
+    std::list<PageId> lru XBENCH_GUARDED_BY(mu);  // front = most recently used
   };
 
   Shard& ShardFor(PageId page_id) {
@@ -110,10 +111,11 @@ class BufferPool {
   /// Returns the frame for `page_id` within `shard`; caller holds the
   /// shard latch. Reads from disk on a miss, evicting first if the shard
   /// is at capacity.
-  Frame& FetchLocked(Shard& shard, PageId page_id);
+  Frame& FetchLocked(Shard& shard, PageId page_id) XBENCH_REQUIRES(shard.mu);
 
-  void EvictIfFullLocked(Shard& shard);
-  void WriteBackLocked(PageId page_id, Frame& frame);
+  void EvictIfFullLocked(Shard& shard) XBENCH_REQUIRES(shard.mu);
+  void WriteBackLocked(Shard& shard, PageId page_id, Frame& frame)
+      XBENCH_REQUIRES(shard.mu);
 
   SimulatedDisk& disk_;
   size_t capacity_;

@@ -18,7 +18,7 @@ SimulatedDisk::SimulatedDisk(DiskProfile profile)
           "xbench.disk.bytes_written")) {}
 
 PageId SimulatedDisk::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   return pages_.size() - 1;
 }
@@ -26,7 +26,7 @@ PageId SimulatedDisk::Allocate() {
 void SimulatedDisk::ReadPage(PageId page_id, Page& out) {
   uint64_t charge = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(page_id < pages_.size());
     const bool sequential = page_id == last_accessed_ + 1;
     charge = sequential ? profile_.sequential_read_micros
@@ -45,7 +45,7 @@ void SimulatedDisk::ReadPage(PageId page_id, Page& out) {
 
 void SimulatedDisk::WritePage(PageId page_id, const Page& page) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(page_id < pages_.size());
     last_accessed_ = page_id;
     *pages_[page_id] = page;

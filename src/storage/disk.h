@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 
@@ -38,7 +39,7 @@ class SimulatedDisk {
   PageId Allocate();
 
   size_t PageCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pages_.size();
   }
 
@@ -61,12 +62,12 @@ class SimulatedDisk {
 
  private:
   DiskProfile profile_;
-  mutable std::mutex mu_;  // guards pages_ and last_accessed_
-  std::vector<std::unique_ptr<Page>> pages_;
+  mutable Mutex mu_{LockRank::kDisk, "disk"};  // the single disk arm
+  std::vector<std::unique_ptr<Page>> pages_ XBENCH_GUARDED_BY(mu_);
   VirtualClock clock_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
-  PageId last_accessed_ = static_cast<PageId>(-2);
+  PageId last_accessed_ XBENCH_GUARDED_BY(mu_) = static_cast<PageId>(-2);
   // Process-wide metrics (xbench.disk.*); per-disk attribution uses the
   // reads()/writes() accessors above.
   obs::Counter& metric_reads_;

@@ -131,7 +131,8 @@ relational::RowPredicate InPeriod(const Table& table,
 // ---------------------------------------------------------------------
 
 Result<std::vector<std::string>> ShredQ5(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.tables();
   switch (e.db_class()) {
     case DbClass::kDcMd: {
@@ -195,7 +196,8 @@ Result<std::vector<std::string>> ShredQ5(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ8(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.tables();
   std::vector<std::string> out;
   switch (e.db_class()) {
@@ -252,7 +254,8 @@ Result<std::vector<std::string>> ShredQ8(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ12(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.tables();
   switch (e.db_class()) {
     case DbClass::kDcSd: {
@@ -334,7 +337,8 @@ Result<std::vector<std::string>> ShredQ12(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ14(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.tables();
   std::vector<std::string> out;
   switch (e.db_class()) {
@@ -424,7 +428,8 @@ Result<std::vector<std::string>> ShredQ14(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ17(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.tables();
   std::vector<std::string> out;
   const std::string& word = p.search_word;
@@ -535,7 +540,8 @@ std::map<std::string, std::string> DocColumn(Table& table,
 }
 
 Result<std::vector<std::string>> ShredQ1(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * items, Find(e.tables(), "item_tab"));
   std::vector<std::string> out;
   for (const Row& row :
@@ -546,7 +552,8 @@ Result<std::vector<std::string>> ShredQ1(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ2(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * authors, Find(e.tables(), "art_author_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * articles, Find(e.tables(), "article_tab"));
   std::set<std::string> docs;
@@ -567,7 +574,8 @@ Result<std::vector<std::string>> ShredQ2(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ3(ShredEngine& e,
-                                         const QueryParams&) {
+                                         const QueryParams&)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * senses, Find(e.tables(), "sense_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * quotes, Find(e.tables(), "quote_tab"));
   std::map<int64_t, int64_t> sense_parent;
@@ -598,7 +606,8 @@ Result<std::vector<std::string>> ShredQ3(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ6(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * paras, Find(e.tables(), "para_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * articles, Find(e.tables(), "article_tab"));
   std::set<std::string> docs;
@@ -620,7 +629,8 @@ Result<std::vector<std::string>> ShredQ6(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ7(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * items, Find(e.tables(), "item_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * authors, Find(e.tables(), "author_tab"));
   // item row -> has an author from another country?
@@ -643,7 +653,8 @@ Result<std::vector<std::string>> ShredQ7(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ9(ShredEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * orders, Find(e.tables(), "order_tab"));
   std::vector<std::string> out;
   for (const Row& row :
@@ -654,7 +665,8 @@ Result<std::vector<std::string>> ShredQ9(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ10(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * orders, Find(e.tables(), "order_tab"));
   RowSet rows =
       relational::SeqScan(*orders, InPeriod(*orders, "order_date", p));
@@ -673,7 +685,8 @@ Result<std::vector<std::string>> ShredQ10(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ11(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * entries, Find(e.tables(), "entry_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * senses, Find(e.tables(), "sense_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * quotes, Find(e.tables(), "quote_tab"));
@@ -698,7 +711,8 @@ Result<std::vector<std::string>> ShredQ11(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ13(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * articles, Find(e.tables(), "article_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * authors, Find(e.tables(), "art_author_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * abstracts, Find(e.tables(), "abstract_tab"));
@@ -736,7 +750,8 @@ Result<std::vector<std::string>> ShredQ13(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ15(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * articles, Find(e.tables(), "article_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * authors, Find(e.tables(), "art_author_tab"));
   std::map<std::string, std::string> doc_date =
@@ -757,7 +772,8 @@ Result<std::vector<std::string>> ShredQ15(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ16(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   // Whole-document reconstruction from shredded tables: joins plus a
   // lossy structure, the paper's document-reconstruction weakness.
   XBENCH_ASSIGN_OR_RETURN(Table * orders, Find(e.tables(), "order_tab"));
@@ -790,7 +806,8 @@ Result<std::vector<std::string>> ShredQ16(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ18(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * paras, Find(e.tables(), "para_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * articles, Find(e.tables(), "article_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * abstracts, Find(e.tables(), "abstract_tab"));
@@ -817,7 +834,8 @@ Result<std::vector<std::string>> ShredQ18(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ19(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * orders, Find(e.tables(), "order_tab"));
   XBENCH_ASSIGN_OR_RETURN(Table * customers, Find(e.tables(), "customer_tab"));
   RowSet hits = ValueLookup(*orders, "order/@id", "order_id", p.order_id);
@@ -841,7 +859,8 @@ Result<std::vector<std::string>> ShredQ19(ShredEngine& e,
 }
 
 Result<std::vector<std::string>> ShredQ20(ShredEngine& e,
-                                          const QueryParams& p) {
+                                          const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * items, Find(e.tables(), "item_tab"));
   std::vector<std::string> out;
   const int size_idx = Col(*items, "size");
@@ -862,7 +881,8 @@ Result<std::vector<std::string>> ShredQ20(ShredEngine& e,
 Result<std::string> ClobDocFor(ClobEngine& e, const std::string& side_table,
                                const std::string& index_name,
                                const std::string& column,
-                               const std::string& value) {
+                               const std::string& value)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(Table * table, Find(e.side_tables(), side_table));
   RowSet hits = ValueLookup(*table, index_name, column, value);
   if (hits.empty()) return Status::NotFound("no row for " + value);
@@ -871,7 +891,8 @@ Result<std::string> ClobDocFor(ClobEngine& e, const std::string& side_table,
 
 Result<std::vector<std::string>> QueryLines(ClobEngine& e,
                                             const std::string& doc,
-                                            const std::string& xquery) {
+                                            const std::string& xquery)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   XBENCH_ASSIGN_OR_RETURN(xquery::QueryResult result,
                           e.QueryDocument(doc, xquery));
   std::vector<std::string> lines = Split(result.ToText(), '\n');
@@ -879,7 +900,8 @@ Result<std::vector<std::string>> QueryLines(ClobEngine& e,
   return lines;
 }
 
-Result<std::vector<std::string>> ClobQ5(ClobEngine& e, const QueryParams& p) {
+Result<std::vector<std::string>> ClobQ5(ClobEngine& e, const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   if (e.side_dad().tables.empty()) {
     return Status::Unsupported("Xcolumn hosts only the MD classes");
   }
@@ -895,7 +917,8 @@ Result<std::vector<std::string>> ClobQ5(ClobEngine& e, const QueryParams& p) {
   return QueryLines(e, *doc, "($input/body/sec)[1]/heading");
 }
 
-Result<std::vector<std::string>> ClobQ8(ClobEngine& e, const QueryParams& p) {
+Result<std::vector<std::string>> ClobQ8(ClobEngine& e, const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   std::vector<std::string> out;
   if (e.side_tables().FindTable("side_order") != nullptr) {
     XBENCH_ASSIGN_OR_RETURN(Table * orders,
@@ -924,7 +947,8 @@ Result<std::vector<std::string>> ClobQ8(ClobEngine& e, const QueryParams& p) {
 }
 
 Result<std::vector<std::string>> ClobQ12(ClobEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   if (e.side_tables().FindTable("side_order") != nullptr) {
     auto doc =
         ClobDocFor(e, "side_order", "order/@id", "order_id", p.order_id);
@@ -938,7 +962,8 @@ Result<std::vector<std::string>> ClobQ12(ClobEngine& e,
 }
 
 Result<std::vector<std::string>> ClobQ14(ClobEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   std::vector<std::string> out;
   if (e.side_tables().FindTable("side_order") != nullptr) {
     XBENCH_ASSIGN_OR_RETURN(Table * orders,
@@ -979,7 +1004,8 @@ Result<std::vector<std::string>> ClobQ14(ClobEngine& e,
 }
 
 Result<std::vector<std::string>> ClobQ17(ClobEngine& e,
-                                         const QueryParams& p) {
+                                         const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   std::vector<std::string> out;
   const std::string& word = p.search_word;
   if (e.side_tables().FindTable("side_order") != nullptr) {
@@ -1032,7 +1058,8 @@ Result<std::vector<std::string>> ClobQ17(ClobEngine& e,
 /// the answers (Xcolumn's extract-from-CLOB execution model).
 Result<std::vector<std::string>> ClobQueryDocs(
     ClobEngine& e, const std::vector<std::string>& docs,
-    const std::string& xquery) {
+    const std::string& xquery)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   std::vector<std::string> out;
   for (const std::string& doc : docs) {
     XBENCH_ASSIGN_OR_RETURN(std::vector<std::string> lines,
@@ -1044,7 +1071,8 @@ Result<std::vector<std::string>> ClobQueryDocs(
 
 Result<std::vector<std::string>> ClobExtended(ClobEngine& e, QueryId id,
                                               datagen::DbClass cls,
-                                              const QueryParams& p) {
+                                              const QueryParams& p)
+    XBENCH_REQUIRES_SHARED(e.collection_mu()) {
   auto& db = e.side_tables();
   switch (id) {
     case QueryId::kQ2:

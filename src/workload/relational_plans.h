@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engines/clob_engine.h"
 #include "engines/shred_engine.h"
 #include "workload/queries.h"
@@ -19,15 +20,19 @@ namespace xbench::workload {
 /// the paper reports in §3.1.3): reconstruction plans (Q5/Q12) emit the
 /// DAD's column order, dropping unmapped optional elements; SQL Server
 /// returns NULL for mixed-content columns (qt).
+/// Caller (workload::Session) holds the engine's collection lock shared
+/// for the whole statement; the plan reads tables()/dad() directly.
 Result<std::vector<std::string>> RunShredQuery(engines::ShredEngine& engine,
                                                QueryId id,
-                                               const QueryParams& params);
+                                               const QueryParams& params)
+    XBENCH_REQUIRES_SHARED(engine.collection_mu());
 
 /// Plans for the Xcolumn engine: side-table filtering + CLOB fetch +
 /// fragment extraction on the intact document. Only the MD classes.
 Result<std::vector<std::string>> RunClobQuery(engines::ClobEngine& engine,
                                               QueryId id,
-                                              const QueryParams& params);
+                                              const QueryParams& params)
+    XBENCH_REQUIRES_SHARED(engine.collection_mu());
 
 }  // namespace xbench::workload
 

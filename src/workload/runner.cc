@@ -167,14 +167,6 @@ ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
   return session.Run(id, options);
 }
 
-ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
-                         datagen::DbClass db_class, const QueryParams& params,
-                         bool cold) {
-  RunOptions options;
-  options.cold = cold;
-  return RunQuery(engine, id, db_class, params, options);
-}
-
 std::vector<std::string> CanonicalizeAnswer(QueryId id,
                                             std::vector<std::string> lines) {
   while (!lines.empty() && lines.back().empty()) lines.pop_back();

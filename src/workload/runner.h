@@ -149,13 +149,6 @@ ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
                          datagen::DbClass db_class, const QueryParams& params,
                          const RunOptions& options = {});
 
-/// Transitional overload for the old boolean `cold` flag. Use
-/// RunOptions{.cold = ...} instead.
-[[deprecated("pass RunOptions instead of a bare cold flag")]]
-ExecutionResult RunQuery(engines::XmlDbms& engine, QueryId id,
-                         datagen::DbClass db_class, const QueryParams& params,
-                         bool cold);
-
 /// Canonicalizes answer lines for cross-engine comparison under the
 /// query's AnswerShape (sorts kValueSet shapes, trims empties).
 std::vector<std::string> CanonicalizeAnswer(QueryId id,

@@ -1,9 +1,9 @@
 #include "workload/session.h"
 
-#include <shared_mutex>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "common/strings.h"
 #include "common/thread_io.h"
 #include "engines/clob_engine.h"
@@ -154,7 +154,7 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
       // CLOB statements issue several engine calls (side-table filter,
       // CLOB fetch, reconstruction); hold the collection lock shared so a
       // concurrent mutation cannot land mid-statement.
-      std::shared_lock<std::shared_mutex> lock(engine.collection_mu());
+      ReaderLock lock(engine.collection_mu());
       auto lines =
           RunClobQuery(static_cast<engines::ClobEngine&>(engine), id, params);
       if (lines.ok()) {
@@ -166,7 +166,7 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
     }
     case EngineKind::kShredDb2:
     case EngineKind::kShredMsSql: {
-      std::shared_lock<std::shared_mutex> lock(engine.collection_mu());
+      ReaderLock lock(engine.collection_mu());
       auto lines = RunShredQuery(static_cast<engines::ShredEngine&>(engine),
                                  id, params);
       if (lines.ok()) {

@@ -26,7 +26,7 @@ Result<std::shared_ptr<const CompiledQuery>> Compile(
 
 std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
     const PlanCacheKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = plans_.find(key);
   if (it == plans_.end()) {
     obs::MetricsRegistry::Default()
@@ -42,12 +42,12 @@ std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
 
 void PlanCache::Insert(const PlanCacheKey& key,
                        std::shared_ptr<const CompiledQuery> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plans_[key] = std::move(plan);
 }
 
 void PlanCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plans_.empty()) return;
   plans_.clear();
   obs::MetricsRegistry::Default()

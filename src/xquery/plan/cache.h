@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <utility>
 
 #include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "xquery/ast.h"
 #include "xquery/exec/exec.h"
 #include "xquery/plan/logical.h"
@@ -76,13 +77,14 @@ class PlanCache {
   void Invalidate();
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return plans_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<PlanCacheKey, std::shared_ptr<const CompiledQuery>> plans_;
+  mutable Mutex mu_{LockRank::kPlanCache, "plan.cache"};
+  std::map<PlanCacheKey, std::shared_ptr<const CompiledQuery>> plans_
+      XBENCH_GUARDED_BY(mu_);
 };
 
 }  // namespace xbench::xquery::plan

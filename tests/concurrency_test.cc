@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/lock_rank.h"
 #include "common/stopwatch.h"
 #include "common/thread_io.h"
+#include "obs/metrics.h"
 #include "datagen/generator.h"
 #include "engines/native_engine.h"
 #include "engines/registry.h"
@@ -275,10 +277,69 @@ TEST(EngineRegistry, ResolvesEveryKindAndRejectsUnknownNames) {
   auto missing = registry.Create("postgres");
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
-  EXPECT_FALSE(
-      registry.Register("native", [] {
-        return std::unique_ptr<engines::XmlDbms>();
-      }).ok());
+  // The error lists the registered names so flag typos self-explain.
+  EXPECT_NE(missing.status().ToString().find("native"), std::string::npos);
+  Status duplicate = registry.Register("native", [] {
+    return std::unique_ptr<engines::XmlDbms>();
+  });
+  EXPECT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  // The rejected duplicate must not clobber the original factory.
+  auto still_native = registry.Create("native");
+  ASSERT_TRUE(still_native.ok());
+  EXPECT_EQ(still_native.value()->kind(), EngineKind::kNative);
+}
+
+TEST(ConcurrentSessions, ColdRestartContractHoldsUnderRacingSessions) {
+  // Runs the ColdRestart path (exclusive collection lock ->
+  // ColdRestartLocked -> cache mutex + pool shard latches + disk mutex)
+  // against racing reader sessions WITH runtime lock-rank enforcement
+  // live. Any acquisition violating the DESIGN.md §9 order — including a
+  // ColdRestartLocked override re-taking the collection lock — aborts the
+  // process, so this test passing proves the REQUIRES contracts hold on
+  // the whole restart path under contention.
+  const bool was_enabled = lockrank::Enabled();
+  lockrank::SetEnabled(true);
+  obs::Counter& acquires =
+      obs::MetricsRegistry::Default().GetCounter("xbench.lock.acquires");
+  const uint64_t acquires_before = acquires.value();
+  for (EngineKind kind : {EngineKind::kNative, EngineKind::kClob}) {
+    auto engine = workload::MakeEngine(kind);
+    const auto db = SmallDb(DbClass::kTcMd);
+    ASSERT_TRUE(workload::BulkLoad(*engine, db).status.ok());
+    const workload::QueryParams params =
+        workload::DeriveParams(db.db_class, db.seeds);
+    workload::RunOptions warm;
+    warm.cold = false;
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::thread restarter([&] {
+      for (int i = 0; i < 8; ++i) engine->ColdRestart();
+      stop.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([&] {
+        workload::Session session(*engine, db.db_class, params);
+        while (!stop.load()) {
+          if (!session.Run(QueryId::kQ1, warm).status.ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    restarter.join();
+    for (std::thread& t : readers) t.join();
+    EXPECT_EQ(failures.load(), 0) << engines::EngineKindName(kind);
+  }
+  // Enforcement was actually live: the sessions' acquisitions were
+  // tracked (and none violated, or we would not be here).
+  EXPECT_GT(acquires.value(), acquires_before);
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetCounter("xbench.lock.violations")
+                .value(),
+            0u);
+  lockrank::SetEnabled(was_enabled);
 }
 
 TEST(ThroughputDriverTest, SweepScalesAndMatchesSerialHashes) {

@@ -1,0 +1,146 @@
+// Tests for the runtime lock-rank enforcer (common/lock_rank.h) and the
+// annotated wrappers (common/sync.h). The death tests exercise the
+// violation paths with enforcement enabled programmatically, so they run
+// in every build configuration, not only -DXBENCH_LOCK_RANKS=ON trees.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/lock_rank.h"
+#include "common/sync.h"
+
+namespace xbench {
+namespace {
+
+/// RAII enforcement toggle so one test's SetEnabled cannot leak into the
+/// next (the flag is process-global).
+class ScopedEnforcement {
+ public:
+  ScopedEnforcement() : previous_(lockrank::Enabled()) {
+    lockrank::SetEnabled(true);
+  }
+  ~ScopedEnforcement() { lockrank::SetEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(LockRankTest, RankNamesMatchDesignTable) {
+  EXPECT_STREQ(LockRankName(LockRank::kEngineRegistry), "engine.registry");
+  EXPECT_STREQ(LockRankName(LockRank::kCollection), "collection");
+  EXPECT_STREQ(LockRankName(LockRank::kDocumentCache), "doc.cache");
+  EXPECT_STREQ(LockRankName(LockRank::kAstCache), "ast.cache");
+  EXPECT_STREQ(LockRankName(LockRank::kPlanCache), "plan.cache");
+  EXPECT_STREQ(LockRankName(LockRank::kPoolShard), "pool.shard");
+  EXPECT_STREQ(LockRankName(LockRank::kDisk), "disk");
+  EXPECT_STREQ(LockRankName(LockRank::kMetrics), "metrics");
+  EXPECT_STREQ(LockRankName(LockRank::kTracer), "tracer");
+}
+
+TEST(LockRankTest, InOrderAcquisitionIsTracked) {
+  ScopedEnforcement enforce;
+  Mutex outer(LockRank::kCollection, "collection");
+  Mutex inner(LockRank::kDisk, "disk");
+  EXPECT_EQ(lockrank::HeldCount(), 0u);
+  {
+    MutexLock hold_outer(outer);
+    EXPECT_EQ(lockrank::HeldCount(), 1u);
+    MutexLock hold_inner(inner);
+    EXPECT_EQ(lockrank::HeldCount(), 2u);
+    EXPECT_EQ(lockrank::DescribeHeld(), "collection(20) -> disk(60)");
+  }
+  EXPECT_EQ(lockrank::HeldCount(), 0u);
+}
+
+TEST(LockRankTest, SharedAcquisitionsAreTrackedLikeExclusive) {
+  ScopedEnforcement enforce;
+  SharedMutex collection(LockRank::kCollection, "collection");
+  Mutex cache(LockRank::kDocumentCache, "doc.cache");
+  ReaderLock read(collection);
+  MutexLock hold(cache);
+  EXPECT_EQ(lockrank::DescribeHeld(), "collection(20) -> doc.cache(30)");
+}
+
+TEST(LockRankTest, DisabledEnforcementTracksNothing) {
+  lockrank::SetEnabled(false);
+  Mutex inner(LockRank::kDisk, "disk");
+  Mutex outer(LockRank::kCollection, "collection");
+  // Inverted order: harmless while disabled (no state is kept).
+  MutexLock hold_inner(inner);
+  MutexLock hold_outer(outer);
+  EXPECT_EQ(lockrank::HeldCount(), 0u);
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, InvertedAcquisitionAbortsNamingBothLocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        lockrank::SetEnabled(true);
+        Mutex disk(LockRank::kDisk, "disk");
+        Mutex collection(LockRank::kCollection, "collection");
+        MutexLock hold_disk(disk);
+        // Collection (rank 20) after disk (rank 60): out of order.
+        MutexLock hold_collection(collection);
+      },
+      "out of rank order(.|\n)*acquiring: collection\\(20\\)(.|\n)*holds: "
+      "disk\\(60\\)");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two distinct locks of the same rank: the order between them is
+  // undefined, so holding both is a violation in either order.
+  ASSERT_DEATH(
+      {
+        lockrank::SetEnabled(true);
+        Mutex a(LockRank::kPoolShard, "pool.shard");
+        Mutex b(LockRank::kPoolShard, "pool.shard");
+        MutexLock hold_a(a);
+        MutexLock hold_b(b);
+      },
+      "out of rank order");
+}
+
+TEST(LockRankDeathTest, DoubleAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        lockrank::SetEnabled(true);
+        Mutex mu(LockRank::kCollection, "collection");
+        mu.lock();
+        mu.lock();  // self-deadlock: caught before blocking
+      },
+      "already held by this thread(.|\n)*acquiring: collection\\(20\\)");
+}
+
+TEST(LockRankDeathTest, WriterAfterReaderOnSameLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        lockrank::SetEnabled(true);
+        SharedMutex mu(LockRank::kCollection, "collection");
+        mu.lock_shared();
+        mu.lock();  // upgrade attempt: self-deadlock
+      },
+      "already held by this thread");
+}
+
+TEST(LockRankTest, ViolationsAreThreadLocal) {
+  ScopedEnforcement enforce;
+  Mutex disk(LockRank::kDisk, "disk");
+  Mutex collection(LockRank::kCollection, "collection");
+  MutexLock hold_disk(disk);
+  // Another thread holds nothing, so its collection-then-disk order is
+  // fine even while this thread holds disk.
+  std::thread other([&] {
+    MutexLock hold_collection(collection);
+    EXPECT_EQ(lockrank::DescribeHeld(), "collection(20)");
+  });
+  other.join();
+}
+
+}  // namespace
+}  // namespace xbench

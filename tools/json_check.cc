@@ -2,8 +2,11 @@
 // well-formed JSON. With --schema report it additionally checks that the
 // file matches the harness driver's run-report structure (see
 // Driver::JsonReport), including the per-operator "plan" section emitted
-// for compiled-plan executions. Used by the quickstart_obs and
-// bench_query_report ctest cases.
+// for compiled-plan executions; with --schema throughput it checks the
+// bench_throughput XBENCH_REPORT document (the multi-client MPL sweep,
+// see harness::WriteJson in harness/throughput.cc). Used by the
+// quickstart_obs, bench_query_report and bench_throughput_report ctest
+// cases.
 
 #include <cstdio>
 #include <cstring>
@@ -152,21 +155,84 @@ Status CheckReport(const JsonValue& root, std::string* summary) {
   return Status::Ok();
 }
 
+/// Validates one bench_throughput XBENCH_REPORT document: the serial
+/// baseline answers plus one result row per multiprogramming level, with
+/// the metrics snapshot alongside. Mirrors harness::WriteJson plus the
+/// wrapper object bench_throughput.cc emits around it.
+Status CheckThroughputReport(const JsonValue& root, std::string* summary) {
+  if (!root.is_object()) return SchemaError("root is not an object");
+  const JsonValue* benchmark = root.Find("benchmark");
+  if (benchmark == nullptr || !benchmark->is_string() ||
+      benchmark->string != "xbench_throughput") {
+    return SchemaError(
+        "\"benchmark\" is not the string \"xbench_throughput\"");
+  }
+  const JsonValue* throughput = root.Find("throughput");
+  if (throughput == nullptr || !throughput->is_object()) {
+    return SchemaError("missing \"throughput\" object");
+  }
+  for (const char* key : {"engine", "class", "scale"}) {
+    XBENCH_RETURN_IF_ERROR(RequireString(*throughput, key));
+  }
+  XBENCH_RETURN_IF_ERROR(
+      RequireBool(*throughput, "answers_match_serial").status());
+  const JsonValue* baseline = throughput->Find("baseline");
+  if (baseline == nullptr || !baseline->is_array() ||
+      baseline->items.empty()) {
+    return SchemaError("missing non-empty \"baseline\" array — the serial "
+                       "pass always records its answers");
+  }
+  for (const JsonValue& answer : baseline->items) {
+    if (!answer.is_object()) {
+      return SchemaError("baseline entry is not an object");
+    }
+    XBENCH_RETURN_IF_ERROR(RequireString(answer, "query"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(answer, "answer_hash"));
+    XBENCH_RETURN_IF_ERROR(RequireNumber(answer, "answer_lines"));
+  }
+  const JsonValue* mpls = throughput->Find("mpls");
+  if (mpls == nullptr || !mpls->is_array() || mpls->items.empty()) {
+    return SchemaError("missing non-empty \"mpls\" array");
+  }
+  for (const JsonValue& row : mpls->items) {
+    if (!row.is_object()) return SchemaError("mpl entry is not an object");
+    for (const char* key : {"mpl", "ops", "failures", "hash_mismatches",
+                            "makespan_millis", "qps", "mean_millis",
+                            "p50_millis", "p99_millis"}) {
+      XBENCH_RETURN_IF_ERROR(RequireNumber(row, key));
+    }
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return SchemaError("missing \"metrics\" object");
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%zu baseline queries, %zu MPL rows",
+                baseline->items.size(), mpls->items.size());
+  *summary = buf;
+  return Status::Ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool schema_report = false;
+  bool schema_throughput = false;
   int first_file = 1;
   if (argc >= 3 && std::strcmp(argv[1], "--schema") == 0) {
-    if (std::strcmp(argv[2], "report") != 0) {
+    if (std::strcmp(argv[2], "report") == 0) {
+      schema_report = true;
+    } else if (std::strcmp(argv[2], "throughput") == 0) {
+      schema_throughput = true;
+    } else {
       std::fprintf(stderr, "json_check: unknown schema '%s'\n", argv[2]);
       return 1;
     }
-    schema_report = true;
     first_file = 3;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr, "usage: json_check [--schema report] FILE...\n");
+    std::fprintf(stderr,
+                 "usage: json_check [--schema report|throughput] FILE...\n");
     return 1;
   }
   int failures = 0;
@@ -191,8 +257,10 @@ int main(int argc, char** argv) {
       continue;
     }
     std::string summary;
-    if (schema_report) {
-      xbench::Status valid = CheckReport(*parsed, &summary);
+    if (schema_report || schema_throughput) {
+      xbench::Status valid = schema_report
+                                 ? CheckReport(*parsed, &summary)
+                                 : CheckThroughputReport(*parsed, &summary);
       if (!valid.ok()) {
         std::fprintf(stderr, "%s: %s\n", argv[i], valid.ToString().c_str());
         ++failures;

@@ -17,14 +17,20 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SAN="${XBENCH_SANITIZE:-address}"
 BUILD="${1:-$ROOT/build-$SAN}"
 
+# Sanitized trees also run with lock-rank enforcement on by default, so
+# every acquisition in the smoke suites is checked against the DESIGN.md
+# §9 order (an out-of-rank acquisition aborts the run).
 cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
+      -DXBENCH_LOCK_RANKS=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
 if [ "$SAN" = "thread" ]; then
-  # tsan_smoke: everything that takes locks or spawns threads.
+  # tsan_smoke: everything that takes locks or spawns threads, including
+  # the lock-rank enforcer's own death tests.
   cmake --build "$BUILD" -j"$(nproc)" \
-        --target concurrency_tests bench_throughput
+        --target concurrency_tests lock_rank_tests bench_throughput
   "$BUILD/tests/concurrency_tests"
+  "$BUILD/tests/lock_rank_tests"
   "$BUILD/bench/bench_throughput" --mpl 1,4,8 --ops 4
   echo "sanitize smoke ($SAN): OK"
   exit 0
