@@ -46,21 +46,32 @@ bool ParseQueryArg(const char* text, QueryId& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::string(argv[1]) == "--query") {
-    QueryId id = QueryId::kQ5;
-    if (!ParseQueryArg(argv[2], id)) {
-      std::fprintf(stderr, "unknown query '%s'\n", argv[2]);
+  bool profile = false;
+  bool have_query = false;
+  QueryId id = QueryId::kQ5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--query" && i + 1 < argc) {
+      if (!ParseQueryArg(argv[++i], id)) {
+        std::fprintf(stderr, "unknown query '%s'\n", argv[i]);
+        return 2;
+      }
+      have_query = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_query [--query Q1..Q20] [--profile]\n");
       return 2;
     }
-    return xbench::bench::RunQueryTableBench(id, PaperTableFor(id));
   }
-  if (argc != 1) {
-    std::fprintf(stderr, "usage: bench_query [--query Q1..Q20]\n");
-    return 2;
+  if (have_query) {
+    return xbench::bench::RunQueryTableBench(id, PaperTableFor(id), profile);
   }
-  for (QueryId id : {QueryId::kQ5, QueryId::kQ12, QueryId::kQ17,
-                     QueryId::kQ8, QueryId::kQ14}) {
-    const int rc = xbench::bench::RunQueryTableBench(id, PaperTableFor(id));
+  for (QueryId each : {QueryId::kQ5, QueryId::kQ12, QueryId::kQ17,
+                       QueryId::kQ8, QueryId::kQ14}) {
+    const int rc =
+        xbench::bench::RunQueryTableBench(each, PaperTableFor(each), profile);
     if (rc != 0) return rc;
   }
   return 0;

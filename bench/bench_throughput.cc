@@ -8,13 +8,17 @@
 // thread-safe engine paths.
 //
 // Usage: bench_throughput [--engine NAME] [--class CLS] [--mpl 1,2,4]
-//                         [--ops N]
+//                         [--ops N] [--slo-p99-millis X]
 //   --engine  registry name: native (default), clob, shred-db2,
 //             shred-mssql
 //   --class   tcsd (default), tcmd, dcsd, dcmd
 //   --mpl     comma-separated MPLs (default 1,2,4,8,16)
 //   --ops     statements per session per MPL (default 8)
-// XBENCH_REPORT=<path> writes the machine-readable JSON report.
+//   --slo-p99-millis  fail (exit 1) if any MPL's p99 latency exceeds X
+// XBENCH_REPORT=<path> writes the machine-readable JSON report,
+// XBENCH_TRACE_OUT=<path> dumps a Chrome trace with one lane per session,
+// XBENCH_OPENMETRICS=<path> writes the metrics registry in OpenMetrics
+// text exposition format.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,8 +26,10 @@
 
 #include "engines/registry.h"
 #include "harness/throughput.h"
+#include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/runner.h"
 
 int main(int argc, char** argv) {
@@ -91,13 +97,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--ops must be positive\n");
         return 2;
       }
+    } else if (arg == "--slo-p99-millis" && i + 1 < argc) {
+      options.slo_p99_millis = std::atof(argv[++i]);
+      if (options.slo_p99_millis <= 0) {
+        std::fprintf(stderr, "--slo-p99-millis must be positive\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--engine NAME] [--class CLS] "
-                   "[--mpl 1,2,4] [--ops N]\n");
+                   "[--mpl 1,2,4] [--ops N] [--slo-p99-millis X]\n");
       return 2;
     }
   }
+
+  obs::EnvTraceSession trace_session;
 
   std::printf(
       "XBench extension — multi-client throughput, engine=%s class=%s "
@@ -115,14 +129,18 @@ int main(int argc, char** argv) {
   }
   const harness::ThroughputReport& report = run.value();
 
-  std::printf("%-5s %8s %10s %9s %10s %10s %10s %9s\n", "MPL", "ops", "qps",
-              "speedup", "mean-ms", "p50-ms", "p99-ms", "mismatch");
+  std::printf("%-5s %8s %10s %9s %10s %10s %10s %10s %10s %9s\n", "MPL",
+              "ops", "qps", "speedup", "mean-ms", "p50-ms", "p90-ms",
+              "p99-ms", "p999-ms", "mismatch");
   for (const harness::MplResult& row : report.mpls) {
-    std::printf("%-5d %8llu %10.1f %8.2fx %10.3f %10.3f %10.3f %9llu\n",
-                row.mpl, static_cast<unsigned long long>(row.ops), row.qps,
-                report.SpeedupAt(row.mpl), row.mean_millis, row.p50_millis,
-                row.p99_millis,
-                static_cast<unsigned long long>(row.hash_mismatches));
+    std::printf(
+        "%-5d %8llu %10.1f %8.2fx %10.3f %10.3f %10.3f %10.3f %10.3f "
+        "%9llu%s\n",
+        row.mpl, static_cast<unsigned long long>(row.ops), row.qps,
+        report.SpeedupAt(row.mpl), row.mean_millis, row.p50_millis,
+        row.p90_millis, row.p99_millis, row.p999_millis,
+        static_cast<unsigned long long>(row.hash_mismatches),
+        row.slo_ok ? "" : "  SLO-VIOLATION");
   }
 
   if (const char* report_path = std::getenv("XBENCH_REPORT")) {
@@ -143,6 +161,17 @@ int main(int argc, char** argv) {
     std::printf("report written to %s\n", report_path);
   }
 
+  if (const char* metrics_path = std::getenv("XBENCH_OPENMETRICS")) {
+    Status status =
+        obs::WriteOpenMetrics(obs::MetricsRegistry::Default(), metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "openmetrics write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("openmetrics written to %s\n", metrics_path);
+  }
+
   if (!report.AllAnswersMatchSerial()) {
     std::fprintf(stderr,
                  "FAIL: concurrent answers diverged from the serial "
@@ -150,5 +179,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("all concurrent answers match the serial baseline\n");
+  if (!report.SloSatisfied()) {
+    std::fprintf(stderr, "FAIL: p99 latency exceeded the %.3fms SLO\n",
+                 report.slo_p99_millis);
+    return 1;
+  }
+  if (report.slo_p99_millis > 0) {
+    std::printf("p99 latency within the %.3fms SLO at every MPL\n",
+                report.slo_p99_millis);
+  }
   return 0;
 }

@@ -1,8 +1,12 @@
 // Quickstart: generate a small XBench database, load it into the native
 // XML engine, create a value index, and run an XQuery — the minimal
-// end-to-end path through the library. Set XBENCH_TRACE=<path> to dump a
-// Chrome trace of the run and XBENCH_REPORT=<path> to dump the metrics
-// registry snapshot.
+// end-to-end path through the library. Set XBENCH_TRACE_OUT=<path> to
+// dump a Chrome trace of the run (open it in Perfetto or
+// chrome://tracing) and XBENCH_REPORT=<path> to dump the metrics
+// registry snapshot. The run is single-threaded and the tracer clock is
+// virtual, so the trace is byte-identical across runs — the
+// trace_quickstart_golden test diffs it against
+// tools/golden/trace_quickstart.json.
 #include <cstdio>
 #include <cstdlib>
 

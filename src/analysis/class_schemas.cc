@@ -81,6 +81,13 @@ Status ValidateElementEdges(const xml::Node& node, const xml::Dtd& dtd) {
 
 }  // namespace
 
+datagen::GenConfig CanonicalSampleConfig() {
+  datagen::GenConfig config;
+  config.target_bytes = kSampleBytes;
+  config.seed = kSampleSeed;
+  return config;
+}
+
 const ClassSchema& CanonicalClassSchema(datagen::DbClass cls) {
   static std::array<std::once_flag, 4> flags;
   static std::array<std::unique_ptr<ClassSchema>, 4>* cache =

@@ -27,6 +27,12 @@ struct ClassSchema {
   SchemaContext Context() const { return {&dtd, &summary, roots}; }
 };
 
+/// The generator configuration of the canonical sample database the class
+/// schemas are inferred from (seed 42, 96 KiB). Tools that want to run
+/// queries over "the schema's database" (xqlint --explain --profile)
+/// regenerate it with this.
+datagen::GenConfig CanonicalSampleConfig();
+
 /// Lazily built, cached canonical schema for `cls` (seed 42, 96 KiB sample
 /// — the same configuration the DTD round-trip tests validate).
 /// Thread-safe: concurrent first calls build each class's schema once.

@@ -188,7 +188,9 @@ std::string Driver::JsonReport(const ReportOptions& options) {
               workload::DeriveParams(db_class, db.seeds), "report");
           writer.Key("queries").BeginArray();
           for (QueryId id : queries) {
-            workload::ExecutionResult result = session.Run(id);
+            workload::RunOptions run_options;
+            run_options.profile = options.profile;
+            workload::ExecutionResult result = session.Run(id, run_options);
             writer.BeginObject();
             writer.Key("query").String(workload::QueryName(id));
             writer.Key("supported").Bool(result.status.ok());
@@ -201,6 +203,20 @@ std::string Driver::JsonReport(const ReportOptions& options) {
               writer.Key("answer_hash")
                   .String(HexHash(workload::AnswerHash(canonical)));
               WriteIoStats(writer, result.io);
+              if (result.profile.collected) {
+                const workload::QueryProfile& profile = result.profile;
+                writer.Key("profile").BeginObject();
+                writer.Key("parse_millis").Number(profile.parse_millis);
+                writer.Key("analyze_millis").Number(profile.analyze_millis);
+                writer.Key("plan_millis").Number(profile.plan_millis);
+                writer.Key("compile_cache_hit")
+                    .Bool(profile.compile_cache_hit);
+                writer.Key("engine_millis").Number(profile.engine_millis);
+                writer.Key("exec_millis").Number(profile.exec_millis);
+                writer.Key("serialize_millis")
+                    .Number(profile.serialize_millis);
+                writer.EndObject();
+              }
               if (result.compiled) {
                 writer.Key("plan").BeginObject();
                 writer.Key("compiled").Bool(true);
@@ -211,12 +227,16 @@ std::string Driver::JsonReport(const ReportOptions& options) {
                   writer.BeginObject()
                       .Key("op")
                       .String(op.label)
+                      .Key("depth")
+                      .Uint(static_cast<uint64_t>(op.depth))
                       .Key("rows_out")
                       .Uint(op.rows_out)
                       .Key("invocations")
                       .Uint(op.invocations)
                       .Key("millis")
                       .Number(op.millis)
+                      .Key("self_millis")
+                      .Number(op.self_millis)
                       .EndObject();
                 }
                 writer.EndArray();

@@ -55,17 +55,25 @@ class Driver {
   struct ReportOptions {
     std::vector<workload::QueryId> queries;
     std::vector<workload::Scale> scales;
+    /// Run queries with RunOptions::profile and emit a per-query
+    /// "profile" object (phase timings) plus per-operator depth/self
+    /// times in the plan section.
+    bool profile = false;
   };
 
   /// Machine-readable run report (BENCH_RESULTS-style): one cell per
   /// (engine, class, scale) with load timings, per-query timings, answer
   /// hashes, and buffer-pool/disk counters, plus a snapshot of the global
   /// metrics registry. Valid JSON by construction (tests parse it).
-  std::string JsonReport(const ReportOptions& options = {});
+  std::string JsonReport(const ReportOptions& options);
+  std::string JsonReport() { return JsonReport(ReportOptions()); }
 
   /// Writes JsonReport() to `path`.
   Status WriteJsonReport(const std::string& path,
-                         const ReportOptions& options = {});
+                         const ReportOptions& options);
+  Status WriteJsonReport(const std::string& path) {
+    return WriteJsonReport(path, ReportOptions());
+  }
 
  private:
   std::map<std::pair<int, int>, datagen::GeneratedDatabase> databases_;

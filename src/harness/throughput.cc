@@ -9,6 +9,7 @@
 #include "harness/scale.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/runner.h"
 #include "workload/session.h"
 
@@ -23,18 +24,11 @@ std::vector<QueryId> DefaultMix() {
           QueryId::kQ17};
 }
 
-double PercentileSorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-/// What one session's worker thread hands back after joining.
+/// What one session's worker thread hands back after joining. Latency
+/// samples go straight into the shared per-MPL histogram, so only the
+/// scalar tallies ride through here.
 struct SessionOutcome {
-  std::vector<double> latencies_millis;
+  uint64_t ops = 0;
   double busy_millis = 0;
   uint64_t failures = 0;
   uint64_t hash_mismatches = 0;
@@ -45,6 +39,13 @@ struct SessionOutcome {
 bool ThroughputReport::AllAnswersMatchSerial() const {
   for (const MplResult& result : mpls) {
     if (result.hash_mismatches != 0) return false;
+  }
+  return true;
+}
+
+bool ThroughputReport::SloSatisfied() const {
+  for (const MplResult& result : mpls) {
+    if (!result.slo_ok) return false;
   }
   return true;
 }
@@ -72,6 +73,8 @@ void WriteJson(const ThroughputReport& report, obs::JsonWriter& writer) {
   writer.Key("class").String(datagen::DbClassName(report.db_class));
   writer.Key("scale").String(workload::ScaleName(report.scale));
   writer.Key("answers_match_serial").Bool(report.AllAnswersMatchSerial());
+  writer.Key("slo_p99_millis").Number(report.slo_p99_millis);
+  writer.Key("slo_satisfied").Bool(report.SloSatisfied());
   writer.Key("baseline").BeginArray();
   for (const BaselineAnswer& answer : report.baseline) {
     writer.BeginObject()
@@ -103,8 +106,14 @@ void WriteJson(const ThroughputReport& report, obs::JsonWriter& writer) {
         .Number(result.mean_millis)
         .Key("p50_millis")
         .Number(result.p50_millis)
+        .Key("p90_millis")
+        .Number(result.p90_millis)
         .Key("p99_millis")
         .Number(result.p99_millis)
+        .Key("p999_millis")
+        .Number(result.p999_millis)
+        .Key("slo_ok")
+        .Bool(result.slo_ok)
         .EndObject();
   }
   writer.EndArray();
@@ -119,6 +128,7 @@ Result<ThroughputReport> ThroughputDriver::Run() {
   report.engine = options_.engine;
   report.db_class = options_.db_class;
   report.scale = options_.scale;
+  report.slo_p99_millis = options_.slo_p99_millis;
 
   datagen::GenConfig config;
   config.target_bytes = TargetBytes(options_.scale);
@@ -185,9 +195,17 @@ Result<ThroughputReport> ThroughputDriver::Run() {
     }
     std::vector<SessionOutcome> outcomes(static_cast<size_t>(mpl));
     const int ops = std::max(1, options_.ops_per_session);
+    // Per-statement latency samples, shared by this MPL's workers. Reset
+    // so a rerun (or a prior sweep in the same process) does not bleed in.
+    obs::Histogram& latency_histogram = metrics.GetHistogram(
+        "xbench.concurrency.mpl" + std::to_string(mpl) + ".latency_micros");
+    latency_histogram.Reset();
     auto worker = [&](int index) {
       workload::Session& session = sessions[static_cast<size_t>(index)];
       SessionOutcome& outcome = outcomes[static_cast<size_t>(index)];
+      if (obs::Tracer::Default().enabled()) {
+        obs::Tracer::Default().SetCurrentThreadName(session.name());
+      }
       workload::RunOptions run_options;
       run_options.cold = false;
       run_options.thread_time = true;
@@ -198,7 +216,9 @@ Result<ThroughputReport> ThroughputDriver::Run() {
         const QueryId id = mix[static_cast<size_t>(index + op) % mix.size()];
         workload::ExecutionResult result = session.Run(id, run_options);
         const double latency = result.TotalMillis();
-        outcome.latencies_millis.push_back(latency);
+        latency_histogram.Record(
+            static_cast<uint64_t>(std::llround(latency * 1000.0)));
+        ++outcome.ops;
         outcome.busy_millis += latency;
         if (!result.status.ok()) {
           ++outcome.failures;
@@ -220,23 +240,27 @@ Result<ThroughputReport> ThroughputDriver::Run() {
 
     MplResult result;
     result.mpl = mpl;
-    std::vector<double> latencies;
     for (const SessionOutcome& outcome : outcomes) {
-      result.ops += outcome.latencies_millis.size();
+      result.ops += outcome.ops;
       result.failures += outcome.failures;
       result.hash_mismatches += outcome.hash_mismatches;
       result.makespan_millis =
           std::max(result.makespan_millis, outcome.busy_millis);
-      latencies.insert(latencies.end(), outcome.latencies_millis.begin(),
-                       outcome.latencies_millis.end());
     }
-    std::sort(latencies.begin(), latencies.end());
-    double sum = 0;
-    for (double latency : latencies) sum += latency;
-    result.mean_millis =
-        latencies.empty() ? 0 : sum / static_cast<double>(latencies.size());
-    result.p50_millis = PercentileSorted(latencies, 0.50);
-    result.p99_millis = PercentileSorted(latencies, 0.99);
+    // Percentiles straight from the recorded samples (micros -> millis);
+    // the log-bucketed histogram bounds the relative error at <= 6.25%.
+    result.mean_millis = latency_histogram.Mean() / 1000.0;
+    result.p50_millis =
+        static_cast<double>(latency_histogram.ApproxPercentile(0.50)) / 1000.0;
+    result.p90_millis =
+        static_cast<double>(latency_histogram.ApproxPercentile(0.90)) / 1000.0;
+    result.p99_millis =
+        static_cast<double>(latency_histogram.ApproxPercentile(0.99)) / 1000.0;
+    result.p999_millis =
+        static_cast<double>(latency_histogram.ApproxPercentile(0.999)) /
+        1000.0;
+    result.slo_ok = options_.slo_p99_millis <= 0 ||
+                    result.p99_millis <= options_.slo_p99_millis;
     result.qps = result.makespan_millis > 0
                      ? static_cast<double>(result.ops) /
                            (result.makespan_millis / 1000.0)
@@ -247,7 +271,9 @@ Result<ThroughputReport> ThroughputDriver::Run() {
         "xbench.concurrency.mpl" + std::to_string(mpl);
     metrics.GetGauge(prefix + ".qps").Set(result.qps);
     metrics.GetGauge(prefix + ".p50_millis").Set(result.p50_millis);
+    metrics.GetGauge(prefix + ".p90_millis").Set(result.p90_millis);
     metrics.GetGauge(prefix + ".p99_millis").Set(result.p99_millis);
+    metrics.GetGauge(prefix + ".p999_millis").Set(result.p999_millis);
     metrics.GetCounter("xbench.concurrency.ops").Increment(result.ops);
     metrics.GetCounter("xbench.concurrency.hash_mismatches")
         .Increment(result.hash_mismatches);

@@ -28,9 +28,16 @@ struct ThroughputOptions {
   std::vector<workload::QueryId> mix;
   /// Statements each session executes per MPL run.
   int ops_per_session = 8;
+  /// SLO gate: when positive, an MPL whose p99 latency exceeds this many
+  /// milliseconds is flagged (MplResult::slo_ok = false) and
+  /// ThroughputReport::SloSatisfied() turns false. 0 disables the gate.
+  double slo_p99_millis = 0;
 };
 
-/// One MPL data point.
+/// One MPL data point. Latency percentiles come from a log-bucketed
+/// `xbench.concurrency.mpl<N>.latency_micros` histogram of per-statement
+/// samples (see obs::Histogram for the relative-error bound), recorded in
+/// microseconds and reported in milliseconds.
 struct MplResult {
   int mpl = 1;
   uint64_t ops = 0;
@@ -46,7 +53,11 @@ struct MplResult {
   double qps = 0;
   double mean_millis = 0;
   double p50_millis = 0;
+  double p90_millis = 0;
   double p99_millis = 0;
+  double p999_millis = 0;
+  /// False when the SLO gate was enabled and this MPL's p99 exceeded it.
+  bool slo_ok = true;
 };
 
 /// Serial-baseline answer for one query in the mix.
@@ -63,9 +74,13 @@ struct ThroughputReport {
   workload::Scale scale = workload::Scale::kSmall;
   std::vector<BaselineAnswer> baseline;
   std::vector<MplResult> mpls;
+  /// Copy of ThroughputOptions::slo_p99_millis (0 = gate disabled).
+  double slo_p99_millis = 0;
 
   /// True when no concurrent statement's answer diverged from serial.
   bool AllAnswersMatchSerial() const;
+  /// True when every MPL met the p99 SLO (vacuously true when disabled).
+  bool SloSatisfied() const;
   /// qps at `mpl` divided by qps at MPL 1 (0 when either is missing).
   double SpeedupAt(int mpl) const;
 };

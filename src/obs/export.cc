@@ -1,0 +1,93 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace xbench::obs {
+
+namespace {
+
+/// OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+/// dotted convention maps dots (and any other byte outside that set) to
+/// underscores.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(out[i]);
+    const bool ok = std::isalpha(c) != 0 || c == '_' || c == ':' ||
+                    (i > 0 && std::isdigit(c) != 0);
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+void AppendUint(std::string& out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ToOpenMetrics(const MetricsRegistry& registry) {
+  std::string out;
+  MutexLock lock(registry.mu_);
+  for (const auto& [name, counter] : registry.counters_) {
+    const std::string metric = SanitizeName(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total ";
+    AppendUint(out, counter->value());
+    out += '\n';
+  }
+  for (const auto& [name, gauge] : registry.gauges_) {
+    const std::string metric = SanitizeName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + ' ';
+    AppendDouble(out, gauge->value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : registry.histograms_) {
+    const std::string metric = SanitizeName(name);
+    out += "# TYPE " + metric + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n == 0) continue;
+      cumulative += n;
+      out += metric + "_bucket{le=\"";
+      AppendUint(out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendUint(out, cumulative);
+      out += '\n';
+    }
+    out += metric + "_bucket{le=\"+Inf\"} ";
+    AppendUint(out, histogram->count());
+    out += '\n';
+    out += metric + "_sum ";
+    AppendUint(out, histogram->sum());
+    out += '\n';
+    out += metric + "_count ";
+    AppendUint(out, histogram->count());
+    out += '\n';
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteOpenMetrics(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return WriteFile(path, ToOpenMetrics(registry));
+}
+
+}  // namespace xbench::obs

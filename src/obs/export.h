@@ -1,0 +1,27 @@
+#ifndef XBENCH_OBS_EXPORT_H_
+#define XBENCH_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xbench::obs {
+
+class MetricsRegistry;
+
+/// Serializes `registry` in the OpenMetrics text exposition format
+/// (Prometheus-scrapable). Naming: metric-name dots become underscores
+/// (`xbench.pool.hits` -> `xbench_pool_hits`); counters get the `_total`
+/// suffix; histograms expose cumulative `le` buckets (only non-empty
+/// ones plus `+Inf`) with `_sum`/`_count`, using the log-linear bucket
+/// bounds from obs::Histogram. Output is deterministically ordered by
+/// name and terminated by `# EOF`.
+std::string ToOpenMetrics(const MetricsRegistry& registry);
+
+/// Writes ToOpenMetrics(registry) to `path`.
+Status WriteOpenMetrics(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace xbench::obs
+
+#endif  // XBENCH_OBS_EXPORT_H_

@@ -20,14 +20,31 @@ void AtomicFold(std::atomic<uint64_t>& slot, uint64_t sample, Better better) {
 
 }  // namespace
 
+size_t Histogram::BucketIndex(uint64_t sample) {
+  if (sample < kSubBuckets) return static_cast<size_t>(sample);
+  // Octave = bit width above the 5 bits the first 16+16 buckets resolve;
+  // the 4 bits after the leading 1 select the sub-bucket.
+  const int shift = std::bit_width(sample) - 5;
+  return kSubBuckets + static_cast<size_t>(shift) * kSubBuckets +
+         static_cast<size_t>((sample >> shift) & (kSubBuckets - 1));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i < kSubBuckets) return i;
+  const size_t octave = (i - kSubBuckets) / kSubBuckets;
+  const size_t sub = (i - kSubBuckets) % kSubBuckets;
+  // ((17 + sub) << 59) wraps to 2^64 for the topmost bucket; the - 1 then
+  // yields UINT64_MAX, which is exactly that bucket's inclusive bound.
+  return ((static_cast<uint64_t>(kSubBuckets + sub + 1)) << octave) - 1;
+}
+
 void Histogram::Record(uint64_t sample) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);
   AtomicFold(min_, sample, [](uint64_t s, uint64_t cur) { return s < cur; });
   AtomicFold(max_, sample, [](uint64_t s, uint64_t cur) { return s > cur; });
-  buckets_[sample == 0 ? 0 : std::bit_width(sample) - 1].fetch_add(
-      1, std::memory_order_relaxed);
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t Histogram::ApproxPercentile(double p) const {
@@ -44,8 +61,7 @@ uint64_t Histogram::ApproxPercentile(double p) const {
     seen += bucket(i);
     if (seen >= rank) {
       // Upper bound of bucket i, clamped to the observed max.
-      const uint64_t bound =
-          i >= 63 ? observed_max : (static_cast<uint64_t>(1) << (i + 1)) - 1;
+      const uint64_t bound = BucketUpperBound(i);
       return bound < observed_max ? bound : observed_max;
     }
   }
@@ -137,8 +153,12 @@ void MetricsRegistry::WriteJson(JsonWriter& writer) const {
         .Number(histogram->Mean())
         .Key("p50")
         .Uint(histogram->ApproxPercentile(0.5))
+        .Key("p90")
+        .Uint(histogram->ApproxPercentile(0.9))
         .Key("p99")
         .Uint(histogram->ApproxPercentile(0.99))
+        .Key("p999")
+        .Uint(histogram->ApproxPercentile(0.999))
         .EndObject();
   }
   writer.EndObject();

@@ -67,14 +67,34 @@ class Gauge {
 };
 
 /// Histogram of nonnegative integer samples (micros, bytes, row counts)
-/// with power-of-two buckets: bucket i counts samples whose bit width is i
-/// (0 lands in bucket 0). Tracks exact count/sum/min/max; percentiles are
-/// approximated by each bucket's upper bound. Record() is thread-safe;
-/// a reader racing a writer may observe a sample in count() before it
-/// lands in a bucket, which the approximate percentiles tolerate.
+/// with log-bucketed bounds: values below 16 get one bucket each (exact),
+/// larger values are split into 16 sub-buckets per power of two
+/// (HdrHistogram-style log-linear buckets). Tracks exact
+/// count/sum/min/max; percentiles are approximated by the containing
+/// bucket's upper bound.
+///
+/// Accuracy bound: a bucket covering [L, U] has width U - L + 1 = L/16,
+/// so the reported quantile is >= the true quantile and overestimates it
+/// by strictly less than 1/16 = 6.25% relative error (documented
+/// guarantee: <= 10%; samples below 16 are exact). The unit test
+/// HistogramPercentileErrorBoundAcrossDecades asserts this across seven
+/// decades of sample magnitudes.
+///
+/// Record() is thread-safe; a reader racing a writer may observe a
+/// sample in count() before it lands in a bucket, which the approximate
+/// percentiles tolerate.
 class Histogram {
  public:
-  static constexpr size_t kBuckets = 64;
+  /// 16 one-per-value buckets for [0, 16) plus 16 sub-buckets for each of
+  /// the 60 remaining octaves of the uint64 range.
+  static constexpr size_t kSubBuckets = 16;
+  static constexpr size_t kBuckets = kSubBuckets + 60 * kSubBuckets;
+
+  /// Bucket holding `sample` (log-linear mapping, see class comment).
+  static size_t BucketIndex(uint64_t sample);
+  /// Largest sample bucket `i` can hold (inclusive). Percentiles report
+  /// this bound, clamped to the observed max.
+  static uint64_t BucketUpperBound(size_t i);
 
   void Record(uint64_t sample);
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -141,6 +161,10 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
+  // The OpenMetrics exporter (obs/export.h) walks the metric maps
+  // directly under mu_.
+  friend std::string ToOpenMetrics(const MetricsRegistry& registry);
+
   // The enabled flag lives behind a unique_ptr so metric handles can keep
   // a stable pointer to it even if the registry object moves.
   std::unique_ptr<std::atomic<bool>> enabled_;

@@ -16,7 +16,18 @@ void Tracer::Clear() {
   MutexLock lock(mu_);
   events_.clear();
   last_ticks_ = 0;
-  depth_ = 0;
+  lane_ids_.clear();
+  lanes_.clear();
+}
+
+size_t Tracer::LaneForThisThreadLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = lane_ids_.find(self);
+  if (it == lane_ids_.end()) {
+    it = lane_ids_.emplace(self, lanes_.size()).first;
+    lanes_.emplace_back();
+  }
+  return it->second;
 }
 
 uint64_t Tracer::NowTicksLocked() {
@@ -35,25 +46,51 @@ uint64_t Tracer::NowTicks() {
 void Tracer::BeginSpan(std::string name) {
   if (!enabled()) return;
   MutexLock lock(mu_);
-  ++depth_;
-  events_.push_back(
-      {TraceEvent::Phase::kBegin, std::move(name), NowTicksLocked(), depth_});
+  const size_t lane = LaneForThisThreadLocked();
+  ++lanes_[lane].depth;
+  events_.push_back({TraceEvent::Phase::kBegin, std::move(name),
+                     NowTicksLocked(), lanes_[lane].depth,
+                     static_cast<uint32_t>(lane + 1)});
 }
 
 void Tracer::EndSpan() {
   MutexLock lock(mu_);
-  if (depth_ == 0) return;  // unbalanced EndSpan; ignore
+  const size_t lane = LaneForThisThreadLocked();
+  if (lanes_[lane].depth == 0) return;  // unbalanced EndSpan; ignore
   events_.push_back({TraceEvent::Phase::kEnd, std::string(), NowTicksLocked(),
-                     depth_});
-  --depth_;
+                     lanes_[lane].depth, static_cast<uint32_t>(lane + 1)});
+  --lanes_[lane].depth;
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  MutexLock lock(mu_);
+  lanes_[LaneForThisThreadLocked()].name = std::move(name);
 }
 
 std::string Tracer::ToChromeJson() const {
-  const std::vector<TraceEvent> snapshot = events();
+  std::vector<TraceEvent> snapshot;
+  std::vector<LaneState> lanes;
+  {
+    MutexLock lock(mu_);
+    snapshot = events_;
+    lanes = lanes_;
+  }
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("displayTimeUnit").String("ms");
   writer.Key("traceEvents").BeginArray();
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].name.empty()) continue;
+    writer.BeginObject();
+    writer.Key("name").String("thread_name");
+    writer.Key("ph").String("M");
+    writer.Key("pid").Uint(1);
+    writer.Key("tid").Uint(i + 1);
+    writer.Key("args").BeginObject();
+    writer.Key("name").String(lanes[i].name);
+    writer.EndObject();
+    writer.EndObject();
+  }
   for (const TraceEvent& event : snapshot) {
     writer.BeginObject();
     if (event.phase == TraceEvent::Phase::kBegin) {
@@ -65,7 +102,7 @@ std::string Tracer::ToChromeJson() const {
     writer.Key("cat").String("xbench");
     writer.Key("ts").Uint(event.ts);
     writer.Key("pid").Uint(1);
-    writer.Key("tid").Uint(1);
+    writer.Key("tid").Uint(event.lane);
     writer.EndObject();
   }
   writer.EndArray();
@@ -78,7 +115,8 @@ Status Tracer::WriteChromeJson(const std::string& path) const {
 }
 
 EnvTraceSession::EnvTraceSession(Tracer& tracer) : tracer_(&tracer) {
-  const char* path = std::getenv("XBENCH_TRACE");
+  const char* path = std::getenv("XBENCH_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') path = std::getenv("XBENCH_TRACE");
   if (path == nullptr || path[0] == '\0') return;
   path_ = path;
   tracer_->Clear();
@@ -90,7 +128,7 @@ EnvTraceSession::~EnvTraceSession() {
   tracer_->Disable();
   Status status = tracer_->WriteChromeJson(path_);
   if (!status.ok()) {
-    std::fprintf(stderr, "XBENCH_TRACE: %s\n", status.ToString().c_str());
+    std::fprintf(stderr, "XBENCH_TRACE_OUT: %s\n", status.ToString().c_str());
   }
 }
 

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -15,13 +17,16 @@ namespace xbench::obs {
 
 /// One begin/end edge of a span. `ts` is in deterministic ticks (see
 /// Tracer::NowTicks); `depth` is the nesting depth at the time the edge
-/// was recorded (begin edges record the depth of the opened span).
+/// was recorded (begin edges record the depth of the opened span), and
+/// `lane` is the 1-based lane (Chrome trace `tid`) of the recording
+/// thread.
 struct TraceEvent {
   enum class Phase { kBegin, kEnd };
   Phase phase;
   std::string name;
   uint64_t ts = 0;
   size_t depth = 0;
+  uint32_t lane = 1;
 };
 
 /// Hierarchical span tracer with a *deterministic* timeline: timestamps
@@ -33,9 +38,11 @@ struct TraceEvent {
 ///
 /// Thread safety: the enabled flag and clock source are atomics, and the
 /// event log serializes on an internal mutex, so spans from concurrent
-/// sessions interleave without races. Note the span *hierarchy* is
-/// process-global — deterministic traces remain a single-session tool;
-/// multi-session runs disable tracing during the measured region.
+/// sessions interleave without races. Each recording thread gets its own
+/// *lane* (Chrome trace `tid`) with an independent span stack, so
+/// multi-session runs export one timeline row per worker; name a lane
+/// with SetCurrentThreadName. The tick sequence is still process-global,
+/// so byte-identical traces require a single-threaded run.
 class Tracer {
  public:
   /// Ticks per virtual microsecond; the tie-breaking logical tick
@@ -68,10 +75,16 @@ class Tracer {
   void BeginSpan(std::string name);
   void EndSpan();
 
-  /// Nesting depth of currently open spans.
+  /// Names the calling thread's lane; exported as a `thread_name`
+  /// metadata event so trace viewers label the row (e.g. "session-3").
+  void SetCurrentThreadName(std::string name);
+
+  /// Nesting depth of spans currently open on the *calling thread's*
+  /// lane (0 if this thread has not recorded anything yet).
   size_t depth() const {
     MutexLock lock(mu_);
-    return depth_;
+    auto it = lane_ids_.find(std::this_thread::get_id());
+    return it == lane_ids_.end() ? 0 : lanes_[it->second].depth;
   }
   /// Snapshot of the recorded events. (Tests and report writers call this
   /// after the traced region has quiesced.)
@@ -81,18 +94,31 @@ class Tracer {
   }
 
   /// Serializes to Chrome trace-event JSON (load in chrome://tracing or
-  /// Perfetto). Timestamps are virtual ticks reported as microseconds.
+  /// Perfetto). Timestamps are virtual ticks reported as microseconds;
+  /// each lane becomes a `tid` row preceded by a `thread_name` metadata
+  /// event when the lane was named.
   std::string ToChromeJson() const;
   Status WriteChromeJson(const std::string& path) const;
 
  private:
+  /// Per-lane span stack state. Lane 0 is reserved; Chrome `tid`s are
+  /// the 1-based indices so the default lane renders as tid 1.
+  struct LaneState {
+    std::string name;
+    size_t depth = 0;
+  };
+
   uint64_t NowTicksLocked() XBENCH_REQUIRES(mu_);
+  /// Lane index of the calling thread, assigning the next free lane on
+  /// first use.
+  size_t LaneForThisThreadLocked() XBENCH_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<const VirtualClock*> clock_{nullptr};
   mutable Mutex mu_{LockRank::kTracer, "tracer"};
   uint64_t last_ticks_ XBENCH_GUARDED_BY(mu_) = 0;
-  size_t depth_ XBENCH_GUARDED_BY(mu_) = 0;
+  std::map<std::thread::id, size_t> lane_ids_ XBENCH_GUARDED_BY(mu_);
+  std::vector<LaneState> lanes_ XBENCH_GUARDED_BY(mu_);
   std::vector<TraceEvent> events_ XBENCH_GUARDED_BY(mu_);
 };
 
@@ -141,10 +167,10 @@ class ScopedClockSource {
   const VirtualClock* previous_;
 };
 
-/// Environment hook: if XBENCH_TRACE=<path> is set, construction enables
-/// the default tracer (clearing any stale events) and destruction writes
-/// the Chrome trace to <path>. Benchmarks and examples put one at the top
-/// of main().
+/// Environment hook: if XBENCH_TRACE_OUT=<path> (or the legacy
+/// XBENCH_TRACE=<path>) is set, construction enables the default tracer
+/// (clearing any stale events) and destruction writes the Chrome trace
+/// to <path>. Benchmarks and examples put one at the top of main().
 class EnvTraceSession {
  public:
   explicit EnvTraceSession(Tracer& tracer = Tracer::Default());

@@ -149,14 +149,22 @@ Result<xquery::ExprPtr> AnalyzeForClass(const std::string& xquery,
 }
 
 Result<AnalyzedQuery> AnalyzeForClassFull(const std::string& xquery,
-                                          datagen::DbClass db_class) {
+                                          datagen::DbClass db_class,
+                                          double* parse_millis,
+                                          double* analyze_millis) {
   AnalyzedQuery analyzed;
+  Stopwatch parse_watch;
   XBENCH_ASSIGN_OR_RETURN(analyzed.ast, xquery::ParseQuery(xquery));
+  if (parse_millis != nullptr) *parse_millis = parse_watch.ElapsedMillis();
   const analysis::ClassSchema& schema =
       analysis::CanonicalClassSchema(db_class);
+  Stopwatch analyze_watch;
   XBENCH_RETURN_IF_ERROR(analysis::AnalyzeQuery(*analyzed.ast, schema.dtd,
                                                 &schema.summary, schema.roots,
                                                 &analyzed.report));
+  if (analyze_millis != nullptr) {
+    *analyze_millis = analyze_watch.ElapsedMillis();
+  }
   return analyzed;
 }
 

@@ -105,6 +105,26 @@ struct RunOptions {
   /// instead of wall time. Concurrent throughput runs use this so one
   /// session's latency is unaffected by timeslicing against the others.
   bool thread_time = false;
+  /// Collect phase-boundary timings into ExecutionResult::profile
+  /// (native engine path).
+  bool profile = false;
+};
+
+/// Phase-boundary timings for one statement, native engine path. Compile
+/// phases are measured outside the timed region (statement-prepare work)
+/// and are zero on a plan-cache hit; `exec_millis` is the operator-tree
+/// wall time (per-operator self times sum to it), `engine_millis` the
+/// whole engine call around it (adds binding/materialization work), and
+/// `serialize_millis` the result text rendering after the engine call.
+struct QueryProfile {
+  bool collected = false;
+  double parse_millis = 0;
+  double analyze_millis = 0;
+  double plan_millis = 0;
+  bool compile_cache_hit = false;
+  double engine_millis = 0;
+  double exec_millis = 0;
+  double serialize_millis = 0;
 };
 
 struct ExecutionResult : OpOutcome {
@@ -117,6 +137,8 @@ struct ExecutionResult : OpOutcome {
   bool compiled = false;
   bool plan_cache_hit = false;
   xquery::exec::ExecStats plan_stats;
+  /// Filled when RunOptions::profile was set (native path).
+  QueryProfile profile;
 };
 
 /// Parses `xquery` and type-checks it against the canonical schema of
@@ -138,9 +160,13 @@ struct AnalyzedQuery {
 };
 
 /// Like AnalyzeForClass, but also hands back the analysis report so a
-/// compile phase can feed `report.annotations` to plan::Compile.
+/// compile phase can feed `report.annotations` to plan::Compile. When the
+/// timing out-params are non-null they receive the parse and analyze
+/// phase wall times (for QueryProfile).
 Result<AnalyzedQuery> AnalyzeForClassFull(const std::string& xquery,
-                                          datagen::DbClass db_class);
+                                          datagen::DbClass db_class,
+                                          double* parse_millis = nullptr,
+                                          double* analyze_millis = nullptr);
 
 /// Executes query `id` against `engine` for class `db_class`. Convenience
 /// wrapper over a one-shot workload::Session (see workload/session.h);

@@ -37,13 +37,15 @@ std::vector<std::string> SplitLines(const std::string& text) {
 /// parameter values always match the collection it runs over.
 Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
     engines::NativeEngine& engine, QueryId id, datagen::DbClass db_class,
-    const QueryParams& params, bool use_guided, bool* cache_hit) {
+    const QueryParams& params, bool use_guided, bool* cache_hit,
+    QueryProfile* profile) {
   const bool guided = use_guided && engine.guided_eval_enabled();
   const xquery::plan::PlanCacheKey key{
       static_cast<int>(id), static_cast<int>(db_class),
       static_cast<int>(EngineKind::kNative), guided};
   if (auto cached = engine.plan_cache().Lookup(key)) {
     *cache_hit = true;
+    if (profile != nullptr) profile->compile_cache_hit = true;
     return cached;
   }
   *cache_hit = false;
@@ -53,18 +55,27 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
                                " is not defined for " +
                                datagen::DbClassName(db_class));
   }
-  XBENCH_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
-                          AnalyzeForClassFull(xquery, db_class));
+  double parse_millis = 0;
+  double analyze_millis = 0;
+  XBENCH_ASSIGN_OR_RETURN(
+      AnalyzedQuery analyzed,
+      AnalyzeForClassFull(xquery, db_class, &parse_millis, &analyze_millis));
   xquery::plan::PlannerOptions options;
   options.guided = guided;
   // The canonical schema's statistics describe the sample database, not
   // the engine's actual collection, so cardinality-zero pruning stays off
   // when answers count.
   options.trust_statistics = false;
+  Stopwatch plan_watch;
   XBENCH_ASSIGN_OR_RETURN(
       std::shared_ptr<const xquery::plan::CompiledQuery> compiled,
       xquery::plan::Compile(std::move(analyzed.ast),
                             &analyzed.report.annotations, options));
+  if (profile != nullptr) {
+    profile->parse_millis = parse_millis;
+    profile->analyze_millis = analyze_millis;
+    profile->plan_millis = plan_watch.ElapsedMillis();
+  }
   engine.plan_cache().Insert(key, compiled);
   return compiled;
 }
@@ -72,22 +83,32 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
 void RunNative(engines::NativeEngine& engine, QueryId id,
                datagen::DbClass db_class, const QueryParams& params,
                const xquery::plan::CompiledQuery& compiled,
-               bool collect_plan_stats, ExecutionResult& result) {
+               bool collect_plan_stats, bool profile,
+               ExecutionResult& result) {
   xquery::exec::ExecStats scratch;
   xquery::exec::ExecStats* stats =
-      collect_plan_stats ? &result.plan_stats : &scratch;
+      collect_plan_stats || profile ? &result.plan_stats : &scratch;
   auto hint = IndexHintFor(id, db_class, params);
+  Stopwatch engine_watch;
   auto query_result =
       hint.has_value()
           ? engine.ExecutePlanWithIndex(hint->index_name, hint->value,
                                         compiled, stats)
           : engine.ExecutePlan(compiled, stats);
+  const double engine_millis = engine_watch.ElapsedMillis();
   if (!query_result.ok()) {
     result.status = query_result.status();
     return;
   }
+  Stopwatch serialize_watch;
   result.lines = SplitLines(query_result->ToText());
   result.compiled = true;
+  if (profile) {
+    result.profile.collected = true;
+    result.profile.engine_millis = engine_millis;
+    result.profile.exec_millis = stats->total_millis;
+    result.profile.serialize_millis = serialize_watch.ElapsedMillis();
+  }
 }
 
 }  // namespace
@@ -115,11 +136,16 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
   // statement cache survives a buffer-pool flush.
   std::shared_ptr<const xquery::plan::CompiledQuery> native_plan;
   bool native_cache_hit = false;
+  QueryProfile profile;
   if (engine.kind() == EngineKind::kNative) {
-    auto prepared =
-        PrepareNativePlan(static_cast<engines::NativeEngine&>(engine), id,
-                          db_class_, params, options.use_guided,
-                          &native_cache_hit);
+    obs::ScopedSpan compile_span(
+        obs::Tracer::Default().enabled()
+            ? std::string("phase.compile.") + QueryName(id)
+            : std::string());
+    auto prepared = PrepareNativePlan(
+        static_cast<engines::NativeEngine&>(engine), id, db_class_, params,
+        options.use_guided, &native_cache_hit,
+        options.profile ? &profile : nullptr);
     if (!prepared.ok()) {
       ExecutionResult failed;
       failed.status = prepared.status();
@@ -146,8 +172,10 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
   ThreadCpuStopwatch cpu;
   switch (engine.kind()) {
     case EngineKind::kNative:
+      result.profile = profile;
       RunNative(static_cast<engines::NativeEngine&>(engine), id, db_class_,
-                params, *native_plan, options.collect_plan_stats, result);
+                params, *native_plan, options.collect_plan_stats,
+                options.profile, result);
       result.plan_cache_hit = native_cache_hit;
       break;
     case EngineKind::kClob: {

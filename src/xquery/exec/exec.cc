@@ -971,6 +971,7 @@ class PhysicalBuilder {
     plan_.rendered += label;
     plan_.rendered.push_back('\n');
     plan_.labels.push_back(label);
+    plan_.depths.push_back(depth);
     return plan_.labels.size() - 1;
   }
 
@@ -1007,6 +1008,7 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
   std::vector<OperatorStats> op_stats(plan.labels.size());
   for (size_t i = 0; i < plan.labels.size(); ++i) {
     op_stats[i].label = plan.labels[i];
+    op_stats[i].depth = i < plan.depths.size() ? plan.depths[i] : 0;
   }
   ExecContext ctx;
   ctx.bindings = &bindings;
@@ -1017,10 +1019,29 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
       "xbench.xquery.nodes_visited");
   ctx.trace = obs::Tracer::Default().enabled();
   obs::ScopedSpan span("xquery.plan.exec");
+  Stopwatch total_watch;
   XBENCH_ASSIGN_OR_RETURN(result.items, plan.root->Run(ctx));
+  const double total_millis = total_watch.ElapsedMillis();
   executions.Increment();
   rows_out.Increment(result.items.size());
-  if (stats != nullptr) stats->operators = std::move(op_stats);
+  if (stats != nullptr) {
+    // Self time = inclusive time minus the direct children's inclusive
+    // time. In pre-order, slot i's children are the following slots at
+    // depth[i] + 1 before the next slot at depth <= depth[i].
+    for (size_t i = 0; i < op_stats.size(); ++i) {
+      double children = 0;
+      for (size_t j = i + 1;
+           j < op_stats.size() && op_stats[j].depth > op_stats[i].depth; ++j) {
+        if (op_stats[j].depth == op_stats[i].depth + 1) {
+          children += op_stats[j].millis;
+        }
+      }
+      const double self = op_stats[i].millis - children;
+      op_stats[i].self_millis = self > 0 ? self : 0;
+    }
+    stats->operators = std::move(op_stats);
+    stats->total_millis = total_millis;
+  }
   return result;
 }
 

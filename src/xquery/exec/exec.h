@@ -12,20 +12,28 @@
 
 namespace xbench::xquery::exec {
 
-/// Per-operator execution counters for one Execute() call. Times are
-/// inclusive (a pipeline operator's time contains its inputs').
+/// Per-operator execution counters for one Execute() call. `millis` is
+/// inclusive (a pipeline operator's time contains its inputs');
+/// `self_millis` subtracts the direct children's inclusive time, so self
+/// times across the plan sum to the root's inclusive time.
 struct OperatorStats {
   std::string label;
+  /// Nesting depth in the plan tree (root = 0).
+  int depth = 0;
   uint64_t rows_out = 0;
   /// Item operators: evaluations (once per driving tuple). Tuple
   /// operators: cursor opens.
   uint64_t invocations = 0;
   double millis = 0;
+  double self_millis = 0;
 };
 
 /// Snapshot of every operator's counters, in plan pre-order (root first).
 struct ExecStats {
   std::vector<OperatorStats> operators;
+  /// Wall time of the whole operator-tree run; per-operator self times
+  /// sum to this (within measurement noise).
+  double total_millis = 0;
 };
 
 class ItemOp;
@@ -43,6 +51,9 @@ struct PhysicalPlan {
   std::unique_ptr<ItemOp> root;
   /// Stats slot index -> operator label, plan pre-order.
   std::vector<std::string> labels;
+  /// Stats slot index -> tree depth (parallel to `labels`); pre-order plus
+  /// depth reconstructs the tree shape for self-time attribution.
+  std::vector<int> depths;
 
   /// Indented operator-tree rendering (for `xqlint --explain`).
   std::string ToString() const { return rendered; }

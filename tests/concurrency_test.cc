@@ -4,6 +4,7 @@
 // cache under racing compilers, mutations racing statements, and the MPL
 // throughput driver. The suite is the payload of the TSAN smoke job
 // (tools/sanitize_smoke.sh with XBENCH_SANITIZE=thread).
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -362,8 +363,92 @@ TEST(ThroughputDriverTest, SweepScalesAndMatchesSerialHashes) {
   // thread-CPU + attributed-I/O per session, so added clients scale the
   // aggregate until contention bites).
   EXPECT_GT(report.SpeedupAt(4), 1.5);
+  // Percentiles come from the recorded per-statement latency histogram,
+  // so they are positive and ordered.
+  for (const harness::MplResult& row : report.mpls) {
+    EXPECT_GT(row.mean_millis, 0.0);
+    EXPECT_GT(row.p50_millis, 0.0);
+    EXPECT_LE(row.p50_millis, row.p90_millis);
+    EXPECT_LE(row.p90_millis, row.p99_millis);
+    EXPECT_LE(row.p99_millis, row.p999_millis);
+    EXPECT_TRUE(row.slo_ok);  // no SLO configured
+  }
+  EXPECT_TRUE(report.SloSatisfied());
   const std::string json = harness::ToJson(report);
   EXPECT_NE(json.find("\"answers_match_serial\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"p90_millis\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999_millis\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo_satisfied\":true"), std::string::npos);
+}
+
+TEST(ThroughputDriverTest, SloGateTripsOnTightThresholdOnly) {
+  harness::ThroughputOptions options;
+  options.engine = EngineKind::kNative;
+  options.db_class = DbClass::kTcSd;
+  options.mpls = {1};
+  options.ops_per_session = 2;
+  // No real statement finishes in a nanosecond: the gate must trip.
+  options.slo_p99_millis = 1e-6;
+  auto tight = harness::ThroughputDriver(options).Run();
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  EXPECT_FALSE(tight->SloSatisfied());
+  ASSERT_EQ(tight->mpls.size(), 1u);
+  EXPECT_FALSE(tight->mpls[0].slo_ok);
+  EXPECT_NE(harness::ToJson(*tight).find("\"slo_satisfied\":false"),
+            std::string::npos);
+  // A generous threshold passes on the same workload.
+  options.slo_p99_millis = 600000;
+  auto generous = harness::ThroughputDriver(options).Run();
+  ASSERT_TRUE(generous.ok()) << generous.status().ToString();
+  EXPECT_TRUE(generous->SloSatisfied());
+  EXPECT_TRUE(generous->mpls[0].slo_ok);
+}
+
+TEST(SessionProfileTest, CollectsPhaseAndOperatorTimes) {
+  engines::NativeEngine engine;
+  const auto db = SmallDb(DbClass::kTcSd);
+  ASSERT_TRUE(workload::BulkLoad(engine, db).status.ok());
+  const workload::QueryParams params =
+      workload::DeriveParams(db.db_class, db.seeds);
+  workload::Session session(engine, db.db_class, params);
+  workload::RunOptions options;
+  options.cold = false;
+  options.profile = true;
+  workload::ExecutionResult first = session.Run(QueryId::kQ5, options);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_TRUE(first.profile.collected);
+  // First execution compiles: the parse/analyze/plan phases were timed
+  // and the plan cache missed.
+  EXPECT_FALSE(first.profile.compile_cache_hit);
+  EXPECT_GE(first.profile.plan_millis, 0.0);
+  EXPECT_GT(first.profile.engine_millis, 0.0);
+  EXPECT_GT(first.profile.exec_millis, 0.0);
+  // The per-operator self times partition the operator tree's run time:
+  // they must sum to the profiled execution time within 5%.
+  ASSERT_FALSE(first.plan_stats.operators.empty());
+  double self_sum = 0;
+  for (const xquery::exec::OperatorStats& op : first.plan_stats.operators) {
+    EXPECT_GE(op.self_millis, 0.0);
+    EXPECT_LE(op.self_millis, op.millis + 1e-9);
+    self_sum += op.self_millis;
+  }
+  EXPECT_EQ(first.plan_stats.operators[0].depth, 0);
+  EXPECT_NEAR(self_sum, first.profile.exec_millis,
+              std::max(0.05 * first.profile.exec_millis, 0.5));
+  // Second execution of the same statement hits the plan cache, so the
+  // compile phases report zero.
+  workload::ExecutionResult second = session.Run(QueryId::kQ5, options);
+  ASSERT_TRUE(second.status.ok());
+  ASSERT_TRUE(second.profile.collected);
+  EXPECT_TRUE(second.profile.compile_cache_hit);
+  EXPECT_EQ(second.profile.parse_millis, 0.0);
+  EXPECT_EQ(second.profile.analyze_millis, 0.0);
+  EXPECT_EQ(second.profile.plan_millis, 0.0);
+  // Without --profile the phase breakdown is not collected.
+  workload::ExecutionResult plain =
+      session.Run(QueryId::kQ5, workload::RunOptions());
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_FALSE(plain.profile.collected);
 }
 
 }  // namespace

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -111,10 +116,98 @@ TEST(MetricsTest, CounterGaugeHistogramMath) {
   EXPECT_EQ(histogram.min(), 1u);
   EXPECT_EQ(histogram.max(), 100u);
   EXPECT_DOUBLE_EQ(histogram.Mean(), 26.5);
-  // p50 falls in the bucket holding samples 2 and 3 (bit width 2 -> upper
-  // bound 3); p100 is clamped to the exact max.
-  EXPECT_EQ(histogram.ApproxPercentile(0.5), 3u);
+  // Samples below 16 get one bucket each, so small percentiles are
+  // exact; p100 is clamped to the observed max.
+  EXPECT_EQ(histogram.ApproxPercentile(0.5), 2u);
   EXPECT_EQ(histogram.ApproxPercentile(1.0), 100u);
+}
+
+TEST(MetricsTest, HistogramPercentileErrorBoundAcrossDecades) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("xbench.test.decades");
+  // ~12.5% geometric steps from 1 to beyond 10^9: every log-linear
+  // bucket octave between the exact range and the top is exercised.
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 1; v < 2'000'000'000ull; v += v / 8 + 1) {
+    samples.push_back(v);
+    histogram.Record(v);
+  }
+  const auto n = static_cast<uint64_t>(samples.size());
+  ASSERT_EQ(histogram.count(), n);
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    // Same rank convention as ApproxPercentile: the ceil(q*n)-th
+    // smallest sample.
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n) +
+                                          0.999999);
+    if (rank == 0) rank = 1;
+    const uint64_t exact = samples[rank - 1];
+    const uint64_t approx = histogram.ApproxPercentile(q);
+    // The approximation is the upper bound of the exact sample's bucket:
+    // never below the true value, and within the documented 10% relative
+    // error (actual bound: < 6.25%).
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx - exact, exact / 10) << "q=" << q;
+  }
+  EXPECT_EQ(histogram.ApproxPercentile(1.0), samples.back());
+}
+
+TEST(MetricsTest, HistogramBucketBoundsRoundTrip) {
+  // Every sample lands in a bucket whose upper bound is >= the sample
+  // and within 1/16 of it (exact below 16); bounds are monotone.
+  for (uint64_t v = 1; v != 0 && v < (1ull << 62); v += v / 8 + 1) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kBuckets);
+    const uint64_t bound = Histogram::BucketUpperBound(index);
+    EXPECT_GE(bound, v);
+    EXPECT_LE(bound - v, v / 16);
+    if (index > 0) {
+      EXPECT_LT(Histogram::BucketUpperBound(index - 1), v);
+    }
+  }
+  // The topmost bucket's inclusive bound is the full uint64 range.
+  EXPECT_EQ(Histogram::BucketUpperBound(
+                Histogram::BucketIndex(std::numeric_limits<uint64_t>::max())),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(MetricsTest, OpenMetricsExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("xbench.test.ops").Increment(3);
+  registry.GetGauge("xbench.test.qps").Set(2.5);
+  Histogram& histogram = registry.GetHistogram("xbench.test.latency");
+  for (uint64_t sample : {1u, 2u, 3u, 100u}) histogram.Record(sample);
+
+  const std::string text = ToOpenMetrics(registry);
+  // Dotted registry names are sanitized to the OpenMetrics charset.
+  EXPECT_NE(text.find("# TYPE xbench_test_ops counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xbench_test_ops_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE xbench_test_qps gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("xbench_test_qps 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE xbench_test_latency histogram\n"),
+            std::string::npos);
+  // Bucket counts are cumulative; samples 1,2,3 are exact buckets, 100
+  // falls in the [100,103] log-linear bucket.
+  EXPECT_NE(text.find("xbench_test_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xbench_test_latency_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xbench_test_latency_bucket{le=\"103\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xbench_test_latency_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xbench_test_latency_sum 106\n"), std::string::npos);
+  EXPECT_NE(text.find("xbench_test_latency_count 4\n"), std::string::npos);
+  // The exposition terminates with the OpenMetrics EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  const std::string path = testing::TempDir() + "/xbench_openmetrics.txt";
+  ASSERT_TRUE(WriteOpenMetrics(registry, path).ok());
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, text);
+  std::remove(path.c_str());
 }
 
 TEST(MetricsTest, DisabledRegistryIsNoOp) {
@@ -255,6 +348,47 @@ TEST(TracerTest, DisabledSpanIsNoOp) {
   EXPECT_EQ(tracer.depth(), 0u);
 }
 
+TEST(TracerTest, PerThreadLanesWithNames) {
+  Tracer tracer;
+  tracer.Enable();
+  tracer.SetCurrentThreadName("driver");
+  {
+    ScopedSpan main_span("main.work", tracer);
+    EXPECT_EQ(tracer.depth(), 1u);
+    std::thread worker([&tracer] {
+      // A fresh thread starts at depth 0 on its own lane, regardless of
+      // the spans open on the main lane.
+      EXPECT_EQ(tracer.depth(), 0u);
+      tracer.SetCurrentThreadName("session-1");
+      ScopedSpan span("worker.work", tracer);
+      EXPECT_EQ(tracer.depth(), 1u);
+    });
+    worker.join();
+    EXPECT_EQ(tracer.depth(), 1u);
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "main.work");
+  EXPECT_EQ(events[0].lane, 1u);
+  EXPECT_EQ(events[1].name, "worker.work");
+  EXPECT_EQ(events[1].lane, 2u);
+  EXPECT_EQ(events[2].lane, 2u);  // worker's end edge
+  EXPECT_EQ(events[3].lane, 1u);  // main's end edge
+  // Timestamps stay process-globally monotonic across lanes.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].ts, events[i - 1].ts);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  // Both lanes appear as tids, and both names surface as thread_name
+  // metadata events.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("thread_name"), std::string::npos) << json;
+  EXPECT_NE(json.find("driver"), std::string::npos) << json;
+  EXPECT_NE(json.find("session-1"), std::string::npos) << json;
+}
+
 TEST(TracerTest, ClockSourceRestoredOnScopeExit) {
   Tracer tracer;
   VirtualClock outer_clock, inner_clock;
@@ -269,7 +403,8 @@ TEST(TracerTest, ClockSourceRestoredOnScopeExit) {
 
 TEST(EnvTraceSessionTest, WritesTraceFileOnExit) {
   const std::string path = testing::TempDir() + "/xbench_env_trace.json";
-  ::setenv("XBENCH_TRACE", path.c_str(), 1);
+  ::unsetenv("XBENCH_TRACE");
+  ::setenv("XBENCH_TRACE_OUT", path.c_str(), 1);
   Tracer tracer;
   {
     EnvTraceSession session(tracer);
@@ -277,7 +412,7 @@ TEST(EnvTraceSessionTest, WritesTraceFileOnExit) {
     EXPECT_TRUE(tracer.enabled());
     ScopedSpan span("env.span", tracer);
   }
-  ::unsetenv("XBENCH_TRACE");
+  ::unsetenv("XBENCH_TRACE_OUT");
   EXPECT_FALSE(tracer.enabled());
   auto contents = ReadFile(path);
   ASSERT_TRUE(contents.ok());
@@ -286,8 +421,41 @@ TEST(EnvTraceSessionTest, WritesTraceFileOnExit) {
   std::remove(path.c_str());
 }
 
+TEST(EnvTraceSessionTest, LegacyEnvVarStillWorks) {
+  const std::string path = testing::TempDir() + "/xbench_env_trace_legacy.json";
+  ::unsetenv("XBENCH_TRACE_OUT");
+  ::setenv("XBENCH_TRACE", path.c_str(), 1);
+  Tracer tracer;
+  {
+    EnvTraceSession session(tracer);
+    EXPECT_TRUE(session.active());
+    EXPECT_EQ(session.path(), path);
+  }
+  ::unsetenv("XBENCH_TRACE");
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(ValidateJson(*contents).ok()) << *contents;
+  std::remove(path.c_str());
+}
+
+TEST(EnvTraceSessionTest, PreferredEnvVarWinsOverLegacy) {
+  const std::string preferred = testing::TempDir() + "/xbench_env_pref.json";
+  ::setenv("XBENCH_TRACE_OUT", preferred.c_str(), 1);
+  ::setenv("XBENCH_TRACE", "/nonexistent/ignored.json", 1);
+  Tracer tracer;
+  {
+    EnvTraceSession session(tracer);
+    EXPECT_EQ(session.path(), preferred);
+  }
+  ::unsetenv("XBENCH_TRACE_OUT");
+  ::unsetenv("XBENCH_TRACE");
+  EXPECT_TRUE(ReadFile(preferred).ok());
+  std::remove(preferred.c_str());
+}
+
 TEST(EnvTraceSessionTest, InactiveWithoutEnvVar) {
   ::unsetenv("XBENCH_TRACE");
+  ::unsetenv("XBENCH_TRACE_OUT");
   Tracer tracer;
   EnvTraceSession session(tracer);
   EXPECT_FALSE(session.active());

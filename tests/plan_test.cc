@@ -5,6 +5,7 @@
 // class, with guided descendant walks both on and off.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -306,12 +307,26 @@ TEST(PlanExecTest, OperatorStatsMirrorPlanLabels) {
   const xquery::exec::ExecStats& stats = setup.native().last_plan_stats();
   ASSERT_EQ(stats.operators.size(), (*compiled)->physical.labels.size());
   ASSERT_FALSE(stats.operators.empty());
+  ASSERT_EQ((*compiled)->physical.depths.size(),
+            (*compiled)->physical.labels.size());
   for (size_t i = 0; i < stats.operators.size(); ++i) {
     EXPECT_EQ(stats.operators[i].label, (*compiled)->physical.labels[i]);
+    EXPECT_EQ(stats.operators[i].depth, (*compiled)->physical.depths[i]);
   }
   // The root operator ran and produced the answer rows.
   EXPECT_GE(stats.operators[0].invocations, 1u);
   EXPECT_EQ(stats.operators[0].rows_out, result->items.size());
+  // Pre-order slot 0 is the root; self times never exceed inclusive
+  // times and sum to the tree's total run time.
+  EXPECT_EQ(stats.operators[0].depth, 0);
+  double self_sum = 0;
+  for (const xquery::exec::OperatorStats& op : stats.operators) {
+    EXPECT_GE(op.self_millis, 0.0);
+    EXPECT_LE(op.self_millis, op.millis + 1e-9);
+    self_sum += op.self_millis;
+  }
+  EXPECT_NEAR(self_sum, stats.total_millis,
+              std::max(0.05 * stats.total_millis, 0.5));
 }
 
 // --- Xcolumn AST cache ------------------------------------------------------

@@ -26,18 +26,27 @@ cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
 
 if [ "$SAN" = "thread" ]; then
   # tsan_smoke: everything that takes locks or spawns threads, including
-  # the lock-rank enforcer's own death tests.
+  # the lock-rank enforcer's own death tests. The throughput sweep runs
+  # with tracing on and the SLO gate armed (generously), so the
+  # multi-lane tracer paths and the histogram-percentile gate are both
+  # exercised under TSAN, and json_check validates the emitted trace.
   cmake --build "$BUILD" -j"$(nproc)" \
-        --target concurrency_tests lock_rank_tests bench_throughput
+        --target concurrency_tests lock_rank_tests bench_throughput \
+        json_check
   "$BUILD/tests/concurrency_tests"
   "$BUILD/tests/lock_rank_tests"
-  "$BUILD/bench/bench_throughput" --mpl 1,4,8 --ops 4
+  XBENCH_TRACE_OUT="$BUILD/tsan_throughput_trace.json" \
+    "$BUILD/bench/bench_throughput" --mpl 1,4,8 --ops 4 \
+    --slo-p99-millis 600000
+  "$BUILD/tools/json_check" --schema trace \
+    "$BUILD/tsan_throughput_trace.json"
   echo "sanitize smoke ($SAN): OK"
   exit 0
 fi
 
 cmake --build "$BUILD" -j"$(nproc)" \
-      --target core_tests xquery_tests plan_tests system_tests xqlint
+      --target core_tests xquery_tests plan_tests system_tests xqlint \
+      bench_query json_check
 
 "$BUILD/tests/core_tests"
 "$BUILD/tests/xquery_tests"
@@ -47,5 +56,14 @@ cmake --build "$BUILD" -j"$(nproc)" \
 "$BUILD/tests/system_tests" --gtest_filter='*Analy*:InferredDtd*'
 "$BUILD/tools/xqlint" --class all --query all
 "$BUILD/tools/xqlint" --explain --class all --query all > /dev/null
+# One profiled query end to end under ASAN: per-operator timing, the
+# phase profile, and the trace exporter all run sanitized; json_check
+# then validates both emitted artifacts (report schema includes the
+# self-time-vs-exec-time 5% consistency check).
+XBENCH_REPORT="$BUILD/asan_query_report.json" \
+  XBENCH_TRACE_OUT="$BUILD/asan_query_trace.json" \
+  "$BUILD/bench/bench_query" --query Q8 --profile > /dev/null
+"$BUILD/tools/json_check" --schema report "$BUILD/asan_query_report.json"
+"$BUILD/tools/json_check" --schema trace "$BUILD/asan_query_trace.json"
 
 echo "sanitize smoke ($SAN): OK"

@@ -8,9 +8,12 @@
 #      common/thread_annotations.h.
 #   2. clang-tidy over src/ with the checked-in .clang-tidy profile
 #      (bugprone-*, clang-analyzer core/C++, concurrency checks).
-#   3. The xqlint schema-analysis gate (all queries x all classes).
+#   3. The xqlint schema-analysis gate (all queries x all classes), plus
+#      one profiled query run with XBENCH_TRACE_OUT set — json_check
+#      validates the emitted report (profile consistency) and trace.
 #   4. The ThreadSanitizer smoke suite with runtime lock-rank enforcement
-#      on (tools/sanitize_smoke.sh, XBENCH_SANITIZE=thread).
+#      on (tools/sanitize_smoke.sh, XBENCH_SANITIZE=thread), which also
+#      traces its throughput sweep and schema-checks the trace.
 #
 # Steps whose tool is not installed are skipped with a notice so the gate
 # degrades on minimal images; set XBENCH_STATIC_GATE_STRICT=1 to turn a
@@ -57,11 +60,19 @@ else
   skip clang-tidy "lint target"
 fi
 
-# --- 3. xqlint analysis gate ------------------------------------------
-echo "static gate: [3/4] xqlint --class all --query all"
+# --- 3. xqlint analysis gate + profiled-query artifacts ---------------
+echo "static gate: [3/4] xqlint --class all --query all + profiled query"
 cmake -B "$PREFIX-host" -S "$ROOT"
-cmake --build "$PREFIX-host" -j"$(nproc)" --target xqlint
+cmake --build "$PREFIX-host" -j"$(nproc)" \
+      --target xqlint bench_query json_check
 "$PREFIX-host/tools/xqlint" --class all --query all
+XBENCH_REPORT="$PREFIX-host/gate_query_report.json" \
+  XBENCH_TRACE_OUT="$PREFIX-host/gate_query_trace.json" \
+  "$PREFIX-host/bench/bench_query" --query Q8 --profile > /dev/null
+"$PREFIX-host/tools/json_check" --schema report \
+  "$PREFIX-host/gate_query_report.json"
+"$PREFIX-host/tools/json_check" --schema trace \
+  "$PREFIX-host/gate_query_trace.json"
 
 # --- 4. TSAN smoke with lock ranks ------------------------------------
 echo "static gate: [4/4] tsan smoke (XBENCH_LOCK_RANKS=ON)"

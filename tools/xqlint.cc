@@ -14,12 +14,19 @@
 // is deterministic; the xqlint_explain_snapshots test diffs it against
 // tools/golden/xqlint_explain.txt.
 //
+// With --explain --profile, each compiled plan is additionally *executed*
+// over the canonical sample database (the one the schema was inferred
+// from, see analysis::CanonicalSampleConfig) and an EXPLAIN ANALYZE-style
+// per-operator table is printed: rows out, invocations, inclusive and
+// self time per operator.
+//
 // Usage:
 //   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
-//          [--verbose] [--explain]
+//          [--verbose] [--explain] [--profile]
 //
 // Exit status: 0 when every selected query parses and has no error
-// diagnostics (and, under --explain, compiles); 1 otherwise.
+// diagnostics (and, under --explain, compiles and — with --profile —
+// executes); 1 otherwise.
 
 #include <cstdio>
 #include <string>
@@ -29,6 +36,8 @@
 #include "analysis/class_schemas.h"
 #include "datagen/generator.h"
 #include "workload/queries.h"
+#include "xquery/evaluator.h"
+#include "xquery/exec/exec.h"
 #include "xquery/parser.h"
 #include "xquery/plan/cache.h"
 
@@ -129,12 +138,50 @@ void PrintIndented(const std::string& text) {
   }
 }
 
+/// Runs `compiled` over the canonical sample database and prints the
+/// per-operator profile (xqlint --explain --profile).
+bool ProfileOne(QueryId id, const xbench::xquery::plan::CompiledQuery& compiled,
+                const xbench::datagen::GeneratedDatabase& sample_db) {
+  xbench::xquery::Sequence input;
+  input.reserve(sample_db.documents.size());
+  for (const auto& doc : sample_db.documents) {
+    input.push_back(xbench::xquery::Item::Node(doc.dom.root()));
+  }
+  xbench::xquery::Bindings bindings;
+  bindings["input"] = std::move(input);
+  xbench::xquery::EvalOptions options;
+  options.use_step_expansions = true;
+  xbench::xquery::exec::ExecStats stats;
+  auto result = xbench::xquery::exec::Execute(compiled.physical, bindings,
+                                              options, &stats);
+  if (!result.ok()) {
+    std::printf("  %-4s EXEC ERROR: %s\n", QueryName(id),
+                result.status().ToString().c_str());
+    return false;
+  }
+  std::printf("   profile (sample db, %zu items out, %.3fms):\n",
+              result->items.size(), stats.total_millis);
+  std::printf("    %-42s %10s %8s %10s %10s\n", "operator", "rows", "calls",
+              "millis", "self_ms");
+  for (const xbench::xquery::exec::OperatorStats& op : stats.operators) {
+    std::string label(static_cast<size_t>(op.depth) * 2, ' ');
+    label += op.label;
+    std::printf("    %-42s %10llu %8llu %10.3f %10.3f\n", label.c_str(),
+                static_cast<unsigned long long>(op.rows_out),
+                static_cast<unsigned long long>(op.invocations), op.millis,
+                op.self_millis);
+  }
+  return true;
+}
+
 /// Explains one (class, query) cell: analyzes, compiles with guided walks
 /// and statistics-based pruning enabled (sound here — the statistics
 /// describe exactly the sample database the schema was inferred from),
-/// and prints the logical and physical plan trees.
+/// and prints the logical and physical plan trees. With `sample_db`
+/// non-null the plan is also executed over it and profiled.
 bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
-                const QueryParams& params) {
+                const QueryParams& params,
+                const xbench::datagen::GeneratedDatabase* sample_db) {
   const std::string xquery = XQueryFor(id, cls, params);
   if (xquery.empty()) return true;
   auto parsed = xbench::xquery::ParseQuery(xquery);
@@ -163,6 +210,9 @@ bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
   PrintIndented((*compiled)->logical.ToString());
   std::printf("   physical:\n");
   PrintIndented((*compiled)->physical.ToString());
+  if (sample_db != nullptr) {
+    return ProfileOne(id, **compiled, *sample_db);
+  }
   return true;
 }
 
@@ -175,6 +225,7 @@ int main(int argc, char** argv) {
   ParseQueryArg("all", queries);
   bool verbose = false;
   bool explain = false;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,12 +244,19 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else {
       std::fprintf(stderr,
                    "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
-                   "[--query Q1..Q20|all] [--verbose] [--explain]\n");
+                   "[--query Q1..Q20|all] [--verbose] [--explain] "
+                   "[--profile]\n");
       return 2;
     }
+  }
+  if (profile && !explain) {
+    std::fprintf(stderr, "--profile requires --explain\n");
+    return 2;
   }
 
   int failures = 0;
@@ -212,9 +270,17 @@ int main(int argc, char** argv) {
       std::printf(" %s", root.c_str());
     }
     std::printf(")\n");
+    xbench::datagen::GeneratedDatabase sample_db;
+    if (profile) {
+      sample_db =
+          xbench::datagen::Generate(cls, xbench::analysis::CanonicalSampleConfig());
+    }
     for (QueryId id : queries) {
       if (explain) {
-        if (!ExplainOne(cls, id, schema, params)) ++failures;
+        if (!ExplainOne(cls, id, schema, params,
+                        profile ? &sample_db : nullptr)) {
+          ++failures;
+        }
       } else if (!LintOne(cls, id, schema, params, verbose)) {
         ++failures;
       }
