@@ -1,0 +1,3 @@
+for $loc in distinct-values($input//qloc)
+order by $loc
+return <group><loc>{$loc}</loc><entries>{count($input//entry[.//qloc = $loc])}</entries></group>

@@ -1,0 +1,3 @@
+for $a in $input
+where $a/prolog/author/name = "Alan Turing"
+return data($a/body/sec[heading = "Introduction"]/following-sibling::sec[1]/heading)

@@ -1,0 +1,3 @@
+for $a in $input
+where some $p in $a//p satisfies (contains-word($p, "xebu") and contains-word($p, "xedo"))
+return $a/prolog/title

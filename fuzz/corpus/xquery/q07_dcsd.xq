@@ -1,0 +1,3 @@
+for $i in $input/item
+where every $c in $i/authors/author/mail_address/country satisfies $c = "Country01"
+return $i/title

@@ -1,0 +1,4 @@
+for $o in $input[self::order]
+where $o/order_date >= "2000-06-01" and $o/order_date <= "2001-09-30"
+order by $o/shipping/ship_type
+return <o><id>{$o/@id}</id><date>{data($o/order_date)}</date><ship>{data($o/shipping/ship_type)}</ship></o>

@@ -1,0 +1,3 @@
+for $q in $input//entry[hw = "word_70"]//q
+order by $q/qd
+return <quote><qau>{data($q/qau)}</qau><qd>{data($q/qd)}</qd></quote>

@@ -1,0 +1,3 @@
+for $o in $input[self::order]
+where $o/order_date >= "2000-06-01" and $o/order_date <= "2001-09-30" and (some $l in $o/order_lines/order_line satisfies empty($l/comments))
+return $o/@id

@@ -1,0 +1,3 @@
+for $i in $input/item
+where $i/date_of_release >= "2000-06-01" and $i/date_of_release <= "2001-09-30" and empty($i/publisher/fax_number)
+return data($i/publisher/name)

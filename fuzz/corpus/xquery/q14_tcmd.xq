@@ -1,0 +1,3 @@
+for $a in $input
+where $a/prolog/date >= "1998-01-01" and $a/prolog/date <= "2000-12-31" and empty($a/prolog/keywords)
+return data($a/prolog/title)

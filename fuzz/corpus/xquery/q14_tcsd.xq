@@ -1,0 +1,3 @@
+for $e in $input//entry
+where exists($e//q) and empty($e/etym)
+return data($e/hw)

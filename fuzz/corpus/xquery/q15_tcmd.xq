@@ -1,0 +1,3 @@
+for $a in $input, $au in $a/prolog/author
+where $a/prolog/date >= "1998-01-01" and $a/prolog/date <= "2000-12-31" and exists($au/contact) and string-length(($au/contact)[1]) = 0
+return $au/name

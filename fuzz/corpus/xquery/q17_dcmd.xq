@@ -1,0 +1,3 @@
+for $o in $input[self::order]
+where some $l in $o/order_lines/order_line satisfies contains-word($l/comments, "xenu")
+return $o/@id

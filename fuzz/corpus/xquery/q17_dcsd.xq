@@ -1,0 +1,3 @@
+for $i in $input/item
+where contains-word($i/description, "xenu")
+return data($i/title)

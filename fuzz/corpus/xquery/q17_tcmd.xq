@@ -1,0 +1,3 @@
+for $a in $input
+where some $p in $a//p satisfies contains-word($p, "xenu")
+return data($a/prolog/title)

@@ -1,0 +1,3 @@
+for $e in $input//entry
+where some $t in $e//qt satisfies contains-word($t, "xenu")
+return data($e/hw)

@@ -1,0 +1,3 @@
+for $a in $input
+where some $p in $a//p satisfies contains($p, "xeba xebe")
+return <hit><title>{data($a/prolog/title)}</title><abstract>{data(($a/prolog/abstract/p)[1])}</abstract></hit>

@@ -1,0 +1,3 @@
+for $o in $input[self::order][@id = "O000031"], $c in $input[self::customers]/customer
+where $c/@id = $o/customer_id
+return <r><name>{concat(data($c/first_name), " ", data($c/last_name))}</name><phone>{data($c/phone)}</phone><status>{data($o/status)}</status></r>

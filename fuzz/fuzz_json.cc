@@ -1,0 +1,58 @@
+// Fuzz harness for obs::ParseJson (src/obs/json.cc).
+//
+// Properties: ParseJson and ValidateJson must agree on every input (they
+// share one parser — drift means a refactor split them), an accepted
+// document's tree must be fully materialized without sanitizer reports,
+// and accepted numbers are always finite (the writer cannot re-emit
+// non-finite values).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace {
+
+size_t WalkJson(const xbench::obs::JsonValue& value) {
+  using Kind = xbench::obs::JsonValue::Kind;
+  size_t nodes = 1;
+  switch (value.kind) {
+    case Kind::kNumber:
+      if (!std::isfinite(value.number)) {
+        std::fprintf(stderr, "json fuzz: parser accepted non-finite number\n");
+        std::abort();
+      }
+      break;
+    case Kind::kObject:
+      for (const auto& [key, member] : value.members) {
+        nodes += key.size() ? 1 : 0;
+        nodes += WalkJson(member);
+      }
+      break;
+    case Kind::kArray:
+      for (const auto& item : value.items) nodes += WalkJson(item);
+      break;
+    default:
+      break;
+  }
+  return nodes;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto parsed = xbench::obs::ParseJson(input);
+  const bool valid = xbench::obs::ValidateJson(input).ok();
+  if (parsed.ok() != valid) {
+    std::fprintf(stderr,
+                 "json fuzz: ParseJson ok=%d but ValidateJson ok=%d\n",
+                 parsed.ok() ? 1 : 0, valid ? 1 : 0);
+    std::abort();
+  }
+  if (parsed.ok()) (void)WalkJson(*parsed);
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Standalone driver for the fuzz harnesses on toolchains without
+// libFuzzer (the GCC-only CI image). Provides the two modes the
+// fuzz_smoke gate needs:
+//
+//   harness FILE|DIR...              replay each corpus input once
+//   harness --fuzz N [--seed S] ...  deterministic seeded mutation loop
+//                                    over the corpus (N iterations)
+//
+// Under Clang the harnesses link real libFuzzer instead and this file is
+// not compiled (see fuzz/CMakeLists.txt).
+//
+// The mutation loop writes each input to `<progname>.last_input` before
+// executing it (override with --dump-last PATH, disable with
+// --dump-last ""), so a crashing input survives the crash and can be
+// checked into fuzz/regressions/.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadWholeFile(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Collects regular files under `arg` (recursively for directories),
+/// sorted so replay order is deterministic.
+void CollectInputs(const std::string& arg, std::vector<fs::path>& out) {
+  fs::path path(arg);
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+      if (entry.is_regular_file(ec)) out.push_back(entry.path());
+    }
+  } else if (fs::is_regular_file(path, ec)) {
+    out.push_back(path);
+  } else {
+    std::fprintf(stderr, "fuzz driver: no such input '%s'\n", arg.c_str());
+  }
+}
+
+/// One deterministic mutation: byte flip, insert, erase, chunk duplicate,
+/// truncate, or splice with another corpus entry.
+std::string Mutate(const std::vector<std::string>& corpus,
+                   const std::string& base, xbench::Rng& rng) {
+  std::string out = base;
+  const int rounds = static_cast<int>(rng.NextBounded(4)) + 1;
+  for (int i = 0; i < rounds; ++i) {
+    switch (rng.NextBounded(6)) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[rng.NextIndex(out.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        }
+        break;
+      case 1:  // insert a byte
+        out.insert(out.begin() + static_cast<long>(rng.NextIndex(out.size() + 1)),
+                   static_cast<char>(rng.NextBounded(256)));
+        break;
+      case 2:  // erase a byte
+        if (!out.empty()) {
+          out.erase(out.begin() + static_cast<long>(rng.NextIndex(out.size())));
+        }
+        break;
+      case 3: {  // duplicate a chunk
+        if (out.empty()) break;
+        const size_t from = rng.NextIndex(out.size());
+        const size_t len = std::min<size_t>(
+            rng.NextBounded(64) + 1, out.size() - from);
+        out.insert(rng.NextIndex(out.size() + 1),
+                   out.substr(from, len));
+        break;
+      }
+      case 4:  // truncate
+        if (!out.empty()) out.resize(rng.NextIndex(out.size()));
+        break;
+      default: {  // splice head of this with tail of another entry
+        const std::string& other = corpus[rng.NextIndex(corpus.size())];
+        const size_t head = out.empty() ? 0 : rng.NextIndex(out.size());
+        const size_t tail = other.empty() ? 0 : rng.NextIndex(other.size());
+        out = out.substr(0, head) + other.substr(tail);
+        break;
+      }
+    }
+    if (out.size() > (1u << 16)) out.resize(1u << 16);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t fuzz_iters = 0;
+  uint64_t seed = 1;
+  std::string dump_path;
+  bool dump_set = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fuzz") == 0 && i + 1 < argc) {
+      fuzz_iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dump-last") == 0 && i + 1 < argc) {
+      dump_path = argv[++i];
+      dump_set = true;
+    } else {
+      CollectInputs(argv[i], inputs);
+    }
+  }
+  if (inputs.empty() && fuzz_iters == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [--fuzz N] [--seed S] [--dump-last PATH] "
+                 "FILE|DIR...\n",
+                 argv[0]);
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::vector<std::string> corpus;
+  for (const fs::path& path : inputs) {
+    std::string contents;
+    if (!ReadWholeFile(path, contents)) {
+      std::fprintf(stderr, "fuzz driver: cannot read '%s'\n",
+                   path.string().c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(contents.data()), contents.size());
+    corpus.push_back(std::move(contents));
+  }
+
+  if (fuzz_iters > 0) {
+    if (!dump_set) {
+      dump_path = std::string(argv[0]) + ".last_input";
+    }
+    if (corpus.empty()) corpus.push_back("");
+    xbench::Rng rng(seed);
+    for (uint64_t i = 0; i < fuzz_iters; ++i) {
+      const std::string input =
+          Mutate(corpus, corpus[rng.NextIndex(corpus.size())], rng);
+      if (!dump_path.empty()) {
+        std::ofstream dump(dump_path, std::ios::binary | std::ios::trunc);
+        dump.write(input.data(), static_cast<std::streamsize>(input.size()));
+      }
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const uint8_t*>(input.data()), input.size());
+    }
+    if (!dump_path.empty()) {
+      std::error_code ec;
+      fs::remove(dump_path, ec);  // clean exit: no crasher to keep
+    }
+  }
+
+  std::printf("%s: %zu corpus inputs, %llu fuzz iterations: OK\n", argv[0],
+              corpus.size(),
+              static_cast<unsigned long long>(fuzz_iters));
+  return 0;
+}

@@ -147,6 +147,10 @@ void AppendUtf8(unsigned codepoint, std::string& out) {
   }
 }
 
+// Maximum container nesting. A fuzz input of 100k '[' characters would
+// otherwise recurse through Value/Array until the native stack overflows.
+constexpr int kMaxJsonDepth = 256;
+
 /// Recursive-descent JSON parser over a string_view cursor. Builds a
 /// JsonValue tree; ValidateJson discards the tree, so validation and
 /// parsing cannot drift apart.
@@ -189,10 +193,26 @@ class JsonParser {
     SkipSpace();
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
-      case '{':
-        return Object(out);
-      case '[':
-        return Array(out);
+      case '{': {
+        if (depth_ >= kMaxJsonDepth) {
+          return Fail("nesting exceeds " + std::to_string(kMaxJsonDepth) +
+                      " levels");
+        }
+        ++depth_;
+        Status status = Object(out);
+        --depth_;
+        return status;
+      }
+      case '[': {
+        if (depth_ >= kMaxJsonDepth) {
+          return Fail("nesting exceeds " + std::to_string(kMaxJsonDepth) +
+                      " levels");
+        }
+        ++depth_;
+        Status status = Array(out);
+        --depth_;
+        return status;
+      }
       case '"':
         out->kind = JsonValue::Kind::kString;
         return QuotedString(&out->string);
@@ -358,11 +378,18 @@ class JsonParser {
     out->kind = JsonValue::Kind::kNumber;
     out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
                               nullptr);
+    // A syntactically valid literal like 1e999 overflows strtod to
+    // infinity; JSON has no non-finite numbers, so reject rather than
+    // propagate a value the writer can't round-trip.
+    if (!std::isfinite(out->number)) {
+      return Fail("number literal out of finite double range");
+    }
     return Status::Ok();
   }
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

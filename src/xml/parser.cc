@@ -23,6 +23,11 @@ bool IsAllWhitespace(std::string_view text) {
   return true;
 }
 
+// Maximum element nesting the parser accepts. Deeper documents (the fuzz
+// corpus contains a 100k-deep `<a><a>...` chain) would otherwise exhaust
+// the native stack — a crash, not a Status error.
+constexpr int kMaxElementDepth = 256;
+
 /// Recursive-descent XML parser over a string_view cursor.
 class ParserImpl {
  public:
@@ -152,12 +157,19 @@ class ParserImpl {
       } else if (entity == "quot") {
         out.push_back('"');
       } else if (!entity.empty() && entity[0] == '#') {
-        long code = 0;
+        char* parse_end = nullptr;
         std::string digits(entity.substr(1));
-        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
-          code = std::strtol(digits.c_str() + 1, nullptr, 16);
-        } else {
-          code = std::strtol(digits.c_str(), nullptr, 10);
+        const bool hex =
+            !digits.empty() && (digits[0] == 'x' || digits[0] == 'X');
+        const char* num_begin = digits.c_str() + (hex ? 1 : 0);
+        const long code = std::strtol(num_begin, &parse_end, hex ? 16 : 10);
+        // At least one digit must be consumed; the encoder below emits at
+        // most three UTF-8 bytes, so the accepted range is the BMP (and
+        // NUL is excluded — XML forbids it in content).
+        if (parse_end == num_begin || *parse_end != '\0' || code <= 0 ||
+            code > 0xFFFF) {
+          return Error("invalid character reference '&" + std::string(entity) +
+                       ";'");
         }
         // Encode as UTF-8.
         if (code < 0x80) {
@@ -179,6 +191,17 @@ class ParserImpl {
   }
 
   Result<std::unique_ptr<Node>> ParseElement() {
+    if (depth_ >= kMaxElementDepth) {
+      return Error("element nesting exceeds " +
+                   std::to_string(kMaxElementDepth) + " levels");
+    }
+    ++depth_;
+    auto result = ParseElementInner();
+    --depth_;
+    return result;
+  }
+
+  Result<std::unique_ptr<Node>> ParseElementInner() {
     if (!LookingAt("<")) return Error("expected '<'");
     Advance();
     XBENCH_ASSIGN_OR_RETURN(std::string name, ParseName());
@@ -283,6 +306,7 @@ class ParserImpl {
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
+  int depth_ = 0;
 };
 
 }  // namespace

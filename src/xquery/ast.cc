@@ -1,5 +1,10 @@
 #include "xquery/ast.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 namespace xbench::xquery {
 namespace {
 
@@ -185,12 +190,390 @@ void Render(const Expr& e, std::string& out) {
   }
 }
 
+// --- Re-parseable rendering (ToQueryString) ----------------------------
+
+/// Renders a finite non-negative double as a literal the lexer accepts:
+/// digits with an optional fraction, no sign, no exponent. Finds the
+/// shortest %.*f form that strtod maps back to the same double; every
+/// double has one (1074 fractional digits spell the smallest subnormal
+/// exactly).
+std::string RenderNumberLiteral(double value) {
+  char buf[1500];
+  for (int prec = 0; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, value);
+    if (std::strtod(buf, nullptr) == value) break;
+    if (prec == 17) std::snprintf(buf, sizeof(buf), "%.1074f", value);
+  }
+  std::string text(buf);
+  if (text.find('.') != std::string::npos) {
+    while (text.size() > 1 && text.back() == '0') text.pop_back();
+    if (text.back() == '.') text.pop_back();
+  }
+  return text;
+}
+
+class QueryRenderer {
+ public:
+  Result<std::string> Render(const Expr& expr) {
+    std::string out;
+    XBENCH_RETURN_IF_ERROR(Expr_(expr, out));
+    return out;
+  }
+
+ private:
+  static Status Unrenderable(const std::string& what) {
+    return Status::InvalidArgument("ToQueryString: " + what);
+  }
+
+  Status Number(double value, std::string& out) {
+    if (std::isnan(value)) {
+      // The grammar has no NaN literal (and parsing can never produce
+      // one: number tokens are digit strings).
+      return Unrenderable("NaN number literal");
+    }
+    if (value < 0) {
+      // Negative literals do not exist in parsed trees either (unary
+      // minus desugars to `0 - x`); spell the same desugaring.
+      out += "(0 - ";
+      XBENCH_RETURN_IF_ERROR(Number(-value, out));
+      out += ")";
+      return Status::Ok();
+    }
+    if (std::isinf(value)) {
+      // Any decimal literal above DBL_MAX overflows strtod to infinity,
+      // which is exactly how a parsed tree can hold one.
+      out += "1";
+      out.append(309, '0');
+      return Status::Ok();
+    }
+    out += RenderNumberLiteral(value);
+    return Status::Ok();
+  }
+
+  Status StringLit(const std::string& value, std::string& out) {
+    // The lexer has no escape mechanism: a literal is the raw characters
+    // between matching quotes. Pick whichever quote the value lacks.
+    char quote = '"';
+    if (value.find('"') != std::string::npos) {
+      if (value.find('\'') != std::string::npos) {
+        return Unrenderable("string literal contains both quote characters");
+      }
+      quote = '\'';
+    }
+    out.push_back(quote);
+    out += value;
+    out.push_back(quote);
+    return Status::Ok();
+  }
+
+  Status StepText(const Step& step, std::string& out) {
+    // `//` is only sugar for a descendant-or-self::* step when another
+    // step follows; the caller handles that fusion. Here a step renders
+    // standalone.
+    switch (step.axis) {
+      case Axis::kChild:
+        out += step.name_test;
+        break;
+      case Axis::kAttribute:
+        out += "@" + step.name_test;
+        break;
+      case Axis::kParent:
+        if (step.name_test == "*") {
+          out += "..";
+        } else {
+          out += "parent::" + step.name_test;
+        }
+        break;
+      default:
+        out += std::string(AxisName(step.axis)) + "::" + step.name_test;
+        break;
+    }
+    for (const auto& pred : step.predicates) {
+      out += "[";
+      XBENCH_RETURN_IF_ERROR(Expr_(*pred, out));
+      out += "]";
+    }
+    return Status::Ok();
+  }
+
+  Status Path(const Expr& e, std::string& out) {
+    size_t i = 0;
+    bool need_slash = false;
+    if (e.path_root != nullptr) {
+      XBENCH_RETURN_IF_ERROR(Expr_(*e.path_root, out));
+      need_slash = true;
+    } else if (e.path_from_root) {
+      out += "/";
+    }
+    // A relative path must start with a step the parser recognizes as
+    // one; `..`, names, wildcards and axis tests all qualify.
+    for (; i < e.steps.size(); ++i) {
+      const Step& step = e.steps[i];
+      const bool is_dos_wildcard = step.axis == Axis::kDescendantOrSelf &&
+                                   step.name_test == "*" &&
+                                   step.predicates.empty();
+      const bool fusable =
+          is_dos_wildcard && i + 1 < e.steps.size() &&
+          (need_slash || (i == 0 && e.path_from_root && e.path_root == nullptr));
+      if (fusable) {
+        // Render the pair as `//next` — the parser desugars it back to
+        // exactly this step sequence.
+        if (need_slash) {
+          out += "//";
+        } else {
+          out += "/";  // after the leading '/': total '//'
+        }
+        ++i;
+        XBENCH_RETURN_IF_ERROR(StepText(e.steps[i], out));
+        need_slash = true;
+        continue;
+      }
+      if (need_slash) out += "/";
+      XBENCH_RETURN_IF_ERROR(StepText(step, out));
+      need_slash = true;
+    }
+    return Status::Ok();
+  }
+
+  Status ConstructorText(const std::string& text, bool in_attr, char quote,
+                         std::string& out) {
+    for (char c : text) {
+      if (c == '{' || c == '}' || (!in_attr && c == '<') ||
+          (in_attr && c == quote)) {
+        return Unrenderable("constructor text contains markup character");
+      }
+    }
+    if (!in_attr) {
+      // The parser drops whitespace-only boundary text, so rendering it
+      // would not round-trip (parsed trees never contain it anyway).
+      bool all_space = true;
+      for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          all_space = false;
+          break;
+        }
+      }
+      if (all_space && !text.empty()) {
+        return Unrenderable("whitespace-only constructor text");
+      }
+    }
+    out += text;
+    return Status::Ok();
+  }
+
+  Status Constructor(const Expr& e, std::string& out) {
+    out += "<" + e.element_name;
+    for (const ConstructorAttr& attr : e.constructor_attrs) {
+      // Pick the quote character no literal part contains.
+      char quote = '"';
+      for (const ConstructorContent& part : attr.value_parts) {
+        if (part.kind == ConstructorContent::kText &&
+            part.text.find('"') != std::string::npos) {
+          quote = '\'';
+        }
+      }
+      out += " " + attr.name + "=";
+      out.push_back(quote);
+      for (const ConstructorContent& part : attr.value_parts) {
+        if (part.kind == ConstructorContent::kText) {
+          XBENCH_RETURN_IF_ERROR(
+              ConstructorText(part.text, /*in_attr=*/true, quote, out));
+        } else {
+          out += "{";
+          XBENCH_RETURN_IF_ERROR(Expr_(*part.expr, out));
+          out += "}";
+        }
+      }
+      out.push_back(quote);
+    }
+    if (e.constructor_content.empty()) {
+      out += "/>";
+      return Status::Ok();
+    }
+    out += ">";
+    for (const ConstructorContent& part : e.constructor_content) {
+      switch (part.kind) {
+        case ConstructorContent::kText:
+          XBENCH_RETURN_IF_ERROR(
+              ConstructorText(part.text, /*in_attr=*/false, '"', out));
+          break;
+        case ConstructorContent::kExpr:
+          out += "{";
+          XBENCH_RETURN_IF_ERROR(Expr_(*part.expr, out));
+          out += "}";
+          break;
+        case ConstructorContent::kChild:
+          XBENCH_RETURN_IF_ERROR(Constructor(*part.child, out));
+          break;
+      }
+    }
+    out += "</" + e.element_name + ">";
+    return Status::Ok();
+  }
+
+  Status Expr_(const Expr& e, std::string& out) {
+    switch (e.kind) {
+      case ExprKind::kStringLiteral:
+        return StringLit(e.string_value, out);
+      case ExprKind::kNumberLiteral:
+        return Number(e.number_value, out);
+      case ExprKind::kVariable:
+        out += "$" + e.variable;
+        return Status::Ok();
+      case ExprKind::kContextItem:
+        out += ".";
+        return Status::Ok();
+      case ExprKind::kSequence:
+        out += "(";
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i != 0) out += ", ";
+          XBENCH_RETURN_IF_ERROR(Expr_(*e.children[i], out));
+        }
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kPath:
+        return Path(e, out);
+      case ExprKind::kComparison: {
+        static const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+        out += "(";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        out += std::string(" ") + ops[static_cast<int>(e.compare_op)] + " ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.rhs, out));
+        out += ")";
+        return Status::Ok();
+      }
+      case ExprKind::kArithmetic: {
+        static const char* ops[] = {"+", "-", "*", "div", "mod"};
+        out += "(";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        out += std::string(" ") + ops[static_cast<int>(e.arith_op)] + " ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.rhs, out));
+        out += ")";
+        return Status::Ok();
+      }
+      case ExprKind::kLogical:
+        out += "(";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        out += e.logical_op == LogicalOp::kAnd ? " and " : " or ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.rhs, out));
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kFunctionCall:
+        out += e.function_name + "(";
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i != 0) out += ", ";
+          XBENCH_RETURN_IF_ERROR(Expr_(*e.children[i], out));
+        }
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kFlwor: {
+        // Parenthesized (like kQuantified/kIfThenElse below): these forms
+        // swallow the rest of the expression as their trailing body, so
+        // only the parens keep them reparseable as operands of binary
+        // operators. The parser collapses the parens.
+        out += "(";
+        size_t fi = 0;
+        size_t li = 0;
+        for (char c : e.clause_order) {
+          if (c == 'f') {
+            const ForClause& clause = e.for_clauses[fi++];
+            out += "for $" + clause.variable;
+            if (!clause.position_variable.empty()) {
+              out += " at $" + clause.position_variable;
+            }
+            out += " in ";
+            XBENCH_RETURN_IF_ERROR(Expr_(*clause.input, out));
+            out += " ";
+          } else {
+            const LetClause& clause = e.let_clauses[li++];
+            out += "let $" + clause.variable + " := ";
+            XBENCH_RETURN_IF_ERROR(Expr_(*clause.value, out));
+            out += " ";
+          }
+        }
+        if (e.where != nullptr) {
+          out += "where ";
+          XBENCH_RETURN_IF_ERROR(Expr_(*e.where, out));
+          out += " ";
+        }
+        if (!e.order_by.empty()) {
+          out += "order by ";
+          for (size_t i = 0; i < e.order_by.size(); ++i) {
+            if (i != 0) out += ", ";
+            XBENCH_RETURN_IF_ERROR(Expr_(*e.order_by[i].key, out));
+            if (!e.order_by[i].ascending) out += " descending";
+          }
+          out += " ";
+        }
+        out += "return ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.return_expr, out));
+        out += ")";
+        return Status::Ok();
+      }
+      case ExprKind::kQuantified:
+        out += "(";
+        out += e.quantifier_every ? "every" : "some";
+        out += " $" + e.quant_variable + " in ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.quant_input, out));
+        out += " satisfies ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.quant_satisfies, out));
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kIfThenElse:
+        out += "(if (";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        out += ") then ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.then_branch, out));
+        out += " else ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.else_branch, out));
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kConstructor: {
+        // Parenthesized so `<` sits at an expression position, where the
+        // lexer produces kLtElem; the parser collapses the parens.
+        out += "(";
+        XBENCH_RETURN_IF_ERROR(Constructor(e, out));
+        out += ")";
+        return Status::Ok();
+      }
+      case ExprKind::kFilter:
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        for (const auto& pred : e.children) {
+          out += "[";
+          XBENCH_RETURN_IF_ERROR(Expr_(*pred, out));
+          out += "]";
+        }
+        return Status::Ok();
+      case ExprKind::kRange:
+        out += "(";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.lhs, out));
+        out += " to ";
+        XBENCH_RETURN_IF_ERROR(Expr_(*e.rhs, out));
+        out += ")";
+        return Status::Ok();
+      case ExprKind::kUnion:
+        out += "(";
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i != 0) out += " | ";
+          XBENCH_RETURN_IF_ERROR(Expr_(*e.children[i], out));
+        }
+        out += ")";
+        return Status::Ok();
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+};
+
 }  // namespace
 
 std::string ToDebugString(const Expr& expr) {
   std::string out;
   Render(expr, out);
   return out;
+}
+
+Result<std::string> ToQueryString(const Expr& expr) {
+  return QueryRenderer().Render(expr);
 }
 
 }  // namespace xbench::xquery

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace xbench::xquery {
 
 enum class ExprKind {
@@ -161,6 +163,17 @@ struct Expr {
 
 /// Renders the AST for debugging/tests.
 std::string ToDebugString(const Expr& expr);
+
+/// Renders the AST back to XQuery text that ParseQuery accepts, such that
+/// rendering is a fixed point: for any `e` obtained from ParseQuery,
+/// ParseQuery(ToQueryString(e)) succeeds and renders to the same text.
+/// Binary operators and sequences are always parenthesized (the parser
+/// collapses redundant parens, so reparse reproduces the same tree), and
+/// constructors are wrapped in parens so `<` lexes as a constructor at any
+/// expression position. Fails for literals the lexer cannot spell: a
+/// string containing both quote characters, a NaN number literal, or
+/// constructor text containing markup characters.
+Result<std::string> ToQueryString(const Expr& expr);
 
 }  // namespace xbench::xquery
 

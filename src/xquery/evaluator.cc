@@ -214,10 +214,26 @@ class Evaluator {
         if (!lo.has_value() || !hi.has_value()) {
           return Status::InvalidArgument("'to' requires numeric operands");
         }
+        // Bound the operands before converting: double→int64 is undefined
+        // outside int64's range, and an unbounded range would OOM.
+        constexpr double kInt64Lo = -9223372036854775808.0;
+        constexpr double kInt64Hi = 9223372036854775808.0;
+        if (!std::isfinite(*lo) || !std::isfinite(*hi) || *lo < kInt64Lo ||
+            *lo >= kInt64Hi || *hi < kInt64Lo || *hi >= kInt64Hi) {
+          return Status::InvalidArgument("'to' operands out of integer range");
+        }
+        const int64_t first = static_cast<int64_t>(*lo);
+        const int64_t last = static_cast<int64_t>(*hi);
+        if (first > last) return Sequence{};
+        constexpr uint64_t kMaxRangeItems = 1u << 24;
+        if (static_cast<uint64_t>(last) - static_cast<uint64_t>(first) >=
+            kMaxRangeItems) {
+          return Status::InvalidArgument("'to' range too large");
+        }
         Sequence out;
-        for (int64_t v = static_cast<int64_t>(*lo);
-             v <= static_cast<int64_t>(*hi); ++v) {
+        for (int64_t v = first;; ++v) {
           out.push_back(Item::Number(static_cast<double>(v)));
+          if (v == last) break;
         }
         return out;
       }

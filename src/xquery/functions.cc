@@ -135,15 +135,25 @@ Result<Sequence> CallFunction(std::string_view name,
     if (!start_opt.has_value()) {
       return Status::InvalidArgument("substring(): bad start");
     }
-    const auto start =
-        static_cast<size_t>(std::max(0.0, std::round(*start_opt) - 1));
+    // Clamp to the string's size before converting: double→size_t is
+    // undefined for NaN and for values beyond size_t's range.
+    const double start_d = std::max(0.0, std::round(*start_opt) - 1);
+    const size_t start =
+        (std::isnan(start_d) || start_d >= static_cast<double>(s.size()))
+            ? s.size()
+            : static_cast<size_t>(start_d);
     size_t len = std::string::npos;
     if (args.size() == 3 && !args[2].empty()) {
       auto len_opt = AtomizeToNumber(args[2].front());
       if (!len_opt.has_value()) {
         return Status::InvalidArgument("substring(): bad length");
       }
-      len = static_cast<size_t>(std::max(0.0, std::round(*len_opt)));
+      const double len_d = std::max(0.0, std::round(*len_opt));
+      if (std::isnan(len_d) || len_d >= static_cast<double>(s.size())) {
+        len = std::string::npos;
+      } else {
+        len = static_cast<size_t>(len_d);
+      }
     }
     if (start >= s.size()) return Sequence{Item::String("")};
     return Sequence{Item::String(s.substr(start, len))};

@@ -10,9 +10,16 @@ namespace {
 
 ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
 
+// Maximum expression nesting depth. Fuzz inputs like `((((...))))` or
+// `----...-1` would otherwise recurse until the native stack overflows;
+// past this bound the parser returns InvalidArgument instead.
+constexpr int kMaxParseDepth = 200;
+
 class Parser {
  public:
-  explicit Parser(std::string_view input) : input_(input), lexer_(input) {}
+  explicit Parser(std::string_view input) : Parser(input, 0) {}
+  Parser(std::string_view input, int depth)
+      : input_(input), lexer_(input), depth_(depth) {}
 
   Result<ExprPtr> Parse() {
     XBENCH_ASSIGN_OR_RETURN(ExprPtr expr, ParseExprSequence());
@@ -60,6 +67,17 @@ class Parser {
   }
 
   Result<ExprPtr> ParseExprSingle() {
+    if (depth_ >= kMaxParseDepth) {
+      return Err("expression nesting exceeds " +
+                 std::to_string(kMaxParseDepth) + " levels");
+    }
+    ++depth_;
+    auto result = ParseExprSingleInner();
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ParseExprSingleInner() {
     const Token& tok = lexer_.Peek();
     if (tok.kind == TokenKind::kName) {
       if (tok.text == "for" || tok.text == "let") return ParseFlwor();
@@ -312,8 +330,17 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (lexer_.Peek().kind == TokenKind::kMinus) {
+      // Unary chains recurse without passing through ParseExprSingle, so
+      // they charge the same depth budget here.
+      if (depth_ >= kMaxParseDepth) {
+        return Err("expression nesting exceeds " +
+                   std::to_string(kMaxParseDepth) + " levels");
+      }
+      ++depth_;
       lexer_.Next();
-      XBENCH_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto operand_result = ParseUnary();
+      --depth_;
+      XBENCH_ASSIGN_OR_RETURN(ExprPtr operand, std::move(operand_result));
       auto zero = MakeExpr(ExprKind::kNumberLiteral);
       zero->number_value = 0;
       auto expr = MakeExpr(ExprKind::kArithmetic);
@@ -581,6 +608,21 @@ class Parser {
       return Status::InvalidArgument(msg + " at offset " +
                                      std::to_string(pos));
     };
+    if (depth_ >= kMaxParseDepth) {
+      return fail("constructor nesting exceeds " +
+                  std::to_string(kMaxParseDepth) + " levels");
+    }
+    ++depth_;
+    auto result = ScanConstructorInner(pos);
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ScanConstructorInner(size_t& pos) {
+    auto fail = [&](std::string msg) {
+      return Status::InvalidArgument(msg + " at offset " +
+                                     std::to_string(pos));
+    };
     if (pos >= input_.size() || input_[pos] != '<') {
       return fail("expected '<'");
     }
@@ -744,7 +786,9 @@ class Parser {
       if (c == '}') {
         --depth;
         if (depth == 0) {
-          Parser sub(input_.substr(start, pos - start));
+          // The sub-parser inherits our nesting depth so `<a>{<a>{...` can't
+          // reset the budget each level.
+          Parser sub(input_.substr(start, pos - start), depth_);
           ++pos;  // '}'
           return sub.Parse();
         }
@@ -756,6 +800,7 @@ class Parser {
 
   std::string_view input_;
   Lexer lexer_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -9,7 +9,11 @@ namespace xbench::xquery {
 
 std::string FormatNumber(double value) {
   if (std::isnan(value)) return "NaN";
-  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+  if (std::isinf(value)) return value > 0 ? "INF" : "-INF";
+  // The double→int64 conversion is undefined outside int64's range, so
+  // only integral values inside [-2^63, 2^63) take the integer format.
+  if (value >= -9223372036854775808.0 && value < 9223372036854775808.0 &&
+      value == static_cast<double>(static_cast<int64_t>(value))) {
     return std::to_string(static_cast<int64_t>(value));
   }
   std::string s = std::to_string(value);

@@ -50,6 +50,16 @@ TEST(DtdParseTest, RejectsMalformed) {
   EXPECT_FALSE(Dtd::Parse("<!ENTITY x 'y'>").ok());
 }
 
+TEST(DtdParseTest, RejectsTruncatedDeclarations) {
+  // Truncation anywhere inside a declaration is a Status error (fuzz
+  // regressions: the parser must not scan past the end of input).
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT item (name, price").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a EMPTY>\n<!ATTLIST a id CDATA").ok());
+  EXPECT_FALSE(Dtd::Parse("<!").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (#PCDATA)>\n<!ELEM").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b | ").ok());
+}
+
 class DtdValidateTest : public ::testing::Test {
  protected:
   void SetUp() override {

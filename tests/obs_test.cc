@@ -462,5 +462,54 @@ TEST(EnvTraceSessionTest, InactiveWithoutEnvVar) {
   EXPECT_FALSE(tracer.enabled());
 }
 
+// --- JSON parser hardening (fuzz regressions) -------------------------------
+
+TEST(JsonHardeningTest, DeepNestingIsAnErrorNotAStackOverflow) {
+  std::string arrays(500, '[');
+  arrays += std::string(500, ']');
+  auto parsed = ParseJson(arrays);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos)
+      << parsed.status().ToString();
+
+  std::string objects;
+  for (int i = 0; i < 300; ++i) objects += "{\"a\":";
+  objects += "1";
+  objects += std::string(300, '}');
+  EXPECT_FALSE(ParseJson(objects).ok());
+
+  // 200 levels is under the limit and must still parse.
+  std::string shallow(200, '[');
+  shallow += std::string(200, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonHardeningTest, NonFiniteNumberLiteralsAreRejected) {
+  // 1e999 overflows double to infinity; the writer cannot re-emit it
+  // (JSON has no Infinity), so the parser must reject it outright.
+  EXPECT_FALSE(ParseJson("1e999").ok());
+  EXPECT_FALSE(ParseJson("[-1.5e308, 1.0e309]").ok());
+  EXPECT_FALSE(ParseJson("-1e999").ok());
+  auto near_max = ParseJson("1.5e308");
+  ASSERT_TRUE(near_max.ok());
+  EXPECT_EQ(near_max->kind, JsonValue::Kind::kNumber);
+}
+
+TEST(JsonHardeningTest, UnterminatedStringsAreRejected) {
+  EXPECT_FALSE(ParseJson("\"no closing quote").ok());
+  EXPECT_FALSE(ParseJson("{\"key\": \"value").ok());
+  EXPECT_FALSE(ParseJson("\"ends with backslash\\").ok());
+  EXPECT_FALSE(ParseJson("\"bad escape \\q\"").ok());
+}
+
+TEST(JsonHardeningTest, ParseAndValidateAgree) {
+  const char* inputs[] = {
+      "1e999", "\"open", "[[[", "{\"a\":1}", "[1,2,3]", "nul", "truex",
+  };
+  for (const char* input : inputs) {
+    EXPECT_EQ(ParseJson(input).ok(), ValidateJson(input).ok()) << input;
+  }
+}
+
 }  // namespace
 }  // namespace xbench::obs

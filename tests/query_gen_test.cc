@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/class_schemas.h"
+#include "analysis/query_gen.h"
+#include "xquery/ast.h"
+#include "xquery/parser.h"
+
+namespace xbench::analysis {
+namespace {
+
+class QueryGeneratorTest
+    : public ::testing::TestWithParam<datagen::DbClass> {};
+
+TEST_P(QueryGeneratorTest, DeterministicInSeed) {
+  const ClassSchema& schema = CanonicalClassSchema(GetParam());
+  QueryGenerator a(schema, 7);
+  QueryGenerator b(schema, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto qa = a.Next();
+    const auto qb = b.Next();
+    EXPECT_EQ(qa.text, qb.text) << "iteration " << i;
+    EXPECT_EQ(qa.document_decomposable, qb.document_decomposable);
+  }
+}
+
+TEST_P(QueryGeneratorTest, DifferentSeedsDiverge) {
+  const ClassSchema& schema = CanonicalClassSchema(GetParam());
+  QueryGenerator a(schema, 1);
+  QueryGenerator b(schema, 2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next().text != b.Next().text) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_P(QueryGeneratorTest, EveryQueryParsesAndAnalyzesClean) {
+  const ClassSchema& schema = CanonicalClassSchema(GetParam());
+  QueryGenerator gen(schema, 42);
+  for (int i = 0; i < 200; ++i) {
+    const auto generated = gen.Next();
+    auto parsed = xquery::ParseQuery(generated.text);
+    ASSERT_TRUE(parsed.ok()) << generated.text;
+    AnalysisReport report = Analyze(**parsed, schema.Context());
+    EXPECT_FALSE(report.HasErrors()) << generated.text << "\n"
+                                     << report.ToString();
+  }
+}
+
+TEST_P(QueryGeneratorTest, GeneratedQueriesSurviveRenderRoundTrip) {
+  // The oracle ships queries as text, so generated trees must round-trip
+  // through ToQueryString <-> ParseQuery without changing shape.
+  const ClassSchema& schema = CanonicalClassSchema(GetParam());
+  QueryGenerator gen(schema, 11);
+  for (int i = 0; i < 100; ++i) {
+    const auto generated = gen.Next();
+    auto parsed = xquery::ParseQuery(generated.text);
+    ASSERT_TRUE(parsed.ok()) << generated.text;
+    auto rendered = xquery::ToQueryString(**parsed);
+    ASSERT_TRUE(rendered.ok()) << generated.text;
+    auto reparsed = xquery::ParseQuery(*rendered);
+    ASSERT_TRUE(reparsed.ok()) << *rendered;
+    auto rendered_again = xquery::ToQueryString(**reparsed);
+    ASSERT_TRUE(rendered_again.ok());
+    EXPECT_EQ(*rendered, *rendered_again) << generated.text;
+  }
+}
+
+TEST_P(QueryGeneratorTest, ProducesVariety) {
+  const ClassSchema& schema = CanonicalClassSchema(GetParam());
+  QueryGenerator gen(schema, 3);
+  std::set<std::string> distinct;
+  bool saw_decomposable = false;
+  bool saw_aggregate = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto generated = gen.Next();
+    distinct.insert(generated.text);
+    (generated.document_decomposable ? saw_decomposable : saw_aggregate) =
+        true;
+  }
+  // A worthwhile fuzz driver does not loop on a handful of shapes.
+  EXPECT_GT(distinct.size(), 100u);
+  EXPECT_TRUE(saw_decomposable);
+  EXPECT_TRUE(saw_aggregate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, QueryGeneratorTest,
+                         ::testing::Values(datagen::DbClass::kTcSd,
+                                           datagen::DbClass::kTcMd,
+                                           datagen::DbClass::kDcSd,
+                                           datagen::DbClass::kDcMd),
+                         [](const auto& info) {
+                           std::string name =
+                               datagen::DbClassName(info.param);
+                           name.erase(name.find('/'), 1);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace xbench::analysis

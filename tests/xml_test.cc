@@ -286,5 +286,50 @@ TEST(SchemaSummaryTest, HandlesRecursiveTypes) {
   EXPECT_NE(tree.find("sec"), std::string::npos);
 }
 
+// --- Parser hardening (fuzz regressions) -----------------------------------
+
+TEST(ParserHardeningTest, RejectsExcessiveElementDepth) {
+  std::string open, close;
+  for (int i = 0; i < 300; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  auto doc = Parse(open + "x" + close, "deep.xml");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("nesting"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(ParserHardeningTest, AcceptsDepthUnderTheLimit) {
+  std::string open, close;
+  for (int i = 0; i < 200; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  EXPECT_TRUE(Parse(open + "x" + close, "ok.xml").ok());
+}
+
+TEST(ParserHardeningTest, RejectsMalformedCharacterReferences) {
+  // Empty, junk-suffixed, overflowing, non-BMP, digitless-hex, and NUL
+  // references must all be Status errors, never UB or silent truncation.
+  EXPECT_FALSE(Parse("<a>&#;</a>", "t.xml").ok());
+  EXPECT_FALSE(Parse("<a>&#12junk;</a>", "t.xml").ok());
+  EXPECT_FALSE(Parse("<a>&#99999999999999999999;</a>", "t.xml").ok());
+  EXPECT_FALSE(Parse("<a>&#x1F600;</a>", "t.xml").ok());
+  EXPECT_FALSE(Parse("<a>&#x;</a>", "t.xml").ok());
+  EXPECT_FALSE(Parse("<a>&#0;</a>", "t.xml").ok());
+}
+
+TEST(ParserHardeningTest, CheckWellFormedAgreesWithParseOnHardInputs) {
+  const char* inputs[] = {
+      "<a>&#;</a>", "<root><child attr=\"v", "<root/><!-- never closed",
+      "<a>&#x41;</a>",
+  };
+  for (const char* input : inputs) {
+    EXPECT_EQ(Parse(input, "t.xml").ok(), CheckWellFormed(input).ok())
+        << input;
+  }
+}
+
 }  // namespace
 }  // namespace xbench::xml

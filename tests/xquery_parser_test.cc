@@ -214,5 +214,95 @@ TEST(ParserTest, DebugStringSmoke) {
   EXPECT_NE(debug.find("order by"), std::string::npos);
 }
 
+// --- Hardening (fuzz regressions) ------------------------------------------
+
+TEST(ParserHardeningTest, DeepParenNestingIsAnError) {
+  std::string query(500, '(');
+  query += "1";
+  query += std::string(500, ')');
+  auto result = ParseQuery(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParserHardeningTest, DeepUnaryMinusIsAnError) {
+  EXPECT_FALSE(ParseQuery(std::string(500, '-') + "1").ok());
+}
+
+TEST(ParserHardeningTest, DeepConstructorNestingIsAnError) {
+  std::string query;
+  for (int i = 0; i < 300; ++i) query += "<a>{";
+  query += "1";
+  for (int i = 0; i < 300; ++i) query += "}</a>";
+  EXPECT_FALSE(ParseQuery(query).ok());
+}
+
+TEST(ParserHardeningTest, ModerateNestingStillParses) {
+  std::string query(50, '(');
+  query += "1";
+  query += std::string(50, ')');
+  EXPECT_TRUE(ParseQuery(query).ok());
+}
+
+// --- ToQueryString fixed point ---------------------------------------------
+
+// Rendering a parsed query must produce text that reparses into a tree
+// rendering to the same bytes (the differential oracle ships generated
+// queries as text, so renderer/parser agreement is load-bearing).
+void ExpectFixedPoint(std::string_view query) {
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok()) << query;
+  auto rendered = ToQueryString(**parsed);
+  ASSERT_TRUE(rendered.ok()) << query << " -> "
+                             << rendered.status().ToString();
+  auto reparsed = ParseQuery(*rendered);
+  ASSERT_TRUE(reparsed.ok()) << *rendered << " -> "
+                             << reparsed.status().ToString();
+  auto rendered_again = ToQueryString(**reparsed);
+  ASSERT_TRUE(rendered_again.ok());
+  EXPECT_EQ(*rendered, *rendered_again) << "source: " << query;
+}
+
+TEST(ToQueryStringTest, FixedPointAcrossExpressionKinds) {
+  ExpectFixedPoint("$input//item/name");
+  ExpectFixedPoint("$input//item[@id = \"I1\"]/name");
+  ExpectFixedPoint("count($input//entry) + 1.5");
+  ExpectFixedPoint("for $x in $input//item where $x/price > 10 "
+                   "order by $x/name descending return $x/name");
+  ExpectFixedPoint("some $x in $input//item satisfies $x/price > 100");
+  ExpectFixedPoint("every $x in $input//a satisfies empty($x/b)");
+  ExpectFixedPoint("if (count($input//a) > 0) then 1 else 2");
+  ExpectFixedPoint("($input//a | $input//b)");
+  ExpectFixedPoint("(1, 2, \"three\", $input//d)");
+  ExpectFixedPoint("<wrap>{$input//item/name}</wrap>");
+  ExpectFixedPoint("$input//item[3]");
+  ExpectFixedPoint("1 to 5");
+  ExpectFixedPoint("-3.25");
+  ExpectFixedPoint("($input//a/text())[1]");
+  ExpectFixedPoint("(for $x in $input//a return $x) = \"v\"");
+  ExpectFixedPoint("(some $x in $input//a satisfies $x) and "
+                   "(every $y in $input//b satisfies $y)");
+}
+
+TEST(ToQueryStringTest, QuantifiedAsOperandReparses) {
+  // Regression found by corpus replay: a quantified expression as the rhs
+  // of `and` must be parenthesized or the rendered text fails to parse.
+  auto parsed = ParseQuery(
+      "($input/a = 1) and (some $l in $input//b satisfies empty($l/c))");
+  ASSERT_TRUE(parsed.ok());
+  auto rendered = ToQueryString(**parsed);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_TRUE(ParseQuery(*rendered).ok()) << *rendered;
+}
+
+TEST(ToQueryStringTest, RefusesUnrenderableStrings) {
+  // A string literal containing both quote characters has no spelling in
+  // this grammar (no escapes); ToQueryString must refuse, not corrupt.
+  Expr literal(ExprKind::kStringLiteral);
+  literal.string_value = "both\"quotes'here";
+  EXPECT_FALSE(ToQueryString(literal).ok());
+}
+
 }  // namespace
 }  // namespace xbench::xquery

@@ -11,6 +11,11 @@
 // obs::Tracer::ToChromeJson (balanced B/E spans per lane, well-formed
 // metadata events). Used by the quickstart_obs, bench_query_report,
 // bench_throughput_report and trace-validation ctest cases.
+//
+// The underlying parser (obs::ParseJson) is fuzzed continuously via
+// fuzz/fuzz_json.cc; malformed input — unterminated strings, non-finite
+// number literals like 1e999, pathological nesting — comes back as a
+// Status, so this tool reports it rather than crashing on it.
 
 #include <algorithm>
 #include <cmath>

@@ -5,6 +5,12 @@
 # CI / pre-release, not the default tier-1 loop (a full sanitized rebuild
 # is too slow there).
 #
+# Supported modes: address (default), undefined (UBSan with
+# -fno-sanitize-recover=all, so any UB aborts), "address;undefined"
+# (combined), thread. The address/undefined modes also replay the fuzz
+# corpus + regression inputs through all four harnesses and run the
+# differential-fuzz oracle sanitized.
+#
 # XBENCH_SANITIZE=thread runs the tsan_smoke variant instead: the
 # concurrency suite (sharded pool latches, per-thread I/O attribution,
 # concurrent-vs-serial differential answers, the MPL throughput driver)
@@ -46,7 +52,8 @@ fi
 
 cmake --build "$BUILD" -j"$(nproc)" \
       --target core_tests xquery_tests plan_tests system_tests xqlint \
-      bench_query json_check
+      bench_query json_check \
+      fuzz_xml_parser fuzz_dtd fuzz_xquery fuzz_json plan_differential_fuzz
 
 "$BUILD/tests/core_tests"
 "$BUILD/tests/xquery_tests"
@@ -65,5 +72,20 @@ XBENCH_REPORT="$BUILD/asan_query_report.json" \
   "$BUILD/bench/bench_query" --query Q8 --profile > /dev/null
 "$BUILD/tools/json_check" --schema report "$BUILD/asan_query_report.json"
 "$BUILD/tools/json_check" --schema trace "$BUILD/asan_query_trace.json"
+
+# Fuzz corpus + regression inputs replayed through all four harnesses
+# under the sanitizer, then a short deterministic mutation loop in each
+# (fixed seed — two runs execute byte-identical inputs).
+XBENCH_FUZZ_ITERS="${XBENCH_FUZZ_ITERS:-200}" "$ROOT/fuzz/run_smoke.sh" \
+  "$ROOT/fuzz/corpus" "$ROOT/fuzz/regressions" \
+  "$BUILD/fuzz/fuzz_xml_parser" "$BUILD/fuzz/fuzz_dtd" \
+  "$BUILD/fuzz/fuzz_xquery" "$BUILD/fuzz/fuzz_json"
+
+# Differential oracle sanitized: generated queries through interpreter,
+# unguided plan, guided plan and the CLOB engine.
+for class in tcsd tcmd dcsd dcmd; do
+  "$BUILD/tools/plan_differential_fuzz" --class "$class" \
+    --iters "${XBENCH_FUZZ_ITERS:-200}" --seed 42
+done
 
 echo "sanitize smoke ($SAN): OK"

@@ -14,6 +14,11 @@
 #   4. The ThreadSanitizer smoke suite with runtime lock-rank enforcement
 #      on (tools/sanitize_smoke.sh, XBENCH_SANITIZE=thread), which also
 #      traces its throughput sweep and schema-checks the trace.
+#   5. An ASan+UBSan (-fno-sanitize-recover=all) build of the fuzz
+#      harnesses + differential oracle: the checked-in corpus and every
+#      regression input replay through all four harnesses, a seeded
+#      mutation round runs on top, and the generated-query oracle
+#      cross-checks interpreter vs compiled plans vs CLOB per class.
 #
 # Steps whose tool is not installed are skipped with a notice so the gate
 # degrades on minimal images; set XBENCH_STATIC_GATE_STRICT=1 to turn a
@@ -35,7 +40,7 @@ skip() {
 }
 
 # --- 1. Clang thread-safety build -------------------------------------
-echo "static gate: [1/4] clang -Wthread-safety build"
+echo "static gate: [1/5] clang -Wthread-safety build"
 if grep -RIn "NO_THREAD_SAFETY_ANALYSIS" "$ROOT/src" \
     | grep -v "common/thread_annotations.h" \
     | grep -v "XBENCH_THREAD_ANNOTATION__"; then
@@ -52,7 +57,7 @@ else
 fi
 
 # --- 2. clang-tidy ----------------------------------------------------
-echo "static gate: [2/4] clang-tidy"
+echo "static gate: [2/5] clang-tidy"
 if command -v clang-tidy > /dev/null; then
   cmake -B "$PREFIX-lint" -S "$ROOT"
   cmake --build "$PREFIX-lint" --target lint
@@ -61,7 +66,7 @@ else
 fi
 
 # --- 3. xqlint analysis gate + profiled-query artifacts ---------------
-echo "static gate: [3/4] xqlint --class all --query all + profiled query"
+echo "static gate: [3/5] xqlint --class all --query all + profiled query"
 cmake -B "$PREFIX-host" -S "$ROOT"
 cmake --build "$PREFIX-host" -j"$(nproc)" \
       --target xqlint bench_query json_check
@@ -75,7 +80,24 @@ XBENCH_REPORT="$PREFIX-host/gate_query_report.json" \
   "$PREFIX-host/gate_query_trace.json"
 
 # --- 4. TSAN smoke with lock ranks ------------------------------------
-echo "static gate: [4/4] tsan smoke (XBENCH_LOCK_RANKS=ON)"
+echo "static gate: [4/5] tsan smoke (XBENCH_LOCK_RANKS=ON)"
 XBENCH_SANITIZE=thread "$ROOT/tools/sanitize_smoke.sh" "$PREFIX-tsan"
+
+# --- 5. ASan+UBSan fuzz replay + differential oracle -------------------
+echo "static gate: [5/5] fuzz corpus replay + differential oracle" \
+     "(address;undefined)"
+cmake -B "$PREFIX-fuzz" -S "$ROOT" -DXBENCH_SANITIZE="address;undefined" \
+      -DXBENCH_LOCK_RANKS=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$PREFIX-fuzz" -j"$(nproc)" \
+      --target fuzz_xml_parser fuzz_dtd fuzz_xquery fuzz_json \
+      plan_differential_fuzz
+XBENCH_FUZZ_ITERS="${XBENCH_FUZZ_ITERS:-500}" "$ROOT/fuzz/run_smoke.sh" \
+  "$ROOT/fuzz/corpus" "$ROOT/fuzz/regressions" \
+  "$PREFIX-fuzz/fuzz/fuzz_xml_parser" "$PREFIX-fuzz/fuzz/fuzz_dtd" \
+  "$PREFIX-fuzz/fuzz/fuzz_xquery" "$PREFIX-fuzz/fuzz/fuzz_json"
+for class in tcsd tcmd dcsd dcmd; do
+  "$PREFIX-fuzz/tools/plan_differential_fuzz" --class "$class" \
+    --iters "${XBENCH_FUZZ_ITERS:-500}" --seed 42
+done
 
 echo "static gate: OK"
