@@ -23,6 +23,10 @@ const char* LockRankName(LockRank rank) {
       return "ast.cache";
     case LockRank::kPlanCache:
       return "plan.cache";
+    case LockRank::kWorkerPool:
+      return "worker.pool";
+    case LockRank::kMorselTask:
+      return "exec.morsel";
     case LockRank::kPoolShard:
       return "pool.shard";
     case LockRank::kDisk:

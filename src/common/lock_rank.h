@@ -27,6 +27,19 @@ enum class LockRank : int {
   kAstCache = 31,
   /// xquery::plan::PlanCache::mu_ — the compiled-plan statement cache.
   kPlanCache = 40,
+  /// common::WorkerPool::mu_ — the shared intra-query worker pool's task
+  /// queue. Above the engine/plan locks because ParallelFor is entered
+  /// from exec while the caller holds the collection lock shared; below
+  /// the morsel-task scope so the queue lock is never held while a task
+  /// body runs.
+  kWorkerPool = 42,
+  /// Pseudo-lock marking "executing inside a morsel task". Not a real
+  /// mutex: WorkerPool notes it held around every task body (on workers
+  /// and on the participating caller) so the rank enforcer proves that
+  /// task bodies never take engine-level locks — collection (20), the
+  /// document/AST caches (30/31) or the plan cache (40) — while storage
+  /// latches (50/60) and the obs locks (70/80) stay legal inside tasks.
+  kMorselTask = 46,
   /// storage::BufferPool per-shard latch (Shard::mu).
   kPoolShard = 50,
   /// storage::SimulatedDisk::mu_ — the single disk arm.

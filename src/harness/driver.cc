@@ -190,6 +190,7 @@ std::string Driver::JsonReport(const ReportOptions& options) {
           for (QueryId id : queries) {
             workload::RunOptions run_options;
             run_options.profile = options.profile;
+            run_options.max_intra_parallelism = options.max_intra_parallelism;
             workload::ExecutionResult result = session.Run(id, run_options);
             writer.BeginObject();
             writer.Key("query").String(workload::QueryName(id));
@@ -218,12 +219,32 @@ std::string Driver::JsonReport(const ReportOptions& options) {
                 writer.EndObject();
               }
               if (result.compiled) {
+                const xquery::exec::ExecStats& plan_stats = result.plan_stats;
                 writer.Key("plan").BeginObject();
                 writer.Key("compiled").Bool(true);
                 writer.Key("cache_hit").Bool(result.plan_cache_hit);
+                writer.Key("max_parallelism")
+                    .Uint(static_cast<uint64_t>(
+                        plan_stats.max_parallelism > 0
+                            ? plan_stats.max_parallelism
+                            : 1));
+                if (plan_stats.max_parallelism > 1) {
+                  uint64_t morsels = 0;
+                  for (const xquery::exec::OperatorStats& op :
+                       plan_stats.operators) {
+                    morsels += op.morsels;
+                  }
+                  writer.Key("morsels").Uint(morsels);
+                  writer.Key("parallel_busy_millis")
+                      .Number(plan_stats.parallel_busy_millis);
+                  writer.Key("parallel_modeled_millis")
+                      .Number(plan_stats.parallel_modeled_millis);
+                  writer.Key("modeled_total_millis")
+                      .Number(plan_stats.modeled_total_millis);
+                }
                 writer.Key("operators").BeginArray();
                 for (const xquery::exec::OperatorStats& op :
-                     result.plan_stats.operators) {
+                     plan_stats.operators) {
                   writer.BeginObject()
                       .Key("op")
                       .String(op.label)

@@ -59,6 +59,9 @@ class Driver {
     /// "profile" object (phase timings) plus per-operator depth/self
     /// times in the plan section.
     bool profile = false;
+    /// RunOptions::max_intra_parallelism for every query run (native
+    /// compiled path); surfaced in the report's plan section.
+    int max_intra_parallelism = 1;
   };
 
   /// Machine-readable run report (BENCH_RESULTS-style): one cell per

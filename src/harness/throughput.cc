@@ -54,6 +54,7 @@ double ThroughputReport::SpeedupAt(int mpl) const {
   double base_qps = 0;
   double at_qps = 0;
   for (const MplResult& result : mpls) {
+    if (result.intra != 1) continue;
     if (result.mpl == 1) base_qps = result.qps;
     if (result.mpl == mpl) at_qps = result.qps;
   }
@@ -92,6 +93,8 @@ void WriteJson(const ThroughputReport& report, obs::JsonWriter& writer) {
     writer.BeginObject()
         .Key("mpl")
         .Uint(static_cast<uint64_t>(result.mpl))
+        .Key("intra")
+        .Uint(static_cast<uint64_t>(result.intra))
         .Key("ops")
         .Uint(result.ops)
         .Key("failures")
@@ -182,23 +185,33 @@ Result<ThroughputReport> ThroughputDriver::Run() {
   mix = std::move(supported);
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  const std::vector<int> intras =
+      options_.intra.empty() ? std::vector<int>{1} : options_.intra;
   for (int mpl : options_.mpls) {
     if (mpl <= 0) {
       return Status::InvalidArgument("MPL values must be positive");
     }
+    for (int intra : intras) {
+    if (intra <= 0) {
+      return Status::InvalidArgument("intra values must be positive");
+    }
+    // Histogram / gauge tag: classic names for scalar rows, an .intraM
+    // segment for morsel-parallel rows (so old dashboards keep working).
+    const std::string tag =
+        "mpl" + std::to_string(mpl) +
+        (intra > 1 ? ".intra" + std::to_string(intra) : "");
     std::vector<workload::Session> sessions;
     sessions.reserve(static_cast<size_t>(mpl));
     for (int s = 0; s < mpl; ++s) {
       sessions.emplace_back(*engine, options_.db_class, params,
-                            "mpl" + std::to_string(mpl) + ".s" +
-                                std::to_string(s));
+                            tag + ".s" + std::to_string(s));
     }
     std::vector<SessionOutcome> outcomes(static_cast<size_t>(mpl));
     const int ops = std::max(1, options_.ops_per_session);
     // Per-statement latency samples, shared by this MPL's workers. Reset
     // so a rerun (or a prior sweep in the same process) does not bleed in.
-    obs::Histogram& latency_histogram = metrics.GetHistogram(
-        "xbench.concurrency.mpl" + std::to_string(mpl) + ".latency_micros");
+    obs::Histogram& latency_histogram =
+        metrics.GetHistogram("xbench.concurrency." + tag + ".latency_micros");
     latency_histogram.Reset();
     auto worker = [&](int index) {
       workload::Session& session = sessions[static_cast<size_t>(index)];
@@ -209,13 +222,25 @@ Result<ThroughputReport> ThroughputDriver::Run() {
       workload::RunOptions run_options;
       run_options.cold = false;
       run_options.thread_time = true;
-      run_options.collect_plan_stats = false;
+      // The intra-parallel latency model below reads the run's parallel-
+      // region stats, so plan stats collection stays on for those rows.
+      run_options.collect_plan_stats = intra > 1;
+      run_options.max_intra_parallelism = intra;
       for (int op = 0; op < ops; ++op) {
         // Offset by the session index so concurrent sessions interleave
         // different statements instead of marching in lockstep.
         const QueryId id = mix[static_cast<size_t>(index + op) % mix.size()];
         workload::ExecutionResult result = session.Run(id, run_options);
-        const double latency = result.TotalMillis();
+        double latency = result.TotalMillis();
+        if (intra > 1 && result.compiled) {
+          // Modeled per-statement wall time with intra free cores: swap
+          // the caller's measured share of the parallel regions for the
+          // regions' modeled makespans (pool-lane CPU is not in the
+          // caller's thread-CPU measurement to begin with).
+          latency += result.plan_stats.parallel_modeled_millis -
+                     result.plan_stats.parallel_caller_busy_millis;
+          if (latency < 0) latency = 0;
+        }
         latency_histogram.Record(
             static_cast<uint64_t>(std::llround(latency * 1000.0)));
         ++outcome.ops;
@@ -240,6 +265,7 @@ Result<ThroughputReport> ThroughputDriver::Run() {
 
     MplResult result;
     result.mpl = mpl;
+    result.intra = intra;
     for (const SessionOutcome& outcome : outcomes) {
       result.ops += outcome.ops;
       result.failures += outcome.failures;
@@ -267,8 +293,7 @@ Result<ThroughputReport> ThroughputDriver::Run() {
                      : 0;
     report.mpls.push_back(result);
 
-    const std::string prefix =
-        "xbench.concurrency.mpl" + std::to_string(mpl);
+    const std::string prefix = "xbench.concurrency." + tag;
     metrics.GetGauge(prefix + ".qps").Set(result.qps);
     metrics.GetGauge(prefix + ".p50_millis").Set(result.p50_millis);
     metrics.GetGauge(prefix + ".p90_millis").Set(result.p90_millis);
@@ -277,6 +302,7 @@ Result<ThroughputReport> ThroughputDriver::Run() {
     metrics.GetCounter("xbench.concurrency.ops").Increment(result.ops);
     metrics.GetCounter("xbench.concurrency.hash_mismatches")
         .Increment(result.hash_mismatches);
+    }
   }
   metrics.GetGauge("xbench.concurrency.max_speedup")
       .Set([&report] {

@@ -108,6 +108,12 @@ struct RunOptions {
   /// Collect phase-boundary timings into ExecutionResult::profile
   /// (native engine path).
   bool profile = false;
+  /// Intra-query parallelism bound for native compiled plans: parallel-
+  /// capable operators split their input into morsels on the shared
+  /// worker pool (common/worker_pool.h). Answers are byte-identical to
+  /// scalar execution; the plan cache keys on this value, so scalar and
+  /// parallel plans coexist in the statement cache. 1 = scalar (default).
+  int max_intra_parallelism = 1;
 };
 
 /// Phase-boundary timings for one statement, native engine path. Compile

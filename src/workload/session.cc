@@ -37,12 +37,13 @@ std::vector<std::string> SplitLines(const std::string& text) {
 /// parameter values always match the collection it runs over.
 Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
     engines::NativeEngine& engine, QueryId id, datagen::DbClass db_class,
-    const QueryParams& params, bool use_guided, bool* cache_hit,
-    QueryProfile* profile) {
+    const QueryParams& params, bool use_guided, int parallelism,
+    bool* cache_hit, QueryProfile* profile) {
   const bool guided = use_guided && engine.guided_eval_enabled();
+  if (parallelism < 1) parallelism = 1;
   const xquery::plan::PlanCacheKey key{
       static_cast<int>(id), static_cast<int>(db_class),
-      static_cast<int>(EngineKind::kNative), guided};
+      static_cast<int>(EngineKind::kNative), guided, parallelism};
   if (auto cached = engine.plan_cache().Lookup(key)) {
     *cache_hit = true;
     if (profile != nullptr) profile->compile_cache_hit = true;
@@ -62,6 +63,7 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
       AnalyzeForClassFull(xquery, db_class, &parse_millis, &analyze_millis));
   xquery::plan::PlannerOptions options;
   options.guided = guided;
+  options.max_intra_parallelism = parallelism;
   // The canonical schema's statistics describe the sample database, not
   // the engine's actual collection, so cardinality-zero pruning stays off
   // when answers count.
@@ -144,7 +146,7 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
             : std::string());
     auto prepared = PrepareNativePlan(
         static_cast<engines::NativeEngine&>(engine), id, db_class_, params,
-        options.use_guided, &native_cache_hit,
+        options.use_guided, options.max_intra_parallelism, &native_cache_hit,
         options.profile ? &profile : nullptr);
     if (!prepared.ok()) {
       ExecutionResult failed;
@@ -171,13 +173,33 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
   Stopwatch wall;
   ThreadCpuStopwatch cpu;
   switch (engine.kind()) {
-    case EngineKind::kNative:
+    case EngineKind::kNative: {
+      auto& native = static_cast<engines::NativeEngine&>(engine);
       result.profile = profile;
-      RunNative(static_cast<engines::NativeEngine&>(engine), id, db_class_,
-                params, *native_plan, options.collect_plan_stats,
-                options.profile, result);
+      RunNative(native, id, db_class_, params, *native_plan,
+                options.collect_plan_stats, options.profile, result);
       result.plan_cache_hit = native_cache_hit;
+      // A concurrent mutation can close the guided-eval gate between this
+      // statement's compile phase and its execute, in which case the engine
+      // rejects the now-stale guided plan rather than risk a wrong answer.
+      // Unguided plans are always correct, so recompile without guidance and
+      // retry once; the fallback plan cannot bounce off the gate again.
+      if (result.status.code() == StatusCode::kInvalidArgument &&
+          native_plan->guided) {
+        auto fallback = PrepareNativePlan(
+            native, id, db_class_, params, /*use_guided=*/false,
+            options.max_intra_parallelism, &native_cache_hit,
+            options.profile ? &profile : nullptr);
+        if (fallback.ok()) {
+          result = ExecutionResult{};
+          result.profile = profile;
+          RunNative(native, id, db_class_, params, **fallback,
+                    options.collect_plan_stats, options.profile, result);
+          result.plan_cache_hit = native_cache_hit;
+        }
+      }
       break;
+    }
     case EngineKind::kClob: {
       // CLOB statements issue several engine calls (side-table filter,
       // CLOB fetch, reconstruction); hold the collection lock shared so a

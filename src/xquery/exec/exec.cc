@@ -1,10 +1,12 @@
 #include "xquery/exec/exec.h"
 
 #include <algorithm>
+#include <functional>
 #include <optional>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xquery/functions.h"
@@ -21,18 +23,76 @@ using plan::LogicalNode;
 /// for/let operators upstream of the current position.
 using Env = std::vector<ScopeBinding>;
 
+/// Owner of constructor-built nodes (QueryResult::constructed and the
+/// per-morsel scratch arenas share this shape).
+using Arena = std::vector<std::unique_ptr<xml::Node>>;
+
+/// Tuples pulled per NextBatch() call. Large enough to amortize the
+/// per-pull virtual dispatch and to give a parallel where clause a full
+/// morsel's worth of conditions, small enough that a selective pipeline
+/// never materializes far past what the consumer needs.
+constexpr size_t kTupleBatch = 64;
+
+/// Run-wide accumulator for the parallel-region timing model (summed
+/// into ExecStats after the root returns).
+struct ParallelAgg {
+  double busy_millis = 0;
+  double caller_busy_millis = 0;
+  double modeled_millis = 0;
+};
+
 /// Everything one Execute() call threads through the operator tree. The
 /// scope holds the bindings of enclosing tuples while a sub-plan runs, so
 /// expression leaves see exactly the variables the interpreter would.
+///
+/// Thread-safety contract for morsel tasks (DESIGN.md §12): while a
+/// parallel region runs, tasks may read bindings/options/scope (no
+/// operator mutates them mid-region) and increment the atomic
+/// nodes_visited counter, but must not touch arena, stats, or the scope
+/// stack — each task writes only its own index's output slot and a
+/// task-private arena that the owning operator splices back in a fixed
+/// order after the region joins.
 struct ExecContext {
   const Bindings* bindings = nullptr;
   const EvalOptions* options = nullptr;
-  std::vector<std::unique_ptr<xml::Node>>* arena = nullptr;
+  Arena* arena = nullptr;
   Env scope;
   std::vector<OperatorStats>* stats = nullptr;
+  ParallelAgg* parallel = nullptr;
   obs::Counter* nodes_visited = nullptr;
   bool trace = false;
 };
+
+/// Moves per-morsel scratch arenas into the run arena in morsel order, so
+/// node ownership (and destruction order) is identical no matter which
+/// lane built which node.
+void SpliceArenas(ExecContext& ctx, std::vector<Arena>& arenas) {
+  for (Arena& arena : arenas) {
+    for (auto& node : arena) ctx.arena->push_back(std::move(node));
+    arena.clear();
+  }
+}
+
+/// Runs fn(0..total-1) on the shared worker pool and books the region's
+/// timing model against the operator's stats slot and the run totals.
+/// Returns the lowest-index error (matching the scalar loop's
+/// first-error semantics regardless of lane interleaving).
+Status RunParallel(ExecContext& ctx, size_t slot, int parallelism,
+                   size_t total, const std::function<Status(size_t)>& fn) {
+  ParallelRunStats stats;
+  const Status status =
+      WorkerPool::Default().ParallelFor(total, parallelism, fn, &stats);
+  OperatorStats& op = (*ctx.stats)[slot];
+  op.morsels += stats.morsels;
+  op.parallel_busy_millis += stats.busy_millis;
+  op.parallel_modeled_millis += stats.modeled_millis;
+  if (ctx.parallel != nullptr) {
+    ctx.parallel->busy_millis += stats.busy_millis;
+    ctx.parallel->caller_busy_millis += stats.caller_busy_millis;
+    ctx.parallel->modeled_millis += stats.modeled_millis;
+  }
+  return status;
+}
 
 /// Pushes a tuple's bindings onto the evaluation scope for the duration of
 /// one sub-plan run.
@@ -52,38 +112,116 @@ class ScopedTuple {
   size_t mark_;
 };
 
+/// Interpreter-core evaluation of an expression leaf under an explicit
+/// scope and arena — the form morsel tasks use (each task passes its own
+/// scratch arena; the shared scope is read-only while a region runs).
+Result<Sequence> EvalLeafIn(const ExecContext& ctx, const Env& scope,
+                            Arena& arena, const Expr& expr,
+                            const Item* context_item = nullptr,
+                            size_t position = 0, size_t size = 0) {
+  return EvalWithEnv(expr, *ctx.bindings, scope, context_item, position, size,
+                     *ctx.options, arena);
+}
+
 /// Interpreter-core evaluation of an expression leaf under the current
 /// scope (and an optional focus for predicates).
 Result<Sequence> EvalLeaf(ExecContext& ctx, const Expr& expr,
                           const Item* context_item = nullptr,
                           size_t position = 0, size_t size = 0) {
-  return EvalWithEnv(expr, *ctx.bindings, ctx.scope, context_item, position,
-                     size, *ctx.options, *ctx.arena);
+  return EvalLeafIn(ctx, ctx.scope, *ctx.arena, expr, context_item, position,
+                    size);
 }
 
-/// Predicate application with positional semantics, byte-compatible with
-/// the interpreter's ApplyPredicates (a numeric singleton selects by
+/// One predicate decision for candidate i of n, byte-compatible with the
+/// interpreter's ApplyPredicates (a numeric singleton selects by
 /// position, anything else filters by effective boolean value).
-Result<Sequence> RunPredicates(ExecContext& ctx,
-                               const std::vector<const Expr*>& predicates,
-                               Sequence candidates) {
+Result<bool> PredicateKeeps(const ExecContext& ctx, const Env& scope,
+                            Arena& arena, const Expr& pred,
+                            const Sequence& candidates, size_t i, size_t n) {
+  XBENCH_ASSIGN_OR_RETURN(
+      Sequence value, EvalLeafIn(ctx, scope, arena, pred, &candidates[i],
+                                 i + 1, n));
+  if (value.size() == 1 && value.front().kind == Item::Kind::kNumber) {
+    return static_cast<double>(i + 1) == value.front().num;
+  }
+  return EffectiveBooleanValue(value);
+}
+
+/// Predicate application under an explicit scope and arena (the scalar
+/// loop; also the per-morsel body when groups parallelize whole-group).
+Result<Sequence> RunPredicatesIn(const ExecContext& ctx, const Env& scope,
+                                 Arena& arena,
+                                 const std::vector<const Expr*>& predicates,
+                                 Sequence candidates) {
   for (const Expr* pred : predicates) {
     Sequence kept;
     const size_t n = candidates.size();
     for (size_t i = 0; i < n; ++i) {
       XBENCH_ASSIGN_OR_RETURN(
-          Sequence value, EvalLeaf(ctx, *pred, &candidates[i], i + 1, n));
-      bool keep;
-      if (value.size() == 1 && value.front().kind == Item::Kind::kNumber) {
-        keep = static_cast<double>(i + 1) == value.front().num;
-      } else {
-        XBENCH_ASSIGN_OR_RETURN(keep, EffectiveBooleanValue(value));
-      }
+          bool keep, PredicateKeeps(ctx, scope, arena, *pred, candidates, i, n));
       if (keep) kept.push_back(candidates[i]);
     }
     candidates = std::move(kept);
   }
   return candidates;
+}
+
+/// Predicate application with positional semantics over the current
+/// scope/arena.
+Result<Sequence> RunPredicates(ExecContext& ctx,
+                               const std::vector<const Expr*>& predicates,
+                               Sequence candidates) {
+  return RunPredicatesIn(ctx, ctx.scope, *ctx.arena, predicates,
+                         std::move(candidates));
+}
+
+/// Morsel-parallel predicate application: each predicate pass fans the
+/// candidate decisions out across the pool with the focus (i+1, n)
+/// frozen before the fan-out, then keeps survivors in candidate order —
+/// answers and error selection are byte-identical to the scalar loop.
+Result<Sequence> RunPredicatesParallel(
+    ExecContext& ctx, size_t slot, int parallelism,
+    const std::vector<const Expr*>& predicates, Sequence candidates) {
+  for (const Expr* pred : predicates) {
+    const size_t n = candidates.size();
+    if (n == 0) continue;
+    if (n == 1) {
+      XBENCH_ASSIGN_OR_RETURN(
+          bool keep,
+          PredicateKeeps(ctx, ctx.scope, *ctx.arena, *pred, candidates, 0, 1));
+      if (!keep) candidates.clear();
+      continue;
+    }
+    std::vector<signed char> keep(n, 0);
+    std::vector<Arena> arenas(n);
+    const Status status = RunParallel(
+        ctx, slot, parallelism, n, [&](size_t i) -> Status {
+          auto decision =
+              PredicateKeeps(ctx, ctx.scope, arenas[i], *pred, candidates, i, n);
+          if (!decision.ok()) return decision.status();
+          keep[i] = decision.value() ? 1 : 0;
+          return Status::Ok();
+        });
+    SpliceArenas(ctx, arenas);
+    if (!status.ok()) return status;
+    Sequence kept;
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i]) kept.push_back(candidates[i]);
+    }
+    candidates = std::move(kept);
+  }
+  return candidates;
+}
+
+/// Dispatches between the scalar and morsel-parallel predicate paths.
+Result<Sequence> RunPredicatesMaybeParallel(
+    ExecContext& ctx, size_t slot, int parallelism,
+    const std::vector<const Expr*>& predicates, Sequence candidates) {
+  if (parallelism > 1 && candidates.size() > 1) {
+    return RunPredicatesParallel(ctx, slot, parallelism, predicates,
+                                 std::move(candidates));
+  }
+  return RunPredicates(ctx, predicates, std::move(candidates));
 }
 
 }  // namespace
@@ -108,6 +246,7 @@ class ItemOp {
 
  protected:
   virtual Result<Sequence> DoRun(ExecContext& ctx) const = 0;
+  size_t slot() const { return slot_; }
 
  private:
   Result<Sequence> RunTraced(ExecContext& ctx) const {
@@ -164,12 +303,13 @@ class AxisStepOp final : public ItemOp {
  public:
   AxisStepOp(std::string label, size_t slot, std::unique_ptr<ItemOp> input,
              Axis axis, std::string name_test,
-             std::vector<const Expr*> predicates)
+             std::vector<const Expr*> predicates, int parallelism)
       : ItemOp(std::move(label), slot),
         input_(std::move(input)),
         axis_(axis),
         name_test_(std::move(name_test)),
-        predicates_(std::move(predicates)) {}
+        predicates_(std::move(predicates)),
+        parallelism_(parallelism) {}
 
  protected:
   Result<Sequence> DoRun(ExecContext& ctx) const override {
@@ -187,7 +327,9 @@ class AxisStepOp final : public ItemOp {
       Sequence candidates = AxisCandidates(*context.node, axis_, name_test_,
                                            *ctx.nodes_visited);
       XBENCH_ASSIGN_OR_RETURN(
-          candidates, RunPredicates(ctx, predicates_, std::move(candidates)));
+          candidates, RunPredicatesMaybeParallel(ctx, slot(), parallelism_,
+                                                 predicates_,
+                                                 std::move(candidates)));
       result.insert(result.end(), candidates.begin(), candidates.end());
     }
     SortDocumentOrderUnique(result);
@@ -199,6 +341,7 @@ class AxisStepOp final : public ItemOp {
   Axis axis_;
   std::string name_test_;
   std::vector<const Expr*> predicates_;
+  int parallelism_;
 };
 
 /// The fused `//name` operator. The access path is frozen at plan time:
@@ -212,17 +355,20 @@ class DescendantStepOp final : public ItemOp {
   DescendantStepOp(std::string label, size_t slot,
                    std::unique_ptr<ItemOp> input, std::string name_test,
                    std::vector<const Expr*> predicates,
-                   std::vector<StepExpansion> expansions, bool guided)
+                   std::vector<StepExpansion> expansions, bool guided,
+                   int parallelism)
       : ItemOp(std::move(label), slot),
         input_(std::move(input)),
         name_test_(std::move(name_test)),
         predicates_(std::move(predicates)),
         expansions_(std::move(expansions)),
-        guided_(guided) {}
+        guided_(guided),
+        parallelism_(parallelism) {}
 
  protected:
   Result<Sequence> DoRun(ExecContext& ctx) const override {
     XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
+    if (parallelism_ > 1) return RunMorsels(ctx, input);
     Sequence result;
     for (const Item& context : input) {
       if (!context.is_node_kind()) {
@@ -230,16 +376,8 @@ class DescendantStepOp final : public ItemOp {
       }
       if (context.kind == Item::Kind::kAttribute) continue;
       const xml::Node& node = *context.node;
-      std::vector<const StepExpansion*> chains;
       bool covered = false;
-      if (guided_) {
-        for (const StepExpansion& expansion : expansions_) {
-          if (expansion.context_type == node.name()) {
-            covered = true;
-            chains.push_back(&expansion);
-          }
-        }
-      }
+      std::vector<const StepExpansion*> chains = ChainsFor(node, covered);
       if (predicates_.empty()) {
         Sequence candidates;
         if (covered) {
@@ -268,30 +406,209 @@ class DescendantStepOp final : public ItemOp {
   }
 
  private:
+  /// The analyzer chains applicable to one context element; `covered` is
+  /// set when the guided walk may be used for it.
+  std::vector<const StepExpansion*> ChainsFor(const xml::Node& node,
+                                              bool& covered) const {
+    std::vector<const StepExpansion*> chains;
+    covered = false;
+    if (guided_) {
+      for (const StepExpansion& expansion : expansions_) {
+        if (expansion.context_type == node.name()) {
+          covered = true;
+          chains.push_back(&expansion);
+        }
+      }
+    }
+    return chains;
+  }
+
+  /// Morsel-parallel path. The final SortDocumentOrderUnique (shared
+  /// with the scalar path) makes the merge order-preserving: work units
+  /// select disjoint candidate sets, so sorting the concatenation yields
+  /// exactly the scalar result.
+  Result<Sequence> RunMorsels(ExecContext& ctx, const Sequence& input) const {
+    // Context validation up front, in context order, so the surfaced
+    // error matches the scalar loop's first error.
+    for (const Item& context : input) {
+      if (!context.is_node_kind()) {
+        return Status::InvalidArgument("path step applied to an atomic value");
+      }
+    }
+    Sequence result;
+    if (!predicates_.empty()) {
+      // Candidate-group collection is a cheap tree walk; do it
+      // sequentially and fan the predicate evaluation out per group.
+      std::vector<Sequence> groups;
+      for (const Item& context : input) {
+        if (context.kind == Item::Kind::kAttribute) continue;
+        const xml::Node& node = *context.node;
+        bool covered = false;
+        std::vector<const StepExpansion*> chains = ChainsFor(node, covered);
+        if (covered) {
+          GuidedCollectGroups(node, 0, chains, groups, *ctx.nodes_visited);
+        } else {
+          CollectChildGroups(node, name_test_, groups, *ctx.nodes_visited);
+        }
+      }
+      if (groups.size() == 1) {
+        // One parent group: parallelize across its candidates instead.
+        XBENCH_ASSIGN_OR_RETURN(
+            Sequence kept,
+            RunPredicatesParallel(ctx, slot(), parallelism_, predicates_,
+                                  std::move(groups.front())));
+        result = std::move(kept);
+      } else if (!groups.empty()) {
+        std::vector<Sequence> outputs(groups.size());
+        std::vector<Arena> arenas(groups.size());
+        const Status status = RunParallel(
+            ctx, slot(), parallelism_, groups.size(), [&](size_t g) -> Status {
+              auto kept = RunPredicatesIn(ctx, ctx.scope, arenas[g],
+                                          predicates_, std::move(groups[g]));
+              if (!kept.ok()) return kept.status();
+              outputs[g] = std::move(kept).value();
+              return Status::Ok();
+            });
+        SpliceArenas(ctx, arenas);
+        if (!status.ok()) return status;
+        for (const Sequence& out : outputs) {
+          result.insert(result.end(), out.begin(), out.end());
+        }
+      }
+      SortDocumentOrderUnique(result);
+      return result;
+    }
+    // No predicates: pure candidate collection. Work units are whole
+    // contexts when they are plentiful; otherwise each context's child
+    // subtrees (frontier split), so even a single-document query yields
+    // enough morsels to spread.
+    size_t element_contexts = 0;
+    for (const Item& context : input) {
+      if (context.kind != Item::Kind::kAttribute) ++element_contexts;
+    }
+    if (element_contexts >= 2 * static_cast<size_t>(parallelism_)) {
+      std::vector<Sequence> outputs(input.size());
+      const Status status = RunParallel(
+          ctx, slot(), parallelism_, input.size(), [&](size_t i) -> Status {
+            const Item& context = input[i];
+            if (context.kind == Item::Kind::kAttribute) return Status::Ok();
+            const xml::Node& node = *context.node;
+            bool covered = false;
+            std::vector<const StepExpansion*> chains =
+                ChainsFor(node, covered);
+            if (covered) {
+              GuidedCollect(node, 0, chains, outputs[i], *ctx.nodes_visited);
+            } else {
+              CollectDescendants(node, name_test_, /*include_self=*/false,
+                                 outputs[i], *ctx.nodes_visited);
+            }
+            return Status::Ok();
+          });
+      if (!status.ok()) return status;
+      for (const Sequence& out : outputs) {
+        result.insert(result.end(), out.begin(), out.end());
+      }
+      SortDocumentOrderUnique(result);
+      return result;
+    }
+    // Frontier split: one unit per context child subtree. `chains`
+    // points into per-context storage that outlives the region.
+    struct FrontierUnit {
+      const xml::Node* node = nullptr;
+      /// Chains applicable at this unit's parent context (null = full
+      /// scan of the unit subtree).
+      const std::vector<const StepExpansion*>* chains = nullptr;
+    };
+    std::vector<std::vector<const StepExpansion*>> context_chains;
+    context_chains.reserve(input.size());
+    std::vector<FrontierUnit> units;
+    for (const Item& context : input) {
+      if (context.kind == Item::Kind::kAttribute) continue;
+      const xml::Node& node = *context.node;
+      bool covered = false;
+      std::vector<const StepExpansion*> chains = ChainsFor(node, covered);
+      if (covered) {
+        context_chains.push_back(std::move(chains));
+        for (const auto& child : node.children()) {
+          if (!child->is_element()) continue;
+          units.push_back({child.get(), &context_chains.back()});
+        }
+      } else {
+        // The scalar walk visits the context root itself (and would
+        // emit it under include_self, which descendant steps never set).
+        ctx.nodes_visited->Increment();
+        for (const auto& child : node.children()) {
+          units.push_back({child.get(), nullptr});
+        }
+      }
+    }
+    std::vector<Sequence> outputs(units.size());
+    const Status status = RunParallel(
+        ctx, slot(), parallelism_, units.size(), [&](size_t i) -> Status {
+          const FrontierUnit& unit = units[i];
+          if (unit.chains == nullptr) {
+            CollectDescendants(*unit.node, name_test_, /*include_self=*/true,
+                               outputs[i], *ctx.nodes_visited);
+            return Status::Ok();
+          }
+          // Per-child body of GuidedCollect at depth 0.
+          ctx.nodes_visited->Increment();
+          bool emit = false;
+          std::vector<const StepExpansion*> deeper;
+          for (const StepExpansion* chain : *unit.chains) {
+            if (chain->labels.empty() ||
+                chain->labels[0] != unit.node->name()) {
+              continue;
+            }
+            if (chain->labels.size() == 1) {
+              emit = true;
+            } else {
+              deeper.push_back(chain);
+            }
+          }
+          if (emit) outputs[i].push_back(Item::Node(unit.node));
+          if (!deeper.empty()) {
+            GuidedCollect(*unit.node, 1, deeper, outputs[i],
+                          *ctx.nodes_visited);
+          }
+          return Status::Ok();
+        });
+    if (!status.ok()) return status;
+    for (const Sequence& out : outputs) {
+      result.insert(result.end(), out.begin(), out.end());
+    }
+    SortDocumentOrderUnique(result);
+    return result;
+  }
+
   std::unique_ptr<ItemOp> input_;
   std::string name_test_;
   std::vector<const Expr*> predicates_;
   std::vector<StepExpansion> expansions_;
   bool guided_;
+  int parallelism_;
 };
 
 class FilterOp final : public ItemOp {
  public:
   FilterOp(std::string label, size_t slot, std::unique_ptr<ItemOp> input,
-           std::vector<const Expr*> predicates)
+           std::vector<const Expr*> predicates, int parallelism)
       : ItemOp(std::move(label), slot),
         input_(std::move(input)),
-        predicates_(std::move(predicates)) {}
+        predicates_(std::move(predicates)),
+        parallelism_(parallelism) {}
 
  protected:
   Result<Sequence> DoRun(ExecContext& ctx) const override {
     XBENCH_ASSIGN_OR_RETURN(Sequence input, input_->Run(ctx));
-    return RunPredicates(ctx, predicates_, std::move(input));
+    return RunPredicatesMaybeParallel(ctx, slot(), parallelism_, predicates_,
+                                      std::move(input));
   }
 
  private:
   std::unique_ptr<ItemOp> input_;
   std::vector<const Expr*> predicates_;
+  int parallelism_;
 };
 
 class AggregateOp final : public ItemOp {
@@ -325,8 +642,8 @@ class EmptyOp final : public ItemOp {
 
 // --- tuple operators ------------------------------------------------------
 
-/// Streaming cursor over a tuple operator's output. Next() wraps the
-/// subclass body with the owning operator's counters.
+/// Streaming cursor over a tuple operator's output. Next()/NextBatch()
+/// wrap the subclass body with the owning operator's counters.
 class TupleCursor {
  public:
   virtual ~TupleCursor() = default;
@@ -341,9 +658,39 @@ class TupleCursor {
     return result;
   }
 
+  /// Emits up to `max` tuples into `out` (cleared first); an empty batch
+  /// means end of stream. Batch-aware cursors override DoNextBatch to
+  /// amortize per-tuple dispatch and to evaluate whole batches in
+  /// parallel; the default loops the scalar DoNext.
+  Status NextBatch(ExecContext& ctx, std::vector<Env>* out, size_t max) {
+    Stopwatch watch;
+    out->clear();
+    const Status status = DoNextBatch(ctx, out, max);
+    OperatorStats& stats = (*ctx.stats)[slot_];
+    stats.millis += watch.ElapsedMillis();
+    stats.rows_out += out->size();
+    return status;
+  }
+
  protected:
   explicit TupleCursor(size_t slot) : slot_(slot) {}
   virtual Result<bool> DoNext(ExecContext& ctx, Env* out) = 0;
+
+  /// Calls DoNext directly (not Next) so the batch does not double-count
+  /// time or rows into the operator's stats slot.
+  virtual Status DoNextBatch(ExecContext& ctx, std::vector<Env>* out,
+                             size_t max) {
+    Env tuple;
+    while (out->size() < max) {
+      auto more = DoNext(ctx, &tuple);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      out->push_back(std::move(tuple));
+    }
+    return Status::Ok();
+  }
+
+  size_t slot() const { return slot_; }
 
  private:
   size_t slot_;
@@ -591,10 +938,11 @@ std::unique_ptr<TupleCursor> LetOp::MakeCursor(ExecContext& ctx) const {
 class WhereOp final : public TupleOp {
  public:
   WhereOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
-          const Expr* condition)
+          const Expr* condition, int parallelism)
       : TupleOp(std::move(label), slot),
         input_(std::move(input)),
-        condition_(condition) {}
+        condition_(condition),
+        parallelism_(parallelism) {}
 
  protected:
   std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
@@ -603,6 +951,7 @@ class WhereOp final : public TupleOp {
   friend class WhereCursor;
   std::unique_ptr<TupleOp> input_;
   const Expr* condition_;
+  int parallelism_;
 };
 
 class WhereCursor final : public TupleCursor {
@@ -617,12 +966,7 @@ class WhereCursor final : public TupleCursor {
       Env base;
       XBENCH_ASSIGN_OR_RETURN(bool more, input_->Next(ctx, &base));
       if (!more) return false;
-      Sequence condition;
-      {
-        ScopedTuple tuple(ctx, base);
-        XBENCH_ASSIGN_OR_RETURN(condition, EvalLeaf(ctx, *op_.condition_));
-      }
-      XBENCH_ASSIGN_OR_RETURN(bool keep, EffectiveBooleanValue(condition));
+      XBENCH_ASSIGN_OR_RETURN(bool keep, Keep(ctx, base));
       if (keep) {
         *out = std::move(base);
         return true;
@@ -630,7 +974,60 @@ class WhereCursor final : public TupleCursor {
     }
   }
 
+  /// Batch pull: evaluates the condition over a whole upstream batch,
+  /// fanning the per-tuple decisions across the pool when the plan was
+  /// compiled parallel. Survivors keep upstream order.
+  Status DoNextBatch(ExecContext& ctx, std::vector<Env>* out,
+                     size_t max) override {
+    std::vector<Env> batch;
+    while (out->empty()) {
+      XBENCH_RETURN_IF_ERROR(input_->NextBatch(ctx, &batch, max));
+      if (batch.empty()) return Status::Ok();  // end of stream
+      const size_t n = batch.size();
+      if (op_.parallelism_ > 1 && n > 1) {
+        std::vector<signed char> keep(n, 0);
+        std::vector<Arena> arenas(n);
+        const Status status = RunParallel(
+            ctx, slot(), op_.parallelism_, n, [&](size_t i) -> Status {
+              // The tuple scope the scalar path builds via ScopedTuple,
+              // assembled task-privately (ctx.scope is shared read-only).
+              Env combined = ctx.scope;
+              combined.insert(combined.end(), batch[i].begin(),
+                              batch[i].end());
+              auto condition =
+                  EvalLeafIn(ctx, combined, arenas[i], *op_.condition_);
+              if (!condition.ok()) return condition.status();
+              auto decision = EffectiveBooleanValue(condition.value());
+              if (!decision.ok()) return decision.status();
+              keep[i] = decision.value() ? 1 : 0;
+              return Status::Ok();
+            });
+        SpliceArenas(ctx, arenas);
+        XBENCH_RETURN_IF_ERROR(status);
+        for (size_t i = 0; i < n; ++i) {
+          if (keep[i]) out->push_back(std::move(batch[i]));
+        }
+        continue;
+      }
+      for (Env& base : batch) {
+        auto keep = Keep(ctx, base);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) out->push_back(std::move(base));
+      }
+    }
+    return Status::Ok();
+  }
+
  private:
+  Result<bool> Keep(ExecContext& ctx, const Env& base) {
+    Sequence condition;
+    {
+      ScopedTuple tuple(ctx, base);
+      XBENCH_ASSIGN_OR_RETURN(condition, EvalLeaf(ctx, *op_.condition_));
+    }
+    return EffectiveBooleanValue(condition);
+  }
+
   const WhereOp& op_;
   std::unique_ptr<TupleCursor> input_;
 };
@@ -645,10 +1042,11 @@ std::unique_ptr<TupleCursor> WhereOp::MakeCursor(ExecContext& ctx) const {
 class SortOp final : public TupleOp {
  public:
   SortOp(std::string label, size_t slot, std::unique_ptr<TupleOp> input,
-         const Expr* order_source)
+         const Expr* order_source, int parallelism)
       : TupleOp(std::move(label), slot),
         input_(std::move(input)),
-        order_source_(order_source) {}
+        order_source_(order_source),
+        parallelism_(parallelism) {}
 
  protected:
   std::unique_ptr<TupleCursor> MakeCursor(ExecContext& ctx) const override;
@@ -657,6 +1055,7 @@ class SortOp final : public TupleOp {
   friend class SortCursor;
   std::unique_ptr<TupleOp> input_;
   const Expr* order_source_;
+  int parallelism_;
 };
 
 class SortCursor final : public TupleCursor {
@@ -675,7 +1074,40 @@ class SortCursor final : public TupleCursor {
     return true;
   }
 
+  /// The sort is blocking, so batches just serve slices of the
+  /// materialized output.
+  Status DoNextBatch(ExecContext& ctx, std::vector<Env>* out,
+                     size_t max) override {
+    if (!loaded_) {
+      XBENCH_RETURN_IF_ERROR(Load(ctx));
+      loaded_ = true;
+    }
+    while (out->size() < max && position_ < tuples_.size()) {
+      out->push_back(std::move(tuples_[position_++]));
+    }
+    return Status::Ok();
+  }
+
  private:
+  struct Keyed {
+    size_t index;
+    std::vector<std::pair<bool, double>> numeric_keys;  // (has, value)
+    std::vector<std::string> string_keys;
+  };
+
+  static void AppendKey(const OrderSpec& spec, Sequence key, Keyed& keyed) {
+    if (spec.numeric) {
+      std::optional<double> v;
+      if (!key.empty()) v = AtomizeToNumber(key.front());
+      keyed.numeric_keys.emplace_back(v.has_value(), v.value_or(0.0));
+      keyed.string_keys.emplace_back();
+    } else {
+      keyed.numeric_keys.emplace_back(false, 0.0);
+      keyed.string_keys.push_back(key.empty() ? ""
+                                              : AtomizeToString(key.front()));
+    }
+  }
+
   Status Load(ExecContext& ctx) {
     std::vector<Env> tuples;
     while (true) {
@@ -686,31 +1118,39 @@ class SortCursor final : public TupleCursor {
       tuples.push_back(std::move(base));
     }
     const Expr& e = *op_.order_source_;
-    struct Keyed {
-      size_t index;
-      std::vector<std::pair<bool, double>> numeric_keys;  // (has, value)
-      std::vector<std::string> string_keys;
-    };
     std::vector<Keyed> keyed(tuples.size());
-    for (size_t i = 0; i < tuples.size(); ++i) {
-      keyed[i].index = i;
-      for (const OrderSpec& spec : e.order_by) {
-        Sequence key;
-        {
-          ScopedTuple tuple(ctx, tuples[i]);
-          auto value = EvalLeaf(ctx, *spec.key);
-          if (!value.ok()) return value.status();
-          key = std::move(value).value();
-        }
-        if (spec.numeric) {
-          std::optional<double> v;
-          if (!key.empty()) v = AtomizeToNumber(key.front());
-          keyed[i].numeric_keys.emplace_back(v.has_value(), v.value_or(0.0));
-          keyed[i].string_keys.emplace_back();
-        } else {
-          keyed[i].numeric_keys.emplace_back(false, 0.0);
-          keyed[i].string_keys.push_back(
-              key.empty() ? "" : AtomizeToString(key.front()));
+    if (op_.parallelism_ > 1 && tuples.size() > 1) {
+      // Key extraction is per-tuple independent; only the stable sort
+      // itself stays sequential (it defines the output order).
+      std::vector<Arena> arenas(tuples.size());
+      const Status status = RunParallel(
+          ctx, slot(), op_.parallelism_, tuples.size(),
+          [&](size_t i) -> Status {
+            keyed[i].index = i;
+            Env combined = ctx.scope;
+            combined.insert(combined.end(), tuples[i].begin(),
+                            tuples[i].end());
+            for (const OrderSpec& spec : e.order_by) {
+              auto value = EvalLeafIn(ctx, combined, arenas[i], *spec.key);
+              if (!value.ok()) return value.status();
+              AppendKey(spec, std::move(value).value(), keyed[i]);
+            }
+            return Status::Ok();
+          });
+      SpliceArenas(ctx, arenas);
+      if (!status.ok()) return status;
+    } else {
+      for (size_t i = 0; i < tuples.size(); ++i) {
+        keyed[i].index = i;
+        for (const OrderSpec& spec : e.order_by) {
+          Sequence key;
+          {
+            ScopedTuple tuple(ctx, tuples[i]);
+            auto value = EvalLeaf(ctx, *spec.key);
+            if (!value.ok()) return value.status();
+            key = std::move(value).value();
+          }
+          AppendKey(spec, std::move(key), keyed[i]);
         }
       }
     }
@@ -766,13 +1206,18 @@ class ReturnOp final : public ItemOp {
   Result<Sequence> DoRun(ExecContext& ctx) const override {
     std::unique_ptr<TupleCursor> cursor = pipeline_->Open(ctx);
     Sequence out;
-    Env tuple;
+    std::vector<Env> batch;
     while (true) {
-      XBENCH_ASSIGN_OR_RETURN(bool more, cursor->Next(ctx, &tuple));
-      if (!more) break;
-      ScopedTuple scoped(ctx, tuple);
-      XBENCH_ASSIGN_OR_RETURN(Sequence part, item_->Run(ctx));
-      out.insert(out.end(), part.begin(), part.end());
+      XBENCH_RETURN_IF_ERROR(cursor->NextBatch(ctx, &batch, kTupleBatch));
+      if (batch.empty()) break;
+      // The return expression stays a per-tuple scalar evaluation (its
+      // sub-plan writes shared stats slots); batching amortizes the
+      // cursor pulls and lets the pipeline filter whole batches at once.
+      for (const Env& tuple : batch) {
+        ScopedTuple scoped(ctx, tuple);
+        XBENCH_ASSIGN_OR_RETURN(Sequence part, item_->Run(ctx));
+        out.insert(out.end(), part.begin(), part.end());
+      }
     }
     return out;
   }
@@ -792,7 +1237,8 @@ std::string PredicateSuffix(const LogicalNode& n) {
 
 class PhysicalBuilder {
  public:
-  explicit PhysicalBuilder(PhysicalPlan& plan) : plan_(plan) {}
+  PhysicalBuilder(PhysicalPlan& plan, int parallelism)
+      : plan_(plan), parallelism_(parallelism) {}
 
   Result<std::unique_ptr<ItemOp>> BuildItem(const LogicalNode& n, int depth) {
     switch (n.kind) {
@@ -816,15 +1262,17 @@ class PhysicalBuilder {
       case LogicalKind::kChildStep:
       case LogicalKind::kAxisStep: {
         const std::string label =
-            n.kind == LogicalKind::kChildStep
-                ? "ChildStep(" + n.name + ")" + PredicateSuffix(n)
-                : std::string("AxisStep(") + plan::AxisLabel(n.axis) + "::" +
-                      n.name + ")" + PredicateSuffix(n);
+            (n.kind == LogicalKind::kChildStep
+                 ? "ChildStep(" + n.name + ")" + PredicateSuffix(n)
+                 : std::string("AxisStep(") + plan::AxisLabel(n.axis) + "::" +
+                       n.name + ")" + PredicateSuffix(n)) +
+            ParallelSuffix();
         const size_t slot = AddSlot(label, depth);
         XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
                                 BuildInput(n, depth));
         return {std::make_unique<AxisStepOp>(label, slot, std::move(input),
-                                             n.axis, n.name, n.predicates)};
+                                             n.axis, n.name, n.predicates,
+                                             parallelism_)};
       }
       case LogicalKind::kDescendantStep: {
         const bool guided = n.access == AccessPath::kGuidedWalk;
@@ -834,20 +1282,22 @@ class PhysicalBuilder {
                          (n.expansions.size() == 1 ? " chain]" : " chains]")
                    : "DescendantScan(" + n.name + ")";
         label += PredicateSuffix(n);
+        label += ParallelSuffix();
         const size_t slot = AddSlot(label, depth);
         XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
                                 BuildInput(n, depth));
         return {std::make_unique<DescendantStepOp>(
             label, slot, std::move(input), n.name, n.predicates, n.expansions,
-            guided)};
+            guided, parallelism_)};
       }
       case LogicalKind::kFilter: {
-        const std::string label = "Filter" + PredicateSuffix(n);
+        const std::string label =
+            "Filter" + PredicateSuffix(n) + ParallelSuffix();
         const size_t slot = AddSlot(label, depth);
         XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> input,
                                 BuildInput(n, depth));
         return {std::make_unique<FilterOp>(label, slot, std::move(input),
-                                           n.predicates)};
+                                           n.predicates, parallelism_)};
       }
       case LogicalKind::kAggregate: {
         const std::string label = "Aggregate(" + n.name + ")";
@@ -941,12 +1391,12 @@ class PhysicalBuilder {
         if (n.inputs.size() != 1 || n.expr == nullptr) {
           return Status::Internal("where clause expects an input and an expr");
         }
-        const std::string label = "Where";
+        const std::string label = "Where" + ParallelSuffix();
         const size_t slot = AddSlot(label, depth);
         XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
                                 BuildTuple(*n.inputs[0], depth + 1));
         return {std::make_unique<WhereOp>(label, slot, std::move(input),
-                                          n.expr)};
+                                          n.expr, parallelism_)};
       }
       case LogicalKind::kSort: {
         if (n.inputs.size() != 1 || n.order_source == nullptr) {
@@ -954,16 +1404,25 @@ class PhysicalBuilder {
         }
         const size_t keys = n.order_source->order_by.size();
         const std::string label = "SortMaterialize(" + std::to_string(keys) +
-                                  (keys == 1 ? " key)" : " keys)");
+                                  (keys == 1 ? " key)" : " keys)") +
+                                  ParallelSuffix();
         const size_t slot = AddSlot(label, depth);
         XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<TupleOp> input,
                                 BuildTuple(*n.inputs[0], depth + 1));
         return {std::make_unique<SortOp>(label, slot, std::move(input),
-                                         n.order_source)};
+                                         n.order_source, parallelism_)};
       }
       default:
         return Status::Internal("item operator inside the tuple pipeline");
     }
+  }
+
+  /// Explain-output marker on parallel-capable operators. Empty for
+  /// scalar plans, so the golden snapshots (compiled at the default
+  /// max_intra_parallelism = 1) are unchanged.
+  std::string ParallelSuffix() const {
+    if (parallelism_ <= 1) return "";
+    return " [parallel x" + std::to_string(parallelism_) + "]";
   }
 
   size_t AddSlot(const std::string& label, int depth) {
@@ -976,6 +1435,7 @@ class PhysicalBuilder {
   }
 
   PhysicalPlan& plan_;
+  int parallelism_;
 };
 
 }  // namespace
@@ -990,7 +1450,8 @@ Result<PhysicalPlan> BuildPhysicalPlan(const plan::LogicalPlan& logical) {
     return Status::Internal("logical plan has no root");
   }
   PhysicalPlan physical;
-  PhysicalBuilder builder(physical);
+  physical.max_parallelism = std::max(logical.max_intra_parallelism, 1);
+  PhysicalBuilder builder(physical, physical.max_parallelism);
   XBENCH_ASSIGN_OR_RETURN(physical.root, builder.BuildItem(*logical.root, 0));
   return physical;
 }
@@ -1010,11 +1471,13 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
     op_stats[i].label = plan.labels[i];
     op_stats[i].depth = i < plan.depths.size() ? plan.depths[i] : 0;
   }
+  ParallelAgg parallel_agg;
   ExecContext ctx;
   ctx.bindings = &bindings;
   ctx.options = &options;
   ctx.arena = &result.constructed;
   ctx.stats = &op_stats;
+  ctx.parallel = &parallel_agg;
   ctx.nodes_visited = &obs::MetricsRegistry::Default().GetCounter(
       "xbench.xquery.nodes_visited");
   ctx.trace = obs::Tracer::Default().enabled();
@@ -1027,7 +1490,9 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
   if (stats != nullptr) {
     // Self time = inclusive time minus the direct children's inclusive
     // time. In pre-order, slot i's children are the following slots at
-    // depth[i] + 1 before the next slot at depth <= depth[i].
+    // depth[i] + 1 before the next slot at depth <= depth[i]. With
+    // parallel regions a child's wall time can overlap the parent's, so
+    // the subtraction is clamped at 0 (see OperatorStats).
     for (size_t i = 0; i < op_stats.size(); ++i) {
       double children = 0;
       for (size_t j = i + 1;
@@ -1041,6 +1506,20 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
     }
     stats->operators = std::move(op_stats);
     stats->total_millis = total_millis;
+    stats->max_parallelism = plan.max_parallelism;
+    stats->parallel_busy_millis = parallel_agg.busy_millis;
+    stats->parallel_caller_busy_millis = parallel_agg.caller_busy_millis;
+    stats->parallel_modeled_millis = parallel_agg.modeled_millis;
+    // Modeled wall time on a machine with max_parallelism free cores:
+    // take each region's all-lane CPU out of the measured wall clock and
+    // put its modeled makespan back in. On this (possibly smaller) host
+    // the region's lanes serialize onto the caller's timeline, so the
+    // measured wall clock contains ~busy_millis of region time.
+    const double modeled = total_millis - parallel_agg.busy_millis +
+                           parallel_agg.modeled_millis;
+    stats->modeled_total_millis =
+        modeled > parallel_agg.modeled_millis ? modeled
+                                              : parallel_agg.modeled_millis;
   }
   return result;
 }

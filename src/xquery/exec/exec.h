@@ -14,8 +14,16 @@ namespace xbench::xquery::exec {
 
 /// Per-operator execution counters for one Execute() call. `millis` is
 /// inclusive (a pipeline operator's time contains its inputs');
-/// `self_millis` subtracts the direct children's inclusive time, so self
-/// times across the plan sum to the root's inclusive time.
+/// `self_millis` subtracts the direct children's inclusive time.
+///
+/// Invariant change with parallel operators (DESIGN.md §12): under
+/// morsel-driven execution a parent's wall clock and its children's can
+/// overlap (pool lanes run child-attributed work while the parent's
+/// stopwatch is live), so the subtraction can go negative; `self_millis`
+/// is clamped at 0 and Σ self is only guaranteed to approximate the
+/// root's inclusive time for scalar plans (max_parallelism == 1).
+/// Validators relax the Σself-vs-exec tolerance when a plan reports
+/// max_parallelism > 1.
 struct OperatorStats {
   std::string label;
   /// Nesting depth in the plan tree (root = 0).
@@ -26,14 +34,40 @@ struct OperatorStats {
   uint64_t invocations = 0;
   double millis = 0;
   double self_millis = 0;
+  /// Morsels this operator's parallel regions executed (0 = scalar).
+  uint64_t morsels = 0;
+  /// Σ thread-CPU of those morsels across all pool lanes.
+  double parallel_busy_millis = 0;
+  /// Modeled makespan of those morsels list-scheduled onto
+  /// `ExecStats::max_parallelism` ideal lanes.
+  double parallel_modeled_millis = 0;
 };
 
 /// Snapshot of every operator's counters, in plan pre-order (root first).
 struct ExecStats {
   std::vector<OperatorStats> operators;
-  /// Wall time of the whole operator-tree run; per-operator self times
-  /// sum to this (within measurement noise).
+  /// Wall time of the whole operator-tree run; for scalar plans the
+  /// per-operator self times sum to this (within measurement noise).
   double total_millis = 0;
+  /// Intra-query parallelism bound the plan was compiled with (1 =
+  /// scalar; mirrors PlannerOptions::max_intra_parallelism).
+  int max_parallelism = 1;
+  /// Σ morsel thread-CPU over every parallel region of the run.
+  double parallel_busy_millis = 0;
+  /// The part of parallel_busy_millis the calling thread itself ran
+  /// (already contained in any caller-side CPU measurement of the run).
+  double parallel_caller_busy_millis = 0;
+  /// Σ modeled region makespans (greedy list-scheduling of measured
+  /// morsel CPU onto max_parallelism lanes).
+  double parallel_modeled_millis = 0;
+  /// total_millis with each parallel region's measured all-lane CPU
+  /// replaced by its modeled makespan: the modeled wall time of this
+  /// execution on a machine with max_parallelism free cores. Equals
+  /// total_millis for scalar plans. This is the number bench_query
+  /// --parallelism reports, mirroring the throughput driver's
+  /// thread-CPU makespan convention for hosts with fewer cores than
+  /// lanes.
+  double modeled_total_millis = 0;
 };
 
 class ItemOp;
@@ -49,6 +83,10 @@ struct PhysicalPlan {
   PhysicalPlan& operator=(PhysicalPlan&&) noexcept;
 
   std::unique_ptr<ItemOp> root;
+  /// Intra-query parallelism bound compiled into the plan's operators
+  /// (from LogicalPlan::max_intra_parallelism). Parallel-capable
+  /// operators carry a " [parallel xN]" label suffix when > 1.
+  int max_parallelism = 1;
   /// Stats slot index -> operator label, plan pre-order.
   std::vector<std::string> labels;
   /// Stats slot index -> tree depth (parallel to `labels`); pre-order plus

@@ -14,6 +14,8 @@ Result<std::shared_ptr<const CompiledQuery>> Compile(
   auto compiled = std::make_shared<CompiledQuery>();
   compiled->ast = std::move(ast);
   compiled->guided = options.guided;
+  compiled->parallelism =
+      options.max_intra_parallelism > 1 ? options.max_intra_parallelism : 1;
   XBENCH_ASSIGN_OR_RETURN(compiled->logical,
                           BuildLogicalPlan(*compiled->ast, notes, options));
   XBENCH_ASSIGN_OR_RETURN(compiled->physical,

@@ -29,6 +29,10 @@ struct CompiledQuery {
   /// the load-time validation gate; the cache key carries this flag so a
   /// gate flip compiles a fresh plan instead of reusing a stale one.
   bool guided = false;
+  /// Intra-query parallelism bound compiled into the physical operators
+  /// (mirrors PlannerOptions::max_intra_parallelism; part of the cache
+  /// key, so scalar and parallel compilations coexist).
+  int parallelism = 1;
 };
 
 /// Compiles an analyzed AST into a logical + physical plan, taking
@@ -37,19 +41,21 @@ struct CompiledQuery {
 Result<std::shared_ptr<const CompiledQuery>> Compile(
     ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options);
 
-/// Cache key: (query id, database class, engine kind, guided flag). The
-/// ints mirror workload::QueryId / workload::DbClass / engines::EngineKind
-/// without depending on those headers.
+/// Cache key: (query id, database class, engine kind, guided flag,
+/// parallelism bound). The ints mirror workload::QueryId /
+/// workload::DbClass / engines::EngineKind without depending on those
+/// headers.
 struct PlanCacheKey {
   int query_id = 0;
   int db_class = 0;
   int engine = 0;
   bool guided = false;
+  int parallelism = 1;
 
   bool operator<(const PlanCacheKey& other) const {
-    return std::tie(query_id, db_class, engine, guided) <
+    return std::tie(query_id, db_class, engine, guided, parallelism) <
            std::tie(other.query_id, other.db_class, other.engine,
-                    other.guided);
+                    other.guided, other.parallelism);
   }
 };
 

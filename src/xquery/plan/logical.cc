@@ -1,5 +1,6 @@
 #include "xquery/plan/logical.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
@@ -468,6 +469,7 @@ Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
                                      const PlannerOptions& options) {
   Builder builder(notes, options);
   LogicalPlan plan;
+  plan.max_intra_parallelism = std::max(options.max_intra_parallelism, 1);
   plan.root = builder.BuildItem(query);
   if (plan.root == nullptr) {
     return Status::Internal("logical planning produced no root");

@@ -94,6 +94,11 @@ struct LogicalNode {
 struct LogicalPlan {
   LogicalNodePtr root;
 
+  /// Upper bound on intra-query parallelism the physical lowering may
+  /// compile into parallelizable operators (copied from PlannerOptions;
+  /// 1 = scalar execution, the default).
+  int max_intra_parallelism = 1;
+
   /// Indented tree rendering (root first), used by `xqlint --explain` and
   /// the golden-plan snapshots.
   std::string ToString() const;
@@ -110,6 +115,13 @@ struct PlannerOptions {
   /// plan will run over matches those statistics; the workload runner
   /// leaves it off, `xqlint --explain` and schema-bound tests turn it on.
   bool trust_statistics = false;
+  /// Morsel-driven intra-query parallelism bound: descendant/axis steps,
+  /// predicate filtering, where clauses and sort-key extraction split
+  /// their input into morsels executed on the shared worker pool
+  /// (common/worker_pool.h), merging results in a fixed order so answers
+  /// stay byte-identical to scalar execution. 1 (the default) compiles
+  /// fully scalar plans; the plan cache keys on this value.
+  int max_intra_parallelism = 1;
 };
 
 /// Free variables of `expr` (names read but not bound within it).

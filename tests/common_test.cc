@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <cmath>
 #include <map>
 #include <set>
@@ -7,6 +11,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/worker_pool.h"
 
 namespace xbench {
 namespace {
@@ -211,6 +216,82 @@ TEST(StringsTest, ParseDouble) {
 
 TEST(StringsTest, ToLower) {
   EXPECT_EQ(ToLower("MiXeD"), "mixed");
+}
+
+TEST(WorkerPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr size_t kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  ParallelRunStats stats;
+  Status status = pool.ParallelFor(
+      kTotal, 4,
+      [&hits](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        return Status::Ok();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(stats.parallelism, 4);
+  EXPECT_GT(stats.morsels, 1u);
+  EXPECT_GE(stats.busy_millis, stats.caller_busy_millis);
+  // The modeled makespan schedules the measured morsel CPU onto 4 ideal
+  // lanes: bounded by the serial work above and by work/4 below.
+  EXPECT_LE(stats.modeled_millis, stats.busy_millis + 1e-9);
+  EXPECT_GE(stats.modeled_millis, stats.busy_millis / 4.0 - 1e-9);
+}
+
+TEST(WorkerPoolTest, ParallelForZeroTotalIsANoOp) {
+  WorkerPool pool(2);
+  ParallelRunStats stats;
+  Status status = pool.ParallelFor(
+      0, 4, [](size_t) { return Status::Internal("never called"); }, &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(stats.morsels, 0u);
+  EXPECT_EQ(stats.busy_millis, 0.0);
+}
+
+TEST(WorkerPoolTest, ParallelismOneRunsEverythingOnTheCaller) {
+  WorkerPool pool(2);
+  constexpr size_t kTotal = 64;
+  std::atomic<size_t> count{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  ParallelRunStats stats;
+  Status status = pool.ParallelFor(
+      kTotal, 1,
+      [&](size_t) {
+        if (std::this_thread::get_id() != caller) off_thread = true;
+        count.fetch_add(1);
+        return Status::Ok();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(count.load(), kTotal);
+  EXPECT_FALSE(off_thread.load());
+  EXPECT_EQ(stats.parallelism, 1);
+  // Every morsel ran on the caller, so the caller's CPU is all of it.
+  EXPECT_DOUBLE_EQ(stats.busy_millis, stats.caller_busy_millis);
+}
+
+TEST(WorkerPoolTest, LowestFailingIndexStatusWinsDeterministically) {
+  WorkerPool pool(3);
+  constexpr size_t kTotal = 500;
+  for (int round = 0; round < 5; ++round) {
+    Status status = pool.ParallelFor(kTotal, 4, [](size_t i) {
+      if (i >= 17) {
+        return Status::Internal("fail at " + std::to_string(i));
+      }
+      return Status::Ok();
+    });
+    ASSERT_FALSE(status.ok());
+    // Index 17 is the lowest failure; any lane may observe a higher one
+    // first, but the region must still report 17.
+    EXPECT_NE(status.ToString().find("fail at 17"), std::string::npos)
+        << status.ToString();
+  }
 }
 
 }  // namespace

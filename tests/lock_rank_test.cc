@@ -9,6 +9,7 @@
 
 #include "common/lock_rank.h"
 #include "common/sync.h"
+#include "common/worker_pool.h"
 
 namespace xbench {
 namespace {
@@ -32,6 +33,8 @@ TEST(LockRankTest, RankNamesMatchDesignTable) {
   EXPECT_STREQ(LockRankName(LockRank::kDocumentCache), "doc.cache");
   EXPECT_STREQ(LockRankName(LockRank::kAstCache), "ast.cache");
   EXPECT_STREQ(LockRankName(LockRank::kPlanCache), "plan.cache");
+  EXPECT_STREQ(LockRankName(LockRank::kWorkerPool), "worker.pool");
+  EXPECT_STREQ(LockRankName(LockRank::kMorselTask), "exec.morsel");
   EXPECT_STREQ(LockRankName(LockRank::kPoolShard), "pool.shard");
   EXPECT_STREQ(LockRankName(LockRank::kDisk), "disk");
   EXPECT_STREQ(LockRankName(LockRank::kMetrics), "metrics");
@@ -102,6 +105,25 @@ TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
         MutexLock hold_b(b);
       },
       "out of rank order");
+}
+
+TEST(LockRankDeathTest, EngineLockInsideMorselTaskAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The pool marks every morsel with the exec.morsel pseudo-lock
+  // (rank 46), so a work function reaching for an engine-level lock —
+  // collection is rank 20 — dies under the rank enforcer instead of
+  // deadlocking against the query caller's own collection lock.
+  ASSERT_DEATH(
+      {
+        lockrank::SetEnabled(true);
+        SharedMutex collection(LockRank::kCollection, "collection");
+        WorkerPool pool(1);
+        pool.ParallelFor(1, 2, [&collection](size_t) {
+          ReaderLock read(collection);
+          return Status::Ok();
+        });
+      },
+      "out of rank order(.|\n)*acquiring: collection");
 }
 
 TEST(LockRankDeathTest, DoubleAcquireAborts) {

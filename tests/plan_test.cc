@@ -70,11 +70,12 @@ class PlanFixture {
 /// Analyzes + compiles one canned query the way the runner's prepare phase
 /// does, but with an explicit guided flag.
 Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileFor(
-    const std::string& text, DbClass cls, bool guided) {
+    const std::string& text, DbClass cls, bool guided, int parallelism = 1) {
   XBENCH_ASSIGN_OR_RETURN(workload::AnalyzedQuery analyzed,
                           workload::AnalyzeForClassFull(text, cls));
   xquery::plan::PlannerOptions options;
   options.guided = guided;
+  options.max_intra_parallelism = parallelism;
   return xquery::plan::Compile(std::move(analyzed.ast),
                                &analyzed.report.annotations, options);
 }
@@ -120,18 +121,25 @@ TEST_P(PlanDifferentialTest, CompiledPlanMatchesInterpreterByteForByte) {
                        : engine.Query(**ast);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
+  // Parallelism bounds > 1 route eligible operators through the shared
+  // worker pool's morsel machinery; the merged answer must remain
+  // byte-identical to the scalar interpreter for every bound.
   for (bool guided : {false, true}) {
-    auto compiled = CompileFor(text, cls, guided);
-    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-    auto result = hint.has_value()
-                      ? engine.ExecutePlanWithIndex(hint->index_name,
-                                                    hint->value, **compiled)
-                      : engine.ExecutePlan(**compiled);
-    ASSERT_TRUE(result.ok())
-        << (guided ? "guided: " : "full-scan: ") << result.status().ToString();
-    EXPECT_EQ(result->ToText(), reference->ToText())
-        << QueryName(id) << " on " << datagen::DbClassName(cls)
-        << (guided ? " (guided)" : " (full-scan)");
+    for (int parallelism : {1, 2, 4}) {
+      auto compiled = CompileFor(text, cls, guided, parallelism);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      auto result = hint.has_value()
+                        ? engine.ExecutePlanWithIndex(hint->index_name,
+                                                      hint->value, **compiled)
+                        : engine.ExecutePlan(**compiled);
+      ASSERT_TRUE(result.ok())
+          << (guided ? "guided: " : "full-scan: ") << "parallelism "
+          << parallelism << ": " << result.status().ToString();
+      EXPECT_EQ(result->ToText(), reference->ToText())
+          << QueryName(id) << " on " << datagen::DbClassName(cls)
+          << (guided ? " (guided)" : " (full-scan)") << " at parallelism "
+          << parallelism;
+    }
   }
 }
 
@@ -226,10 +234,14 @@ TEST(PlanCacheTest, LookupInsertInvalidateWithMetrics) {
   // compiled for the other access paths.
   const xquery::plan::PlanCacheKey guided_key{1, 2, 3, true};
   EXPECT_EQ(cache.Lookup(guided_key), nullptr);
+  // So is the intra-query parallelism bound: parallel-eligible operators
+  // are constructed differently per bound, so plans never cross over.
+  const xquery::plan::PlanCacheKey parallel_key{1, 2, 3, false, 4};
+  EXPECT_EQ(cache.Lookup(parallel_key), nullptr);
 
   EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_hits").value(), hits0 + 1);
   EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_misses").value(),
-            misses0 + 2);
+            misses0 + 3);
 
   cache.Invalidate();
   EXPECT_EQ(cache.size(), 0u);
@@ -327,6 +339,57 @@ TEST(PlanExecTest, OperatorStatsMirrorPlanLabels) {
   }
   EXPECT_NEAR(self_sum, stats.total_millis,
               std::max(0.05 * stats.total_millis, 0.5));
+}
+
+TEST(PlanExecTest, ParallelPlansLabelOperatorsAndReportMorselStats) {
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcMd);
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ8, DbClass::kTcMd, setup.params);
+  auto scalar = CompileFor(text, DbClass::kTcMd, /*guided=*/false);
+  ASSERT_TRUE(scalar.ok());
+  auto parallel =
+      CompileFor(text, DbClass::kTcMd, /*guided=*/false, /*parallelism=*/4);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ((*scalar)->parallelism, 1);
+  EXPECT_EQ((*parallel)->parallelism, 4);
+  EXPECT_EQ((*parallel)->physical.max_parallelism, 4);
+
+  // Parallel-eligible operators advertise the bound in their labels; the
+  // scalar rendering is untouched (golden snapshots stay stable).
+  EXPECT_EQ((*scalar)->physical.ToString().find("[parallel x"),
+            std::string::npos);
+  bool labeled = false;
+  for (const std::string& label : (*parallel)->physical.labels) {
+    if (label.find("[parallel x4]") != std::string::npos) labeled = true;
+  }
+  EXPECT_TRUE(labeled) << (*parallel)->physical.ToString();
+
+  auto reference = setup.native().ExecutePlan(**scalar);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  auto result = setup.native().ExecutePlan(**parallel);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ToText(), reference->ToText());
+
+  const xquery::exec::ExecStats& stats = setup.native().last_plan_stats();
+  EXPECT_EQ(stats.max_parallelism, 4);
+  uint64_t morsels = 0;
+  for (const xquery::exec::OperatorStats& op : stats.operators) {
+    EXPECT_GE(op.self_millis, 0.0);  // clamped under concurrent children
+    morsels += op.morsels;
+  }
+  EXPECT_GT(morsels, 0u) << "Q8's descendant step should have split into "
+                            "morsels on this collection";
+  // The modeled makespan replaces each region's measured all-lane CPU
+  // with its list-scheduled makespan on 4 ideal lanes: never more than
+  // the serial work, never less than a quarter of it.
+  EXPECT_GT(stats.parallel_busy_millis, 0.0);
+  EXPECT_LE(stats.parallel_modeled_millis,
+            stats.parallel_busy_millis + 1e-9);
+  EXPECT_GE(stats.parallel_modeled_millis,
+            stats.parallel_busy_millis / 4.0 - 1e-9);
+  EXPECT_GT(stats.modeled_total_millis, 0.0);
+  // Thread-CPU vs wall-clock granularity: allow a little slack.
+  EXPECT_LE(stats.modeled_total_millis, stats.total_millis * 1.05 + 0.5);
 }
 
 // --- Xcolumn AST cache ------------------------------------------------------

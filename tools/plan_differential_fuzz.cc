@@ -3,7 +3,11 @@
 // Feeds analysis::QueryGenerator output (deterministic in --seed) through
 // every answer path the native engine has — the tree-walking interpreter,
 // the compiled physical plan, and the schema-guided compiled plan — and
-// requires byte-identical QueryResult::ToText() from all of them. The
+// requires byte-identical QueryResult::ToText() from all of them. Each
+// query's compiled plans additionally draw a random intra-query
+// parallelism bound (1, 2, or 4 — deterministic in --seed), so the
+// morsel-parallel execution paths are fuzzed against the scalar
+// interpreter too. The
 // same queries are cross-checked against the CLOB engine per document
 // (MD classes, decomposable queries) as value multisets, and the shredded
 // relational image is validated column-by-column against the source
@@ -263,9 +267,27 @@ int main(int argc, char** argv) {
   xbench::analysis::QueryGenerator gen(schema, seed);
   uint64_t clob_compared = 0;
   uint64_t error_queries = 0;
+  uint64_t parallel_plans = 0;
+  // Deterministic per-query draw for the intra-query parallelism bound:
+  // plans execute through the same morsel machinery the benchmarks use,
+  // and must stay byte-identical to the scalar interpreter regardless of
+  // the bound. splitmix64 keeps the stream independent of the query
+  // generator's own PRNG state.
+  uint64_t parallelism_state = seed ^ 0x9e3779b97f4a7c15ull;
+  auto next_parallelism = [&parallelism_state] {
+    parallelism_state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = parallelism_state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    static constexpr int kBounds[] = {1, 2, 4};
+    return kBounds[z % 3];
+  };
   for (uint64_t i = 0; i < iters; ++i) {
     const auto generated = gen.Next();
     const std::string& text = generated.text;
+    const int parallelism = next_parallelism();
+    if (parallelism > 1) ++parallel_plans;
 
     // Annotations are keyed by AST node identity and Compile consumes the
     // AST, so each execution path analyzes its own copy.
@@ -281,6 +303,7 @@ int main(int argc, char** argv) {
       auto compiled_q = xbench::workload::AnalyzeForClassFull(text, cls);
       xbench::xquery::plan::PlannerOptions options;
       options.guided = want_guided;
+      options.max_intra_parallelism = parallelism;
       auto compiled = xbench::xquery::plan::Compile(
           std::move(compiled_q->ast), &compiled_q->report.annotations, options);
       if (!compiled.ok()) {
@@ -343,11 +366,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "  %llu queries: interpreter == %s plan%s, %llu runtime errors "
-      "(status-matched), %llu clob-compared\n",
+      "(status-matched), %llu clob-compared, %llu morsel-parallel plans\n",
       static_cast<unsigned long long>(iters),
       guided ? "unguided == guided" : "unguided",
       guided ? "" : " (guided gate closed)",
       static_cast<unsigned long long>(error_queries),
-      static_cast<unsigned long long>(clob_compared));
+      static_cast<unsigned long long>(clob_compared),
+      static_cast<unsigned long long>(parallel_plans));
   return 0;
 }

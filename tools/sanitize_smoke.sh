@@ -41,8 +41,12 @@ if [ "$SAN" = "thread" ]; then
         json_check
   "$BUILD/tests/concurrency_tests"
   "$BUILD/tests/lock_rank_tests"
+  # --intra crosses the MPL sweep with morsel-driven intra-query
+  # parallelism: concurrent sessions race each other AND the shared
+  # worker pool's lanes, which is exactly the interleaving TSAN is here
+  # to check.
   XBENCH_TRACE_OUT="$BUILD/tsan_throughput_trace.json" \
-    "$BUILD/bench/bench_throughput" --mpl 1,4,8 --ops 4 \
+    "$BUILD/bench/bench_throughput" --mpl 1,4,8 --intra 1,4 --ops 4 \
     --slo-p99-millis 600000
   "$BUILD/tools/json_check" --schema trace \
     "$BUILD/tsan_throughput_trace.json"

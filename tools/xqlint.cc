@@ -22,13 +22,19 @@
 //
 // Usage:
 //   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
-//          [--verbose] [--explain] [--profile]
+//          [--verbose] [--explain] [--profile] [--parallelism N]
+//
+// --parallelism N (requires --explain) compiles with
+// PlannerOptions::max_intra_parallelism = N; parallel-eligible physical
+// operators render with a " [parallel xN]" suffix. The default of 1
+// keeps the rendering identical to the golden snapshot.
 //
 // Exit status: 0 when every selected query parses and has no error
 // diagnostics (and, under --explain, compiles and — with --profile —
 // executes); 1 otherwise.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -180,7 +186,7 @@ bool ProfileOne(QueryId id, const xbench::xquery::plan::CompiledQuery& compiled,
 /// and prints the logical and physical plan trees. With `sample_db`
 /// non-null the plan is also executed over it and profiled.
 bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
-                const QueryParams& params,
+                const QueryParams& params, int parallelism,
                 const xbench::datagen::GeneratedDatabase* sample_db) {
   const std::string xquery = XQueryFor(id, cls, params);
   if (xquery.empty()) return true;
@@ -198,6 +204,7 @@ bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
   xbench::xquery::plan::PlannerOptions options;
   options.guided = true;
   options.trust_statistics = true;
+  options.max_intra_parallelism = parallelism;
   auto compiled = xbench::xquery::plan::Compile(std::move(*parsed),
                                                 &report.annotations, options);
   if (!compiled.ok()) {
@@ -226,6 +233,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool explain = false;
   bool profile = false;
+  int parallelism = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -246,16 +254,26 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--parallelism" && has_value) {
+      parallelism = std::atoi(argv[++i]);
+      if (parallelism < 1) {
+        std::fprintf(stderr, "--parallelism must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
                    "[--query Q1..Q20|all] [--verbose] [--explain] "
-                   "[--profile]\n");
+                   "[--profile] [--parallelism N]\n");
       return 2;
     }
   }
   if (profile && !explain) {
     std::fprintf(stderr, "--profile requires --explain\n");
+    return 2;
+  }
+  if (parallelism > 1 && !explain) {
+    std::fprintf(stderr, "--parallelism requires --explain\n");
     return 2;
   }
 
@@ -277,7 +295,7 @@ int main(int argc, char** argv) {
     }
     for (QueryId id : queries) {
       if (explain) {
-        if (!ExplainOne(cls, id, schema, params,
+        if (!ExplainOne(cls, id, schema, params, parallelism,
                         profile ? &sample_db : nullptr)) {
           ++failures;
         }
