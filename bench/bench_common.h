@@ -117,7 +117,7 @@ inline int RunQueryParallelismBench(
       for (int p : parallelisms) {
         workload::RunOptions options;
         options.cold = false;  // warm: isolate execution, not the pool
-        options.max_intra_parallelism = p;
+        options.compile.parallelism.max_intra = p;
         Point point;
         point.parallelism = p;
         for (int rep = 0; rep < kRepeats; ++rep) {

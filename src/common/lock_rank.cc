@@ -17,6 +17,8 @@ const char* LockRankName(LockRank rank) {
       return "engine.registry";
     case LockRank::kCollection:
       return "collection";
+    case LockRank::kIndexCatalog:
+      return "index.catalog";
     case LockRank::kDocumentCache:
       return "doc.cache";
     case LockRank::kAstCache:

@@ -21,6 +21,12 @@ enum class LockRank : int {
   /// engines::XmlDbms::collection_mu_ — the per-engine collection
   /// reader/writer lock. Mutations hold it exclusive, statements shared.
   kCollection = 20,
+  /// NativeEngine::index_mu_ — the planner-facing index-catalog mirror
+  /// (statistics + epoch). Taken by mutation/DDL paths while holding the
+  /// collection lock exclusive (refresh) and standalone by compilation
+  /// snapshots; guards only the mirror copy, never the index structures
+  /// themselves (those sit under the collection lock).
+  kIndexCatalog = 25,
   /// Native/CLOB engines' materialized-document cache mutex (cache_mu_).
   kDocumentCache = 30,
   /// CLOB engine's parsed-AST statement cache mutex (ast_mu_).

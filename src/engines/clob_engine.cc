@@ -114,6 +114,10 @@ Status ClobEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ClobEngine::CreateIndex(const IndexSpec& spec) {
+  if (spec.kind != IndexKind::kValue) {
+    return Status::Unsupported(std::string(IndexKindName(spec.kind)) +
+                               " indexes are native-engine only");
+  }
   WriterLock lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("clob.index_build");

@@ -16,6 +16,27 @@ const char* EngineKindName(EngineKind kind) {
   return "?";
 }
 
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kValue:
+      return "value";
+    case IndexKind::kPath:
+      return "path";
+    case IndexKind::kText:
+      return "text";
+  }
+  return "?";
+}
+
+Status XmlDbms::DropIndex(const std::string& name) {
+  (void)name;
+  return Status(StatusCode::kUnsupported,
+                std::string(EngineKindName(kind())) +
+                    " cannot drop indexes after load");
+}
+
+std::vector<IndexInfo> XmlDbms::ListIndexes() const { return {}; }
+
 XmlDbms::XmlDbms()
     : disk_(std::make_unique<storage::SimulatedDisk>()),
       pool_(std::make_unique<storage::BufferPool>(*disk_, kDefaultPoolPages)) {

@@ -20,11 +20,38 @@ struct LoadDocument {
   std::string text;
 };
 
-/// A value index request: an element/attribute path in the abbreviated
-/// form the paper's Table 3 uses ("item/@id", "hw", "date_of_release").
+/// What a secondary index maps (the engine-API mirror of
+/// xquery::plan::IndexKind — dbms.h stays below the query layers, so the
+/// enum is repeated here rather than included).
+enum class IndexKind {
+  /// B+-tree over the typed value of one path ("item/@id", "hw").
+  kValue,
+  /// Structural index: qualified element path -> node postings. The
+  /// native engine maintains the structure unconditionally; the DDL form
+  /// only names it so it shows in ListIndexes.
+  kPath,
+  /// Inverted text index: word token -> element postings (serves
+  /// contains-word probes on TC classes).
+  kText,
+};
+
+const char* IndexKindName(IndexKind kind);
+
+/// An index request. For kValue, `path` is an element/attribute path in
+/// the abbreviated form the paper's Table 3 uses ("item/@id", "hw",
+/// "date_of_release"); kPath/kText ignore it.
 struct IndexSpec {
   std::string name;
   std::string path;
+  IndexKind kind = IndexKind::kValue;
+};
+
+/// One row of ListIndexes().
+struct IndexInfo {
+  std::string name;
+  IndexKind kind = IndexKind::kValue;
+  std::string path;
+  uint64_t entries = 0;
 };
 
 /// Identifies which commercial system an engine models.
@@ -67,8 +94,18 @@ class XmlDbms {
   virtual Status BulkLoad(datagen::DbClass db_class,
                           const std::vector<LoadDocument>& docs) = 0;
 
-  /// Creates a value index (after loading, as in §3.1).
+  /// Creates an index (after loading, as in §3.1). Engines return
+  /// kUnsupported for kinds they cannot host (only the native engine
+  /// serves kPath/kText).
   virtual Status CreateIndex(const IndexSpec& spec) = 0;
+
+  /// Drops an index by name. Default: kUnsupported (relational engines
+  /// keep their side-table indexes for the lifetime of the load).
+  virtual Status DropIndex(const std::string& name);
+
+  /// The engine's secondary indexes, DDL-created ones only, in creation
+  /// order. Default: empty.
+  virtual std::vector<IndexInfo> ListIndexes() const;
 
   /// Update workload — the paper's planned extension (§4, "update
   /// workloads will be included in subsequent versions"): document-level

@@ -141,6 +141,10 @@ Status ShredEngine::DeleteDocument(const std::string& name) {
 }
 
 Status ShredEngine::CreateIndex(const IndexSpec& spec) {
+  if (spec.kind != IndexKind::kValue) {
+    return Status::Unsupported(std::string(IndexKindName(spec.kind)) +
+                               " indexes are native-engine only");
+  }
   WriterLock lock(collection_mu_);
   obs::ScopedClockSource clock_scope(disk_->clock());
   obs::ScopedSpan span("shred.index_build");

@@ -190,7 +190,9 @@ std::string Driver::JsonReport(const ReportOptions& options) {
           for (QueryId id : queries) {
             workload::RunOptions run_options;
             run_options.profile = options.profile;
-            run_options.max_intra_parallelism = options.max_intra_parallelism;
+            run_options.compile.parallelism.max_intra =
+                options.max_intra_parallelism;
+            run_options.compile.access_path = options.access_path;
             workload::ExecutionResult result = session.Run(id, run_options);
             writer.BeginObject();
             writer.Key("query").String(workload::QueryName(id));
@@ -223,6 +225,7 @@ std::string Driver::JsonReport(const ReportOptions& options) {
                 writer.Key("plan").BeginObject();
                 writer.Key("compiled").Bool(true);
                 writer.Key("cache_hit").Bool(result.plan_cache_hit);
+                writer.Key("access_path").String(result.access_path);
                 writer.Key("max_parallelism")
                     .Uint(static_cast<uint64_t>(
                         plan_stats.max_parallelism > 0
@@ -257,8 +260,13 @@ std::string Driver::JsonReport(const ReportOptions& options) {
                       .Key("millis")
                       .Number(op.millis)
                       .Key("self_millis")
-                      .Number(op.self_millis)
-                      .EndObject();
+                      .Number(op.self_millis);
+                  // Cost-model estimate next to the measured rows, so the
+                  // report shows estimated-vs-actual for chosen probes.
+                  if (op.estimated_rows >= 0) {
+                    writer.Key("estimated_rows").Number(op.estimated_rows);
+                  }
+                  writer.EndObject();
                 }
                 writer.EndArray();
                 writer.EndObject();

@@ -59,9 +59,15 @@ class Driver {
     /// "profile" object (phase timings) plus per-operator depth/self
     /// times in the plan section.
     bool profile = false;
-    /// RunOptions::max_intra_parallelism for every query run (native
-    /// compiled path); surfaced in the report's plan section.
+    /// Intra-query parallelism bound for every query run, threaded into
+    /// RunOptions::compile.parallelism.max_intra (native compiled path);
+    /// surfaced in the report's plan section.
     int max_intra_parallelism = 1;
+    /// Access-path policy for every query run (native compiled path).
+    /// The default kAuto lets the cost model choose among guided walks,
+    /// full scans, and index probes; the chosen path lands in each
+    /// query's plan section as "access_path".
+    xquery::plan::AccessPathPolicy access_path;
   };
 
   /// Machine-readable run report (BENCH_RESULTS-style): one cell per

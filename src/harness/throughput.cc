@@ -225,7 +225,7 @@ Result<ThroughputReport> ThroughputDriver::Run() {
       // The intra-parallel latency model below reads the run's parallel-
       // region stats, so plan stats collection stays on for those rows.
       run_options.collect_plan_stats = intra > 1;
-      run_options.max_intra_parallelism = intra;
+      run_options.compile.parallelism.max_intra = intra;
       for (int op = 0; op < ops; ++op) {
         // Offset by the session index so concurrent sessions interleave
         // different statements instead of marching in lockstep.

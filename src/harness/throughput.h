@@ -30,8 +30,8 @@ struct ThroughputOptions {
   int ops_per_session = 8;
   /// Intra-query parallelism bounds to sweep (cross product with `mpls`):
   /// each session runs its statements with
-  /// RunOptions::max_intra_parallelism set to the value, so the sweep
-  /// contrasts inter-query concurrency (MPL) with intra-query morsel
+  /// RunOptions::compile.parallelism.max_intra set to the value, so the
+  /// sweep contrasts inter-query concurrency (MPL) with intra-query morsel
   /// parallelism. {1} (the default) keeps the classic scalar sweep.
   std::vector<int> intra = {1};
   /// SLO gate: when positive, an MPL whose p99 latency exceeds this many

@@ -94,10 +94,6 @@ struct RunOptions {
   /// methodology). Warm runs reuse whatever the pool and document caches
   /// hold.
   bool cold = true;
-  /// Allow schema-guided descendant plans (native engine; effective only
-  /// when the engine's validation gate is also open). Off forces
-  /// always-correct full-scan plans regardless of the gate.
-  bool use_guided = true;
   /// Copy the run's per-operator counters into ExecutionResult::plan_stats
   /// (native compiled path).
   bool collect_plan_stats = true;
@@ -108,12 +104,18 @@ struct RunOptions {
   /// Collect phase-boundary timings into ExecutionResult::profile
   /// (native engine path).
   bool profile = false;
-  /// Intra-query parallelism bound for native compiled plans: parallel-
-  /// capable operators split their input into morsels on the shared
-  /// worker pool (common/worker_pool.h). Answers are byte-identical to
-  /// scalar execution; the plan cache keys on this value, so scalar and
-  /// parallel plans coexist in the statement cache. 1 = scalar (default).
-  int max_intra_parallelism = 1;
+  /// Structured compilation options for the native compiled path:
+  /// access-path policy (auto / force-guided / force-scan /
+  /// force-index), cost-model knobs, and intra-query parallelism
+  /// (compile.parallelism.max_intra; answers are byte-identical to scalar
+  /// execution). The session clamps the policy against the engine's
+  /// guided-eval gate before compiling — forcing guided on an unvalidated
+  /// collection degrades to full scans rather than risk a wrong answer —
+  /// and the plan cache keys on the policy + parallelism + catalog epoch,
+  /// so differently-optioned plans coexist in the statement cache.
+  /// Defaults (kAuto, guided allowed, scalar) reproduce the old behavior
+  /// of the retired use_guided/max_intra_parallelism flags.
+  xquery::plan::CompilationOptions compile;
 };
 
 /// Phase-boundary timings for one statement, native engine path. Compile
@@ -142,6 +144,11 @@ struct ExecutionResult : OpOutcome {
   /// pre-order.
   bool compiled = false;
   bool plan_cache_hit = false;
+  /// The compiled plan's one-line access-path decision summary (comma-
+  /// joined probe choices such as "IndexScan(item_id)", or
+  /// "guided-walk"/"full-scan"); empty on non-compiled paths. Reports
+  /// surface this next to the per-operator estimated-vs-actual rows.
+  std::string access_path;
   xquery::exec::ExecStats plan_stats;
   /// Filled when RunOptions::profile was set (native path).
   QueryProfile profile;

@@ -35,15 +35,51 @@ std::vector<std::string> SplitLines(const std::string& text) {
 /// parameters are derived deterministically from the database's seeds and
 /// every mutation invalidates the cache, so a cached plan's embedded
 /// parameter values always match the collection it runs over.
+/// Clamps the caller's compilation options against the engine's current
+/// state: guided access paths degrade to full scans while the validation
+/// gate is closed (forcing guided must not produce a wrong answer), and
+/// cardinality-zero pruning stays off — the canonical schema's statistics
+/// describe the sample database, not the engine's actual collection.
+xquery::plan::CompilationOptions ClampForEngine(
+    const engines::NativeEngine& engine,
+    xquery::plan::CompilationOptions options) {
+  if (!engine.guided_eval_enabled()) {
+    options.access_path.allow_guided = false;
+    if (options.access_path.mode ==
+        xquery::plan::AccessPathMode::kForceGuided) {
+      options.access_path.mode = xquery::plan::AccessPathMode::kForceScan;
+    }
+  }
+  options.cost_model.trust_statistics = false;
+  if (options.parallelism.max_intra < 1) options.parallelism.max_intra = 1;
+  return options;
+}
+
 Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
     engines::NativeEngine& engine, QueryId id, datagen::DbClass db_class,
-    const QueryParams& params, bool use_guided, int parallelism,
-    bool* cache_hit, QueryProfile* profile) {
-  const bool guided = use_guided && engine.guided_eval_enabled();
-  if (parallelism < 1) parallelism = 1;
+    const QueryParams& params,
+    const xquery::plan::CompilationOptions& requested, bool* cache_hit,
+    QueryProfile* profile) {
+  const xquery::plan::CompilationOptions options =
+      ClampForEngine(engine, requested);
+  const xquery::plan::AccessPathPolicy& policy = options.access_path;
+  const bool guided =
+      policy.mode == xquery::plan::AccessPathMode::kForceGuided ||
+      (policy.mode != xquery::plan::AccessPathMode::kForceScan &&
+       policy.allow_guided);
+  // Snapshot the planner-facing catalog before the cache probe: its epoch
+  // is part of the key, so a plan costed against superseded index state
+  // (DDL or mutation since) misses instead of being served.
+  const xquery::plan::IndexCatalog catalog = engine.IndexCatalogSnapshot();
   const xquery::plan::PlanCacheKey key{
-      static_cast<int>(id), static_cast<int>(db_class),
-      static_cast<int>(EngineKind::kNative), guided, parallelism};
+      static_cast<int>(id),
+      static_cast<int>(db_class),
+      static_cast<int>(EngineKind::kNative),
+      guided,
+      options.parallelism.max_intra,
+      static_cast<int>(policy.mode),
+      policy.forced_index,
+      catalog.epoch};
   if (auto cached = engine.plan_cache().Lookup(key)) {
     *cache_hit = true;
     if (profile != nullptr) profile->compile_cache_hit = true;
@@ -61,18 +97,11 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
   XBENCH_ASSIGN_OR_RETURN(
       AnalyzedQuery analyzed,
       AnalyzeForClassFull(xquery, db_class, &parse_millis, &analyze_millis));
-  xquery::plan::PlannerOptions options;
-  options.guided = guided;
-  options.max_intra_parallelism = parallelism;
-  // The canonical schema's statistics describe the sample database, not
-  // the engine's actual collection, so cardinality-zero pruning stays off
-  // when answers count.
-  options.trust_statistics = false;
   Stopwatch plan_watch;
   XBENCH_ASSIGN_OR_RETURN(
       std::shared_ptr<const xquery::plan::CompiledQuery> compiled,
       xquery::plan::Compile(std::move(analyzed.ast),
-                            &analyzed.report.annotations, options));
+                            &analyzed.report.annotations, options, &catalog));
   if (profile != nullptr) {
     profile->parse_millis = parse_millis;
     profile->analyze_millis = analyze_millis;
@@ -82,21 +111,18 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> PrepareNativePlan(
   return compiled;
 }
 
-void RunNative(engines::NativeEngine& engine, QueryId id,
-               datagen::DbClass db_class, const QueryParams& params,
+void RunNative(engines::NativeEngine& engine,
                const xquery::plan::CompiledQuery& compiled,
                bool collect_plan_stats, bool profile,
                ExecutionResult& result) {
   xquery::exec::ExecStats scratch;
   xquery::exec::ExecStats* stats =
       collect_plan_stats || profile ? &result.plan_stats : &scratch;
-  auto hint = IndexHintFor(id, db_class, params);
+  // No session-level index hint here: access-path selection (including
+  // index probes and the document prefilter) is the planner's job now;
+  // the compiled plan carries its choices.
   Stopwatch engine_watch;
-  auto query_result =
-      hint.has_value()
-          ? engine.ExecutePlanWithIndex(hint->index_name, hint->value,
-                                        compiled, stats)
-          : engine.ExecutePlan(compiled, stats);
+  auto query_result = engine.ExecutePlan(compiled, stats);
   const double engine_millis = engine_watch.ElapsedMillis();
   if (!query_result.ok()) {
     result.status = query_result.status();
@@ -105,6 +131,7 @@ void RunNative(engines::NativeEngine& engine, QueryId id,
   Stopwatch serialize_watch;
   result.lines = SplitLines(query_result->ToText());
   result.compiled = true;
+  result.access_path = compiled.logical.access_path_summary;
   if (profile) {
     result.profile.collected = true;
     result.profile.engine_millis = engine_millis;
@@ -146,7 +173,7 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
             : std::string());
     auto prepared = PrepareNativePlan(
         static_cast<engines::NativeEngine&>(engine), id, db_class_, params,
-        options.use_guided, options.max_intra_parallelism, &native_cache_hit,
+        options.compile, &native_cache_hit,
         options.profile ? &profile : nullptr);
     if (!prepared.ok()) {
       ExecutionResult failed;
@@ -176,25 +203,29 @@ ExecutionResult Session::Run(QueryId id, const QueryParams& params,
     case EngineKind::kNative: {
       auto& native = static_cast<engines::NativeEngine&>(engine);
       result.profile = profile;
-      RunNative(native, id, db_class_, params, *native_plan,
-                options.collect_plan_stats, options.profile, result);
+      RunNative(native, *native_plan, options.collect_plan_stats,
+                options.profile, result);
       result.plan_cache_hit = native_cache_hit;
       // A concurrent mutation can close the guided-eval gate between this
       // statement's compile phase and its execute, in which case the engine
       // rejects the now-stale guided plan rather than risk a wrong answer.
-      // Unguided plans are always correct, so recompile without guidance and
-      // retry once; the fallback plan cannot bounce off the gate again.
+      // Unguided plans are always correct, so recompile with the access
+      // path forced to full scans and retry once; the fallback plan cannot
+      // bounce off the gate again.
       if (result.status.code() == StatusCode::kInvalidArgument &&
           native_plan->guided) {
+        xquery::plan::CompilationOptions scan_options = options.compile;
+        scan_options.access_path.mode =
+            xquery::plan::AccessPathMode::kForceScan;
+        scan_options.access_path.allow_guided = false;
         auto fallback = PrepareNativePlan(
-            native, id, db_class_, params, /*use_guided=*/false,
-            options.max_intra_parallelism, &native_cache_hit,
+            native, id, db_class_, params, scan_options, &native_cache_hit,
             options.profile ? &profile : nullptr);
         if (fallback.ok()) {
           result = ExecutionResult{};
           result.profile = profile;
-          RunNative(native, id, db_class_, params, **fallback,
-                    options.collect_plan_stats, options.profile, result);
+          RunNative(native, **fallback, options.collect_plan_stats,
+                    options.profile, result);
           result.plan_cache_hit = native_cache_hit;
         }
       }

@@ -50,6 +50,22 @@ class Session {
   ExecutionResult Run(QueryId id, const QueryParams& params,
                       const RunOptions& options = {});
 
+  /// Index DDL, statement-style: delegates to the session's engine, which
+  /// serializes DDL against in-flight statements on the collection lock.
+  /// Engines reject kinds they cannot host with kUnsupported (only the
+  /// native engine serves kPath/kText); the native engine invalidates its
+  /// plan cache and bumps its catalog epoch, so statements compiled before
+  /// the DDL never run with a stale access-path choice.
+  Status CreateIndex(const engines::IndexSpec& spec) {
+    return engine_->CreateIndex(spec);
+  }
+  Status DropIndex(const std::string& name) {
+    return engine_->DropIndex(name);
+  }
+  std::vector<engines::IndexInfo> ListIndexes() const {
+    return engine_->ListIndexes();
+  }
+
   engines::XmlDbms& engine() { return *engine_; }
   datagen::DbClass db_class() const { return db_class_; }
   const QueryParams& params() const { return params_; }

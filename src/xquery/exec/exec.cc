@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -16,8 +17,11 @@ namespace xbench::xquery::exec {
 namespace {
 
 using plan::AccessPath;
+using plan::IndexProbe;
 using plan::LogicalKind;
 using plan::LogicalNode;
+using plan::ProbeContext;
+using plan::ProbeKind;
 
 /// A tuple of the FLWOR pipeline: the variable bindings accumulated by the
 /// for/let operators upstream of the current position.
@@ -60,6 +64,10 @@ struct ExecContext {
   std::vector<OperatorStats>* stats = nullptr;
   ParallelAgg* parallel = nullptr;
   obs::Counter* nodes_visited = nullptr;
+  /// Engine index access for probe operators; null = probes run their
+  /// fallback access path. Only read on the calling thread (postings are
+  /// resolved before any morsel fan-out).
+  const IndexProvider* indexes = nullptr;
   bool trace = false;
 };
 
@@ -638,6 +646,143 @@ class EmptyOp final : public ItemOp {
 
  protected:
   Result<Sequence> DoRun(ExecContext&) const override { return Sequence{}; }
+};
+
+const xml::Node* TreeRoot(const xml::Node* node) {
+  while (node->parent() != nullptr) node = node->parent();
+  return node;
+}
+
+/// Index probe: resolves postings through the execution's IndexProvider,
+/// maps them to the elements the replaced access path would have
+/// enumerated, validates each against the probed root set and structural
+/// context, then re-applies the original step's predicates. Falls back to
+/// the wrapped access path (inputs[0] of the logical probe node) whenever
+/// the index is unavailable or the root set is not a plain set of
+/// parentless element nodes — so probe plans answer exactly like their
+/// unprobed form on any binding.
+class IndexProbeOp final : public ItemOp {
+ public:
+  IndexProbeOp(std::string label, size_t slot,
+               std::unique_ptr<ItemOp> fallback, std::unique_ptr<ItemOp> roots,
+               IndexProbe probe, std::vector<const Expr*> predicates,
+               int parallelism)
+      : ItemOp(std::move(label), slot),
+        fallback_(std::move(fallback)),
+        roots_(std::move(roots)),
+        probe_(std::move(probe)),
+        predicates_(std::move(predicates)),
+        parallelism_(parallelism) {}
+
+ protected:
+  Result<Sequence> DoRun(ExecContext& ctx) const override {
+    if (ctx.indexes == nullptr) return fallback_->Run(ctx);
+    XBENCH_ASSIGN_OR_RETURN(Sequence roots, roots_->Run(ctx));
+    // The probe's completeness argument assumes the bound sequence is
+    // document roots (the indexed collection). Anything else — attributes,
+    // mid-tree elements a test harness bound — goes through the fallback.
+    for (const Item& item : roots) {
+      if (item.kind != Item::Kind::kNode || item.node == nullptr ||
+          item.node->parent() != nullptr) {
+        return fallback_->Run(ctx);
+      }
+    }
+    std::optional<std::vector<const xml::Node*>> postings;
+    switch (probe_.kind) {
+      case ProbeKind::kValueEquals:
+        postings = ctx.indexes->ValueLookup(probe_.index, probe_.key);
+        break;
+      case ProbeKind::kValueRange:
+        postings = ctx.indexes->ValueRange(probe_.index, probe_.lo, probe_.hi);
+        break;
+      case ProbeKind::kTextWord:
+        postings = ctx.indexes->TextLookup(probe_.word);
+        break;
+    }
+    if (!postings.has_value()) return fallback_->Run(ctx);
+    std::set<const xml::Node*> root_set;
+    for (const Item& item : roots) root_set.insert(item.node);
+    Sequence candidates;
+    for (const xml::Node* posting : *postings) {
+      if (posting == nullptr) continue;
+      ctx.nodes_visited->Increment();
+      if (probe_.kind == ProbeKind::kTextWord) {
+        CollectTextCandidates(posting, root_set, candidates);
+        continue;
+      }
+      const xml::Node* candidate =
+          probe_.key_is_attribute ? posting : posting->parent();
+      if (Accepts(candidate, root_set)) {
+        candidates.push_back(Item::Node(candidate));
+      }
+    }
+    if (probe_.context == ProbeContext::kRoots) {
+      // The replaced expression is a filter over the bound variable, which
+      // preserves the variable's binding order without a document-order
+      // sort — so the probe must too. Re-rank the hit roots by their
+      // position in the roots sequence (this also dedups: each root
+      // appears once there). A cross-document pointer sort here would
+      // reorder collections whose load order differs from heap order.
+      std::set<const xml::Node*> hits;
+      for (const Item& item : candidates) hits.insert(item.node);
+      Sequence ordered;
+      for (const Item& item : roots) {
+        if (hits.count(item.node) != 0) ordered.push_back(item);
+      }
+      candidates = std::move(ordered);
+    } else {
+      // Child/descendant contexts: the replaced step ends in the same
+      // document-order sort, so the probe's candidate order matches it.
+      SortDocumentOrderUnique(candidates);
+    }
+    return RunPredicatesMaybeParallel(ctx, slot(), parallelism_, predicates_,
+                                      std::move(candidates));
+  }
+
+ private:
+  /// Structural-context check: would the replaced access path have
+  /// enumerated `candidate` from this root set?
+  bool Accepts(const xml::Node* candidate,
+               const std::set<const xml::Node*>& root_set) const {
+    if (candidate == nullptr) return false;
+    switch (probe_.context) {
+      case ProbeContext::kRoots:
+        return root_set.count(candidate) != 0;
+      case ProbeContext::kRootChildren:
+        return candidate->name() == probe_.target_name &&
+               candidate->parent() != nullptr &&
+               root_set.count(candidate->parent()) != 0;
+      case ProbeContext::kRootDescendants:
+        return candidate->name() == probe_.target_name &&
+               candidate->parent() != nullptr &&
+               root_set.count(TreeRoot(candidate)) != 0;
+    }
+    return false;
+  }
+
+  /// Text postings name the element directly containing the word; every
+  /// ancestor-or-self matching the probe's structural context also
+  /// contains it and is a candidate (a superset — the kept predicates and
+  /// where clause re-check the containment exactly).
+  void CollectTextCandidates(const xml::Node* posting,
+                             const std::set<const xml::Node*>& root_set,
+                             Sequence& out) const {
+    if (probe_.context == ProbeContext::kRoots) {
+      const xml::Node* root = TreeRoot(posting);
+      if (root_set.count(root) != 0) out.push_back(Item::Node(root));
+      return;
+    }
+    for (const xml::Node* node = posting; node != nullptr;
+         node = node->parent()) {
+      if (Accepts(node, root_set)) out.push_back(Item::Node(node));
+    }
+  }
+
+  std::unique_ptr<ItemOp> fallback_;
+  std::unique_ptr<ItemOp> roots_;
+  IndexProbe probe_;
+  std::vector<const Expr*> predicates_;
+  int parallelism_;
 };
 
 // --- tuple operators ------------------------------------------------------
@@ -1314,6 +1459,39 @@ class PhysicalBuilder {
         const size_t slot = AddSlot(label, depth);
         return {std::make_unique<EmptyOp>(label, slot)};
       }
+      case LogicalKind::kIndexScan:
+      case LogicalKind::kIndexRangeScan:
+      case LogicalKind::kTextProbe: {
+        if (n.inputs.size() != 2 || !n.probe.has_value()) {
+          return Status::Internal(
+              "index probe expects a fallback and a root source");
+        }
+        const plan::IndexProbe& probe = *n.probe;
+        std::string label;
+        switch (n.kind) {
+          case LogicalKind::kIndexScan:
+            label = "IndexScan(" + probe.index + " = \"" + probe.key + "\")";
+            break;
+          case LogicalKind::kIndexRangeScan:
+            label = "IndexRangeScan(" + probe.index + " in [\"" + probe.lo +
+                    "\" .. \"" + probe.hi + "\"])";
+            break;
+          default:
+            label = "TextIndexProbe(" + probe.index + " ~ \"" + probe.word +
+                    "\")";
+            break;
+        }
+        label += PredicateSuffix(n);
+        label += ParallelSuffix();
+        const size_t slot = AddSlot(label, depth, n.estimated_rows);
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> fallback,
+                                BuildItem(*n.inputs[0], depth + 1));
+        XBENCH_ASSIGN_OR_RETURN(std::unique_ptr<ItemOp> roots,
+                                BuildItem(*n.inputs[1], depth + 1));
+        return {std::make_unique<IndexProbeOp>(
+            label, slot, std::move(fallback), std::move(roots), probe,
+            n.predicates, parallelism_)};
+      }
       case LogicalKind::kReturn: {
         if (n.inputs.size() != 2) {
           return Status::Internal("Return expects a pipeline and an item plan");
@@ -1425,12 +1603,14 @@ class PhysicalBuilder {
     return " [parallel x" + std::to_string(parallelism_) + "]";
   }
 
-  size_t AddSlot(const std::string& label, int depth) {
+  size_t AddSlot(const std::string& label, int depth,
+                 double estimated_rows = -1) {
     plan_.rendered.append(static_cast<size_t>(depth) * 2, ' ');
     plan_.rendered += label;
     plan_.rendered.push_back('\n');
     plan_.labels.push_back(label);
     plan_.depths.push_back(depth);
+    plan_.estimated_rows.push_back(estimated_rows);
     return plan_.labels.size() - 1;
   }
 
@@ -1457,7 +1637,8 @@ Result<PhysicalPlan> BuildPhysicalPlan(const plan::LogicalPlan& logical) {
 }
 
 Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
-                            const EvalOptions& options, ExecStats* stats) {
+                            const EvalOptions& options, ExecStats* stats,
+                            const IndexProvider* indexes) {
   if (plan.root == nullptr) {
     return Status::Internal("physical plan has no root");
   }
@@ -1470,6 +1651,8 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
   for (size_t i = 0; i < plan.labels.size(); ++i) {
     op_stats[i].label = plan.labels[i];
     op_stats[i].depth = i < plan.depths.size() ? plan.depths[i] : 0;
+    op_stats[i].estimated_rows =
+        i < plan.estimated_rows.size() ? plan.estimated_rows[i] : -1;
   }
   ParallelAgg parallel_agg;
   ExecContext ctx;
@@ -1478,6 +1661,7 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
   ctx.arena = &result.constructed;
   ctx.stats = &op_stats;
   ctx.parallel = &parallel_agg;
+  ctx.indexes = indexes;
   ctx.nodes_visited = &obs::MetricsRegistry::Default().GetCounter(
       "xbench.xquery.nodes_visited");
   ctx.trace = obs::Tracer::Default().enabled();

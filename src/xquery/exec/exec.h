@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "xquery/evaluator.h"
+#include "xquery/exec/index_provider.h"
 #include "xquery/plan/logical.h"
 
 namespace xbench::xquery::exec {
@@ -41,6 +42,10 @@ struct OperatorStats {
   /// Modeled makespan of those morsels list-scheduled onto
   /// `ExecStats::max_parallelism` ideal lanes.
   double parallel_modeled_millis = 0;
+  /// Cost-model row estimate frozen into the plan for this operator
+  /// (index probes only); -1 = no estimate. Reported next to the
+  /// measured rows_out so explain output can show estimated vs. actual.
+  double estimated_rows = -1;
 };
 
 /// Snapshot of every operator's counters, in plan pre-order (root first).
@@ -50,7 +55,7 @@ struct ExecStats {
   /// per-operator self times sum to this (within measurement noise).
   double total_millis = 0;
   /// Intra-query parallelism bound the plan was compiled with (1 =
-  /// scalar; mirrors PlannerOptions::max_intra_parallelism).
+  /// scalar; mirrors CompilationOptions::parallelism.max_intra).
   int max_parallelism = 1;
   /// Σ morsel thread-CPU over every parallel region of the run.
   double parallel_busy_millis = 0;
@@ -92,6 +97,9 @@ struct PhysicalPlan {
   /// Stats slot index -> tree depth (parallel to `labels`); pre-order plus
   /// depth reconstructs the tree shape for self-time attribution.
   std::vector<int> depths;
+  /// Stats slot index -> cost-model row estimate (-1 = none); parallel to
+  /// `labels`, copied into OperatorStats::estimated_rows per execution.
+  std::vector<double> estimated_rows;
 
   /// Indented operator-tree rendering (for `xqlint --explain`).
   std::string ToString() const { return rendered; }
@@ -106,11 +114,14 @@ Result<PhysicalPlan> BuildPhysicalPlan(const plan::LogicalPlan& logical);
 /// evaluation (so nested `//` steps inside predicates honor the same
 /// guided/full-scan mode the plan was compiled for). When `stats` is
 /// non-null, this execution's per-operator counters are copied into it.
+/// `indexes` (nullable) gives probe operators runtime index access; with
+/// it null every probe runs its compiled fallback access path.
 /// The result's ToText() is byte-identical to the interpreter's for the
 /// same query, bindings and options — differential tests enforce this.
 Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
                             const EvalOptions& options,
-                            ExecStats* stats = nullptr);
+                            ExecStats* stats = nullptr,
+                            const IndexProvider* indexes = nullptr);
 
 }  // namespace xbench::xquery::exec
 

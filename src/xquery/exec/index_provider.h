@@ -1,0 +1,50 @@
+#ifndef XBENCH_XQUERY_EXEC_INDEX_PROVIDER_H_
+#define XBENCH_XQUERY_EXEC_INDEX_PROVIDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xbench::xml {
+class Node;
+}  // namespace xbench::xml
+
+namespace xbench::xquery::exec {
+
+/// Runtime index access for probe operators. The engine executing a plan
+/// passes an adapter over its secondary indexes into Execute(); probe
+/// operators resolve postings through it and fall back to their wrapped
+/// access path whenever a lookup returns nullopt (index dropped since
+/// compile, engine without indexes, interpreter-only runs).
+///
+/// Threading contract: implementations are called only from the thread
+/// that called Execute() — probe operators resolve postings before any
+/// morsel fan-out — and that caller holds the engine's collection lock
+/// for the duration, so adapters may touch engine state guarded by it.
+/// Implementations must return postings as pointers into the same live
+/// DOM the plan's bindings reference.
+class IndexProvider {
+ public:
+  virtual ~IndexProvider() = default;
+
+  /// Elements posted under `key` in value index `index` (the element
+  /// carrying the indexed attribute, or the indexed child element whose
+  /// text equals the key). nullopt = index unavailable.
+  virtual std::optional<std::vector<const xml::Node*>> ValueLookup(
+      const std::string& index, const std::string& key) const = 0;
+
+  /// Elements posted in the inclusive key interval [lo, hi].
+  virtual std::optional<std::vector<const xml::Node*>> ValueRange(
+      const std::string& index, const std::string& lo,
+      const std::string& hi) const = 0;
+
+  /// Elements directly containing word token `word` (an element is posted
+  /// for the tokens of its own text content that no single element child's
+  /// content already covers, so ancestors are reachable by walking up).
+  virtual std::optional<std::vector<const xml::Node*>> TextLookup(
+      const std::string& word) const = 0;
+};
+
+}  // namespace xbench::xquery::exec
+
+#endif  // XBENCH_XQUERY_EXEC_INDEX_PROVIDER_H_

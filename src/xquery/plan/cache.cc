@@ -6,18 +6,30 @@
 namespace xbench::xquery::plan {
 
 Result<std::shared_ptr<const CompiledQuery>> Compile(
-    ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options) {
+    ExprPtr ast, const PlanAnnotations* notes,
+    const CompilationOptions& options, const IndexCatalog* catalog) {
   if (ast == nullptr) {
     return Status::InvalidArgument("cannot compile a null query");
   }
   obs::ScopedSpan span("xquery.plan.compile");
   auto compiled = std::make_shared<CompiledQuery>();
   compiled->ast = std::move(ast);
-  compiled->guided = options.guided;
-  compiled->parallelism =
-      options.max_intra_parallelism > 1 ? options.max_intra_parallelism : 1;
-  XBENCH_ASSIGN_OR_RETURN(compiled->logical,
-                          BuildLogicalPlan(*compiled->ast, notes, options));
+  compiled->options = options;
+  const AccessPathMode mode = options.access_path.mode;
+  compiled->guided =
+      mode == AccessPathMode::kForceGuided ||
+      (mode != AccessPathMode::kForceScan && options.access_path.allow_guided);
+  compiled->parallelism = options.parallelism.max_intra > 1
+                              ? options.parallelism.max_intra
+                              : 1;
+  XBENCH_ASSIGN_OR_RETURN(
+      compiled->logical,
+      BuildLogicalPlan(*compiled->ast, notes, options, catalog));
+  // The prefilter is only sound when the probed scan is the query's sole
+  // read of $input: any other use must still see the full collection.
+  if (CountVariableUses(*compiled->ast, "input") == 1) {
+    compiled->prefilter_probe = SingleInputProbe(compiled->logical);
+  }
   XBENCH_ASSIGN_OR_RETURN(compiled->physical,
                           exec::BuildPhysicalPlan(compiled->logical));
   obs::MetricsRegistry::Default()
@@ -25,6 +37,14 @@ Result<std::shared_ptr<const CompiledQuery>> Compile(
       .Increment();
   return {std::shared_ptr<const CompiledQuery>(std::move(compiled))};
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+CompileResult Compile(ExprPtr ast, const PlanAnnotations* notes,
+                      const PlannerOptions& options) {
+  return Compile(std::move(ast), notes, FromDeprecated(options), nullptr);
+}
+#pragma GCC diagnostic pop
 
 std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
     const PlanCacheKey& key) const {

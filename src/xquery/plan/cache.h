@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <utility>
 
@@ -24,38 +25,66 @@ struct CompiledQuery {
   ExprPtr ast;
   LogicalPlan logical;
   exec::PhysicalPlan physical;
-  /// Whether descendant steps were compiled to schema-guided walks. A
-  /// guided plan is only executable on an engine whose collection passed
-  /// the load-time validation gate; the cache key carries this flag so a
-  /// gate flip compiles a fresh plan instead of reusing a stale one.
+  /// The options the plan was compiled under (access-path decisions in
+  /// explain output report the mode alongside the per-node choices).
+  CompilationOptions options;
+  /// Whether descendant steps were allowed to compile to schema-guided
+  /// walks. A guided plan is only executable on an engine whose collection
+  /// passed the load-time validation gate; the cache key carries this flag
+  /// so a gate flip compiles a fresh plan instead of reusing a stale one.
   bool guided = false;
   /// Intra-query parallelism bound compiled into the physical operators
-  /// (mirrors PlannerOptions::max_intra_parallelism; part of the cache
-  /// key, so scalar and parallel compilations coexist).
+  /// (mirrors CompilationOptions::parallelism; part of the cache key, so
+  /// scalar and parallel compilations coexist).
   int parallelism = 1;
+  /// When the whole plan is driven by exactly one index probe over the
+  /// workload's `$input`, this points at that probe node (inside
+  /// `logical`, so it lives as long as the compiled query). Engines use it
+  /// to prefilter which documents they bind `$input` over — the index has
+  /// already proven the others produce nothing. Null when no single
+  /// driving probe exists.
+  const LogicalNode* prefilter_probe = nullptr;
 };
 
 /// Compiles an analyzed AST into a logical + physical plan, taking
-/// ownership of the AST. Increments xbench.plan.compiles and records a
+/// ownership of the AST. `catalog` (nullable) enables index probes under
+/// kAuto/kForceIndex. Increments xbench.plan.compiles and records a
 /// "xquery.plan.compile" span.
 Result<std::shared_ptr<const CompiledQuery>> Compile(
+    ExprPtr ast, const PlanAnnotations* notes,
+    const CompilationOptions& options, const IndexCatalog* catalog = nullptr);
+
+using CompileResult = Result<std::shared_ptr<const CompiledQuery>>;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use the CompilationOptions overload")]] CompileResult Compile(
     ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options);
+#pragma GCC diagnostic pop
 
 /// Cache key: (query id, database class, engine kind, guided flag,
-/// parallelism bound). The ints mirror workload::QueryId /
-/// workload::DbClass / engines::EngineKind without depending on those
-/// headers.
+/// parallelism bound, access-path mode + forced index, index-catalog
+/// epoch). The ints mirror workload::QueryId / workload::DbClass /
+/// engines::EngineKind / plan::AccessPathMode without depending on those
+/// headers. The epoch ties a plan to the catalog snapshot it was costed
+/// against: index DDL or a document mutation bumps the engine's epoch, so
+/// stale index choices miss instead of being served.
 struct PlanCacheKey {
   int query_id = 0;
   int db_class = 0;
   int engine = 0;
   bool guided = false;
   int parallelism = 1;
+  int access_mode = 0;
+  std::string forced_index;
+  uint64_t index_epoch = 0;
 
   bool operator<(const PlanCacheKey& other) const {
-    return std::tie(query_id, db_class, engine, guided, parallelism) <
+    return std::tie(query_id, db_class, engine, guided, parallelism,
+                    access_mode, forced_index, index_epoch) <
            std::tie(other.query_id, other.db_class, other.engine,
-                    other.guided, other.parallelism);
+                    other.guided, other.parallelism, other.access_mode,
+                    other.forced_index, other.index_epoch);
   }
 };
 

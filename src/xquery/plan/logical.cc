@@ -1,8 +1,12 @@
 #include "xquery/plan/logical.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <set>
 #include <utility>
+
+#include "common/strings.h"
 
 namespace xbench::xquery::plan {
 namespace {
@@ -86,6 +90,12 @@ void CollectFree(const Expr& e, std::set<std::string> bound,
   }
 }
 
+std::string FormatEstimate(double rows) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", rows);
+  return buf;
+}
+
 std::string NodeLabel(const LogicalNode& n) {
   std::string label;
   switch (n.kind) {
@@ -120,6 +130,17 @@ std::string NodeLabel(const LogicalNode& n) {
       break;
     case LogicalKind::kEmpty:
       label = "Empty [statically empty]";
+      break;
+    case LogicalKind::kIndexScan:
+      label = "IndexScan(" + n.probe->index + " = \"" + n.probe->key + "\")";
+      break;
+    case LogicalKind::kIndexRangeScan:
+      label = "IndexRangeScan(" + n.probe->index + " in [\"" + n.probe->lo +
+              "\" .. \"" + n.probe->hi + "\"])";
+      break;
+    case LogicalKind::kTextProbe:
+      label = "TextIndexProbe(" + n.probe->index + " ~ \"" + n.probe->word +
+              "\")";
       break;
     case LogicalKind::kReturn:
       label = "Return";
@@ -157,6 +178,9 @@ std::string NodeLabel(const LogicalNode& n) {
   if (n.cardinality != Card::kUnknown) {
     label += std::string(" {card=") + CardName(n.cardinality) + "}";
   }
+  if (n.estimated_rows >= 0) {
+    label += " {est=" + FormatEstimate(n.estimated_rows) + "}";
+  }
   return label;
 }
 
@@ -171,8 +195,9 @@ void Render(const LogicalNode& n, int depth, std::string& out) {
 
 class Builder {
  public:
-  Builder(const PlanAnnotations* notes, const PlannerOptions& options)
-      : notes_(notes), options_(options) {}
+  Builder(const PlanAnnotations* notes, const CompilationOptions& options,
+          bool guided_allowed)
+      : notes_(notes), options_(options), guided_allowed_(guided_allowed) {}
 
   LogicalNodePtr BuildItem(const Expr& e) {
     switch (e.kind) {
@@ -263,7 +288,7 @@ class Builder {
           node->predicates.push_back(pred.get());
         }
         node->expansions = ExpansionsFor(target);
-        node->access = options_.guided && !node->expansions.empty()
+        node->access = guided_allowed_ && !node->expansions.empty()
                            ? AccessPath::kGuidedWalk
                            : AccessPath::kFullScan;
         node->inputs.push_back(std::move(current));
@@ -283,7 +308,7 @@ class Builder {
       current = std::move(node);
     }
     current->cardinality = CardinalityFor(e);
-    if (options_.trust_statistics &&
+    if (options_.cost_model.trust_statistics &&
         current->cardinality == Card::kEmpty) {
       // Cardinality rewrite: the instance statistics bound this path to
       // zero matches. The pruned subtree stays attached for explain
@@ -367,11 +392,669 @@ class Builder {
   }
 
   const PlanAnnotations* notes_;
-  const PlannerOptions& options_;
+  const CompilationOptions& options_;
+  const bool guided_allowed_;
   /// FLWOR variables visible at the point being compiled (outer pipelines
   /// included) — the set a kJoin input must be disjoint from.
   std::vector<std::string> scope_vars_;
 };
+
+// ---------------------------------------------------------------------------
+// Access-path selection: pattern matching + costing of index probes.
+// ---------------------------------------------------------------------------
+
+/// True when `text` parses as a number. Probes are restricted to
+/// non-numeric literals: the evaluator's general comparison switches to
+/// numeric semantics when both operands atomize to numbers, which a
+/// string-keyed B+-tree cannot answer ("42" vs "042").
+bool IsNumericText(const std::string& text) {
+  return !std::isnan(ParseDouble(text));
+}
+
+bool IsWordChar(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+/// True when `word` tokenizes to itself — the only literals a word probe
+/// against the inverted index can answer (ContainsWord's boundaries and
+/// the index tokenizer agree on [A-Za-z0-9_] runs).
+bool IsWordToken(const std::string& word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (!IsWordChar(c)) return false;
+  }
+  return true;
+}
+
+/// Predicates whose static form can never yield a numeric singleton, so
+/// the evaluator's positional-predicate rule ((double)(pos) == value)
+/// cannot trigger. Index probes re-apply predicates against a candidate
+/// set with different positions than the original enumeration, which is
+/// only sound when every predicate on the step is value-based.
+bool PredicateStaticallyNonPositional(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kComparison:
+    case ExprKind::kLogical:
+    case ExprKind::kQuantified:
+      return true;
+    case ExprKind::kPath:
+    case ExprKind::kFilter:
+      // Node-sequence existence tests.
+      return true;
+    case ExprKind::kFunctionCall:
+      return e.function_name == "empty" || e.function_name == "exists" ||
+             e.function_name == "not" || e.function_name == "contains" ||
+             e.function_name == "contains-word" ||
+             e.function_name == "starts-with";
+    default:
+      return false;
+  }
+}
+
+bool AllPredicatesNonPositional(const LogicalNode& node) {
+  for (const Expr* pred : node.predicates) {
+    if (pred == nullptr || !PredicateStaticallyNonPositional(*pred)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A context-relative single step ("hw", "@id"): returns the step, else
+/// null.
+const Step* SingleRelativeStep(const Expr& e) {
+  if (e.kind != ExprKind::kPath || e.path_from_root ||
+      e.path_root != nullptr || e.steps.size() != 1) {
+    return nullptr;
+  }
+  const Step& step = e.steps.front();
+  if (!step.predicates.empty() || step.name_test == "*") return nullptr;
+  return &step;
+}
+
+/// `[self::N]` predicate: returns N, else "".
+std::string SelfTestName(const Expr& pred) {
+  const Step* step = SingleRelativeStep(pred);
+  if (step != nullptr && step->axis == Axis::kSelf) return step->name_test;
+  return "";
+}
+
+/// Matched `rel-path = "literal"` equality (either operand order).
+struct ValueEqMatch {
+  const Step* step = nullptr;  // child:: or attribute:: single step
+  std::string literal;
+};
+
+std::optional<ValueEqMatch> MatchValueEq(const Expr& pred) {
+  if (pred.kind != ExprKind::kComparison ||
+      pred.compare_op != CompareOp::kEq || pred.lhs == nullptr ||
+      pred.rhs == nullptr) {
+    return std::nullopt;
+  }
+  const Expr* path = pred.lhs.get();
+  const Expr* lit = pred.rhs.get();
+  if (path->kind == ExprKind::kStringLiteral) std::swap(path, lit);
+  if (lit->kind != ExprKind::kStringLiteral ||
+      IsNumericText(lit->string_value)) {
+    return std::nullopt;
+  }
+  const Step* step = SingleRelativeStep(*path);
+  if (step == nullptr ||
+      (step->axis != Axis::kChild && step->axis != Axis::kAttribute)) {
+    return std::nullopt;
+  }
+  return ValueEqMatch{step, lit->string_value};
+}
+
+/// Matched `$v/child >= "lo"` / `$v/child <= "hi"` bound (either operand
+/// order; `"lo" <= $v/child` normalizes to a lower bound).
+struct RangeBoundMatch {
+  std::string variable;
+  std::string child;
+  std::string literal;
+  bool lower = false;
+};
+
+std::optional<RangeBoundMatch> MatchRangeBound(const Expr& e) {
+  if (e.kind != ExprKind::kComparison || e.lhs == nullptr ||
+      e.rhs == nullptr) {
+    return std::nullopt;
+  }
+  if (e.compare_op != CompareOp::kGe && e.compare_op != CompareOp::kLe) {
+    return std::nullopt;
+  }
+  const Expr* path = e.lhs.get();
+  const Expr* lit = e.rhs.get();
+  bool lower = e.compare_op == CompareOp::kGe;  // path >= lit
+  if (path->kind == ExprKind::kStringLiteral) {
+    std::swap(path, lit);
+    lower = !lower;  // lit <= path  ==  path >= lit
+  }
+  if (lit->kind != ExprKind::kStringLiteral ||
+      IsNumericText(lit->string_value)) {
+    return std::nullopt;
+  }
+  if (path->kind != ExprKind::kPath || path->path_from_root ||
+      path->path_root == nullptr ||
+      path->path_root->kind != ExprKind::kVariable ||
+      path->steps.size() != 1) {
+    return std::nullopt;
+  }
+  const Step& step = path->steps.front();
+  if (step.axis != Axis::kChild || !step.predicates.empty() ||
+      step.name_test == "*") {
+    return std::nullopt;
+  }
+  return RangeBoundMatch{path->path_root->variable, step.name_test,
+                         lit->string_value, lower};
+}
+
+/// True when `e` is a downward path (child/descendant/self/attribute axes
+/// only) rooted at one of `vars` — or a bare variable reference. Probing
+/// text from such expressions is complete: every word they can see lives
+/// in the subtree of the bound element.
+bool IsDownwardFromVars(const Expr& e, const std::set<std::string>& vars) {
+  if (e.kind == ExprKind::kVariable) return vars.count(e.variable) != 0;
+  if (e.kind != ExprKind::kPath || e.path_from_root ||
+      e.path_root == nullptr || e.path_root->kind != ExprKind::kVariable ||
+      vars.count(e.path_root->variable) == 0) {
+    return false;
+  }
+  for (const Step& step : e.steps) {
+    if (step.axis != Axis::kChild && step.axis != Axis::kDescendant &&
+        step.axis != Axis::kDescendantOrSelf && step.axis != Axis::kSelf &&
+        step.axis != Axis::kAttribute) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Finds a `contains-word(<downward path from vars>, "word")` call in `e`,
+/// descending through and-conjunctions and some-quantifiers whose input is
+/// itself downward from `vars` (the quantified variable joins the set).
+std::string FindContainsWord(const Expr& e, std::set<std::string> vars) {
+  switch (e.kind) {
+    case ExprKind::kFunctionCall:
+      if (e.function_name == "contains-word" && e.children.size() == 2 &&
+          IsDownwardFromVars(*e.children[0], vars) &&
+          e.children[1]->kind == ExprKind::kStringLiteral &&
+          IsWordToken(e.children[1]->string_value)) {
+        return e.children[1]->string_value;
+      }
+      return "";
+    case ExprKind::kLogical: {
+      if (e.logical_op != LogicalOp::kAnd) return "";
+      if (e.lhs != nullptr) {
+        std::string word = FindContainsWord(*e.lhs, vars);
+        if (!word.empty()) return word;
+      }
+      return e.rhs != nullptr ? FindContainsWord(*e.rhs, vars) : "";
+    }
+    case ExprKind::kQuantified: {
+      if (e.quantifier_every || e.quant_input == nullptr ||
+          e.quant_satisfies == nullptr ||
+          !IsDownwardFromVars(*e.quant_input, vars)) {
+        return "";
+      }
+      vars.insert(e.quant_variable);
+      return FindContainsWord(*e.quant_satisfies, vars);
+    }
+    default:
+      return "";
+  }
+}
+
+/// Flattens a where expression's top-level and-conjunction.
+void FlattenConjuncts(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::kLogical && e.logical_op == LogicalOp::kAnd) {
+    if (e.lhs != nullptr) FlattenConjuncts(*e.lhs, out);
+    if (e.rhs != nullptr) FlattenConjuncts(*e.rhs, out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+/// The shapes an index probe can replace: a step or filter directly over
+/// a variable scan. The probe validates every index candidate against the
+/// scanned root set plus this structural context, so its output is always
+/// the subset of index postings the replaced subtree would have produced.
+struct DrivingShape {
+  bool ok = false;
+  ProbeContext context = ProbeContext::kRoots;
+  std::string target;  // step name test; "" for kRoots
+  std::string source;  // scanned variable name
+};
+
+DrivingShape MatchDrivingShape(const LogicalNode& node) {
+  DrivingShape shape;
+  if (node.kind == LogicalKind::kScan) {
+    shape.ok = node.predicates.empty();
+    shape.context = ProbeContext::kRoots;
+    shape.source = node.name;
+    return shape;
+  }
+  if (node.inputs.size() != 1 ||
+      node.inputs[0]->kind != LogicalKind::kScan ||
+      !AllPredicatesNonPositional(node)) {
+    return shape;
+  }
+  shape.source = node.inputs[0]->name;
+  switch (node.kind) {
+    case LogicalKind::kFilter:
+      shape.ok = true;
+      shape.context = ProbeContext::kRoots;
+      return shape;
+    case LogicalKind::kChildStep:
+      shape.ok = node.name != "*";
+      shape.context = ProbeContext::kRootChildren;
+      shape.target = node.name;
+      return shape;
+    case LogicalKind::kDescendantStep:
+      shape.ok = node.name != "*";
+      shape.context = ProbeContext::kRootDescendants;
+      shape.target = node.name;
+      return shape;
+    default:
+      return shape;
+  }
+}
+
+/// Cost-based probe selection over a built logical plan. Runs only for
+/// AccessPathMode::kAuto (probe when estimated cheaper than the best
+/// walk) and kForceIndex (probe wherever eligible).
+class AccessPathSelector {
+ public:
+  AccessPathSelector(const CompilationOptions& options,
+                     const IndexCatalog& catalog)
+      : options_(options), catalog_(catalog) {}
+
+  void Run(LogicalPlan& plan) {
+    if (plan.root != nullptr) Visit(plan.root);
+    plan.access_path_summary = Summary(plan);
+  }
+
+  const std::vector<std::string>& chosen() const { return chosen_; }
+
+ private:
+  bool ForceIndex() const {
+    return options_.access_path.mode == AccessPathMode::kForceIndex;
+  }
+
+  bool IndexAllowed(const std::string& name) const {
+    const std::string& forced = options_.access_path.forced_index;
+    return forced.empty() || forced == name;
+  }
+
+  uint64_t CountOf(const std::string& name) const {
+    auto it = catalog_.collection.elements_by_name.find(name);
+    return it == catalog_.collection.elements_by_name.end() ? 0 : it->second;
+  }
+
+  /// Estimated cost of running the replaced subtree once (node visits).
+  double WalkCost(const LogicalNode& node) const {
+    const CostModelOptions& cm = options_.cost_model;
+    const double docs =
+        static_cast<double>(catalog_.collection.documents);
+    switch (node.kind) {
+      case LogicalKind::kScan:
+      case LogicalKind::kFilter:
+        return docs * cm.node_visit_cost;
+      case LogicalKind::kChildStep:
+        return (docs + static_cast<double>(CountOf(node.name))) *
+               cm.node_visit_cost;
+      case LogicalKind::kDescendantStep: {
+        if (node.access == AccessPath::kGuidedWalk) {
+          double visits = docs;
+          for (const StepExpansion& chain : node.expansions) {
+            for (const std::string& label : chain.labels) {
+              visits += static_cast<double>(CountOf(label));
+            }
+          }
+          return visits * cm.node_visit_cost;
+        }
+        return static_cast<double>(catalog_.collection.total_elements) *
+               cm.node_visit_cost;
+      }
+      default:
+        return static_cast<double>(catalog_.collection.total_elements) *
+               cm.node_visit_cost;
+    }
+  }
+
+  double ProbeCost(const IndexStats& stats, double estimated_rows) const {
+    const CostModelOptions& cm = options_.cost_model;
+    return static_cast<double>(stats.height) * cm.page_read_cost +
+           estimated_rows * cm.posting_resolve_cost;
+  }
+
+  bool Beats(double probe_cost, double walk_cost) const {
+    if (ForceIndex()) return true;
+    return probe_cost <
+           options_.cost_model.index_advantage_margin * walk_cost;
+  }
+
+  /// Wraps `node` (moving it under the wrapper as runtime fallback) with
+  /// a probe of `kind`; the wrapper inherits the original's predicates as
+  /// residual re-checks and gets a fresh scan of the source variable to
+  /// validate candidates against.
+  void Wrap(LogicalNodePtr& node, LogicalKind kind, IndexProbe probe,
+            double estimated_rows, const std::string& source) {
+    auto wrapper = std::make_unique<LogicalNode>(kind);
+    wrapper->probe = std::move(probe);
+    wrapper->estimated_rows = estimated_rows;
+    wrapper->predicates = node->predicates;
+    wrapper->cardinality = node->cardinality;
+    auto roots = std::make_unique<LogicalNode>(LogicalKind::kScan);
+    roots->name = source;
+    wrapper->inputs.push_back(std::move(node));
+    wrapper->inputs.push_back(std::move(roots));
+    node = std::move(wrapper);
+    chosen_.push_back(NodeLabel(*node));
+  }
+
+  /// Equality probe on a step/filter whose input is a variable scan
+  /// (Q5/Q8/Q12-style `item[@id = "…"]`, `//entry[hw = "…"]`,
+  /// `$input[self::order][@id = "…"]`).
+  bool TryValueProbe(LogicalNodePtr& node) {
+    const DrivingShape shape = MatchDrivingShape(*node);
+    if (!shape.ok || node->predicates.empty()) return false;
+    for (const Expr* pred : node->predicates) {
+      auto eq = MatchValueEq(*pred);
+      if (!eq.has_value()) continue;
+      std::string path;
+      bool is_attribute = eq->step->axis == Axis::kAttribute;
+      if (is_attribute) {
+        // Attribute postings are keyed by owning element name; resolve it
+        // from the step target, a [self::N] predicate, or — for a bare
+        // root filter — the collection's single root tag.
+        std::string owner = shape.target;
+        if (owner.empty()) {
+          for (const Expr* p : node->predicates) {
+            std::string self_name = SelfTestName(*p);
+            if (!self_name.empty()) {
+              owner = self_name;
+              break;
+            }
+          }
+        }
+        if (owner.empty() &&
+            catalog_.collection.root_names.size() == 1) {
+          owner = catalog_.collection.root_names.front();
+        }
+        if (owner.empty()) continue;
+        path = owner + "/@" + eq->step->name_test;
+      } else {
+        path = eq->step->name_test;
+      }
+      const IndexStats* stats = catalog_.FindValueIndexForPath(path);
+      if (stats == nullptr || !IndexAllowed(stats->name)) continue;
+      const double est =
+          static_cast<double>(stats->entries) /
+          static_cast<double>(std::max<uint64_t>(stats->distinct_keys, 1));
+      if (!Beats(ProbeCost(*stats, est), WalkCost(*node))) continue;
+      IndexProbe probe;
+      probe.kind = ProbeKind::kValueEquals;
+      probe.context = shape.context;
+      probe.index = stats->name;
+      probe.key = eq->literal;
+      probe.key_is_attribute = is_attribute;
+      probe.target_name = shape.target;
+      Wrap(node, LogicalKind::kIndexScan, std::move(probe), est,
+           shape.source);
+      return true;
+    }
+    return false;
+  }
+
+  /// Walks a tuple pipeline (inputs[0] chain) looking for the kFor that
+  /// binds `variable` with an index-eligible driving input.
+  LogicalNode* FindFor(LogicalNode& pipeline, const std::string& variable) {
+    for (LogicalNode* node = &pipeline; node != nullptr;
+         node = node->inputs.empty() ? nullptr : node->inputs[0].get()) {
+      if (node->kind == LogicalKind::kFor && node->name == variable) {
+        // Probing filters the for's item sequence early, which is only
+        // sound when tuple positions cannot be observed.
+        if (!node->position_variable.empty()) return nullptr;
+        return node;
+      }
+      switch (node->kind) {
+        case LogicalKind::kFor:
+        case LogicalKind::kJoin:
+        case LogicalKind::kLet:
+        case LogicalKind::kWhere:
+        case LogicalKind::kSort:
+          continue;
+        default:
+          return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Range + text probes driven from a where clause. The where stays in
+  /// the pipeline and re-checks every conjunct exactly, so the probe only
+  /// needs to produce a superset of the items that can pass — which lets
+  /// it drop whole documents/subtrees the index proves word- or key-free.
+  void TryWhereProbes(LogicalNode& where) {
+    if (where.expr == nullptr || where.inputs.empty()) return;
+    std::vector<const Expr*> conjuncts;
+    FlattenConjuncts(*where.expr, conjuncts);
+    TryRangeProbe(where, conjuncts);
+    TryTextProbe(where, conjuncts);
+  }
+
+  void TryRangeProbe(LogicalNode& where,
+                     const std::vector<const Expr*>& conjuncts) {
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      auto lo = MatchRangeBound(*conjuncts[i]);
+      if (!lo.has_value() || !lo->lower) continue;
+      for (size_t j = 0; j < conjuncts.size(); ++j) {
+        auto hi = MatchRangeBound(*conjuncts[j]);
+        if (!hi.has_value() || hi->lower || hi->variable != lo->variable ||
+            hi->child != lo->child || hi->literal < lo->literal) {
+          continue;
+        }
+        LogicalNode* for_node = FindFor(*where.inputs[0], lo->variable);
+        if (for_node == nullptr || for_node->inputs.size() != 2) continue;
+        LogicalNodePtr& driving = for_node->inputs[1];
+        const DrivingShape shape = MatchDrivingShape(*driving);
+        if (!shape.ok) continue;
+        const IndexStats* stats = catalog_.FindValueIndexForPath(lo->child);
+        // A conjunction pair only decomposes into one interval probe when
+        // the path is single-valued per element (`d >= lo and d <= hi`
+        // with two different d's has no witness in [lo, hi]).
+        if (stats == nullptr || !stats->single_valued ||
+            !IndexAllowed(stats->name)) {
+          continue;
+        }
+        const double est = static_cast<double>(stats->entries) / 3.0;
+        if (!Beats(ProbeCost(*stats, est), WalkCost(*driving))) continue;
+        IndexProbe probe;
+        probe.kind = ProbeKind::kValueRange;
+        probe.context = shape.context;
+        probe.index = stats->name;
+        probe.lo = lo->literal;
+        probe.hi = hi->literal;
+        probe.key_is_attribute = false;
+        probe.target_name = shape.target;
+        Wrap(driving, LogicalKind::kIndexRangeScan, std::move(probe), est,
+             shape.source);
+        return;
+      }
+    }
+  }
+
+  void TryTextProbe(LogicalNode& where,
+                    const std::vector<const Expr*>& conjuncts) {
+    const IndexStats* stats = catalog_.FindByKind(IndexKind::kText);
+    if (stats == nullptr || !IndexAllowed(stats->name)) return;
+    for (const Expr* conjunct : conjuncts) {
+      // The conjunct must pin the word to $v's subtree; which variable it
+      // is rooted at falls out of the quantifier scan.
+      for (LogicalNode* node = where.inputs[0].get(); node != nullptr;
+           node = node->inputs.empty() ? nullptr : node->inputs[0].get()) {
+        if (node->kind != LogicalKind::kFor &&
+            node->kind != LogicalKind::kJoin &&
+            node->kind != LogicalKind::kLet &&
+            node->kind != LogicalKind::kWhere &&
+            node->kind != LogicalKind::kSort) {
+          break;
+        }
+        if (node->kind != LogicalKind::kFor ||
+            !node->position_variable.empty() || node->inputs.size() != 2 ||
+            node->inputs[1]->kind == LogicalKind::kTextProbe) {
+          continue;
+        }
+        const std::string word =
+            FindContainsWord(*conjunct, {node->name});
+        if (word.empty()) continue;
+        LogicalNodePtr& driving = node->inputs[1];
+        const DrivingShape shape = MatchDrivingShape(*driving);
+        if (!shape.ok) continue;
+        const double est =
+            static_cast<double>(stats->entries) /
+            static_cast<double>(std::max<uint64_t>(stats->distinct_keys, 1));
+        // Without the probe, the where clause has to tokenize every text
+        // node under each driven element to test the word — across all
+        // candidates that is roughly the whole collection, regardless of
+        // how cheap producing the driven elements themselves is (a bare
+        // `for $x in $input` driver costs only `documents` visits but
+        // still forces the full-subtree word search).
+        const double word_search_cost =
+            static_cast<double>(catalog_.collection.total_elements) *
+            options_.cost_model.node_visit_cost;
+        if (!Beats(ProbeCost(*stats, est),
+                   WalkCost(*driving) + word_search_cost)) {
+          continue;
+        }
+        IndexProbe probe;
+        probe.kind = ProbeKind::kTextWord;
+        probe.context = shape.context;
+        probe.index = stats->name;
+        probe.word = word;
+        probe.target_name = shape.target;
+        Wrap(driving, LogicalKind::kTextProbe, std::move(probe), est,
+             shape.source);
+        return;
+      }
+    }
+  }
+
+  void Visit(LogicalNodePtr& node) {
+    switch (node->kind) {
+      case LogicalKind::kIndexScan:
+      case LogicalKind::kIndexRangeScan:
+      case LogicalKind::kTextProbe:
+        // Already probed; the fallback subtree stays as compiled.
+        return;
+      case LogicalKind::kWhere:
+        TryWhereProbes(*node);
+        break;
+      case LogicalKind::kChildStep:
+      case LogicalKind::kDescendantStep:
+      case LogicalKind::kFilter:
+        if (TryValueProbe(node)) return;
+        break;
+      default:
+        break;
+    }
+    for (LogicalNodePtr& input : node->inputs) {
+      Visit(input);
+    }
+  }
+
+  std::string Summary(const LogicalPlan& plan) const {
+    if (!chosen_.empty()) {
+      std::string out;
+      for (const std::string& choice : chosen_) {
+        if (!out.empty()) out += ", ";
+        out += choice;
+      }
+      return out;
+    }
+    return PlanUsesGuidedWalk(plan) ? "guided-walk" : "full-scan";
+  }
+
+  static bool NodeUsesGuidedWalk(const LogicalNode& node) {
+    if (node.kind == LogicalKind::kDescendantStep &&
+        node.access == AccessPath::kGuidedWalk) {
+      return true;
+    }
+    for (const LogicalNodePtr& input : node.inputs) {
+      if (NodeUsesGuidedWalk(*input)) return true;
+    }
+    return false;
+  }
+
+  static bool PlanUsesGuidedWalk(const LogicalPlan& plan) {
+    return plan.root != nullptr && NodeUsesGuidedWalk(*plan.root);
+  }
+
+  const CompilationOptions& options_;
+  const IndexCatalog& catalog_;
+  std::vector<std::string> chosen_;
+};
+
+bool NodeUsesGuided(const LogicalNode& node) {
+  if (node.kind == LogicalKind::kDescendantStep &&
+      node.access == AccessPath::kGuidedWalk) {
+    return true;
+  }
+  for (const LogicalNodePtr& input : node.inputs) {
+    if (NodeUsesGuided(*input)) return true;
+  }
+  return false;
+}
+
+void CountProbes(const LogicalNode& node, const LogicalNode*& single,
+                 int& count) {
+  if (node.probe.has_value()) {
+    ++count;
+    single = &node;
+  }
+  for (const LogicalNodePtr& input : node.inputs) {
+    CountProbes(*input, single, count);
+  }
+}
+
+void CountUses(const Expr& e, const std::string& name, int& count) {
+  if (e.kind == ExprKind::kVariable && e.variable == name) ++count;
+  if (e.path_root != nullptr) CountUses(*e.path_root, name, count);
+  for (const Step& step : e.steps) {
+    for (const auto& pred : step.predicates) CountUses(*pred, name, count);
+  }
+  for (const auto& child : e.children) CountUses(*child, name, count);
+  if (e.lhs != nullptr) CountUses(*e.lhs, name, count);
+  if (e.rhs != nullptr) CountUses(*e.rhs, name, count);
+  if (e.then_branch != nullptr) CountUses(*e.then_branch, name, count);
+  if (e.else_branch != nullptr) CountUses(*e.else_branch, name, count);
+  for (const ForClause& clause : e.for_clauses) {
+    if (clause.input != nullptr) CountUses(*clause.input, name, count);
+  }
+  for (const LetClause& clause : e.let_clauses) {
+    if (clause.value != nullptr) CountUses(*clause.value, name, count);
+  }
+  if (e.where != nullptr) CountUses(*e.where, name, count);
+  for (const OrderSpec& spec : e.order_by) {
+    if (spec.key != nullptr) CountUses(*spec.key, name, count);
+  }
+  if (e.return_expr != nullptr) CountUses(*e.return_expr, name, count);
+  if (e.quant_input != nullptr) CountUses(*e.quant_input, name, count);
+  if (e.quant_satisfies != nullptr) {
+    CountUses(*e.quant_satisfies, name, count);
+  }
+  for (const ConstructorAttr& attr : e.constructor_attrs) {
+    for (const ConstructorContent& part : attr.value_parts) {
+      if (part.expr != nullptr) CountUses(*part.expr, name, count);
+    }
+  }
+  for (const ConstructorContent& part : e.constructor_content) {
+    if (part.expr != nullptr) CountUses(*part.expr, name, count);
+    if (part.child != nullptr) CountUses(*part.child, name, count);
+  }
+}
 
 }  // namespace
 
@@ -452,10 +1135,42 @@ const char* CardName(Card card) {
   return "?";
 }
 
+const char* AccessPathModeName(AccessPathMode mode) {
+  switch (mode) {
+    case AccessPathMode::kAuto:
+      return "auto";
+    case AccessPathMode::kForceGuided:
+      return "force-guided";
+    case AccessPathMode::kForceScan:
+      return "force-scan";
+    case AccessPathMode::kForceIndex:
+      return "force-index";
+  }
+  return "?";
+}
+
 std::vector<std::string> FreeVariables(const Expr& expr) {
   std::set<std::string> free;
   CollectFree(expr, {}, free);
   return {free.begin(), free.end()};
+}
+
+int CountVariableUses(const Expr& expr, const std::string& name) {
+  int count = 0;
+  CountUses(expr, name, count);
+  return count;
+}
+
+const LogicalNode* SingleInputProbe(const LogicalPlan& plan) {
+  if (plan.root == nullptr) return nullptr;
+  const LogicalNode* single = nullptr;
+  int count = 0;
+  CountProbes(*plan.root, single, count);
+  if (count != 1 || single == nullptr || single->inputs.size() != 2 ||
+      single->inputs[1]->name != "input") {
+    return nullptr;
+  }
+  return single;
 }
 
 std::string LogicalPlan::ToString() const {
@@ -466,15 +1181,47 @@ std::string LogicalPlan::ToString() const {
 
 Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
                                      const PlanAnnotations* notes,
-                                     const PlannerOptions& options) {
-  Builder builder(notes, options);
+                                     const CompilationOptions& options,
+                                     const IndexCatalog* catalog) {
+  const AccessPathMode mode = options.access_path.mode;
+  const bool guided_allowed =
+      mode == AccessPathMode::kForceGuided ||
+      (mode != AccessPathMode::kForceScan && options.access_path.allow_guided);
+  Builder builder(notes, options, guided_allowed);
   LogicalPlan plan;
-  plan.max_intra_parallelism = std::max(options.max_intra_parallelism, 1);
+  plan.max_intra_parallelism = std::max(options.parallelism.max_intra, 1);
   plan.root = builder.BuildItem(query);
   if (plan.root == nullptr) {
     return Status::Internal("logical planning produced no root");
   }
+  if (catalog != nullptr && (mode == AccessPathMode::kAuto ||
+                             mode == AccessPathMode::kForceIndex)) {
+    AccessPathSelector selector(options, *catalog);
+    selector.Run(plan);
+  } else {
+    plan.access_path_summary =
+        NodeUsesGuided(*plan.root) ? "guided-walk" : "full-scan";
+  }
   return plan;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+CompilationOptions FromDeprecated(const PlannerOptions& options) {
+  CompilationOptions converted;
+  converted.access_path.mode = options.guided ? AccessPathMode::kForceGuided
+                                              : AccessPathMode::kForceScan;
+  converted.access_path.allow_guided = options.guided;
+  converted.cost_model.trust_statistics = options.trust_statistics;
+  converted.parallelism.max_intra = options.max_intra_parallelism;
+  return converted;
+}
+
+Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
+                                     const PlanAnnotations* notes,
+                                     const PlannerOptions& options) {
+  return BuildLogicalPlan(query, notes, FromDeprecated(options), nullptr);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace xbench::xquery::plan

@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "xquery/ast.h"
+#include "xquery/plan/catalog.h"
 
 namespace xbench::xquery::plan {
 
@@ -50,6 +52,12 @@ enum class LogicalKind {
   kConstruct,   // direct element constructor
   kEmpty,       // statically provably empty (cardinality rewrite)
   kReturn,      // tuple input × item plan -> concatenated item sequence
+  // Index probes (wrap the item subtree they replace; inputs[0] is the
+  // original access path kept as runtime fallback, inputs[1] the root
+  // source the probe validates its candidates against).
+  kIndexScan,       // value-index equality probe
+  kIndexRangeScan,  // value-index interval probe
+  kTextProbe,       // inverted-text-index word probe
   // Tuple operators.
   kSingleton,   // one empty environment (FLWOR pipeline source)
   kFor,         // dependent for clause: one tuple per input item
@@ -62,8 +70,44 @@ enum class LogicalKind {
 /// How a descendant step reaches its matches at execution time. Chosen at
 /// plan time: the guided walk needs analyzer chains *and* an engine whose
 /// collection passed the load-time validation gate (the planner is told
-/// via PlannerOptions::guided).
+/// via CompilationOptions::access_path).
 enum class AccessPath { kFullScan, kGuidedWalk };
+
+/// What an index probe looks up.
+enum class ProbeKind { kValueEquals, kValueRange, kTextWord };
+
+/// Which elements, relative to the probed root set, the original access
+/// path would have produced; the probe operator re-applies this as a
+/// structural check on every index candidate so probe output is always a
+/// subset of what the replaced subtree would enumerate.
+enum class ProbeContext {
+  kRoots,            // the roots themselves (Scan / Filter-over-Scan)
+  kRootChildren,     // child::name over the roots
+  kRootDescendants,  // fused //name over the roots
+};
+
+/// One index probe decision, attached to a kIndexScan / kIndexRangeScan /
+/// kTextProbe wrapper node.
+struct IndexProbe {
+  ProbeKind kind = ProbeKind::kValueEquals;
+  ProbeContext context = ProbeContext::kRootDescendants;
+  /// Index name in the engine catalog.
+  std::string index;
+  /// kValueEquals key (string comparison; the planner only probes
+  /// non-numeric literals so B+-tree order matches comparison semantics).
+  std::string key;
+  /// kValueRange inclusive bounds.
+  std::string lo;
+  std::string hi;
+  /// kTextWord token.
+  std::string word;
+  /// Whether the value index covers an attribute ("N/@a", posting node is
+  /// the candidate itself) or a child element value (posting node's
+  /// parent is the candidate).
+  bool key_is_attribute = false;
+  /// Element name candidates must carry; empty = the root itself.
+  std::string target_name;
+};
 
 struct LogicalNode;
 using LogicalNodePtr = std::unique_ptr<LogicalNode>;
@@ -88,6 +132,10 @@ struct LogicalNode {
   /// kSort: the FLWOR whose order_by this node applies.
   const Expr* order_source = nullptr;
   Card cardinality = Card::kUnknown;
+  /// kIndexScan/kIndexRangeScan/kTextProbe: the probe decision.
+  std::optional<IndexProbe> probe;
+  /// Cost-model cardinality estimate (rows out); -1 = no estimate.
+  double estimated_rows = -1;
   std::vector<LogicalNodePtr> inputs;
 };
 
@@ -95,45 +143,139 @@ struct LogicalPlan {
   LogicalNodePtr root;
 
   /// Upper bound on intra-query parallelism the physical lowering may
-  /// compile into parallelizable operators (copied from PlannerOptions;
-  /// 1 = scalar execution, the default).
+  /// compile into parallelizable operators (copied from
+  /// CompilationOptions::parallelism; 1 = scalar execution, the default).
   int max_intra_parallelism = 1;
+
+  /// One-line access-path decision summary for reports and explain
+  /// output: comma-joined probe choices ("IndexScan(item_id)"), or
+  /// "guided-walk"/"full-scan" when no probe was chosen.
+  std::string access_path_summary;
 
   /// Indented tree rendering (root first), used by `xqlint --explain` and
   /// the golden-plan snapshots.
   std::string ToString() const;
 };
 
-struct PlannerOptions {
-  /// Compile descendant steps with analyzer chains to guided walks. Only
-  /// set when the target engine's collection passed the validation gate;
-  /// the compiled plan is keyed by this flag in the plan cache.
-  bool guided = false;
+/// How the planner may resolve access paths.
+enum class AccessPathMode {
+  /// Cost-based: probe where a catalog index beats the estimated scan or
+  /// guided-walk cost, guided walks where chains exist and guidance is
+  /// allowed, full scans otherwise.
+  kAuto,
+  /// Guided walks wherever chains exist; never probes. Matches the old
+  /// PlannerOptions{guided=true} plans byte for byte.
+  kForceGuided,
+  /// Full scans only; never guided, never probes. Matches the old
+  /// PlannerOptions{guided=false} plans byte for byte.
+  kForceScan,
+  /// Probe wherever any eligible catalog index exists, regardless of
+  /// cost (ablation / testing mode).
+  kForceIndex,
+};
+
+const char* AccessPathModeName(AccessPathMode mode);
+
+/// Access-path half of the compilation options.
+struct AccessPathPolicy {
+  AccessPathMode mode = AccessPathMode::kAuto;
+  /// kForceIndex: restrict probes to this index name; empty = any index.
+  std::string forced_index;
+  /// Whether guided walks may be chosen at all. The workload layer clears
+  /// this when the engine's collection failed the load-time validation
+  /// gate; kForceScan ignores it, kForceGuided implies it.
+  bool allow_guided = true;
+};
+
+/// Cost-model knobs. Unit is "one node visit"; the defaults model the
+/// simulated storage (a B+-tree node fetch costs a page read, resolving
+/// one posting to a DOM node costs about two visits).
+struct CostModelOptions {
   /// Apply the provably-empty-path rewrite (Card::kEmpty -> kEmpty node).
   /// The cardinality classes come from *instance* statistics of the
   /// canonical sample database, so this is only sound when the data the
   /// plan will run over matches those statistics; the workload runner
   /// leaves it off, `xqlint --explain` and schema-bound tests turn it on.
   bool trust_statistics = false;
+  double node_visit_cost = 1.0;
+  double page_read_cost = 16.0;
+  double posting_resolve_cost = 2.0;
+  /// An index probe must beat the best non-index path by this factor
+  /// (estimated probe cost < margin × best walk cost) before kAuto picks
+  /// it, so near-ties keep the simpler plan.
+  double index_advantage_margin = 0.9;
+};
+
+/// Intra-query parallelism half of the compilation options.
+struct ParallelismOptions {
   /// Morsel-driven intra-query parallelism bound: descendant/axis steps,
-  /// predicate filtering, where clauses and sort-key extraction split
-  /// their input into morsels executed on the shared worker pool
-  /// (common/worker_pool.h), merging results in a fixed order so answers
-  /// stay byte-identical to scalar execution. 1 (the default) compiles
-  /// fully scalar plans; the plan cache keys on this value.
+  /// predicate filtering (including index-probe residual predicates),
+  /// where clauses and sort-key extraction split their input into morsels
+  /// executed on the shared worker pool (common/worker_pool.h), merging
+  /// results in a fixed order so answers stay byte-identical to scalar
+  /// execution. 1 (the default) compiles fully scalar plans; the plan
+  /// cache keys on this value.
+  int max_intra = 1;
+};
+
+/// Everything the compile-then-execute pipeline needs to lower one query:
+/// the access-path policy, the cost model it consults under kAuto, and
+/// the parallelism bound. Replaces the flat PlannerOptions booleans; the
+/// plan cache keys on (mode, forced index, guidance, parallelism) plus
+/// the catalog epoch the plan was costed against.
+struct CompilationOptions {
+  AccessPathPolicy access_path;
+  CostModelOptions cost_model;
+  ParallelismOptions parallelism;
+};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Pre-index planner knobs, superseded by CompilationOptions. Shim kept
+/// for one PR (mirroring the PR 4→5 RunQuery migration): `guided=true`
+/// maps to AccessPathMode::kForceGuided, `guided=false` to kForceScan,
+/// so shim-compiled plans are byte-identical to their PR 8 form.
+struct [[deprecated(
+    "use xquery::plan::CompilationOptions")]] PlannerOptions {
+  bool guided = false;
+  bool trust_statistics = false;
   int max_intra_parallelism = 1;
 };
+
+/// Exact-equivalence conversion for the deprecated shim.
+CompilationOptions FromDeprecated(const PlannerOptions& options);
+#pragma GCC diagnostic pop
 
 /// Free variables of `expr` (names read but not bound within it).
 std::vector<std::string> FreeVariables(const Expr& expr);
 
+/// Number of occurrences of variable `name` anywhere in `expr`
+/// (rebindings included — callers use this as a conservative "is $input
+/// read anywhere else" test).
+int CountVariableUses(const Expr& expr, const std::string& name);
+
+/// The plan's single probe node when exactly one probe was chosen and its
+/// root source is the workload's `$input` scan; nullptr otherwise. The
+/// engine derives its document prefilter (bind `$input` over only the
+/// documents holding probe candidates) from this.
+const LogicalNode* SingleInputProbe(const LogicalPlan& plan);
+
 /// Lowers an analyzed AST to the logical algebra. `notes` may be null
 /// (the planner then reads legacy `Step::expansions` annotations off the
-/// AST). Never fails on canned queries: any unsupported shape lowers to a
-/// kEval interpreter-core leaf.
+/// AST). `catalog` may be null (no probes are considered). Never fails on
+/// canned queries: any unsupported shape lowers to a kEval
+/// interpreter-core leaf.
 Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
                                      const PlanAnnotations* notes,
-                                     const PlannerOptions& options);
+                                     const CompilationOptions& options,
+                                     const IndexCatalog* catalog = nullptr);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use the CompilationOptions overload")]] Result<LogicalPlan>
+BuildLogicalPlan(const Expr& query, const PlanAnnotations* notes,
+                 const PlannerOptions& options);
+#pragma GCC diagnostic pop
 
 }  // namespace xbench::xquery::plan
 

@@ -273,6 +273,128 @@ TEST(ConcurrentSessions, MutationsSerializeAgainstInFlightStatements) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(ConcurrentSessions, IndexMaintenanceUnderMutationStaysConsistent) {
+  auto engine = workload::MakeEngine(EngineKind::kNative);
+  const auto db = SmallDb(DbClass::kTcMd);
+  ASSERT_TRUE(workload::BulkLoad(*engine, db).status.ok());
+  const workload::QueryParams params =
+      workload::DeriveParams(db.db_class, db.seeds);
+  workload::Session ddl(*engine, db.db_class, params, "ddl");
+  for (const engines::IndexSpec& spec :
+       workload::Table3Indexes(db.db_class)) {
+    ASSERT_TRUE(ddl.CreateIndex(spec).ok()) << spec.name;
+  }
+  engines::IndexSpec text;
+  text.name = "words";
+  text.kind = engines::IndexKind::kText;
+  ASSERT_TRUE(ddl.CreateIndex(text).ok());
+
+  workload::RunOptions probe;
+  probe.cold = false;
+  probe.compile.access_path.mode = xquery::plan::AccessPathMode::kForceIndex;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    // Inserts, deletes and cold restarts race index-probing statements;
+    // every mutation must rebuild/extend the live indexes under the
+    // collection lock, and the probes must never observe a half-updated
+    // posting list (they would fail or return wrong answers below).
+    for (int i = 0; i < 5; ++i) {
+      engines::LoadDocument doc;
+      doc.name = "mut" + std::to_string(i) + ".xml";
+      doc.text = "<article id=\"AMUT" + std::to_string(i) +
+                 "\"><prolog><title>mutation probe</title></prolog>"
+                 "<body><abstract>xenu lives here</abstract></body>"
+                 "</article>";
+      if (!engine->InsertDocument(doc).ok()) failures.fetch_add(1);
+      if (i % 2 == 0) {
+        if (!engine->DeleteDocument(doc.name).ok()) failures.fetch_add(1);
+      }
+      engine->ColdRestart();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      workload::Session session(*engine, db.db_class, params);
+      int runs = 0;
+      while (runs++ < 8 || !stop.load()) {
+        const QueryId id = runs % 2 == 0 ? QueryId::kQ5 : QueryId::kQ17;
+        workload::ExecutionResult result = session.Run(id, probe);
+        if (!result.status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Post-storm differential: forced index probes against the mutated
+  // collection must be byte-identical to forced full scans, and survive
+  // one more cold restart (indexes rebuild from the persisted documents).
+  workload::RunOptions scan;
+  scan.cold = false;
+  scan.compile.access_path.mode = xquery::plan::AccessPathMode::kForceScan;
+  workload::Session check(*engine, db.db_class, params, "check");
+  for (int round = 0; round < 2; ++round) {
+    if (round == 1) engine->ColdRestart();
+    for (QueryId id : {QueryId::kQ5, QueryId::kQ17}) {
+      workload::ExecutionResult scanned = check.Run(id, scan);
+      workload::ExecutionResult probed = check.Run(id, probe);
+      ASSERT_TRUE(scanned.status.ok());
+      ASSERT_TRUE(probed.status.ok());
+      EXPECT_NE(probed.access_path.find('('), std::string::npos)
+          << workload::QueryName(id) << ": " << probed.access_path;
+      EXPECT_EQ(scanned.lines, probed.lines) << workload::QueryName(id);
+    }
+  }
+}
+
+TEST(ConcurrentSessions, IndexDdlInvalidatesCachedPlansViaCatalogEpoch) {
+  engines::NativeEngine engine;
+  const auto db = SmallDb(DbClass::kTcSd);
+  ASSERT_TRUE(workload::BulkLoad(engine, db).status.ok());
+  const workload::QueryParams params =
+      workload::DeriveParams(db.db_class, db.seeds);
+  workload::Session session(engine, db.db_class, params);
+  engines::IndexSpec hw;
+  hw.name = "hw";
+  hw.path = "hw";
+  ASSERT_TRUE(session.CreateIndex(hw).ok());
+
+  workload::RunOptions autopath;
+  autopath.cold = false;
+  autopath.compile.access_path.mode = xquery::plan::AccessPathMode::kAuto;
+  workload::ExecutionResult indexed = session.Run(QueryId::kQ5, autopath);
+  ASSERT_TRUE(indexed.status.ok());
+  EXPECT_NE(indexed.access_path.find("IndexScan(hw"), std::string::npos)
+      << indexed.access_path;
+  workload::ExecutionResult warm = session.Run(QueryId::kQ5, autopath);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.plan_cache_hit);
+
+  // Dropping the index bumps the catalog epoch: the cached probing plan's
+  // key no longer matches, so the next run re-plans against the new
+  // catalog instead of executing a stale probe.
+  ASSERT_TRUE(session.DropIndex("hw").ok());
+  workload::ExecutionResult dropped = session.Run(QueryId::kQ5, autopath);
+  ASSERT_TRUE(dropped.status.ok());
+  EXPECT_FALSE(dropped.plan_cache_hit);
+  EXPECT_EQ(dropped.access_path.find("IndexScan"), std::string::npos)
+      << dropped.access_path;
+  EXPECT_EQ(dropped.lines, indexed.lines);
+
+  // Recreating it invalidates again, in the other direction.
+  ASSERT_TRUE(session.CreateIndex(hw).ok());
+  workload::ExecutionResult recreated = session.Run(QueryId::kQ5, autopath);
+  ASSERT_TRUE(recreated.status.ok());
+  EXPECT_FALSE(recreated.plan_cache_hit);
+  EXPECT_NE(recreated.access_path.find("IndexScan(hw"), std::string::npos)
+      << recreated.access_path;
+  EXPECT_EQ(recreated.lines, indexed.lines);
+}
+
 TEST(EngineRegistry, ResolvesEveryKindAndRejectsUnknownNames) {
   engines::EngineRegistry& registry = engines::EngineRegistry::Default();
   for (EngineKind kind : workload::AllEngines()) {

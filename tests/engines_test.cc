@@ -104,6 +104,50 @@ TEST(NativeEngineTest, ExtractIndexValues) {
   EXPECT_EQ(hws[1], "w2");
 }
 
+TEST(NativeEngineTest, IndexDdlListsDropsAndSurvivesColdRestart) {
+  NativeEngine engine;
+  auto db = SmallDb(DbClass::kTcMd);
+  ASSERT_TRUE(engine.BulkLoad(db.db_class, workload::ToLoadDocuments(db)).ok());
+  IndexSpec value{"article/@id", "article/@id"};
+  IndexSpec path;
+  path.name = "paths";
+  path.kind = IndexKind::kPath;
+  IndexSpec text;
+  text.name = "words";
+  text.kind = IndexKind::kText;
+  ASSERT_TRUE(engine.CreateIndex(value).ok());
+  ASSERT_TRUE(engine.CreateIndex(path).ok());
+  ASSERT_TRUE(engine.CreateIndex(text).ok());
+  EXPECT_EQ(engine.CreateIndex(value).code(), StatusCode::kAlreadyExists);
+
+  std::vector<IndexInfo> infos = engine.ListIndexes();
+  ASSERT_EQ(infos.size(), 3u);  // creation order
+  EXPECT_EQ(infos[0].name, "article/@id");
+  EXPECT_EQ(infos[0].kind, IndexKind::kValue);
+  EXPECT_EQ(infos[1].name, "paths");
+  EXPECT_EQ(infos[1].kind, IndexKind::kPath);
+  EXPECT_EQ(infos[2].name, "words");
+  EXPECT_EQ(infos[2].kind, IndexKind::kText);
+  for (const IndexInfo& info : infos) {
+    EXPECT_GT(info.entries, 0u) << info.name;
+  }
+
+  ASSERT_TRUE(engine.DropIndex("paths").ok());
+  EXPECT_EQ(engine.DropIndex("paths").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.ListIndexes().size(), 2u);
+
+  // Indexes are part of the collection, not the caches: a cold restart
+  // drops pool/document warmth but the catalog and postings remain.
+  engine.ColdRestart();
+  infos = engine.ListIndexes();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "article/@id");
+  EXPECT_EQ(infos[1].name, "words");
+  for (const IndexInfo& info : infos) {
+    EXPECT_GT(info.entries, 0u) << info.name;
+  }
+}
+
 // --- ClobEngine -----------------------------------------------------------------
 
 TEST(ClobEngineTest, RefusesSdClasses) {
@@ -163,6 +207,23 @@ TEST(ClobEngineTest, CreateIndexOnSideTable) {
 }
 
 // --- ShredEngine -----------------------------------------------------------------
+
+TEST(RelationalEngines, TextAndPathIndexKindsAreNativeOnly) {
+  IndexSpec text;
+  text.name = "words";
+  text.kind = IndexKind::kText;
+  IndexSpec path;
+  path.name = "paths";
+  path.kind = IndexKind::kPath;
+  ClobEngine clob;
+  ShredEngine shred(EngineKind::kShredMsSql);
+  for (XmlDbms* engine : std::initializer_list<XmlDbms*>{&clob, &shred}) {
+    EXPECT_EQ(engine->CreateIndex(text).code(), StatusCode::kUnsupported)
+        << engine->name();
+    EXPECT_EQ(engine->CreateIndex(path).code(), StatusCode::kUnsupported)
+        << engine->name();
+  }
+}
 
 TEST(ShredEngineTest, LoadsAllClassesAtTinyScale) {
   for (DbClass cls : {DbClass::kTcSd, DbClass::kTcMd, DbClass::kDcSd,

@@ -263,7 +263,8 @@ TEST(MetricsTest, PlanPipelineCountersTrack) {
       registry.GetCounter("xbench.plan.executions").value();
   auto parsed = xquery::ParseQuery("count($input)");
   ASSERT_TRUE(parsed.ok());
-  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, {});
+  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr,
+                                        xquery::plan::CompilationOptions{});
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
   EXPECT_EQ(registry.GetCounter("xbench.plan.compiles").value(),
             compiles0 + 1);

@@ -59,6 +59,12 @@ class PlanFixture {
     setup->engine = workload::MakeEngine(engines::EngineKind::kNative);
     EXPECT_TRUE(workload::BulkLoad(*setup->engine, setup->db).status.ok());
     EXPECT_TRUE(workload::CreateTable3Indexes(*setup->engine, cls).ok());
+    // A text index on top of the Table 3 value indexes, so cost-based
+    // compiles can choose text probes for the contains-word() queries.
+    engines::IndexSpec text;
+    text.name = "words";
+    text.kind = engines::IndexKind::kText;
+    EXPECT_TRUE(setup->engine->CreateIndex(text).ok());
     auto [inserted, ok] = setups_.emplace(cls, std::move(setup));
     return *inserted->second;
   }
@@ -68,16 +74,29 @@ class PlanFixture {
 };
 
 /// Analyzes + compiles one canned query the way the runner's prepare phase
-/// does, but with an explicit guided flag.
-Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileFor(
-    const std::string& text, DbClass cls, bool guided, int parallelism = 1) {
+/// does, with explicit compilation options (and, optionally, an index
+/// catalog for cost-based access-path selection).
+Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileWith(
+    const std::string& text, DbClass cls,
+    xquery::plan::CompilationOptions options,
+    const xquery::plan::IndexCatalog* catalog = nullptr) {
   XBENCH_ASSIGN_OR_RETURN(workload::AnalyzedQuery analyzed,
                           workload::AnalyzeForClassFull(text, cls));
-  xquery::plan::PlannerOptions options;
-  options.guided = guided;
-  options.max_intra_parallelism = parallelism;
   return xquery::plan::Compile(std::move(analyzed.ast),
-                               &analyzed.report.annotations, options);
+                               &analyzed.report.annotations, options,
+                               catalog);
+}
+
+/// Convenience overload for the classic two-flavour sweep: guided walks
+/// forced on or off, never probing.
+Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileFor(
+    const std::string& text, DbClass cls, bool guided, int parallelism = 1) {
+  xquery::plan::CompilationOptions options;
+  options.access_path.mode = guided
+                                 ? xquery::plan::AccessPathMode::kForceGuided
+                                 : xquery::plan::AccessPathMode::kForceScan;
+  options.parallelism.max_intra = parallelism;
+  return CompileWith(text, cls, options);
 }
 
 // --- Differential equivalence: compiled plans vs the interpreter ------------
@@ -98,9 +117,11 @@ std::string CellName(const ::testing::TestParamInfo<Cell>& info) {
 class PlanDifferentialTest : public ::testing::TestWithParam<Cell> {};
 
 /// The acceptance bar of the pipeline: for every defined (query, class)
-/// cell, the compiled physical plan — with guided walks on and off — must
-/// produce byte-identical QueryResult::ToText() output to the legacy AST
-/// interpreter over the same collection, through the same index hints.
+/// cell, the compiled physical plan — full scans forced, guided walks
+/// forced, and cost-based against the engine's index catalog (Table 3
+/// value indexes plus a text index) — must produce byte-identical
+/// QueryResult::ToText() output to the legacy AST interpreter over the
+/// same collection, at every intra-query parallelism bound.
 TEST_P(PlanDifferentialTest, CompiledPlanMatchesInterpreterByteForByte) {
   const auto [id, cls] = GetParam();
   auto& setup = PlanFixture::Get().ForClass(cls);
@@ -108,36 +129,44 @@ TEST_P(PlanDifferentialTest, CompiledPlanMatchesInterpreterByteForByte) {
   if (text.empty()) GTEST_SKIP() << "query not defined for this class";
   engines::NativeEngine& engine = setup.native();
   // Generated databases validate against the canonical schema, so the
-  // workload bulk-load enables guided evaluation; both plan flavours are
+  // workload bulk-load enables guided evaluation; every plan flavour is
   // executable.
   ASSERT_TRUE(engine.guided_eval_enabled());
 
   auto ast = workload::AnalyzeForClass(text, cls);
   ASSERT_TRUE(ast.ok()) << ast.status().ToString();
-  const auto hint = workload::IndexHintFor(id, cls, setup.params);
-  auto reference = hint.has_value()
-                       ? engine.QueryWithIndex(hint->index_name, hint->value,
-                                               **ast)
-                       : engine.Query(**ast);
+  auto reference = engine.Query(**ast);
   ASSERT_TRUE(reference.ok()) << reference.status().ToString();
 
+  const xquery::plan::IndexCatalog catalog = engine.IndexCatalogSnapshot();
+  struct Flavour {
+    const char* label;
+    xquery::plan::AccessPathMode mode;
+    const xquery::plan::IndexCatalog* catalog;
+  };
+  const Flavour flavours[] = {
+      {"full-scan", xquery::plan::AccessPathMode::kForceScan, nullptr},
+      {"guided", xquery::plan::AccessPathMode::kForceGuided, nullptr},
+      {"auto+indexes", xquery::plan::AccessPathMode::kAuto, &catalog},
+  };
   // Parallelism bounds > 1 route eligible operators through the shared
   // worker pool's morsel machinery; the merged answer must remain
   // byte-identical to the scalar interpreter for every bound.
-  for (bool guided : {false, true}) {
+  for (const Flavour& flavour : flavours) {
     for (int parallelism : {1, 2, 4}) {
-      auto compiled = CompileFor(text, cls, guided, parallelism);
+      xquery::plan::CompilationOptions options;
+      options.access_path.mode = flavour.mode;
+      options.parallelism.max_intra = parallelism;
+      auto compiled = CompileWith(text, cls, options, flavour.catalog);
       ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-      auto result = hint.has_value()
-                        ? engine.ExecutePlanWithIndex(hint->index_name,
-                                                      hint->value, **compiled)
-                        : engine.ExecutePlan(**compiled);
+      auto result = engine.ExecutePlan(**compiled);
       ASSERT_TRUE(result.ok())
-          << (guided ? "guided: " : "full-scan: ") << "parallelism "
-          << parallelism << ": " << result.status().ToString();
+          << flavour.label << ": parallelism " << parallelism << ": "
+          << result.status().ToString();
       EXPECT_EQ(result->ToText(), reference->ToText())
-          << QueryName(id) << " on " << datagen::DbClassName(cls)
-          << (guided ? " (guided)" : " (full-scan)") << " at parallelism "
+          << QueryName(id) << " on " << datagen::DbClassName(cls) << " ("
+          << flavour.label << ", access path "
+          << (*compiled)->logical.access_path_summary << ") at parallelism "
           << parallelism;
     }
   }
@@ -190,6 +219,71 @@ TEST(PlanShapeTest, GuidedFlagSelectsDescendantAccessPath) {
             std::string::npos);
 }
 
+TEST(PlanShapeTest, AutoModeChoosesIndexProbesOnTheCannedWorkload) {
+  // With the Table 3 value indexes plus a text index on offer, cost-based
+  // compilation must pick an index probe for at least one canned query of
+  // each TC class (the workload was designed around those indexes). Probe
+  // choices render with parens in the access-path summary
+  // ("IndexScan(name)" / "TextProbe(name)").
+  for (DbClass cls : {DbClass::kTcSd, DbClass::kTcMd}) {
+    auto& setup = PlanFixture::Get().ForClass(cls);
+    const xquery::plan::IndexCatalog catalog =
+        setup.native().IndexCatalogSnapshot();
+    ASSERT_FALSE(catalog.indexes.empty());
+    int probed = 0;
+    for (int q = 0; q < 20; ++q) {
+      const auto id = static_cast<QueryId>(q);
+      const std::string text = workload::XQueryFor(id, cls, setup.params);
+      if (text.empty()) continue;
+      xquery::plan::CompilationOptions options;
+      auto compiled = CompileWith(text, cls, options, &catalog);
+      ASSERT_TRUE(compiled.ok()) << QueryName(id);
+      if ((*compiled)->logical.access_path_summary.find('(') !=
+          std::string::npos) {
+        ++probed;
+      }
+    }
+    EXPECT_GT(probed, 0) << "no canned query of " << datagen::DbClassName(cls)
+                         << " compiled to an index probe";
+  }
+}
+
+TEST(PlanShapeTest, ForceIndexModeRestrictsToTheNamedIndex) {
+  // kForceIndex with a name only probes through that index; naming an
+  // index no query shape can use must fall back to scans, not probe.
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcSd);
+  const xquery::plan::IndexCatalog catalog =
+      setup.native().IndexCatalogSnapshot();
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ5, DbClass::kTcSd, setup.params);
+  ASSERT_FALSE(text.empty());
+  xquery::plan::CompilationOptions options;
+  options.access_path.mode = xquery::plan::AccessPathMode::kForceIndex;
+  options.access_path.forced_index = "no_such_index";
+  auto compiled = CompileWith(text, DbClass::kTcSd, options, &catalog);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ((*compiled)->logical.access_path_summary.find('('),
+            std::string::npos)
+      << (*compiled)->logical.access_path_summary;
+}
+
+TEST(PlanShapeTest, DeprecatedPlannerOptionsShimStillCompiles) {
+  // One-PR compatibility shim: old PlannerOptions call sites must keep
+  // compiling (and producing the same plans as the structured options).
+  auto parsed = xquery::ParseQuery("count($input//item)");
+  ASSERT_TRUE(parsed.ok());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  xquery::plan::PlannerOptions legacy;
+  legacy.guided = false;
+  legacy.max_intra_parallelism = 2;
+  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, legacy);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ((*compiled)->parallelism, 2);
+  EXPECT_FALSE((*compiled)->guided);
+}
+
 TEST(PlanShapeTest, EmptyRewriteGatedOnTrustStatistics) {
   // The rewrite consumes analyzer cardinality via PlanAnnotations; feed a
   // synthetic kEmpty annotation and check the gate.
@@ -198,8 +292,8 @@ TEST(PlanShapeTest, EmptyRewriteGatedOnTrustStatistics) {
     ASSERT_TRUE(parsed.ok());
     xquery::plan::PlanAnnotations notes;
     notes.path_cardinality[parsed->get()] = xquery::plan::Card::kEmpty;
-    xquery::plan::PlannerOptions options;
-    options.trust_statistics = trust;
+    xquery::plan::CompilationOptions options;
+    options.cost_model.trust_statistics = trust;
     auto logical =
         xquery::plan::BuildLogicalPlan(**parsed, &notes, options);
     ASSERT_TRUE(logical.ok());
@@ -221,27 +315,38 @@ TEST(PlanCacheTest, LookupInsertInvalidateWithMetrics) {
       metrics.GetCounter("xbench.plan.invalidations").value();
 
   xquery::plan::PlanCache cache;
-  const xquery::plan::PlanCacheKey key{1, 2, 3, false};
+  const xquery::plan::PlanCacheKey key{1, 2, 3, false, 1, 0, "", 0};
   EXPECT_EQ(cache.Lookup(key), nullptr);
 
   auto parsed = xquery::ParseQuery("count($input)");
   ASSERT_TRUE(parsed.ok());
-  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, {});
+  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr,
+                                        xquery::plan::CompilationOptions{});
   ASSERT_TRUE(compiled.ok());
   cache.Insert(key, *compiled);
   EXPECT_NE(cache.Lookup(key), nullptr);
   // The guided flag is part of the key: a gate flip never reuses a plan
   // compiled for the other access paths.
-  const xquery::plan::PlanCacheKey guided_key{1, 2, 3, true};
+  const xquery::plan::PlanCacheKey guided_key{1, 2, 3, true, 1, 0, "", 0};
   EXPECT_EQ(cache.Lookup(guided_key), nullptr);
   // So is the intra-query parallelism bound: parallel-eligible operators
   // are constructed differently per bound, so plans never cross over.
-  const xquery::plan::PlanCacheKey parallel_key{1, 2, 3, false, 4};
+  const xquery::plan::PlanCacheKey parallel_key{1, 2, 3, false, 4, 0, "", 0};
   EXPECT_EQ(cache.Lookup(parallel_key), nullptr);
+  // So are the access-path mode, the forced-index name, and the index
+  // catalog epoch: plans costed against superseded index state (or under
+  // a different policy) miss instead of being served.
+  const xquery::plan::PlanCacheKey mode_key{1, 2, 3, false, 1, 3, "", 0};
+  EXPECT_EQ(cache.Lookup(mode_key), nullptr);
+  const xquery::plan::PlanCacheKey forced_key{1, 2, 3, false, 1, 3,
+                                              "item_id", 0};
+  EXPECT_EQ(cache.Lookup(forced_key), nullptr);
+  const xquery::plan::PlanCacheKey epoch_key{1, 2, 3, false, 1, 0, "", 7};
+  EXPECT_EQ(cache.Lookup(epoch_key), nullptr);
 
   EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_hits").value(), hits0 + 1);
   EXPECT_EQ(metrics.GetCounter("xbench.plan.cache_misses").value(),
-            misses0 + 3);
+            misses0 + 6);
 
   cache.Invalidate();
   EXPECT_EQ(cache.size(), 0u);

@@ -1,11 +1,15 @@
-# Golden-plan snapshot check: `xqlint --explain --class all --query all`
-# must reproduce tools/golden/xqlint_explain.txt byte for byte. Run as
-#   cmake -DXQLINT=<binary> -DGOLDEN=<golden> -DACTUAL=<scratch> -P this
-# Regenerate the golden after an intentional planner change with
-#   build/tools/xqlint --explain --class all --query all \
-#       > tools/golden/xqlint_explain.txt
+# Golden-plan snapshot check: `xqlint --explain [extra args] --class all
+# --query all` must reproduce the checked-in golden byte for byte. Run as
+#   cmake -DXQLINT=<binary> -DGOLDEN=<golden> -DACTUAL=<scratch>
+#         [-DEXTRA_ARGS=--indexes] -P this
+# Regenerate a golden after an intentional planner change with
+#   build/tools/xqlint --explain [extra args] --class all --query all \
+#       > tools/golden/<golden>.txt
+# (--indexes loads the canonical sample database, builds the Table 3 +
+# text indexes, and prints the cost-based access-path choice per query —
+# everything is seeded, so the output is deterministic.)
 execute_process(
-  COMMAND ${XQLINT} --explain --class all --query all
+  COMMAND ${XQLINT} --explain ${EXTRA_ARGS} --class all --query all
   OUTPUT_FILE ${ACTUAL}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

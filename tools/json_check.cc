@@ -68,6 +68,9 @@ Status CheckPlan(const JsonValue& plan, size_t* operators_seen,
   if (!plan.is_object()) return SchemaError("\"plan\" is not an object");
   XBENCH_RETURN_IF_ERROR(RequireBool(plan, "compiled").status());
   XBENCH_RETURN_IF_ERROR(RequireBool(plan, "cache_hit").status());
+  // The access-path decision summary (e.g. "IndexScan(item/@id = …)",
+  // "guided-walk", "full-scan") is part of every compiled plan entry.
+  XBENCH_RETURN_IF_ERROR(RequireString(plan, "access_path"));
   *max_parallelism = 1;
   if (const JsonValue* parallelism = plan.Find("max_parallelism")) {
     if (!parallelism->is_number()) {
@@ -97,6 +100,13 @@ Status CheckPlan(const JsonValue& plan, size_t* operators_seen,
     for (const char* key :
          {"rows_out", "invocations", "millis", "depth", "self_millis"}) {
       XBENCH_RETURN_IF_ERROR(RequireNumber(op, key));
+    }
+    // Index-probe operators carry the planner's cardinality estimate so
+    // reports can show estimated vs actual rows; absent elsewhere.
+    if (const JsonValue* estimate = op.Find("estimated_rows")) {
+      if (!estimate->is_number() || estimate->number < 0) {
+        return SchemaError("\"estimated_rows\" is not a non-negative number");
+      }
     }
     *self_millis_sum += op.Find("self_millis")->number;
   }

@@ -2,12 +2,16 @@
 //
 // Feeds analysis::QueryGenerator output (deterministic in --seed) through
 // every answer path the native engine has — the tree-walking interpreter,
-// the compiled physical plan, and the schema-guided compiled plan — and
+// the compiled full-scan plan, the schema-guided plan, and the cost-based
+// (kAuto) plan compiled against the engine's live index catalog — and
 // requires byte-identical QueryResult::ToText() from all of them. Each
 // query's compiled plans additionally draw a random intra-query
 // parallelism bound (1, 2, or 4 — deterministic in --seed), so the
 // morsel-parallel execution paths are fuzzed against the scalar
-// interpreter too. The
+// interpreter too. Index availability itself is randomized: the engine
+// cycles through three index configurations (none / Table 3 value
+// indexes / Table 3 + text index) during the run, so cost-based plans are
+// fuzzed both with probes available and without. The
 // same queries are cross-checked against the CLOB engine per document
 // (MD classes, decomposable queries) as value multisets, and the shredded
 // relational image is validated column-by-column against the source
@@ -268,6 +272,41 @@ int main(int argc, char** argv) {
   uint64_t clob_compared = 0;
   uint64_t error_queries = 0;
   uint64_t parallel_plans = 0;
+  uint64_t probe_plans = 0;
+
+  // Index-availability sweep: cycle the engine through three index
+  // configurations so cost-based plans are fuzzed with and without
+  // probes on offer. Each transition is real DDL (drop everything,
+  // recreate), which also exercises catalog-epoch bumps and plan-cache
+  // invalidation mid-run. The phase sequence is deterministic in --seed.
+  constexpr uint64_t kIndexPhaseIters = 128;
+  int index_state = -1;
+  auto apply_index_state = [&](int state) {
+    if (state == index_state) return;
+    index_state = state;
+    for (const auto& info : native->ListIndexes()) {
+      if (auto dropped = native->DropIndex(info.name); !dropped.ok()) {
+        Fail("<index ddl>", "DropIndex failed", info.name,
+             dropped.ToString());
+      }
+    }
+    if (state >= 1) {
+      if (auto created = xbench::workload::CreateTable3Indexes(*native, cls);
+          !created.ok()) {
+        Fail("<index ddl>", "CreateTable3Indexes failed", created.ToString(),
+             "");
+      }
+    }
+    if (state >= 2) {
+      xbench::engines::IndexSpec text;
+      text.name = "words";
+      text.kind = xbench::engines::IndexKind::kText;
+      if (auto created = native->CreateIndex(text); !created.ok()) {
+        Fail("<index ddl>", "text CreateIndex failed", created.ToString(),
+             "");
+      }
+    }
+  };
   // Deterministic per-query draw for the intra-query parallelism bound:
   // plans execute through the same morsel machinery the benchmarks use,
   // and must stay byte-identical to the scalar interpreter regardless of
@@ -283,7 +322,21 @@ int main(int argc, char** argv) {
     static constexpr int kBounds[] = {1, 2, 4};
     return kBounds[z % 3];
   };
+  struct ModeOption {
+    const char* label;
+    xbench::xquery::plan::AccessPathMode mode;
+    bool needs_guided;
+    bool with_catalog;
+  };
+  constexpr ModeOption kModes[] = {
+      {"unguided", xbench::xquery::plan::AccessPathMode::kForceScan, false,
+       false},
+      {"guided", xbench::xquery::plan::AccessPathMode::kForceGuided, true,
+       false},
+      {"auto", xbench::xquery::plan::AccessPathMode::kAuto, false, true},
+  };
   for (uint64_t i = 0; i < iters; ++i) {
+    apply_index_state(static_cast<int>((i / kIndexPhaseIters + seed) % 3));
     const auto generated = gen.Next();
     const std::string& text = generated.text;
     const int parallelism = next_parallelism();
@@ -298,21 +351,32 @@ int main(int argc, char** argv) {
     }
     auto interp = native->Query(*interp_q->ast);
 
-    for (const bool want_guided : {false, true}) {
-      if (want_guided && !guided) continue;
+    for (const ModeOption& mode : kModes) {
+      if (mode.needs_guided && !guided) continue;
       auto compiled_q = xbench::workload::AnalyzeForClassFull(text, cls);
-      xbench::xquery::plan::PlannerOptions options;
-      options.guided = want_guided;
-      options.max_intra_parallelism = parallelism;
+      xbench::xquery::plan::CompilationOptions options;
+      options.access_path.mode = mode.mode;
+      options.access_path.allow_guided = guided;
+      options.parallelism.max_intra = parallelism;
+      const xbench::xquery::plan::IndexCatalog catalog =
+          native->IndexCatalogSnapshot();
       auto compiled = xbench::xquery::plan::Compile(
-          std::move(compiled_q->ast), &compiled_q->report.annotations, options);
+          std::move(compiled_q->ast), &compiled_q->report.annotations,
+          options, mode.with_catalog ? &catalog : nullptr);
       if (!compiled.ok()) {
         Fail(text, "plan compilation failed", compiled.status().ToString(), "");
       }
+      // Probe choices render with parens ("IndexScan(name)",
+      // "TextProbe(name)"); "guided-walk"/"full-scan" summaries do not.
+      if (mode.with_catalog &&
+          (*compiled)->logical.access_path_summary.find('(') !=
+              std::string::npos) {
+        ++probe_plans;
+      }
       auto plan_result = native->ExecutePlan(**compiled);
       if (interp.ok() != plan_result.ok()) {
-        Fail(text, want_guided ? "interpreter vs guided plan status"
-                               : "interpreter vs unguided plan status",
+        Fail(text, std::string("interpreter vs ") + mode.label +
+                       " plan status",
              interp.ok() ? "ok" : interp.status().ToString(),
              plan_result.ok() ? "ok" : plan_result.status().ToString());
       }
@@ -320,8 +384,8 @@ int main(int argc, char** argv) {
         const std::string lhs = interp->ToText();
         const std::string rhs = plan_result->ToText();
         if (lhs != rhs) {
-          Fail(text, want_guided ? "interpreter vs guided plan answer"
-                                 : "interpreter vs unguided plan answer",
+          Fail(text,
+               std::string("interpreter vs ") + mode.label + " plan answer",
                lhs, rhs);
         }
       }
@@ -366,12 +430,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "  %llu queries: interpreter == %s plan%s, %llu runtime errors "
-      "(status-matched), %llu clob-compared, %llu morsel-parallel plans\n",
+      "(status-matched), %llu clob-compared, %llu morsel-parallel plans, "
+      "%llu index-probe plans\n",
       static_cast<unsigned long long>(iters),
-      guided ? "unguided == guided" : "unguided",
+      guided ? "unguided == guided == auto" : "unguided == auto",
       guided ? "" : " (guided gate closed)",
       static_cast<unsigned long long>(error_queries),
       static_cast<unsigned long long>(clob_compared),
-      static_cast<unsigned long long>(parallel_plans));
+      static_cast<unsigned long long>(parallel_plans),
+      static_cast<unsigned long long>(probe_plans));
   return 0;
 }

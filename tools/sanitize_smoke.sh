@@ -32,7 +32,9 @@ cmake -B "$BUILD" -S "$ROOT" -DXBENCH_SANITIZE="$SAN" \
 
 if [ "$SAN" = "thread" ]; then
   # tsan_smoke: everything that takes locks or spawns threads, including
-  # the lock-rank enforcer's own death tests. The throughput sweep runs
+  # the lock-rank enforcer's own death tests and the secondary-index
+  # suite (index DDL + probing statements racing inserts, deletes and
+  # cold restarts inside concurrency_tests). The throughput sweep runs
   # with tracing on and the SLO gate armed (generously), so the
   # multi-lane tracer paths and the histogram-percentile gate are both
   # exercised under TSAN, and json_check validates the emitted trace.
@@ -67,6 +69,11 @@ cmake --build "$BUILD" -j"$(nproc)" \
 "$BUILD/tests/system_tests" --gtest_filter='*Analy*:InferredDtd*'
 "$BUILD/tools/xqlint" --class all --query all
 "$BUILD/tools/xqlint" --explain --class all --query all > /dev/null
+# --indexes loads the sample database, builds the Table 3 value indexes
+# plus the text index, and routes every eligible plan through the
+# cost-based access-path selector — index build and probe planning both
+# run sanitized.
+"$BUILD/tools/xqlint" --explain --indexes --class all --query all > /dev/null
 # One profiled query end to end under ASAN: per-operator timing, the
 # phase profile, and the trace exporter all run sanitized; json_check
 # then validates both emitted artifacts (report schema includes the

@@ -8,9 +8,11 @@
 #      common/thread_annotations.h.
 #   2. clang-tidy over src/ with the checked-in .clang-tidy profile
 #      (bugprone-*, clang-analyzer core/C++, concurrency checks).
-#   3. The xqlint schema-analysis gate (all queries x all classes), plus
-#      one profiled query run with XBENCH_TRACE_OUT set — json_check
-#      validates the emitted report (profile consistency) and trace.
+#   3. The xqlint schema-analysis gate (all queries x all classes), the
+#      --indexes access-path planning pass (index build + cost-based
+#      probe selection over the sample database), plus one profiled
+#      query run with XBENCH_TRACE_OUT set — json_check validates the
+#      emitted report (profile consistency) and trace.
 #   4. The ThreadSanitizer smoke suite with runtime lock-rank enforcement
 #      on (tools/sanitize_smoke.sh, XBENCH_SANITIZE=thread), which also
 #      traces its throughput sweep and schema-checks the trace.
@@ -18,7 +20,9 @@
 #      harnesses + differential oracle: the checked-in corpus and every
 #      regression input replay through all four harnesses, a seeded
 #      mutation round runs on top, and the generated-query oracle
-#      cross-checks interpreter vs compiled plans vs CLOB per class.
+#      cross-checks interpreter vs compiled plans vs CLOB per class,
+#      cycling index availability (none / Table 3 / Table 3 + text) so
+#      index-probing plans are differentially checked sanitized.
 #
 # Steps whose tool is not installed are skipped with a notice so the gate
 # degrades on minimal images; set XBENCH_STATIC_GATE_STRICT=1 to turn a
@@ -71,6 +75,11 @@ cmake -B "$PREFIX-host" -S "$ROOT"
 cmake --build "$PREFIX-host" -j"$(nproc)" \
       --target xqlint bench_query json_check
 "$PREFIX-host/tools/xqlint" --class all --query all
+# Index build + cost-based access-path planning over the sample database
+# (the golden for this output is checked by ctest; here it just has to
+# succeed).
+"$PREFIX-host/tools/xqlint" --explain --indexes --class all --query all \
+  > /dev/null
 XBENCH_REPORT="$PREFIX-host/gate_query_report.json" \
   XBENCH_TRACE_OUT="$PREFIX-host/gate_query_trace.json" \
   "$PREFIX-host/bench/bench_query" --query Q8 --profile > /dev/null

@@ -20,14 +20,23 @@
 // per-operator table is printed: rows out, invocations, inclusive and
 // self time per operator.
 //
+// With --explain --indexes, the canonical sample database is loaded into
+// a native engine, the class's Table 3 value indexes plus a text index
+// are created, and each query compiles cost-based (AccessPathMode::kAuto)
+// against the engine's index catalog; an "access-path:" line shows the
+// planner's decision for each query. The rendering is deterministic and
+// diffed against tools/golden/xqlint_explain_indexes.txt by the
+// xqlint_explain_index_snapshots test.
+//
 // Usage:
 //   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
-//          [--verbose] [--explain] [--profile] [--parallelism N]
+//          [--verbose] [--explain] [--profile] [--indexes]
+//          [--parallelism N]
 //
 // --parallelism N (requires --explain) compiles with
-// PlannerOptions::max_intra_parallelism = N; parallel-eligible physical
-// operators render with a " [parallel xN]" suffix. The default of 1
-// keeps the rendering identical to the golden snapshot.
+// CompilationOptions::parallelism.max_intra = N; parallel-eligible
+// physical operators render with a " [parallel xN]" suffix. The default
+// of 1 keeps the rendering identical to the golden snapshot.
 //
 // Exit status: 0 when every selected query parses and has no error
 // diagnostics (and, under --explain, compiles and — with --profile —
@@ -35,17 +44,21 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
 #include "analysis/class_schemas.h"
 #include "datagen/generator.h"
+#include "engines/native_engine.h"
 #include "workload/queries.h"
+#include "workload/runner.h"
 #include "xquery/evaluator.h"
 #include "xquery/exec/exec.h"
 #include "xquery/parser.h"
 #include "xquery/plan/cache.h"
+#include "xquery/plan/catalog.h"
 
 namespace {
 
@@ -183,10 +196,13 @@ bool ProfileOne(QueryId id, const xbench::xquery::plan::CompiledQuery& compiled,
 /// Explains one (class, query) cell: analyzes, compiles with guided walks
 /// and statistics-based pruning enabled (sound here — the statistics
 /// describe exactly the sample database the schema was inferred from),
-/// and prints the logical and physical plan trees. With `sample_db`
-/// non-null the plan is also executed over it and profiled.
+/// and prints the logical and physical plan trees. With `catalog`
+/// non-null the compile is cost-based (kAuto) against that index catalog
+/// and the access-path decision is printed. With `sample_db` non-null the
+/// plan is also executed over it and profiled.
 bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
                 const QueryParams& params, int parallelism,
+                const xbench::xquery::plan::IndexCatalog* catalog,
                 const xbench::datagen::GeneratedDatabase* sample_db) {
   const std::string xquery = XQueryFor(id, cls, params);
   if (xquery.empty()) return true;
@@ -201,18 +217,27 @@ bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
     std::printf("  %-4s FAIL\n%s", QueryName(id), report.ToString().c_str());
     return false;
   }
-  xbench::xquery::plan::PlannerOptions options;
-  options.guided = true;
-  options.trust_statistics = true;
-  options.max_intra_parallelism = parallelism;
-  auto compiled = xbench::xquery::plan::Compile(std::move(*parsed),
-                                                &report.annotations, options);
+  xbench::xquery::plan::CompilationOptions options;
+  // Without a catalog this reproduces the classic explain rendering:
+  // guided walks everywhere chains exist, never probes. With one, the
+  // cost model chooses among guided walks, scans and index probes.
+  options.access_path.mode =
+      catalog != nullptr ? xbench::xquery::plan::AccessPathMode::kAuto
+                         : xbench::xquery::plan::AccessPathMode::kForceGuided;
+  options.cost_model.trust_statistics = true;
+  options.parallelism.max_intra = parallelism;
+  auto compiled = xbench::xquery::plan::Compile(
+      std::move(*parsed), &report.annotations, options, catalog);
   if (!compiled.ok()) {
     std::printf("  %-4s COMPILE ERROR: %s\n", QueryName(id),
                 compiled.status().ToString().c_str());
     return false;
   }
   std::printf("  %s\n", QueryName(id));
+  if (catalog != nullptr) {
+    std::printf("   access-path: %s\n",
+                (*compiled)->logical.access_path_summary.c_str());
+  }
   std::printf("   logical:\n");
   PrintIndented((*compiled)->logical.ToString());
   std::printf("   physical:\n");
@@ -221,6 +246,43 @@ bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
     return ProfileOne(id, **compiled, *sample_db);
   }
   return true;
+}
+
+/// Loads the canonical sample database for `cls` into a native engine and
+/// creates the class's Table 3 value indexes plus one text index, then
+/// hands back the engine's planner-facing catalog snapshot (xqlint
+/// --explain --indexes). Null on load failure (reported to stderr).
+std::unique_ptr<xbench::xquery::plan::IndexCatalog> BuildCatalog(
+    DbClass cls, const xbench::datagen::GeneratedDatabase& sample_db) {
+  xbench::engines::NativeEngine engine;
+  xbench::Status loaded =
+      engine.BulkLoad(cls, xbench::workload::ToLoadDocuments(sample_db));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "sample load failed for %s: %s\n",
+                 xbench::datagen::DbClassName(cls),
+                 loaded.ToString().c_str());
+    return nullptr;
+  }
+  xbench::Status indexed =
+      xbench::workload::CreateTable3Indexes(engine, cls);
+  if (!indexed.ok()) {
+    std::fprintf(stderr, "index build failed for %s: %s\n",
+                 xbench::datagen::DbClassName(cls),
+                 indexed.ToString().c_str());
+    return nullptr;
+  }
+  xbench::engines::IndexSpec text;
+  text.name = "words";
+  text.kind = xbench::engines::IndexKind::kText;
+  indexed = engine.CreateIndex(text);
+  if (!indexed.ok()) {
+    std::fprintf(stderr, "text index build failed for %s: %s\n",
+                 xbench::datagen::DbClassName(cls),
+                 indexed.ToString().c_str());
+    return nullptr;
+  }
+  return std::make_unique<xbench::xquery::plan::IndexCatalog>(
+      engine.IndexCatalogSnapshot());
 }
 
 }  // namespace
@@ -233,6 +295,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool explain = false;
   bool profile = false;
+  bool indexes = false;
   int parallelism = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -254,6 +317,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--indexes") {
+      indexes = true;
     } else if (arg == "--parallelism" && has_value) {
       parallelism = std::atoi(argv[++i]);
       if (parallelism < 1) {
@@ -264,12 +329,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
                    "[--query Q1..Q20|all] [--verbose] [--explain] "
-                   "[--profile] [--parallelism N]\n");
+                   "[--profile] [--indexes] [--parallelism N]\n");
       return 2;
     }
   }
   if (profile && !explain) {
     std::fprintf(stderr, "--profile requires --explain\n");
+    return 2;
+  }
+  if (indexes && !explain) {
+    std::fprintf(stderr, "--indexes requires --explain\n");
     return 2;
   }
   if (parallelism > 1 && !explain) {
@@ -289,13 +358,21 @@ int main(int argc, char** argv) {
     }
     std::printf(")\n");
     xbench::datagen::GeneratedDatabase sample_db;
-    if (profile) {
+    if (profile || indexes) {
       sample_db =
           xbench::datagen::Generate(cls, xbench::analysis::CanonicalSampleConfig());
     }
+    std::unique_ptr<xbench::xquery::plan::IndexCatalog> catalog;
+    if (indexes) {
+      catalog = BuildCatalog(cls, sample_db);
+      if (catalog == nullptr) {
+        ++failures;
+        continue;
+      }
+    }
     for (QueryId id : queries) {
       if (explain) {
-        if (!ExplainOne(cls, id, schema, params, parallelism,
+        if (!ExplainOne(cls, id, schema, params, parallelism, catalog.get(),
                         profile ? &sample_db : nullptr)) {
           ++failures;
         }
