@@ -1620,6 +1620,45 @@ class PhysicalBuilder {
 
 }  // namespace
 
+namespace {
+
+/// Index one past the pre-order subtree rooted at `i`.
+size_t SkipSubtree(const std::vector<OperatorStats>& ops, size_t i) {
+  size_t j = i + 1;
+  while (j < ops.size() && ops[j].depth > ops[i].depth) ++j;
+  return j;
+}
+
+/// Top-down capped self-time attribution over the pre-order stats
+/// vector. `budget` is the subtree's effective inclusive time — the
+/// slice of the parent's window this subtree may account for. When the
+/// direct children's measured inclusive times sum past the budget (an
+/// index probe re-running its fallback per tuple books every re-run into
+/// the same child slots; parallel regions overlap the parent's clock),
+/// the children are scaled proportionally instead of the parent's self
+/// time being clamped at zero, so Σ self over the whole tree telescopes
+/// to exactly the root's inclusive time. Returns the index one past the
+/// subtree.
+size_t AttributeSelfTime(std::vector<OperatorStats>& ops, size_t i,
+                         double budget) {
+  double children = 0;
+  for (size_t j = i + 1; j < ops.size() && ops[j].depth > ops[i].depth;
+       j = SkipSubtree(ops, j)) {
+    children += ops[j].millis;
+  }
+  const double scale = children > budget && children > 0
+                           ? budget / children
+                           : 1.0;
+  ops[i].self_millis = budget - children * scale;
+  size_t j = i + 1;
+  while (j < ops.size() && ops[j].depth > ops[i].depth) {
+    j = AttributeSelfTime(ops, j, ops[j].millis * scale);
+  }
+  return j;
+}
+
+}  // namespace
+
 PhysicalPlan::PhysicalPlan() = default;
 PhysicalPlan::~PhysicalPlan() = default;
 PhysicalPlan::PhysicalPlan(PhysicalPlan&&) noexcept = default;
@@ -1673,20 +1712,12 @@ Result<QueryResult> Execute(const PhysicalPlan& plan, const Bindings& bindings,
   rows_out.Increment(result.items.size());
   if (stats != nullptr) {
     // Self time = inclusive time minus the direct children's inclusive
-    // time. In pre-order, slot i's children are the following slots at
-    // depth[i] + 1 before the next slot at depth <= depth[i]. With
-    // parallel regions a child's wall time can overlap the parent's, so
-    // the subtraction is clamped at 0 (see OperatorStats).
-    for (size_t i = 0; i < op_stats.size(); ++i) {
-      double children = 0;
-      for (size_t j = i + 1;
-           j < op_stats.size() && op_stats[j].depth > op_stats[i].depth; ++j) {
-        if (op_stats[j].depth == op_stats[i].depth + 1) {
-          children += op_stats[j].millis;
-        }
-      }
-      const double self = op_stats[i].millis - children;
-      op_stats[i].self_millis = self > 0 ? self : 0;
+    // time, attributed top-down with each subtree capped at its parent's
+    // effective window (see AttributeSelfTime): Σ self telescopes to
+    // exactly the root's inclusive time even when probe fallback re-runs
+    // or parallel overlap book more child time than the parent measured.
+    if (!op_stats.empty()) {
+      AttributeSelfTime(op_stats, 0, op_stats[0].millis);
     }
     stats->operators = std::move(op_stats);
     stats->total_millis = total_millis;

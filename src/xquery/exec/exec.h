@@ -17,14 +17,17 @@ namespace xbench::xquery::exec {
 /// inclusive (a pipeline operator's time contains its inputs');
 /// `self_millis` subtracts the direct children's inclusive time.
 ///
-/// Invariant change with parallel operators (DESIGN.md §12): under
-/// morsel-driven execution a parent's wall clock and its children's can
-/// overlap (pool lanes run child-attributed work while the parent's
-/// stopwatch is live), so the subtraction can go negative; `self_millis`
-/// is clamped at 0 and Σ self is only guaranteed to approximate the
-/// root's inclusive time for scalar plans (max_parallelism == 1).
-/// Validators relax the Σself-vs-exec tolerance when a plan reports
-/// max_parallelism > 1.
+/// Attribution is top-down with each subtree capped at its parent's
+/// effective window: when the direct children's measured inclusive times
+/// sum past the parent's (an index probe re-running its fallback books
+/// every re-run into the same child slots; under DESIGN.md §12 morsel
+/// parallelism pool lanes run child-attributed work while the parent's
+/// stopwatch is live), the children are scaled down proportionally
+/// rather than the parent's self time clamping at 0 — so Σ self_millis
+/// telescopes to exactly the root's inclusive time for every plan.
+/// Validators still relax the Σself-vs-exec tolerance when a plan
+/// reports max_parallelism > 1 (the root's wall clock itself is noisier
+/// there).
 struct OperatorStats {
   std::string label;
   /// Nesting depth in the plan tree (root = 0).
@@ -51,8 +54,9 @@ struct OperatorStats {
 /// Snapshot of every operator's counters, in plan pre-order (root first).
 struct ExecStats {
   std::vector<OperatorStats> operators;
-  /// Wall time of the whole operator-tree run; for scalar plans the
-  /// per-operator self times sum to this (within measurement noise).
+  /// Wall time of the whole operator-tree run; the per-operator self
+  /// times sum to the root operator's inclusive share of it (within
+  /// measurement noise).
   double total_millis = 0;
   /// Intra-query parallelism bound the plan was compiled with (1 =
   /// scalar; mirrors CompilationOptions::parallelism.max_intra).

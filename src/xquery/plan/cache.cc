@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "xquery/verify/verifier.h"
 
 namespace xbench::xquery::plan {
 
@@ -32,19 +33,22 @@ Result<std::shared_ptr<const CompiledQuery>> Compile(
   }
   XBENCH_ASSIGN_OR_RETURN(compiled->physical,
                           exec::BuildPhysicalPlan(compiled->logical));
+  // Static plan verification (DESIGN.md §14): contract-check the frozen
+  // plan before it can reach the cache or an executor. A violation here
+  // is a compiler bug, not a user error.
+  if (options.verify) {
+    verify::VerifyResult verified = verify::VerifyPlan(
+        compiled->logical, compiled->physical, options, catalog);
+    if (!verified.ok()) {
+      return Status::Internal("plan verification failed: " +
+                              verified.diagnostics.front().ToString());
+    }
+  }
   obs::MetricsRegistry::Default()
       .GetCounter("xbench.plan.compiles")
       .Increment();
   return {std::shared_ptr<const CompiledQuery>(std::move(compiled))};
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-CompileResult Compile(ExprPtr ast, const PlanAnnotations* notes,
-                      const PlannerOptions& options) {
-  return Compile(std::move(ast), notes, FromDeprecated(options), nullptr);
-}
-#pragma GCC diagnostic pop
 
 std::shared_ptr<const CompiledQuery> PlanCache::Lookup(
     const PlanCacheKey& key) const {

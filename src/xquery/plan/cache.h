@@ -54,14 +54,6 @@ Result<std::shared_ptr<const CompiledQuery>> Compile(
     ExprPtr ast, const PlanAnnotations* notes,
     const CompilationOptions& options, const IndexCatalog* catalog = nullptr);
 
-using CompileResult = Result<std::shared_ptr<const CompiledQuery>>;
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-[[deprecated("use the CompilationOptions overload")]] CompileResult Compile(
-    ExprPtr ast, const PlanAnnotations* notes, const PlannerOptions& options);
-#pragma GCC diagnostic pop
-
 /// Cache key: (query id, database class, engine kind, guided flag,
 /// parallelism bound, access-path mode + forced index, index-catalog
 /// epoch). The ints mirror workload::QueryId / workload::DbClass /

@@ -742,6 +742,7 @@ class AccessPathSelector {
   void Wrap(LogicalNodePtr& node, LogicalKind kind, IndexProbe probe,
             double estimated_rows, const std::string& source) {
     auto wrapper = std::make_unique<LogicalNode>(kind);
+    probe.catalog_epoch = catalog_.epoch;
     wrapper->probe = std::move(probe);
     wrapper->estimated_rows = estimated_rows;
     wrapper->predicates = node->predicates;
@@ -1204,24 +1205,5 @@ Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
   }
   return plan;
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-CompilationOptions FromDeprecated(const PlannerOptions& options) {
-  CompilationOptions converted;
-  converted.access_path.mode = options.guided ? AccessPathMode::kForceGuided
-                                              : AccessPathMode::kForceScan;
-  converted.access_path.allow_guided = options.guided;
-  converted.cost_model.trust_statistics = options.trust_statistics;
-  converted.parallelism.max_intra = options.max_intra_parallelism;
-  return converted;
-}
-
-Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
-                                     const PlanAnnotations* notes,
-                                     const PlannerOptions& options) {
-  return BuildLogicalPlan(query, notes, FromDeprecated(options), nullptr);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace xbench::xquery::plan

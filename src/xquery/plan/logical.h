@@ -107,6 +107,11 @@ struct IndexProbe {
   bool key_is_attribute = false;
   /// Element name candidates must carry; empty = the root itself.
   std::string target_name;
+  /// Epoch of the IndexCatalog snapshot this probe was costed against
+  /// (the same value PlanCacheKey::index_epoch carries). The plan
+  /// verifier rejects a frozen plan whose probes disagree with the
+  /// snapshot they claim to have been compiled under.
+  uint64_t catalog_epoch = 0;
 };
 
 struct LogicalNode;
@@ -163,11 +168,11 @@ enum class AccessPathMode {
   /// guided-walk cost, guided walks where chains exist and guidance is
   /// allowed, full scans otherwise.
   kAuto,
-  /// Guided walks wherever chains exist; never probes. Matches the old
-  /// PlannerOptions{guided=true} plans byte for byte.
+  /// Guided walks wherever chains exist; never probes. Matches the
+  /// pre-index guided plans byte for byte.
   kForceGuided,
-  /// Full scans only; never guided, never probes. Matches the old
-  /// PlannerOptions{guided=false} plans byte for byte.
+  /// Full scans only; never guided, never probes. Matches the
+  /// pre-index unguided plans byte for byte.
   kForceScan,
   /// Probe wherever any eligible catalog index exists, regardless of
   /// cost (ablation / testing mode).
@@ -220,31 +225,24 @@ struct ParallelismOptions {
 
 /// Everything the compile-then-execute pipeline needs to lower one query:
 /// the access-path policy, the cost model it consults under kAuto, and
-/// the parallelism bound. Replaces the flat PlannerOptions booleans; the
-/// plan cache keys on (mode, forced index, guidance, parallelism) plus
-/// the catalog epoch the plan was costed against.
+/// the parallelism bound. The plan cache keys on (mode, forced index,
+/// guidance, parallelism) plus the catalog epoch the plan was costed
+/// against.
 struct CompilationOptions {
   AccessPathPolicy access_path;
   CostModelOptions cost_model;
   ParallelismOptions parallelism;
+  /// Run the static plan verifier (xquery/verify) on every compiled
+  /// plan, failing compilation on any contract violation. Defaults on in
+  /// debug and sanitizer builds; release builds leave it off so the hot
+  /// compile path stays lean, and test fixtures/tools enable it
+  /// explicitly.
+#if !defined(NDEBUG) || defined(XBENCH_SANITIZE)
+  bool verify = true;
+#else
+  bool verify = false;
+#endif
 };
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-/// Pre-index planner knobs, superseded by CompilationOptions. Shim kept
-/// for one PR (mirroring the PR 4→5 RunQuery migration): `guided=true`
-/// maps to AccessPathMode::kForceGuided, `guided=false` to kForceScan,
-/// so shim-compiled plans are byte-identical to their PR 8 form.
-struct [[deprecated(
-    "use xquery::plan::CompilationOptions")]] PlannerOptions {
-  bool guided = false;
-  bool trust_statistics = false;
-  int max_intra_parallelism = 1;
-};
-
-/// Exact-equivalence conversion for the deprecated shim.
-CompilationOptions FromDeprecated(const PlannerOptions& options);
-#pragma GCC diagnostic pop
 
 /// Free variables of `expr` (names read but not bound within it).
 std::vector<std::string> FreeVariables(const Expr& expr);
@@ -269,13 +267,6 @@ Result<LogicalPlan> BuildLogicalPlan(const Expr& query,
                                      const PlanAnnotations* notes,
                                      const CompilationOptions& options,
                                      const IndexCatalog* catalog = nullptr);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-[[deprecated("use the CompilationOptions overload")]] Result<LogicalPlan>
-BuildLogicalPlan(const Expr& query, const PlanAnnotations* notes,
-                 const PlannerOptions& options);
-#pragma GCC diagnostic pop
 
 }  // namespace xbench::xquery::plan
 

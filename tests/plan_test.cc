@@ -82,6 +82,10 @@ Result<std::shared_ptr<const xquery::plan::CompiledQuery>> CompileWith(
     const xquery::plan::IndexCatalog* catalog = nullptr) {
   XBENCH_ASSIGN_OR_RETURN(workload::AnalyzedQuery analyzed,
                           workload::AnalyzeForClassFull(text, cls));
+  // Every fixture compile runs the static plan verifier, whatever the
+  // build type's default — a contract violation is a test failure here,
+  // not just a debug-build crash.
+  options.verify = true;
   return xquery::plan::Compile(std::move(analyzed.ast),
                                &analyzed.report.annotations, options,
                                catalog);
@@ -267,23 +271,6 @@ TEST(PlanShapeTest, ForceIndexModeRestrictsToTheNamedIndex) {
       << (*compiled)->logical.access_path_summary;
 }
 
-TEST(PlanShapeTest, DeprecatedPlannerOptionsShimStillCompiles) {
-  // One-PR compatibility shim: old PlannerOptions call sites must keep
-  // compiling (and producing the same plans as the structured options).
-  auto parsed = xquery::ParseQuery("count($input//item)");
-  ASSERT_TRUE(parsed.ok());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  xquery::plan::PlannerOptions legacy;
-  legacy.guided = false;
-  legacy.max_intra_parallelism = 2;
-  auto compiled = xquery::plan::Compile(std::move(*parsed), nullptr, legacy);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
-  EXPECT_EQ((*compiled)->parallelism, 2);
-  EXPECT_FALSE((*compiled)->guided);
-}
-
 TEST(PlanShapeTest, EmptyRewriteGatedOnTrustStatistics) {
   // The rewrite consumes analyzer cardinality via PlanAnnotations; feed a
   // synthetic kEmpty annotation and check the gate.
@@ -446,6 +433,53 @@ TEST(PlanExecTest, OperatorStatsMirrorPlanLabels) {
               std::max(0.05 * stats.total_millis, 0.5));
 }
 
+TEST(PlanExecTest, SelfTimesTelescopeUnderProbeFallbacks) {
+  // Regression for self-time attribution under index-probe fallbacks: a
+  // probe that misses its index re-runs the compiled fallback subtree on
+  // every invocation, booking each re-run into the same child stat
+  // slots. With the old bottom-up clamp those re-runs could push a
+  // child's booked time past its parent's window and distort Σ self;
+  // the top-down capped attribution keeps Σ self == the root's
+  // inclusive time structurally. Executing an index-chosen plan on an
+  // engine with no indexes forces the fallback path on every tuple.
+  auto& setup = PlanFixture::Get().ForClass(DbClass::kTcSd);
+  const xquery::plan::IndexCatalog catalog =
+      setup.native().IndexCatalogSnapshot();
+  const std::string text =
+      workload::XQueryFor(QueryId::kQ5, DbClass::kTcSd, setup.params);
+  ASSERT_FALSE(text.empty());
+  engines::NativeEngine fresh;  // no indexes, no guided validation
+  ASSERT_TRUE(fresh.BulkLoad(DbClass::kTcSd,
+                             workload::ToLoadDocuments(setup.db)).ok());
+  for (int parallelism : {1, 4}) {
+    xquery::plan::CompilationOptions options;
+    options.access_path.mode = xquery::plan::AccessPathMode::kForceIndex;
+    options.access_path.allow_guided = false;  // executable on `fresh`
+    options.parallelism.max_intra = parallelism;
+    auto compiled = CompileWith(text, DbClass::kTcSd, options, &catalog);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    ASSERT_NE((*compiled)->physical.ToString().find("IndexScan("),
+              std::string::npos)
+        << (*compiled)->physical.ToString();
+    auto result = fresh.ExecutePlan(**compiled);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const xquery::exec::ExecStats& stats = fresh.last_plan_stats();
+    ASSERT_FALSE(stats.operators.empty());
+    double self_sum = 0;
+    for (const xquery::exec::OperatorStats& op : stats.operators) {
+      EXPECT_GE(op.self_millis, 0.0);
+      EXPECT_LE(op.self_millis, op.millis + 1e-9);
+      self_sum += op.self_millis;
+    }
+    // Exact telescoping: Σ self equals the root operator's inclusive
+    // time (not just approximately the wall clock), fallback re-runs
+    // and parallel overlap notwithstanding.
+    EXPECT_NEAR(self_sum, stats.operators[0].millis, 1e-6)
+        << "parallelism " << parallelism;
+    EXPECT_LE(self_sum, stats.total_millis + 1e-6);
+  }
+}
+
 TEST(PlanExecTest, ParallelPlansLabelOperatorsAndReportMorselStats) {
   auto& setup = PlanFixture::Get().ForClass(DbClass::kTcMd);
   const std::string text =
@@ -479,7 +513,7 @@ TEST(PlanExecTest, ParallelPlansLabelOperatorsAndReportMorselStats) {
   EXPECT_EQ(stats.max_parallelism, 4);
   uint64_t morsels = 0;
   for (const xquery::exec::OperatorStats& op : stats.operators) {
-    EXPECT_GE(op.self_millis, 0.0);  // clamped under concurrent children
+    EXPECT_GE(op.self_millis, 0.0);  // capped under concurrent children
     morsels += op.morsels;
   }
   EXPECT_GT(morsels, 0u) << "Q8's descendant step should have split into "

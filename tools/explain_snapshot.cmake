@@ -1,19 +1,23 @@
-# Golden-plan snapshot check: `xqlint --explain [extra args] --class all
+# Golden-plan snapshot check: `xqlint <mode> [extra args] --class all
 # --query all` must reproduce the checked-in golden byte for byte. Run as
 #   cmake -DXQLINT=<binary> -DGOLDEN=<golden> -DACTUAL=<scratch>
-#         [-DEXTRA_ARGS=--indexes] -P this
-# Regenerate a golden after an intentional planner change with
-#   build/tools/xqlint --explain [extra args] --class all --query all \
+#         [-DMODE=--verify] [-DEXTRA_ARGS=--indexes] -P this
+# MODE defaults to --explain. Regenerate a golden after an intentional
+# planner or verifier change with
+#   build/tools/xqlint <mode> [extra args] --class all --query all \
 #       > tools/golden/<golden>.txt
-# (--indexes loads the canonical sample database, builds the Table 3 +
-# text indexes, and prints the cost-based access-path choice per query —
-# everything is seeded, so the output is deterministic.)
+# (--indexes and --verify load the canonical sample database and build
+# the Table 3 + text indexes — everything is seeded, so the output is
+# deterministic.)
+if(NOT MODE)
+  set(MODE --explain)
+endif()
 execute_process(
-  COMMAND ${XQLINT} --explain ${EXTRA_ARGS} --class all --query all
+  COMMAND ${XQLINT} ${MODE} ${EXTRA_ARGS} --class all --query all
   OUTPUT_FILE ${ACTUAL}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "xqlint --explain exited with ${rc}")
+  message(FATAL_ERROR "xqlint ${MODE} exited with ${rc}")
 endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${ACTUAL}

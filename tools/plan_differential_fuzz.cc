@@ -358,6 +358,9 @@ int main(int argc, char** argv) {
       options.access_path.mode = mode.mode;
       options.access_path.allow_guided = guided;
       options.parallelism.max_intra = parallelism;
+      // Every fuzz-generated plan also runs the static verifier, so the
+      // oracle rejects contract violations even when the answers agree.
+      options.verify = true;
       const xbench::xquery::plan::IndexCatalog catalog =
           native->IndexCatalogSnapshot();
       auto compiled = xbench::xquery::plan::Compile(

@@ -23,6 +23,13 @@
 #      cross-checks interpreter vs compiled plans vs CLOB per class,
 #      cycling index availability (none / Table 3 / Table 3 + text) so
 #      index-probing plans are differentially checked sanitized.
+#   6. The plan-verifier sweep (xqlint --verify): every canned query of
+#      every class compiled under all four access-path modes x
+#      parallelism {1,2,4} with CompilationOptions.verify on, checked
+#      against the pinned property-lattice golden.
+#   7. The repo-convention linter (tools/xbench_lint): raw std::mutex
+#      use, DESIGN.md §9 <-> LockRank table drift, unregistered
+#      xbench.* metric names, stale [[deprecated]] shims.
 #
 # Steps whose tool is not installed are skipped with a notice so the gate
 # degrades on minimal images; set XBENCH_STATIC_GATE_STRICT=1 to turn a
@@ -44,7 +51,7 @@ skip() {
 }
 
 # --- 1. Clang thread-safety build -------------------------------------
-echo "static gate: [1/5] clang -Wthread-safety build"
+echo "static gate: [1/7] clang -Wthread-safety build"
 if grep -RIn "NO_THREAD_SAFETY_ANALYSIS" "$ROOT/src" \
     | grep -v "common/thread_annotations.h" \
     | grep -v "XBENCH_THREAD_ANNOTATION__"; then
@@ -61,7 +68,7 @@ else
 fi
 
 # --- 2. clang-tidy ----------------------------------------------------
-echo "static gate: [2/5] clang-tidy"
+echo "static gate: [2/7] clang-tidy"
 if command -v clang-tidy > /dev/null; then
   cmake -B "$PREFIX-lint" -S "$ROOT"
   cmake --build "$PREFIX-lint" --target lint
@@ -70,7 +77,7 @@ else
 fi
 
 # --- 3. xqlint analysis gate + profiled-query artifacts ---------------
-echo "static gate: [3/5] xqlint --class all --query all + profiled query"
+echo "static gate: [3/7] xqlint --class all --query all + profiled query"
 cmake -B "$PREFIX-host" -S "$ROOT"
 cmake --build "$PREFIX-host" -j"$(nproc)" \
       --target xqlint bench_query json_check
@@ -89,11 +96,11 @@ XBENCH_REPORT="$PREFIX-host/gate_query_report.json" \
   "$PREFIX-host/gate_query_trace.json"
 
 # --- 4. TSAN smoke with lock ranks ------------------------------------
-echo "static gate: [4/5] tsan smoke (XBENCH_LOCK_RANKS=ON)"
+echo "static gate: [4/7] tsan smoke (XBENCH_LOCK_RANKS=ON)"
 XBENCH_SANITIZE=thread "$ROOT/tools/sanitize_smoke.sh" "$PREFIX-tsan"
 
 # --- 5. ASan+UBSan fuzz replay + differential oracle -------------------
-echo "static gate: [5/5] fuzz corpus replay + differential oracle" \
+echo "static gate: [5/7] fuzz corpus replay + differential oracle" \
      "(address;undefined)"
 cmake -B "$PREFIX-fuzz" -S "$ROOT" -DXBENCH_SANITIZE="address;undefined" \
       -DXBENCH_LOCK_RANKS=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -108,5 +115,21 @@ for class in tcsd tcmd dcsd dcmd; do
   "$PREFIX-fuzz/tools/plan_differential_fuzz" --class "$class" \
     --iters "${XBENCH_FUZZ_ITERS:-500}" --seed 42
 done
+
+# --- 6. Plan-verifier sweep against the pinned golden ------------------
+echo "static gate: [6/7] xqlint --verify sweep"
+"$PREFIX-host/tools/xqlint" --verify --class all --query all \
+  > "$PREFIX-host/gate_verify_sweep.txt"
+if ! cmp -s "$ROOT/tools/golden/xqlint_verify.txt" \
+    "$PREFIX-host/gate_verify_sweep.txt"; then
+  echo "static gate: verifier property-lattice drift vs" \
+       "tools/golden/xqlint_verify.txt" >&2
+  exit 1
+fi
+
+# --- 7. Repo-convention linter -----------------------------------------
+echo "static gate: [7/7] xbench_lint"
+cmake --build "$PREFIX-host" -j"$(nproc)" --target xbench_lint
+"$PREFIX-host/tools/xbench_lint" --repo-root "$ROOT"
 
 echo "static gate: OK"

@@ -28,10 +28,19 @@
 // diffed against tools/golden/xqlint_explain_indexes.txt by the
 // xqlint_explain_index_snapshots test.
 //
+// With --verify, every selected query is compiled under all four access-
+// path modes (Auto, ForceGuided, ForceScan, ForceIndex — the first and
+// last cost-based against the class's Table 3 + text index catalog) at
+// parallelism bounds 1, 2 and 4, each compile running the static plan
+// verifier (xquery/verify, DESIGN.md §14). Any contract violation fails
+// the run and prints the structured diagnostics; the per-operator
+// property lattice derived for the (Auto, x1) plan is printed and diffed
+// against tools/golden/xqlint_verify.txt by the plan_verify_all test.
+//
 // Usage:
 //   xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] [--query Q1..Q20|all]
 //          [--verbose] [--explain] [--profile] [--indexes]
-//          [--parallelism N]
+//          [--parallelism N] [--verify]
 //
 // --parallelism N (requires --explain) compiles with
 // CompilationOptions::parallelism.max_intra = N; parallel-eligible
@@ -59,6 +68,7 @@
 #include "xquery/parser.h"
 #include "xquery/plan/cache.h"
 #include "xquery/plan/catalog.h"
+#include "xquery/verify/verifier.h"
 
 namespace {
 
@@ -248,6 +258,81 @@ bool ExplainOne(DbClass cls, QueryId id, const ClassSchema& schema,
   return true;
 }
 
+/// Verifies one (class, query) cell: compiles under every access-path
+/// mode × parallelism {1, 2, 4} with the static plan verifier on, then
+/// prints the derived property lattice of the cost-based scalar plan
+/// (xqlint --verify). Returns false when any combination fails to
+/// compile or verify.
+bool VerifyOne(DbClass cls, QueryId id, const ClassSchema& schema,
+               const QueryParams& params,
+               const xbench::xquery::plan::IndexCatalog* catalog) {
+  const std::string xquery = XQueryFor(id, cls, params);
+  if (xquery.empty()) return true;
+  std::printf("  %s\n", QueryName(id));
+  struct Mode {
+    const char* label;
+    xbench::xquery::plan::AccessPathMode mode;
+  };
+  const Mode modes[] = {
+      {"Auto", xbench::xquery::plan::AccessPathMode::kAuto},
+      {"ForceGuided", xbench::xquery::plan::AccessPathMode::kForceGuided},
+      {"ForceScan", xbench::xquery::plan::AccessPathMode::kForceScan},
+      {"ForceIndex", xbench::xquery::plan::AccessPathMode::kForceIndex},
+  };
+  bool ok = true;
+  for (const Mode& mode : modes) {
+    for (int parallelism : {1, 2, 4}) {
+      auto parsed = xbench::xquery::ParseQuery(xquery);
+      if (!parsed.ok()) {
+        std::printf("   PARSE ERROR: %s\n",
+                    parsed.status().ToString().c_str());
+        return false;
+      }
+      AnalysisReport report = Analyze(**parsed, schema.Context());
+      if (report.HasErrors()) {
+        std::printf("   ANALYSIS FAIL\n%s", report.ToString().c_str());
+        return false;
+      }
+      xbench::xquery::plan::CompilationOptions options;
+      options.access_path.mode = mode.mode;
+      options.cost_model.trust_statistics = true;
+      options.parallelism.max_intra = parallelism;
+      options.verify = true;
+      auto compiled = xbench::xquery::plan::Compile(
+          std::move(*parsed), &report.annotations, options, catalog);
+      if (!compiled.ok()) {
+        std::printf("   verify %-11s x%d: FAIL: %s\n", mode.label,
+                    parallelism, compiled.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      xbench::xquery::verify::VerifyResult verified =
+          xbench::xquery::verify::VerifyPlan((*compiled)->logical,
+                                             (*compiled)->physical, options,
+                                             catalog);
+      if (!verified.ok()) {
+        std::printf("   verify %-11s x%d: %zu violation(s)\n", mode.label,
+                    parallelism, verified.diagnostics.size());
+        for (const auto& diag : verified.diagnostics) {
+          std::printf("    %s\n", diag.ToString().c_str());
+        }
+        ok = false;
+        continue;
+      }
+      std::printf("   verify %-11s x%d: ok (%zu operators)\n", mode.label,
+                  parallelism, verified.derived.size());
+      if (mode.mode == xbench::xquery::plan::AccessPathMode::kAuto &&
+          parallelism == 1) {
+        std::printf("   properties (Auto x1):\n");
+        for (const std::string& line : verified.derived) {
+          std::printf("    %s\n", line.c_str());
+        }
+      }
+    }
+  }
+  return ok;
+}
+
 /// Loads the canonical sample database for `cls` into a native engine and
 /// creates the class's Table 3 value indexes plus one text index, then
 /// hands back the engine's planner-facing catalog snapshot (xqlint
@@ -296,6 +381,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool profile = false;
   bool indexes = false;
+  bool verify = false;
   int parallelism = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -319,6 +405,8 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--indexes") {
       indexes = true;
+    } else if (arg == "--verify") {
+      verify = true;
     } else if (arg == "--parallelism" && has_value) {
       parallelism = std::atoi(argv[++i]);
       if (parallelism < 1) {
@@ -329,7 +417,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: xqlint [--class TC/SD|TC/MD|DC/SD|DC/MD|all] "
                    "[--query Q1..Q20|all] [--verbose] [--explain] "
-                   "[--profile] [--indexes] [--parallelism N]\n");
+                   "[--profile] [--indexes] [--parallelism N] [--verify]\n");
       return 2;
     }
   }
@@ -345,6 +433,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--parallelism requires --explain\n");
     return 2;
   }
+  if (verify && (explain || profile || indexes)) {
+    std::fprintf(stderr, "--verify is a standalone mode\n");
+    return 2;
+  }
 
   int failures = 0;
   for (DbClass cls : classes) {
@@ -358,12 +450,12 @@ int main(int argc, char** argv) {
     }
     std::printf(")\n");
     xbench::datagen::GeneratedDatabase sample_db;
-    if (profile || indexes) {
+    if (profile || indexes || verify) {
       sample_db =
           xbench::datagen::Generate(cls, xbench::analysis::CanonicalSampleConfig());
     }
     std::unique_ptr<xbench::xquery::plan::IndexCatalog> catalog;
-    if (indexes) {
+    if (indexes || verify) {
       catalog = BuildCatalog(cls, sample_db);
       if (catalog == nullptr) {
         ++failures;
@@ -371,7 +463,11 @@ int main(int argc, char** argv) {
       }
     }
     for (QueryId id : queries) {
-      if (explain) {
+      if (verify) {
+        if (!VerifyOne(cls, id, schema, params, catalog.get())) {
+          ++failures;
+        }
+      } else if (explain) {
         if (!ExplainOne(cls, id, schema, params, parallelism, catalog.get(),
                         profile ? &sample_db : nullptr)) {
           ++failures;
